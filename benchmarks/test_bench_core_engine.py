@@ -1,0 +1,84 @@
+"""Micro-benchmarks of the core primitives (round engine, potential, matrices).
+
+These are not paper experiments but performance guards: the experiment suite
+executes millions of rounds, so regressions in the per-round cost matter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dynamics import sample_migration_matrix, step
+from repro.core.imitation import ImitationProtocol
+from repro.games.generators import random_linear_singleton, random_monomial_singleton
+from repro.games.network import grid_network_game
+
+
+@pytest.fixture(scope="module")
+def singleton_game():
+    return random_linear_singleton(2000, 16, rng=0)
+
+
+@pytest.fixture(scope="module")
+def network_game():
+    return grid_network_game(500, rows=3, cols=3, rng=0)
+
+
+def test_bench_switch_probabilities_singleton(benchmark, singleton_game):
+    protocol = ImitationProtocol()
+    state = singleton_game.uniform_random_state(1)
+    result = benchmark(protocol.switch_probabilities, singleton_game, state)
+    assert result.matrix.shape == (16, 16)
+
+
+def test_bench_switch_probabilities_network(benchmark, network_game):
+    protocol = ImitationProtocol()
+    state = network_game.uniform_random_state(1)
+    result = benchmark(protocol.switch_probabilities, network_game, state)
+    assert result.matrix.shape[0] == network_game.num_strategies
+
+
+def test_bench_full_round_singleton(benchmark, singleton_game):
+    protocol = ImitationProtocol()
+    state = singleton_game.uniform_random_state(2)
+    gen = np.random.default_rng(0)
+    outcome = benchmark(step, singleton_game, protocol, state, gen)
+    assert outcome.state.counts.sum() == singleton_game.num_players
+
+
+def test_bench_potential_evaluation(benchmark, singleton_game):
+    state = singleton_game.uniform_random_state(3)
+    value = benchmark(singleton_game.potential, state)
+    assert value > 0
+
+
+def test_bench_post_migration_matrix(benchmark, network_game):
+    state = network_game.uniform_random_state(4)
+    matrix = benchmark(network_game.post_migration_latency_matrix, state)
+    assert matrix.shape == (network_game.num_strategies, network_game.num_strategies)
+
+
+def test_bench_migration_sampling(benchmark, singleton_game):
+    protocol = ImitationProtocol(use_nu_threshold=False)
+    state = singleton_game.uniform_random_state(5)
+    probabilities = protocol.switch_probabilities(singleton_game, state)
+    gen = np.random.default_rng(1)
+    migration = benchmark(sample_migration_matrix, state.counts, probabilities.matrix, gen)
+    assert migration.sum() >= 0
+
+
+def test_bench_100_rounds_polynomial_singleton(benchmark):
+    game = random_monomial_singleton(1000, 8, 3.0, rng=1)
+    protocol = ImitationProtocol()
+
+    def run() -> int:
+        gen = np.random.default_rng(7)
+        counts = game.uniform_random_state(gen).counts
+        for _ in range(100):
+            outcome = step(game, protocol, counts, gen)
+            counts = outcome.state.counts
+        return int(counts.sum())
+
+    total = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    assert total == 1000

@@ -1,0 +1,22 @@
+"""Benchmark E10 — the Omega(n) lower bound for delta = 0 (Section 4)."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments.exp_last_agent_lower_bound import (
+    run_last_agent_lower_bound_experiment,
+)
+
+
+def test_bench_e10_last_agent_lower_bound(benchmark):
+    result = run_experiment_benchmark(
+        benchmark,
+        lambda: run_last_agent_lower_bound_experiment(quick=True, trials=8, seed=2009),
+    )
+    rows = result.rows
+    # the time to satisfy the very last improvement grows roughly linearly in
+    # n: rounds-per-player stays within a constant band while n quadruples+
+    ratios = [row["rounds_per_player"] for row in rows]
+    assert max(ratios) <= 10 * max(min(ratios), 1e-9)
+    assert rows[-1]["mean_rounds_to_nash"] > rows[0]["mean_rounds_to_nash"]

@@ -1,0 +1,23 @@
+"""Benchmark E11 (extension) — concurrent imitation vs sequential baselines."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments.exp_protocol_comparison import run_protocol_comparison_experiment
+
+
+def test_bench_e11_protocol_comparison(benchmark):
+    result = run_experiment_benchmark(
+        benchmark,
+        lambda: run_protocol_comparison_experiment(quick=True, trials=3, seed=2009),
+    )
+    for num_players in {row["n"] for row in result.rows}:
+        imitation = next(r for r in result.rows
+                         if r["n"] == num_players and r["dynamics"].startswith("imitation"))
+        best_response = next(r for r in result.rows
+                             if r["n"] == num_players
+                             and r["dynamics"].startswith("best-response"))
+        # the concurrent protocol needs far fewer rounds than the sequential
+        # baseline needs individual moves
+        assert imitation["mean_work"] < best_response["mean_work"]

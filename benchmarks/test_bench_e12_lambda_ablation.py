@@ -1,0 +1,18 @@
+"""Benchmark E12 (extension) — sensitivity to the damping constant lambda."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments.exp_lambda_ablation import run_lambda_ablation_experiment
+
+
+def test_bench_e12_lambda_ablation(benchmark):
+    result = run_experiment_benchmark(
+        benchmark,
+        lambda: run_lambda_ablation_experiment(quick=True, trials=3, seed=2009),
+    )
+    rows = sorted(result.rows, key=lambda row: row["lambda"])
+    # speed/error trade-off: larger lambda is faster but has a larger error ratio
+    assert rows[-1]["mean_rounds_to_approx_eq"] <= rows[0]["mean_rounds_to_approx_eq"]
+    assert rows[-1]["error_over_virtual_gain"] >= rows[0]["error_over_virtual_gain"]

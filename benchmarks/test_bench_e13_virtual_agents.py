@@ -1,0 +1,19 @@
+"""Benchmark E13 (extension) — virtual agents restore innovativeness (Section 6)."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments.exp_virtual_agents import run_virtual_agents_experiment
+
+
+def test_bench_e13_virtual_agents(benchmark):
+    result = run_experiment_benchmark(
+        benchmark,
+        lambda: run_virtual_agents_experiment(quick=True, trials=2, seed=2009,
+                                              num_players=40),
+    )
+    by_protocol = {row["protocol"]: row for row in result.rows}
+    assert by_protocol["imitation (plain)"]["nash_reached_fraction"] == 0.0
+    assert by_protocol["imitation + virtual agents"]["nash_reached_fraction"] == 1.0
+    assert by_protocol["hybrid (imitation/exploration)"]["nash_reached_fraction"] == 1.0

@@ -1,0 +1,18 @@
+"""Benchmark E1 — convergence to imitation-stable states (Theorem 4 / Cor. 3)."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments.exp_imitation_stable import run_imitation_stable_experiment
+
+
+def test_bench_e1_imitation_stable(benchmark):
+    result = run_experiment_benchmark(
+        benchmark,
+        lambda: run_imitation_stable_experiment(quick=True, trials=3, seed=2009),
+    )
+    # every game family reached an imitation-stable state within budget
+    assert all(row["censored_trials"] == 0 for row in result.rows)
+    # the potential rarely moves upward along the trajectories
+    assert all(row["potential_increase_rate"] <= 0.3 for row in result.rows)

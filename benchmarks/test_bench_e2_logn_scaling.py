@@ -1,0 +1,20 @@
+"""Benchmark E2 — logarithmic scaling of the hitting time in n (Theorem 7)."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments.exp_logn_scaling import run_logn_scaling_experiment
+
+
+def test_bench_e2_logn_scaling(benchmark):
+    result = run_experiment_benchmark(
+        benchmark,
+        lambda: run_logn_scaling_experiment(quick=True, trials=4, seed=2009),
+    )
+    rows = result.rows
+    n_growth = rows[-1]["n"] / rows[0]["n"]
+    time_growth = rows[-1]["mean_rounds"] / max(rows[0]["mean_rounds"], 1.0)
+    # the paper's headline shape: time grows far slower than the player count
+    assert time_growth < 0.5 * n_growth
+    assert all(row["censored_trials"] == 0 for row in rows)

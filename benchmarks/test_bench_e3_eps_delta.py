@@ -1,0 +1,24 @@
+"""Benchmark E3 — hitting time versus the approximation parameters (Theorem 7)."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments.exp_eps_delta_sweep import run_eps_delta_sweep_experiment
+
+
+def test_bench_e3_eps_delta_sweep(benchmark):
+    result = run_experiment_benchmark(
+        benchmark,
+        lambda: run_eps_delta_sweep_experiment(quick=True, trials=3, seed=2009,
+                                               num_players=256),
+    )
+    eps_rows = [row for row in result.rows if row["sweep"] == "epsilon"]
+    delta_rows = [row for row in result.rows if row["sweep"] == "delta"]
+    # the measured growth when tightening the parameters stays below the
+    # growth of the theoretical bound term 1/(eps^2 delta)
+    for rows in (eps_rows, delta_rows):
+        measured_growth = rows[-1]["mean_rounds"] / max(rows[0]["mean_rounds"], 1.0)
+        bound_growth = (rows[-1]["bound_term_1/(eps^2*delta)"]
+                        / rows[0]["bound_term_1/(eps^2*delta)"])
+        assert measured_growth <= bound_growth * 1.5

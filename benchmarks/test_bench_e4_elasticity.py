@@ -1,0 +1,24 @@
+"""Benchmark E4 — hitting time versus the elasticity bound d (Theorem 7)."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments.exp_elasticity_sweep import run_elasticity_sweep_experiment
+
+
+def test_bench_e4_elasticity_sweep(benchmark):
+    result = run_experiment_benchmark(
+        benchmark,
+        lambda: run_elasticity_sweep_experiment(quick=True, trials=3, seed=2009,
+                                                num_players=128),
+    )
+    rows = result.rows
+    degrees = [row["degree_d"] for row in rows]
+    times = [row["mean_rounds"] for row in rows]
+    # growth with d should be at most mildly super-linear: going from the
+    # smallest to the largest degree must not blow the time up by more than
+    # ~d^2 (the Theorem 7 bound is linear in d)
+    degree_growth = degrees[-1] / degrees[0]
+    time_growth = times[-1] / max(times[0], 1.0)
+    assert time_growth <= degree_growth ** 2 + 1.0

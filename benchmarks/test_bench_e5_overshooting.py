@@ -1,0 +1,25 @@
+"""Benchmark E5 — overshooting ablation for the 1/d damping (Section 2.3)."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments.exp_overshooting import run_overshooting_experiment
+
+
+def test_bench_e5_overshooting(benchmark):
+    result = run_experiment_benchmark(
+        benchmark,
+        lambda: run_overshooting_experiment(quick=True, trials=15, seed=2009,
+                                            num_players=1000),
+    )
+    damped = {row["degree_d"]: row for row in result.rows
+              if row["protocol"].startswith("imitation")}
+    undamped = {row["degree_d"]: row for row in result.rows
+                if row["protocol"].startswith("proportional")}
+    largest = max(damped)
+    # the damped protocol never overshoots the anticipated gain ...
+    assert all(row["mean_overshoot_ratio"] <= 1.1 for row in damped.values())
+    # ... while the undamped rule overshoots by a growing factor at high d
+    assert undamped[largest]["mean_overshoot_ratio"] > damped[largest]["mean_overshoot_ratio"]
+    assert undamped[largest]["mean_overshoot_ratio"] > 1.0

@@ -1,0 +1,24 @@
+"""Benchmark E6 — sequential imitation lower bound (Theorem 6)."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments.exp_sequential_lower_bound import (
+    run_sequential_lower_bound_experiment,
+)
+
+
+def test_bench_e6_sequential_lower_bound(benchmark):
+    result = run_experiment_benchmark(
+        benchmark,
+        lambda: run_sequential_lower_bound_experiment(quick=True, seed=2009,
+                                                      max_steps=50_000),
+    )
+    rows = result.rows
+    # the dynamics always terminate at an imitation-stable state ...
+    assert all(row["final_imitation_stable"] for row in rows)
+    # ... but the worst-case number of improving moves grows super-linearly
+    # with the instance size (moves per player increase)
+    assert rows[-1]["longest_improvement_sequence"] >= rows[0]["longest_improvement_sequence"]
+    assert rows[-1]["sequence_per_player"] >= rows[0]["sequence_per_player"]

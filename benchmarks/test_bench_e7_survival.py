@@ -1,0 +1,19 @@
+"""Benchmark E7 — strategy survival in scaled singleton games (Theorem 9)."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments.exp_singleton_survival import run_singleton_survival_experiment
+
+
+def test_bench_e7_singleton_survival(benchmark):
+    result = run_experiment_benchmark(
+        benchmark,
+        lambda: run_singleton_survival_experiment(quick=True, trials=25, seed=2009),
+    )
+    rows = result.rows
+    # the extinction probability is non-increasing from the smallest to the
+    # largest population, and the largest population never empties an edge
+    assert rows[-1]["extinction_probability"] <= rows[0]["extinction_probability"] + 1e-9
+    assert rows[-1]["extinction_probability"] == 0.0

@@ -1,0 +1,21 @@
+"""Benchmark E8 — the Price of Imitation (Theorem 10)."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments.exp_price_of_imitation import run_price_of_imitation_experiment
+
+
+def test_bench_e8_price_of_imitation(benchmark):
+    result = run_experiment_benchmark(
+        benchmark,
+        lambda: run_price_of_imitation_experiment(quick=True, trials=6, seed=2009),
+    )
+    rows = result.rows
+    # Theorem 10: the expected cost stays within (3 + o(1)) of the optimum;
+    # in practice it sits very close to 1
+    assert all(row["price_of_imitation"] < 3.0 for row in rows)
+    assert all(row["price_of_imitation"] >= 1.0 - 1e-6 for row in rows)
+    # the price does not degrade as n grows
+    assert rows[-1]["price_of_imitation"] <= rows[0]["price_of_imitation"] * 1.5

@@ -1,0 +1,23 @@
+"""Benchmark E9 — imitation vs exploration vs hybrid (Section 6, Theorem 15)."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments.exp_exploration_nash import run_exploration_nash_experiment
+
+
+def test_bench_e9_exploration_vs_imitation(benchmark):
+    result = run_experiment_benchmark(
+        benchmark,
+        lambda: run_exploration_nash_experiment(quick=True, trials=2, seed=2009,
+                                                num_players=40),
+    )
+    by_protocol = {row["protocol"]: row for row in result.rows}
+    # pure imitation can never leave the all-on-one-strategy start state
+    assert by_protocol["imitation"]["nash_reached_fraction"] == 0.0
+    # any protocol with an exploration component reaches a Nash equilibrium
+    assert by_protocol["exploration"]["nash_reached_fraction"] == 1.0
+    assert by_protocol["hybrid (0.5/0.5)"]["nash_reached_fraction"] == 1.0
+    # the final cost of the innovative protocols matches the optimum
+    assert by_protocol["hybrid (0.5/0.5)"]["final_cost_over_opt"] <= 1.1

@@ -1,0 +1,22 @@
+"""Benchmark F1 — error terms vs virtual potential gains (Figure 1, Lemmas 1-2)."""
+
+from __future__ import annotations
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments.exp_error_terms import run_error_terms_experiment
+
+
+def test_bench_f1_error_terms(benchmark):
+    result = run_experiment_benchmark(
+        benchmark,
+        lambda: run_error_terms_experiment(quick=True, samples=200, seed=2009,
+                                           num_players=400),
+    )
+    rows = result.rows
+    # Lemma 1 is deterministic: it must hold on every sampled round
+    assert all(row["lemma1_holds_fraction"] == 1.0 for row in rows)
+    # Lemma 2: the error terms eat at most half of the virtual gain in
+    # expectation (checked both as a ratio and against the drift bound)
+    assert all(row["mean_error_over_virtual"] <= 0.5 for row in rows)
+    assert all(row["lemma2_satisfied"] for row in rows)

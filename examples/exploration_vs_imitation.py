@@ -1,0 +1,72 @@
+"""Losing strategies and rediscovering them: imitation, exploration, hybrid.
+
+The IMITATION PROTOCOL is not innovative: once a strategy loses its last
+user, imitation can never bring it back.  Section 6 of the paper proposes the
+EXPLORATION PROTOCOL (uniform strategy sampling, heavier damping) and the
+half-and-half hybrid as remedies.  This example starts all three protocols
+from the worst possible state — every player on the slowest link — and shows
+
+* that imitation freezes instantly (the good links are invisible to it),
+* that exploration eventually finds the Nash equilibrium but needs many
+  rounds because of its strong damping, and
+* that the hybrid enjoys both fast initial progress and eventual optimality.
+
+Run with::
+
+    python examples/exploration_vs_imitation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    ExplorationProtocol,
+    ImitationProtocol,
+    MetricsCollector,
+    make_hybrid_protocol,
+    run_until_nash,
+)
+from repro.games import make_linear_singleton
+from repro.games.nash import is_nash
+from repro.games.optimum import compute_social_optimum
+from repro.games.state import GameState
+
+
+def main() -> None:
+    coefficients = [1.0, 2.0, 4.0, 8.0]
+    game = make_linear_singleton(80, coefficients)
+    optimum = compute_social_optimum(game)
+
+    # all players on the slowest link (coefficient 8.0)
+    start_counts = np.zeros(len(coefficients), dtype=np.int64)
+    start_counts[int(np.argmax(coefficients))] = game.num_players
+    start = GameState(start_counts)
+    print("start: every player on the slowest link "
+          f"(average latency {game.social_cost(start):.1f}, "
+          f"optimum {optimum.social_cost:.1f})\n")
+
+    protocols = {
+        "imitation": ImitationProtocol(use_nu_threshold=False),
+        "exploration": ExplorationProtocol(),
+        "hybrid (50/50)": make_hybrid_protocol(use_nu_threshold=False),
+    }
+
+    print(f"{'protocol':<16} {'rounds used':>12} {'Nash?':>7} {'final avg latency':>18} "
+          f"{'vs optimum':>11}")
+    for name, protocol in protocols.items():
+        collector = MetricsCollector(game, every=50, track_gain=False)
+        result = run_until_nash(game, protocol, initial_state=start,
+                                max_rounds=300_000, rng=42, collector=collector)
+        final_cost = game.social_cost(result.final_state)
+        print(f"{name:<16} {result.rounds:>12} "
+              f"{str(is_nash(game, result.final_state)):>7} "
+              f"{final_cost:>18.2f} {final_cost / optimum.social_cost:>11.2f}")
+
+    print("\nimitation stops immediately (reason: nobody plays anything better to copy);"
+          "\nexploration and the hybrid converge to the Nash equilibrium, and the hybrid"
+          "\ngets most of the improvement from its imitation component early on.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Load balancing on heterogeneous machines: imitation versus the baselines.
+
+A classic application of singleton congestion games: ``n`` jobs (players)
+choose among ``m`` machines (links) with load-dependent delay.  This example
+compares, on the same instance and from the same initial assignment,
+
+* the concurrent IMITATION PROTOCOL (rounds of simultaneous revisions),
+* sequential best response (one perfectly informed move per step),
+* Goldberg-style randomized local search (one random probe per step), and
+* the epsilon-greedy sequential dynamics,
+
+reporting how many rounds/steps each needs and the quality of the final
+assignment.  The point the paper makes: the concurrent protocol needs a
+number of *rounds* that is essentially independent of ``n``, whereas any
+sequential process needs at least ``Omega(n)`` individual moves.
+
+Run with::
+
+    python examples/load_balancing.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import (
+    run_best_response_baseline,
+    run_epsilon_greedy_baseline,
+    run_goldberg_baseline,
+)
+from repro.core import ImitationProtocol, run_until_approx_equilibrium
+from repro.games.generators import random_monomial_singleton
+from repro.games.optimum import compute_social_optimum
+from repro.games.state import GameState
+
+
+def main() -> None:
+    num_jobs = 600
+    num_machines = 10
+    game = random_monomial_singleton(num_jobs, num_machines, degree=2.0, rng=5)
+    optimum = compute_social_optimum(game)
+    start = game.uniform_random_state(rng=0)
+
+    print(f"{num_jobs} jobs on {num_machines} machines with quadratic delays")
+    print(f"optimum average delay: {optimum.social_cost:.3f}")
+    print(f"initial average delay: {game.social_cost(start):.3f}\n")
+
+    rows: list[tuple[str, str, float]] = []
+
+    imitation = run_until_approx_equilibrium(
+        game, ImitationProtocol(), delta=0.1, epsilon=0.1,
+        initial_state=start, max_rounds=50_000, rng=1)
+    rows.append(("imitation (concurrent)", f"{imitation.rounds} rounds",
+                 game.social_cost(imitation.final_state)))
+
+    best_response = run_best_response_baseline(game, initial_state=start, rng=1)
+    rows.append(("best response (sequential)", f"{best_response.steps} moves",
+                 game.social_cost(best_response.final_state)))
+
+    goldberg = run_goldberg_baseline(game, initial_state=GameState(start.counts),
+                                     max_steps=500_000, rng=1)
+    rows.append(("random local search", f"{goldberg.steps} probes",
+                 game.social_cost(goldberg.final_state)))
+
+    eps_greedy = run_epsilon_greedy_baseline(game, epsilon=0.1, initial_state=start, rng=1)
+    rows.append(("epsilon-greedy (sequential)", f"{eps_greedy.steps} moves",
+                 game.social_cost(eps_greedy.final_state)))
+
+    print(f"{'dynamics':<30} {'work':>18} {'final avg delay':>18} {'vs optimum':>12}")
+    for name, work, cost in rows:
+        print(f"{name:<30} {work:>18} {cost:>18.3f} {cost / optimum.social_cost:>12.3f}")
+
+    print("\nthe concurrent protocol moves many jobs per round, so its round count "
+          "stays tiny even though every sequential baseline needs hundreds of moves.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""A small Price-of-Imitation study (Theorem 10).
+
+For linear singleton games without useless links the expected social cost of
+the state the IMITATION PROTOCOL converges to is at most ``(3 + o(1))`` times
+the optimum.  This example draws a few random instances of growing size,
+estimates the Price of Imitation for each by Monte-Carlo, and puts the result
+next to the fractional optimum ``n / A_Gamma`` and a sampled price of anarchy
+for context.
+
+Run with::
+
+    python examples/price_of_imitation_study.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.prices import estimate_price_of_imitation, nash_cost_range
+from repro.core import ImitationProtocol
+from repro.games.generators import random_linear_singleton
+
+
+def main() -> None:
+    protocol = ImitationProtocol()
+    print(f"{'n':>6} {'links':>6} {'opt cost':>10} {'E[imitation cost]':>18} "
+          f"{'price of imitation':>19} {'sampled PoA':>12}")
+    for num_players in (50, 100, 200, 400):
+        game = random_linear_singleton(num_players, 8,
+                                       coefficient_range=(0.5, 2.0), rng=num_players)
+        if game.has_useless_resources():
+            # Theorem 10 excludes useless links; our coefficient range makes
+            # them impossible for these sizes, but be explicit about it.
+            print(f"{num_players:>6}  skipped (instance has useless links)")
+            continue
+        price = estimate_price_of_imitation(game, protocol, trials=10,
+                                            max_rounds=50_000, rng=1)
+        context = nash_cost_range(game, restarts=4, rng=2)
+        print(f"{num_players:>6} {game.num_strategies:>6} "
+              f"{price.optimum_cost:>10.3f} {price.expected_cost:>18.3f} "
+              f"{price.price_of_imitation:>19.3f} "
+              f"{context['price_of_anarchy_sampled']:>12.3f}")
+
+    print("\nTheorem 10 guarantees a price of at most 3 + o(1); in practice the "
+          "imitation outcome is essentially optimal, because random initialisation "
+          "seeds every link and the dynamics then only equalise latencies.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` keeps working on environments whose setuptools/pip
+combination lacks PEP 660 editable-install support (no ``wheel`` package
+available offline).
+"""
+
+from setuptools import setup
+
+setup()

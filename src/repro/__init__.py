@@ -1,0 +1,78 @@
+"""Concurrent imitation dynamics in congestion games (PODC 2009) — reproduction.
+
+The package is organised in five layers:
+
+* :mod:`repro.games` — the congestion-game substrate (latency functions,
+  symmetric / singleton / network / threshold games, states, Nash equilibria,
+  social optima, instance generators);
+* :mod:`repro.core` — the paper's contribution: the IMITATION PROTOCOL, the
+  EXPLORATION PROTOCOL, protocol mixtures, the exact concurrent round engine,
+  sequential dynamics, stability predicates and potential bookkeeping;
+* :mod:`repro.baselines` — comparator dynamics (best response,
+  epsilon-greedy, Goldberg-style local search, undamped proportional
+  imitation, pure exploration);
+* :mod:`repro.analysis` — hitting times, scaling fits, martingale and
+  extinction diagnostics, Price-of-Imitation estimation;
+* :mod:`repro.experiments` — the experiment registry that regenerates every
+  quantitative claim of the paper (see ``EXPERIMENTS.md``).
+
+Quickstart
+----------
+>>> from repro.games import make_linear_singleton
+>>> from repro.core import ImitationProtocol, run_until_approx_equilibrium
+>>> game = make_linear_singleton(200, [1.0, 2.0, 4.0])
+>>> result = run_until_approx_equilibrium(
+...     game, ImitationProtocol(), delta=0.1, epsilon=0.2, rng=0)
+>>> result.rounds >= 0
+True
+"""
+
+from . import analysis, baselines, core, games
+from .core import (
+    ConcurrentDynamics,
+    ExplorationProtocol,
+    ImitationProtocol,
+    MixtureProtocol,
+    UndampedImitationProtocol,
+    make_hybrid_protocol,
+    run_until_approx_equilibrium,
+    run_until_imitation_stable,
+    run_until_nash,
+    simulate,
+)
+from .games import (
+    CongestionGame,
+    GameState,
+    NetworkCongestionGame,
+    SingletonCongestionGame,
+    SymmetricCongestionGame,
+    make_linear_singleton,
+    make_symmetric_game,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "baselines",
+    "core",
+    "games",
+    "ConcurrentDynamics",
+    "ExplorationProtocol",
+    "ImitationProtocol",
+    "MixtureProtocol",
+    "UndampedImitationProtocol",
+    "make_hybrid_protocol",
+    "run_until_approx_equilibrium",
+    "run_until_imitation_stable",
+    "run_until_nash",
+    "simulate",
+    "CongestionGame",
+    "GameState",
+    "NetworkCongestionGame",
+    "SingletonCongestionGame",
+    "SymmetricCongestionGame",
+    "make_linear_singleton",
+    "make_symmetric_game",
+    "__version__",
+]

@@ -1,0 +1,78 @@
+"""Analysis utilities: trial statistics, hitting times and scaling fits,
+potential-drift diagnostics, extinction tracking, and efficiency ratios."""
+
+from .convergence import (
+    HittingTimeResult,
+    ScalingFit,
+    compare_scaling_models,
+    fit_linear,
+    fit_logarithmic,
+    fit_power_law,
+    measure_approx_equilibrium_times,
+    measure_hitting_times,
+    measure_imitation_stable_times,
+)
+from .martingale import (
+    DriftReport,
+    empirical_drift,
+    potential_increase_rate,
+    trajectory_drift_report,
+)
+from .prices import (
+    PriceOfImitationResult,
+    estimate_price_of_imitation,
+    nash_cost_range,
+)
+from .statistics import (
+    TrialSummary,
+    bootstrap_mean_interval,
+    probability_estimate,
+    summarize,
+)
+from .survival import (
+    SurvivalTrace,
+    estimate_extinction_probability,
+    run_with_extinction_tracking,
+)
+from .trajectory_io import (
+    load_experiment_result,
+    load_records_json,
+    records_to_dicts,
+    save_experiment_result,
+    save_records_csv,
+    save_records_json,
+    trajectory_summary,
+)
+
+__all__ = [
+    "HittingTimeResult",
+    "ScalingFit",
+    "compare_scaling_models",
+    "fit_linear",
+    "fit_logarithmic",
+    "fit_power_law",
+    "measure_approx_equilibrium_times",
+    "measure_hitting_times",
+    "measure_imitation_stable_times",
+    "DriftReport",
+    "empirical_drift",
+    "potential_increase_rate",
+    "trajectory_drift_report",
+    "PriceOfImitationResult",
+    "estimate_price_of_imitation",
+    "nash_cost_range",
+    "TrialSummary",
+    "bootstrap_mean_interval",
+    "probability_estimate",
+    "summarize",
+    "SurvivalTrace",
+    "estimate_extinction_probability",
+    "run_with_extinction_tracking",
+    "load_experiment_result",
+    "load_records_json",
+    "records_to_dicts",
+    "save_experiment_result",
+    "save_records_csv",
+    "save_records_json",
+    "trajectory_summary",
+]

@@ -1,0 +1,113 @@
+"""Dependency-free text plots for trajectories and sweeps.
+
+The library intentionally avoids a hard matplotlib dependency; for quick
+terminal inspection (examples, CLI, notebooks without display) this module
+renders
+
+* :func:`sparkline` — a one-line unicode sparkline of a numeric series,
+* :func:`ascii_plot` — a small multi-row dot plot with axis labels,
+* :func:`histogram` — a horizontal-bar histogram of trial outcomes.
+
+All functions return plain strings, so they can be embedded in logs and
+experiment notes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["sparkline", "ascii_plot", "histogram"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], *, width: Optional[int] = None) -> str:
+    """Render ``values`` as a unicode sparkline.
+
+    ``width`` optionally down-samples the series (by block averaging) so the
+    output fits a terminal line.
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return ""
+    if width is not None and width > 0 and data.size > width:
+        edges = np.linspace(0, data.size, num=width + 1, dtype=int)
+        data = np.array([data[start:end].mean() if end > start else data[min(start, data.size - 1)]
+                         for start, end in zip(edges[:-1], edges[1:])])
+    finite = data[np.isfinite(data)]
+    if finite.size == 0:
+        return " " * data.size
+    low, high = float(finite.min()), float(finite.max())
+    span = high - low
+    characters = []
+    for value in data:
+        if not np.isfinite(value):
+            characters.append(" ")
+            continue
+        if span <= 0:
+            characters.append(_SPARK_LEVELS[0])
+            continue
+        level = int(round((value - low) / span * (len(_SPARK_LEVELS) - 1)))
+        characters.append(_SPARK_LEVELS[level])
+    return "".join(characters)
+
+
+def ascii_plot(
+    x: Sequence[float],
+    y: Sequence[float],
+    *,
+    width: int = 60,
+    height: int = 12,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render a small dot plot of ``y`` against ``x``.
+
+    Points are mapped onto a ``height x width`` character grid; the first
+    column of each row carries the y-axis value of that row.
+    """
+    xs = np.asarray(list(x), dtype=float)
+    ys = np.asarray(list(y), dtype=float)
+    if xs.size != ys.size or xs.size == 0:
+        raise ValueError("x and y must be non-empty and of equal length")
+    if width < 2 or height < 2:
+        raise ValueError("width and height must be at least 2")
+
+    x_low, x_high = float(xs.min()), float(xs.max())
+    y_low, y_high = float(ys.min()), float(ys.max())
+    x_span = x_high - x_low or 1.0
+    y_span = y_high - y_low or 1.0
+
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+    for x_value, y_value in zip(xs, ys):
+        column = int(round((x_value - x_low) / x_span * (width - 1)))
+        row = int(round((y_value - y_low) / y_span * (height - 1)))
+        grid[height - 1 - row][column] = "*"
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        level = y_high - (row_index / (height - 1)) * y_span
+        lines.append(f"{level:>12.4g} | " + "".join(row))
+    lines.append(" " * 13 + "+" + "-" * width)
+    lines.append(" " * 15 + f"{x_low:<.4g}{' ' * max(1, width - 20)}{x_high:>.4g}  ({x_label})")
+    lines.insert(0, f"({y_label})")
+    return "\n".join(lines)
+
+
+def histogram(values: Sequence[float], *, bins: int = 10, width: int = 40) -> str:
+    """Render a horizontal-bar histogram of ``values``."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot build a histogram of an empty sample")
+    if bins < 1:
+        raise ValueError("bins must be positive")
+    counts, edges = np.histogram(data, bins=bins)
+    peak = counts.max() if counts.max() > 0 else 1
+    lines = []
+    for count, low, high in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(math.ceil(count / peak * width)) if count else ""
+        lines.append(f"{low:>12.4g} .. {high:<12.4g} | {count:>6} | {bar}")
+    return "\n".join(lines)

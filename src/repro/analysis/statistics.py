@@ -1,0 +1,147 @@
+"""Aggregation of Monte-Carlo trials.
+
+All of the paper's quantitative statements are about expectations or
+high-probability events; the experiments estimate them by repeating each
+configuration over independent seeds.  This module holds the small
+statistics toolkit used everywhere: summaries with normal-approximation
+confidence intervals, simple bootstrap intervals, and empirical probability
+estimates with rule-of-three handling for zero-count events.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..rng import RngLike, ensure_rng
+
+__all__ = ["TrialSummary", "summarize", "bootstrap_mean_interval", "probability_estimate"]
+
+
+@dataclass(frozen=True)
+class TrialSummary:
+    """Summary statistics of a set of scalar trial outcomes."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+    ci_low: float
+    ci_high: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Dictionary form used by the table renderer."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "median": self.median,
+            "max": self.maximum,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+        }
+
+
+def summarize(values: Sequence[float], *, confidence: float = 0.95) -> TrialSummary:
+    """Mean/spread summary with a normal-approximation confidence interval.
+
+    With fewer than two samples the interval degenerates to the point
+    estimate.
+    """
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot summarise an empty sample")
+    mean = float(np.mean(array))
+    std = float(np.std(array, ddof=1)) if array.size > 1 else 0.0
+    z = _normal_quantile(0.5 + confidence / 2.0)
+    half_width = z * std / math.sqrt(array.size) if array.size > 1 else 0.0
+    return TrialSummary(
+        count=int(array.size),
+        mean=mean,
+        std=std,
+        minimum=float(np.min(array)),
+        median=float(np.median(array)),
+        maximum=float(np.max(array)),
+        ci_low=mean - half_width,
+        ci_high=mean + half_width,
+    )
+
+
+def bootstrap_mean_interval(
+    values: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    rng: RngLike = 0,
+) -> tuple[float, float]:
+    """Percentile bootstrap confidence interval for the mean."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    if array.size == 1:
+        return float(array[0]), float(array[0])
+    gen = ensure_rng(rng)
+    indices = gen.integers(0, array.size, size=(resamples, array.size))
+    means = array[indices].mean(axis=1)
+    lower = float(np.quantile(means, (1.0 - confidence) / 2.0))
+    upper = float(np.quantile(means, 1.0 - (1.0 - confidence) / 2.0))
+    return lower, upper
+
+
+def probability_estimate(successes: int, trials: int, *, confidence: float = 0.95
+                         ) -> tuple[float, float]:
+    """Empirical probability with an upper confidence bound.
+
+    For zero observed successes the rule of three ``3/n`` (generalised to the
+    requested confidence) gives a meaningful upper bound — exactly what the
+    extinction experiment (Theorem 9) needs when no edge ever empties.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must lie in [0, trials]")
+    estimate = successes / trials
+    if successes == 0:
+        upper = 1.0 - (1.0 - confidence) ** (1.0 / trials)
+        return 0.0, float(min(1.0, upper))
+    # Normal approximation on the proportion otherwise.
+    z = _normal_quantile(0.5 + confidence / 2.0)
+    half_width = z * math.sqrt(estimate * (1.0 - estimate) / trials)
+    return float(estimate), float(min(1.0, estimate + half_width))
+
+
+def _normal_quantile(p: float) -> float:
+    """Inverse CDF of the standard normal (Acklam's rational approximation).
+
+    Implemented locally so the statistics helpers work without scipy.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must lie strictly between 0 and 1")
+    # Coefficients for the rational approximations.
+    a = [-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00]
+    b = [-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01]
+    c = [-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00]
+    d = [7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00]
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / \
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    if p > 1.0 - p_low:
+        q = math.sqrt(-2.0 * math.log(1.0 - p))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / \
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / \
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0)

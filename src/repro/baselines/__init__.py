@@ -1,0 +1,28 @@
+"""Baseline dynamics the paper compares against (or motivates against).
+
+* sequential best response (Rosenthal),
+* epsilon-greedy sequential better response (Chien-Sinclair style),
+* randomized sequential local search (Goldberg style),
+* concurrent proportional imitation without elasticity damping (the
+  overshooting strawman of Section 2.3),
+* pure exploration (Protocol 2 run on its own).
+"""
+
+from .best_response import BaselineResult, run_best_response_baseline
+from .epsilon_greedy import run_epsilon_greedy_baseline
+from .exploration_only import run_exploration_only
+from .goldberg import run_goldberg_baseline
+from .proportional_sampling import (
+    ProportionalImitationProtocol,
+    make_aggressive_proportional_protocol,
+)
+
+__all__ = [
+    "BaselineResult",
+    "run_best_response_baseline",
+    "run_epsilon_greedy_baseline",
+    "run_exploration_only",
+    "run_goldberg_baseline",
+    "ProportionalImitationProtocol",
+    "make_aggressive_proportional_protocol",
+]

@@ -1,0 +1,68 @@
+"""Sequential best-response dynamics (Rosenthal's baseline).
+
+The classical comparator for any congestion-game dynamics: in every step one
+player (full knowledge of the whole strategy space) switches to a best
+response.  Convergence to a Nash equilibrium is guaranteed because every step
+strictly decreases the Rosenthal potential, but the number of steps can be
+exponential in general (Fabrikant, Papadimitriou, Talwar) and the process is
+inherently sequential — one move per round, versus up to ``n`` moves per
+round for the concurrent IMITATION PROTOCOL.
+
+The heavy lifting lives in :mod:`repro.games.nash`; this module adapts it to
+the baseline interface used by the experiment harness (a callable returning a
+:class:`BaselineResult`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..games.base import CongestionGame
+from ..games.nash import run_best_response
+from ..games.state import GameState, StateLike
+from ..rng import RngLike
+
+__all__ = ["BaselineResult", "run_best_response_baseline"]
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Common result type for all sequential baselines.
+
+    Attributes
+    ----------
+    final_state:
+        The state reached when the dynamics stopped.
+    steps:
+        Number of single-player moves executed.
+    converged:
+        True if the dynamics stopped at their target solution concept rather
+        than by exhausting the step budget.
+    """
+
+    final_state: GameState
+    steps: int
+    converged: bool
+
+
+def run_best_response_baseline(
+    game: CongestionGame,
+    initial_state: Optional[StateLike] = None,
+    *,
+    max_steps: int = 1_000_000,
+    pivot: str = "max-gain",
+    rng: RngLike = None,
+) -> BaselineResult:
+    """Run sequential best response until a Nash equilibrium.
+
+    ``pivot`` is either ``"max-gain"`` (the player with the largest available
+    improvement moves, then to its best response) or ``"random"`` (a random
+    improving player moves).
+    """
+    if initial_state is None:
+        initial_state = game.uniform_random_state(rng)
+    final, steps = run_best_response(
+        game, initial_state, max_steps=max_steps, pivot=pivot, rng=rng
+    )
+    return BaselineResult(final_state=final, steps=steps, converged=steps < max_steps)

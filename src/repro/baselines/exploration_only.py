@@ -1,0 +1,44 @@
+"""Pure exploration dynamics (no imitation).
+
+Section 6 of the paper points out that the EXPLORATION PROTOCOL alone also
+converges to a Nash equilibrium, but its migration probabilities must be
+damped much more aggressively (by ``|P| l_min / (beta n)`` instead of
+``1/d``), so convergence is significantly slower.  The experiment comparing
+the two (E9) runs this baseline side by side with the imitation and hybrid
+protocols.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.dynamics import TrajectoryResult
+from ..core.exploration import ExplorationProtocol
+from ..core.imitation import DEFAULT_LAMBDA
+from ..core.run import run_until_nash
+from ..games.base import CongestionGame
+from ..games.state import StateLike
+from ..rng import RngLike
+
+__all__ = ["run_exploration_only"]
+
+
+def run_exploration_only(
+    game: CongestionGame,
+    *,
+    lambda_: float = DEFAULT_LAMBDA,
+    initial_state: Optional[StateLike] = None,
+    max_rounds: int = 1_000_000,
+    tolerance: float = 1e-9,
+    rng: RngLike = None,
+) -> TrajectoryResult:
+    """Run the pure EXPLORATION PROTOCOL until a Nash equilibrium."""
+    protocol = ExplorationProtocol(lambda_)
+    return run_until_nash(
+        game,
+        protocol,
+        tolerance=tolerance,
+        initial_state=initial_state,
+        max_rounds=max_rounds,
+        rng=rng,
+    )

@@ -1,0 +1,174 @@
+"""Command-line interface.
+
+Examples
+--------
+List the registered experiments::
+
+    python -m repro list
+
+Run one experiment at the quick scale and print its table::
+
+    python -m repro run E2 --quick
+
+Run the full suite and write a markdown report::
+
+    python -m repro run-all --output report.md
+
+Simulate a protocol on a generated instance::
+
+    python -m repro simulate --game linear-singleton --players 200 --rounds 500
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .core import (
+    ExplorationProtocol,
+    ImitationProtocol,
+    MetricsCollector,
+    make_hybrid_protocol,
+    simulate,
+)
+from .experiments import (
+    list_experiments,
+    render_markdown_report,
+    render_report,
+    run_all,
+    run_experiment,
+)
+from .games.generators import (
+    random_linear_singleton,
+    random_monomial_singleton,
+    two_link_overshoot_game,
+)
+from .games.network import braess_network_game, grid_network_game
+
+__all__ = ["main", "build_parser"]
+
+_GAME_CHOICES = ("linear-singleton", "quadratic-singleton", "braess", "grid", "two-link")
+_PROTOCOL_CHOICES = ("imitation", "exploration", "hybrid")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="imitation-dynamics",
+        description="Concurrent imitation dynamics in congestion games (PODC 2009) reproduction",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the registered experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", help="experiment identifier, e.g. E2")
+    run_parser.add_argument("--quick", action="store_true", help="scaled-down configuration")
+    run_parser.add_argument("--seed", type=int, default=2009)
+    run_parser.add_argument("--markdown", action="store_true", help="emit a markdown table")
+
+    all_parser = subparsers.add_parser("run-all", help="run the full experiment suite")
+    all_parser.add_argument("--quick", action="store_true", help="scaled-down configuration")
+    all_parser.add_argument("--seed", type=int, default=2009)
+    all_parser.add_argument("--only", nargs="*", default=None,
+                            help="restrict to the given experiment identifiers")
+    all_parser.add_argument("--markdown", action="store_true", help="emit markdown")
+    all_parser.add_argument("--output", default=None, help="write the report to a file")
+
+    sim_parser = subparsers.add_parser("simulate", help="simulate a protocol on a generated game")
+    sim_parser.add_argument("--game", choices=_GAME_CHOICES, default="linear-singleton")
+    sim_parser.add_argument("--protocol", choices=_PROTOCOL_CHOICES, default="imitation")
+    sim_parser.add_argument("--players", type=int, default=200)
+    sim_parser.add_argument("--links", type=int, default=8)
+    sim_parser.add_argument("--rounds", type=int, default=500)
+    sim_parser.add_argument("--seed", type=int, default=0)
+    sim_parser.add_argument("--every", type=int, default=10,
+                            help="record metrics every N rounds")
+    return parser
+
+
+def _build_game(name: str, players: int, links: int, seed: int):
+    if name == "linear-singleton":
+        return random_linear_singleton(players, links, rng=seed)
+    if name == "quadratic-singleton":
+        return random_monomial_singleton(players, links, 2.0, rng=seed)
+    if name == "braess":
+        return braess_network_game(players)
+    if name == "grid":
+        return grid_network_game(players, rows=2, cols=3, rng=seed)
+    if name == "two-link":
+        return two_link_overshoot_game(players, 2.0)
+    raise ValueError(f"unknown game {name!r}")
+
+
+def _build_protocol(name: str):
+    if name == "imitation":
+        return ImitationProtocol()
+    if name == "exploration":
+        return ExplorationProtocol()
+    if name == "hybrid":
+        return make_hybrid_protocol()
+    raise ValueError(f"unknown protocol {name!r}")
+
+
+def _command_list() -> int:
+    for spec in list_experiments():
+        print(f"{spec.experiment_id:>4}  {spec.title}")
+        print(f"      {spec.claim}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    result = run_experiment(args.experiment, quick=args.quick, seed=args.seed)
+    print(result.render_markdown() if args.markdown else result.render())
+    return 0
+
+
+def _command_run_all(args: argparse.Namespace) -> int:
+    results = run_all(quick=args.quick, seed=args.seed, only=args.only, verbose=False)
+    report = render_markdown_report(results) if args.markdown else render_report(results)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"wrote report for {len(results)} experiments to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    game = _build_game(args.game, args.players, args.links, args.seed)
+    protocol = _build_protocol(args.protocol)
+    collector = MetricsCollector(game, every=max(1, args.every))
+    result = simulate(game, protocol, rounds=args.rounds, rng=args.seed, collector=collector)
+    print(f"game: {game.describe()}")
+    print(f"protocol: {protocol.describe()}")
+    print(f"rounds executed: {result.rounds} (stop reason: {result.stop_reason.value})")
+    print(f"total migrations: {result.total_migrations}")
+    print(f"{'round':>8} {'potential':>14} {'avg latency':>12} {'unsatisfied':>12} {'support':>8}")
+    for record in result.records:
+        print(f"{record.round_index:>8} {record.potential:>14.4f} "
+              f"{record.average_latency:>12.4f} {record.unsatisfied_fraction:>12.3f} "
+              f"{record.support_size:>8}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "run-all":
+        return _command_run_all(args)
+    if args.command == "simulate":
+        return _command_simulate(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""The paper's primary contribution: concurrent imitation dynamics.
+
+This subpackage implements the IMITATION PROTOCOL (Protocol 1), the
+EXPLORATION PROTOCOL (Protocol 2), protocol mixtures, the exact concurrent
+round engine, the sequential dynamics used by the lower-bound constructions,
+the stability/equilibrium predicates and the potential bookkeeping of the
+convergence proofs.
+"""
+
+from .dynamics import (
+    ConcurrentDynamics,
+    StepOutcome,
+    StopReason,
+    TrajectoryResult,
+    sample_migration_matrix,
+    step,
+)
+from .exploration import ExplorationProtocol
+from .hybrid import MixtureProtocol, make_hybrid_protocol
+from .imitation import DEFAULT_LAMBDA, ImitationProtocol, UndampedImitationProtocol
+from .metrics import MetricsCollector, RoundRecord
+from .virtual_agents import VirtualAgentImitationProtocol
+from .potential import (
+    PotentialBreakdown,
+    error_terms,
+    estimate_expected_drift,
+    expected_virtual_potential_gain,
+    potential_breakdown,
+    true_potential_gain,
+    virtual_potential_gain,
+)
+from .protocols import Protocol, SwitchProbabilities
+from .run import (
+    run_until_approx_equilibrium,
+    run_until_imitation_stable,
+    run_until_nash,
+    simulate,
+    stop_after_rounds,
+    stop_at_approx_equilibrium,
+    stop_at_imitation_stable,
+    stop_at_nash,
+)
+from .sequential import (
+    SequentialResult,
+    run_sequential_imitation_asymmetric,
+    run_sequential_imitation_symmetric,
+)
+from .stability import (
+    DeviationSets,
+    deviation_sets,
+    is_approx_equilibrium,
+    is_imitation_stable,
+    max_imitation_gain,
+    unsatisfied_fraction,
+)
+
+__all__ = [
+    "ConcurrentDynamics",
+    "StepOutcome",
+    "StopReason",
+    "TrajectoryResult",
+    "sample_migration_matrix",
+    "step",
+    "ExplorationProtocol",
+    "MixtureProtocol",
+    "make_hybrid_protocol",
+    "DEFAULT_LAMBDA",
+    "ImitationProtocol",
+    "UndampedImitationProtocol",
+    "VirtualAgentImitationProtocol",
+    "MetricsCollector",
+    "RoundRecord",
+    "PotentialBreakdown",
+    "error_terms",
+    "estimate_expected_drift",
+    "expected_virtual_potential_gain",
+    "potential_breakdown",
+    "true_potential_gain",
+    "virtual_potential_gain",
+    "Protocol",
+    "SwitchProbabilities",
+    "run_until_approx_equilibrium",
+    "run_until_imitation_stable",
+    "run_until_nash",
+    "simulate",
+    "stop_after_rounds",
+    "stop_at_approx_equilibrium",
+    "stop_at_imitation_stable",
+    "stop_at_nash",
+    "SequentialResult",
+    "run_sequential_imitation_asymmetric",
+    "run_sequential_imitation_symmetric",
+    "DeviationSets",
+    "deviation_sets",
+    "is_approx_equilibrium",
+    "is_imitation_stable",
+    "max_imitation_gain",
+    "unsatisfied_fraction",
+]

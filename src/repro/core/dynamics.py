@@ -1,0 +1,252 @@
+"""The concurrent round engine.
+
+One round of the concurrent dynamics works as follows (paper, Section 2.3):
+every player simultaneously and independently applies the revision protocol,
+which yields for a player on strategy ``P`` a probability ``R[P, Q]`` of
+ending the round on strategy ``Q``.  Because players are exchangeable and
+revise independently, the vector of players leaving ``P`` towards the
+different destinations is exactly multinomially distributed with these
+probabilities (plus the stay probability) — so the engine draws one
+multinomial per occupied origin strategy instead of iterating over players.
+This is an *exact* finite-population simulation of the protocol, not a
+mean-field approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..errors import ConvergenceError
+from ..games.base import CongestionGame
+from ..games.state import GameState, StateLike
+from ..rng import RngLike, ensure_rng
+from .metrics import MetricsCollector, RoundRecord
+from .protocols import Protocol
+
+#: A stopping condition receives ``(game, counts, round_index)`` and returns
+#: True when the dynamics should stop *before* executing that round.
+StopCondition = Callable[[CongestionGame, np.ndarray, int], bool]
+
+__all__ = [
+    "StopReason",
+    "StepOutcome",
+    "TrajectoryResult",
+    "sample_migration_matrix",
+    "step",
+    "ConcurrentDynamics",
+]
+
+
+class StopReason(str, Enum):
+    """Why a dynamics run ended."""
+
+    STOP_CONDITION = "stop-condition"
+    QUIESCENT = "quiescent"
+    MAX_ROUNDS = "max-rounds"
+
+
+@dataclass(frozen=True)
+class StepOutcome:
+    """Result of a single concurrent round."""
+
+    state: GameState
+    migration_matrix: np.ndarray
+    migrations: int
+
+
+@dataclass
+class TrajectoryResult:
+    """Outcome of a full dynamics run.
+
+    Attributes
+    ----------
+    final_state:
+        State after the last executed round.
+    rounds:
+        Number of rounds executed (0 if the initial state already satisfied
+        the stop condition).
+    stop_reason:
+        Why the run ended.
+    records:
+        Metric snapshots (at least the initial and final states when a
+        collector was attached).
+    total_migrations:
+        Total number of player moves over the whole run.
+    states:
+        Full state history when requested (round 0 first).
+    """
+
+    final_state: GameState
+    rounds: int
+    stop_reason: StopReason
+    records: list[RoundRecord] = field(default_factory=list)
+    total_migrations: int = 0
+    states: Optional[list[GameState]] = None
+
+    def metric(self, name: str) -> np.ndarray:
+        """One recorded metric as an array over recorded rounds."""
+        return np.array([getattr(record, name) for record in self.records], dtype=float)
+
+    @property
+    def converged(self) -> bool:
+        """True unless the run ended by exhausting its round budget."""
+        return self.stop_reason is not StopReason.MAX_ROUNDS
+
+
+def sample_migration_matrix(
+    counts: np.ndarray,
+    switch_matrix: np.ndarray,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Draw the random migration matrix for one round.
+
+    For every origin ``P`` with ``counts[P] > 0`` the row
+    ``(switch_matrix[P, :], stay)`` defines a multinomial over destinations;
+    the draw gives the number of players moving ``P -> Q`` for every ``Q``.
+    """
+    gen = ensure_rng(rng)
+    counts = np.asarray(counts, dtype=np.int64)
+    num_strategies = counts.size
+    migration = np.zeros((num_strategies, num_strategies), dtype=np.int64)
+    for origin in np.nonzero(counts > 0)[0]:
+        row = switch_matrix[origin]
+        total_leave_probability = float(row.sum())
+        if total_leave_probability <= 0.0:
+            continue
+        stay = max(0.0, 1.0 - total_leave_probability)
+        probabilities = np.append(row, stay)
+        # Guard against tiny negative values / rounding drift.
+        probabilities = np.clip(probabilities, 0.0, None)
+        probabilities /= probabilities.sum()
+        draws = gen.multinomial(int(counts[origin]), probabilities)
+        migration[origin, :] = draws[:-1]
+        migration[origin, origin] = 0
+    return migration
+
+
+def step(
+    game: CongestionGame,
+    protocol: Protocol,
+    state: StateLike,
+    rng: RngLike = None,
+) -> StepOutcome:
+    """Execute one concurrent round of ``protocol`` on ``game``."""
+    counts = game.validate_state(state)
+    probabilities = protocol.switch_probabilities(game, counts)
+    migration = sample_migration_matrix(counts, probabilities.matrix, rng)
+    delta = migration.sum(axis=0) - migration.sum(axis=1)
+    new_counts = counts + delta
+    return StepOutcome(
+        state=GameState(new_counts),
+        migration_matrix=migration,
+        migrations=int(migration.sum()),
+    )
+
+
+class ConcurrentDynamics:
+    """Round-based concurrent dynamics of a revision protocol on a game.
+
+    Parameters
+    ----------
+    game, protocol:
+        The congestion game and the revision protocol every player applies.
+    rng:
+        Seed or generator for all randomness of the run.
+    """
+
+    def __init__(self, game: CongestionGame, protocol: Protocol, *, rng: RngLike = None):
+        if not protocol.supports_game(game):
+            raise ConvergenceError(
+                f"protocol {protocol.describe()} does not support game {game.name}"
+            )
+        self.game = game
+        self.protocol = protocol
+        self.rng = ensure_rng(rng)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        initial_state: StateLike,
+        *,
+        max_rounds: int = 10_000,
+        stop_condition: Optional[StopCondition] = None,
+        stop_when_quiescent: bool = True,
+        collector: Optional[MetricsCollector] = None,
+        record_states: bool = False,
+        strict: bool = False,
+    ) -> TrajectoryResult:
+        """Run the dynamics from ``initial_state``.
+
+        Parameters
+        ----------
+        max_rounds:
+            Hard budget on the number of rounds.
+        stop_condition:
+            Optional predicate ``(game, counts, round) -> bool`` evaluated
+            before each round (and before round 0, so a satisfying initial
+            state stops immediately with ``rounds = 0``).
+        stop_when_quiescent:
+            Stop when no occupied strategy has a positive switch probability
+            (the protocol can never move again — an imitation-stable state
+            for the IMITATION PROTOCOL).
+        collector:
+            Optional :class:`MetricsCollector`; the initial and final states
+            are always recorded, intermediate rounds according to the
+            collector's ``every`` setting.
+        record_states:
+            Keep the full state history (memory-heavy for long runs).
+        strict:
+            Raise :class:`ConvergenceError` when the round budget runs out
+            before the stop condition is met.
+        """
+        counts = self.game.validate_state(initial_state).copy()
+        states: Optional[list[GameState]] = [GameState(counts)] if record_states else None
+        if collector is not None:
+            collector.record(0, counts, migrations=0)
+
+        total_migrations = 0
+        rounds = 0
+        reason = StopReason.MAX_ROUNDS
+        for round_index in range(max_rounds):
+            if stop_condition is not None and stop_condition(self.game, counts, round_index):
+                reason = StopReason.STOP_CONDITION
+                break
+            probabilities = self.protocol.switch_probabilities(self.game, counts)
+            if stop_when_quiescent and probabilities.is_quiescent(counts):
+                reason = StopReason.QUIESCENT
+                break
+            migration = sample_migration_matrix(counts, probabilities.matrix, self.rng)
+            delta = migration.sum(axis=0) - migration.sum(axis=1)
+            counts = counts + delta
+            moves = int(migration.sum())
+            total_migrations += moves
+            rounds = round_index + 1
+            if collector is not None and collector.should_record(rounds):
+                collector.record(rounds, counts, migrations=moves)
+            if record_states and states is not None:
+                states.append(GameState(counts))
+        else:
+            # Budget exhausted without hitting the stop condition.
+            if stop_condition is not None and stop_condition(self.game, counts, max_rounds):
+                reason = StopReason.STOP_CONDITION
+            elif strict:
+                raise ConvergenceError(
+                    f"dynamics did not stop within {max_rounds} rounds"
+                )
+
+        if collector is not None and (not collector.records
+                                      or collector.records[-1].round_index != rounds):
+            collector.record(rounds, counts, migrations=0)
+
+        return TrajectoryResult(
+            final_state=GameState(counts),
+            rounds=rounds,
+            stop_reason=reason,
+            records=collector.records if collector is not None else [],
+            total_migrations=total_migrations,
+            states=states,
+        )

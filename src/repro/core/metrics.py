@@ -1,0 +1,125 @@
+"""Per-round metric collection for dynamics trajectories.
+
+Experiments care about different per-round quantities (the potential for the
+martingale checks, the unsatisfied fraction for Definition 1, the social cost
+for the Price of Imitation, ...).  The :class:`MetricsCollector` computes a
+configurable bundle of them once per recorded round so that the round engine
+itself stays measurement-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..games.base import CongestionGame
+from ..games.state import StateLike
+from .stability import max_imitation_gain, unsatisfied_fraction
+
+__all__ = ["RoundRecord", "MetricsCollector"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Snapshot of the dynamics after a given round.
+
+    All quantities refer to the state *after* the round's migrations.
+    """
+
+    round_index: int
+    potential: float
+    average_latency: float
+    average_latency_after_join: float
+    social_cost: float
+    makespan: float
+    support_size: int
+    unsatisfied_fraction: float
+    max_imitation_gain: float
+    migrations: int
+
+
+class MetricsCollector:
+    """Collects :class:`RoundRecord` snapshots along a trajectory.
+
+    Parameters
+    ----------
+    game:
+        The game being simulated.
+    epsilon, nu:
+        Parameters of the (delta, eps, nu)-equilibrium used for the
+        ``unsatisfied_fraction`` column (``nu = None`` uses the game bound).
+    every:
+        Record every ``every``-th round (round 0 and the final round are
+        always recorded by the engine).
+    track_gain:
+        The maximum imitation gain requires an ``S x S`` matrix per record;
+        set to False to skip it on very large strategy spaces.
+    """
+
+    def __init__(
+        self,
+        game: CongestionGame,
+        *,
+        epsilon: float = 0.1,
+        nu: Optional[float] = None,
+        every: int = 1,
+        track_gain: bool = True,
+    ):
+        if every < 1:
+            raise ValueError("every must be at least 1")
+        self.game = game
+        self.epsilon = float(epsilon)
+        self.nu = nu
+        self.every = int(every)
+        self.track_gain = bool(track_gain)
+        self._records: list[RoundRecord] = []
+
+    # ------------------------------------------------------------------
+    def should_record(self, round_index: int) -> bool:
+        """True if the collector wants a record for this round."""
+        return round_index % self.every == 0
+
+    def record(self, round_index: int, state: StateLike, migrations: int = 0) -> RoundRecord:
+        """Compute and store a snapshot of ``state``."""
+        counts = self.game.validate_state(state)
+        record = RoundRecord(
+            round_index=int(round_index),
+            potential=float(self.game.potential(counts)),
+            average_latency=float(self.game.average_latency(counts)),
+            average_latency_after_join=float(self.game.average_latency_after_join(counts)),
+            social_cost=float(self.game.social_cost(counts)),
+            makespan=float(self.game.makespan(counts)),
+            support_size=int(np.count_nonzero(counts)),
+            unsatisfied_fraction=float(
+                unsatisfied_fraction(self.game, counts, self.epsilon, self.nu)
+            ),
+            max_imitation_gain=(
+                float(max_imitation_gain(self.game, counts)) if self.track_gain else float("nan")
+            ),
+            migrations=int(migrations),
+        )
+        self._records.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    @property
+    def records(self) -> list[RoundRecord]:
+        """The collected snapshots, in round order."""
+        return list(self._records)
+
+    def column(self, name: str) -> np.ndarray:
+        """Return one metric as an array over the recorded rounds."""
+        return np.array([getattr(record, name) for record in self._records], dtype=float)
+
+    def potentials(self) -> np.ndarray:
+        """Shorthand for the potential column."""
+        return self.column("potential")
+
+    def clear(self) -> None:
+        """Drop all collected records."""
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,120 @@
+"""Revision-protocol interface.
+
+A *protocol* describes how a single player revises its strategy in one round,
+given only the information the paper allows (its own latency, the latency it
+would experience on a sampled alternative, and coarse structural constants of
+the game such as the elasticity bound).  The concurrent round dynamics
+(:mod:`repro.core.dynamics`) only need one quantity from a protocol: the
+matrix of *switch probabilities*
+
+``R[P, Q]`` = probability that one specific player currently on strategy
+``P`` ends the round on strategy ``Q != P``,
+
+which already folds together the sampling step (who/what is sampled) and the
+migration step (the coin flip with probability ``mu_PQ``).  Because players
+are exchangeable and revise independently, the number of players moving from
+``P`` to each ``Q`` is then multinomial with these probabilities.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ProtocolError
+from ..games.base import CongestionGame
+from ..games.state import StateLike
+
+__all__ = ["Protocol", "SwitchProbabilities"]
+
+
+@dataclass(frozen=True)
+class SwitchProbabilities:
+    """Per-origin switch probabilities for one round.
+
+    Attributes
+    ----------
+    matrix:
+        ``(S, S)`` array; ``matrix[P, Q]`` is the probability that a player on
+        ``P`` moves to ``Q`` this round.  The diagonal is zero, rows sum to at
+        most 1 and the complement of the row sum is the probability of
+        staying.
+    gains:
+        ``(S, S)`` array of anticipated latency gains
+        ``l_P(x) - l_Q(x + 1_Q - 1_P)`` used to build the matrix (kept for
+        diagnostics and the potential bookkeeping).
+    """
+
+    matrix: np.ndarray
+    gains: np.ndarray
+
+    def __post_init__(self) -> None:
+        matrix = np.asarray(self.matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ProtocolError("switch probability matrix must be square")
+        if np.any(matrix < -1e-12):
+            raise ProtocolError("switch probabilities must be non-negative")
+        if np.any(np.diagonal(matrix) > 1e-12):
+            raise ProtocolError("the diagonal of the switch matrix must be zero")
+        row_sums = matrix.sum(axis=1)
+        if np.any(row_sums > 1.0 + 1e-9):
+            raise ProtocolError("switch probabilities of an origin must sum to at most 1")
+        object.__setattr__(self, "matrix", matrix)
+
+    @property
+    def stay_probabilities(self) -> np.ndarray:
+        """Probability of staying on each origin strategy."""
+        return np.clip(1.0 - self.matrix.sum(axis=1), 0.0, 1.0)
+
+    def is_quiescent(self, counts: np.ndarray) -> bool:
+        """True if no occupied strategy has any positive switch probability,
+        i.e. the dynamics have stopped with probability 1."""
+        occupied = np.asarray(counts) > 0
+        if not np.any(occupied):
+            return True
+        return float(np.max(self.matrix[occupied])) <= 0.0
+
+
+class Protocol(ABC):
+    """Abstract revision protocol.
+
+    Concrete protocols implement :meth:`switch_probabilities`; everything
+    else (round sampling, trajectory bookkeeping) is protocol-agnostic.
+    """
+
+    #: Short name used in reports.
+    name: str = "protocol"
+
+    @abstractmethod
+    def switch_probabilities(self, game: CongestionGame, state: StateLike) -> SwitchProbabilities:
+        """Compute the per-origin switch probabilities in ``state``."""
+
+    def expected_migration(self, game: CongestionGame, state: StateLike) -> np.ndarray:
+        """Expected migration matrix ``E[Delta x_{PQ}] = x_P * R[P, Q]``."""
+        counts = game.validate_state(state)
+        probabilities = self.switch_probabilities(game, state)
+        return counts[:, np.newaxis] * probabilities.matrix
+
+    def supports_game(self, game: CongestionGame) -> bool:
+        """Hook for protocols that only apply to particular game classes."""
+        return True
+
+    def describe(self) -> str:
+        """Human-readable one-line description for experiment tables."""
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+def relative_gain_matrix(latencies: np.ndarray, post_migration: np.ndarray) -> np.ndarray:
+    """Relative gains ``(l_P - l_Q(x + 1_Q - 1_P)) / l_P`` with a safe zero
+    where the current latency vanishes."""
+    gains = latencies[:, np.newaxis] - post_migration
+    with np.errstate(divide="ignore", invalid="ignore"):
+        relative = np.where(latencies[:, np.newaxis] > 0,
+                            gains / latencies[:, np.newaxis], 0.0)
+    return relative

@@ -1,0 +1,184 @@
+"""High-level drivers and stopping conditions.
+
+The functions here wrap :class:`~repro.core.dynamics.ConcurrentDynamics` for
+the three runs that dominate the experiment suite:
+
+* run until an **imitation-stable** state (Theorem 4),
+* run until a **(delta, eps, nu)-equilibrium** (Theorem 7), recording the
+  hitting time,
+* run until a **Nash equilibrium** (Theorem 15, exploration/hybrid
+  protocols).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..games.base import CongestionGame
+from ..games.nash import is_nash
+from ..games.state import GameState, StateLike
+from ..rng import RngLike
+from .dynamics import ConcurrentDynamics, StopCondition, TrajectoryResult
+from .metrics import MetricsCollector
+from .protocols import Protocol
+from .stability import is_approx_equilibrium, is_imitation_stable
+
+__all__ = [
+    "stop_at_imitation_stable",
+    "stop_at_approx_equilibrium",
+    "stop_at_nash",
+    "stop_after_rounds",
+    "simulate",
+    "run_until_imitation_stable",
+    "run_until_approx_equilibrium",
+    "run_until_nash",
+]
+
+
+# ----------------------------------------------------------------------
+# Stop-condition factories
+# ----------------------------------------------------------------------
+
+def stop_at_imitation_stable(nu: Optional[float] = None) -> StopCondition:
+    """Stop as soon as no player can gain more than ``nu`` by imitating."""
+
+    def condition(game: CongestionGame, counts: np.ndarray, round_index: int) -> bool:
+        return is_imitation_stable(game, counts, nu)
+
+    return condition
+
+
+def stop_at_approx_equilibrium(delta: float, epsilon: float,
+                               nu: Optional[float] = None) -> StopCondition:
+    """Stop at the first (delta, eps, nu)-equilibrium (Definition 1)."""
+
+    def condition(game: CongestionGame, counts: np.ndarray, round_index: int) -> bool:
+        return is_approx_equilibrium(game, counts, delta, epsilon, nu)
+
+    return condition
+
+
+def stop_at_nash(tolerance: float = 1e-9) -> StopCondition:
+    """Stop at the first (tolerance-)Nash equilibrium."""
+
+    def condition(game: CongestionGame, counts: np.ndarray, round_index: int) -> bool:
+        return is_nash(game, counts, tolerance=tolerance)
+
+    return condition
+
+
+def stop_after_rounds(rounds: int) -> StopCondition:
+    """Stop once ``rounds`` rounds have been executed (useful in mixtures of
+    conditions when a fixed horizon should dominate)."""
+
+    def condition(game: CongestionGame, counts: np.ndarray, round_index: int) -> bool:
+        return round_index >= rounds
+
+    return condition
+
+
+# ----------------------------------------------------------------------
+# Convenience drivers
+# ----------------------------------------------------------------------
+
+def simulate(
+    game: CongestionGame,
+    protocol: Protocol,
+    *,
+    initial_state: Optional[StateLike] = None,
+    rounds: int = 1_000,
+    rng: RngLike = None,
+    collector: Optional[MetricsCollector] = None,
+    record_states: bool = False,
+) -> TrajectoryResult:
+    """Run ``protocol`` on ``game`` for a fixed number of rounds.
+
+    The run still ends early if the protocol becomes quiescent (no move has
+    positive probability).  ``initial_state`` defaults to the uniform random
+    initialisation used throughout the paper.
+    """
+    dynamics = ConcurrentDynamics(game, protocol, rng=rng)
+    if initial_state is None:
+        initial_state = game.uniform_random_state(dynamics.rng)
+    return dynamics.run(
+        initial_state,
+        max_rounds=rounds,
+        collector=collector,
+        record_states=record_states,
+    )
+
+
+def run_until_imitation_stable(
+    game: CongestionGame,
+    protocol: Protocol,
+    *,
+    initial_state: Optional[StateLike] = None,
+    max_rounds: int = 100_000,
+    nu: Optional[float] = None,
+    rng: RngLike = None,
+    collector: Optional[MetricsCollector] = None,
+) -> TrajectoryResult:
+    """Run until an imitation-stable state (or the round budget is hit)."""
+    dynamics = ConcurrentDynamics(game, protocol, rng=rng)
+    if initial_state is None:
+        initial_state = game.uniform_random_state(dynamics.rng)
+    return dynamics.run(
+        initial_state,
+        max_rounds=max_rounds,
+        stop_condition=stop_at_imitation_stable(nu),
+        collector=collector,
+    )
+
+
+def run_until_approx_equilibrium(
+    game: CongestionGame,
+    protocol: Protocol,
+    delta: float,
+    epsilon: float,
+    *,
+    nu: Optional[float] = None,
+    initial_state: Optional[StateLike] = None,
+    max_rounds: int = 100_000,
+    rng: RngLike = None,
+    collector: Optional[MetricsCollector] = None,
+) -> TrajectoryResult:
+    """Run until the first (delta, eps, nu)-equilibrium.
+
+    The number of executed rounds of the returned trajectory is the hitting
+    time ``tau`` of Theorem 7.
+    """
+    dynamics = ConcurrentDynamics(game, protocol, rng=rng)
+    if initial_state is None:
+        initial_state = game.uniform_random_state(dynamics.rng)
+    return dynamics.run(
+        initial_state,
+        max_rounds=max_rounds,
+        stop_condition=stop_at_approx_equilibrium(delta, epsilon, nu),
+        collector=collector,
+    )
+
+
+def run_until_nash(
+    game: CongestionGame,
+    protocol: Protocol,
+    *,
+    tolerance: float = 1e-9,
+    initial_state: Optional[StateLike] = None,
+    max_rounds: int = 1_000_000,
+    rng: RngLike = None,
+    collector: Optional[MetricsCollector] = None,
+) -> TrajectoryResult:
+    """Run until a Nash equilibrium (sensible for exploration/hybrid
+    protocols; pure imitation generally stops earlier at an imitation-stable
+    state and will then end with reason ``QUIESCENT``)."""
+    dynamics = ConcurrentDynamics(game, protocol, rng=rng)
+    if initial_state is None:
+        initial_state = game.uniform_random_state(dynamics.rng)
+    return dynamics.run(
+        initial_state,
+        max_rounds=max_rounds,
+        stop_condition=stop_at_nash(tolerance),
+        collector=collector,
+    )

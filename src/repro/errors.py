@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can distinguish library failures from programming errors with a
+single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class GameDefinitionError(ReproError):
+    """Raised when a congestion game is constructed from inconsistent data.
+
+    Examples include empty strategy sets, strategies referencing unknown
+    resources, a non-positive number of players, or latency functions that
+    violate the model assumptions (negative latencies, non-monotone values).
+    """
+
+
+class StateError(ReproError):
+    """Raised when a game state is invalid for the game it is used with.
+
+    A state is invalid if its strategy-count vector has the wrong length,
+    contains negative entries, or does not sum to the number of players.
+    """
+
+
+class ProtocolError(ReproError):
+    """Raised when a revision protocol is configured inconsistently.
+
+    Examples include a non-positive damping constant ``lambda``, a migration
+    probability outside ``[0, 1]`` that cannot be repaired by clipping, or a
+    protocol applied to a game it does not support.
+    """
+
+
+class ConvergenceError(ReproError):
+    """Raised when a dynamics run exhausts its round budget without
+    satisfying the requested stopping condition and the caller asked for
+    strict behaviour."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment harness for unknown experiment names or
+    invalid experiment configurations."""

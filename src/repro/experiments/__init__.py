@@ -1,0 +1,30 @@
+"""Experiment suite regenerating every quantitative claim of the paper.
+
+See ``DESIGN.md`` (Section 5) for the experiment index and ``EXPERIMENTS.md``
+for the paper-versus-measured record.  Experiments are registered under short
+identifiers (E1..E10, F1) and run through :func:`run_experiment` /
+:func:`run_all`.
+"""
+
+from .registry import (
+    ExperimentResult,
+    ExperimentSpec,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+from .reporting import render_markdown_table, render_table
+from .runner import render_markdown_report, render_report, run_all
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentSpec",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+    "render_markdown_table",
+    "render_table",
+    "render_markdown_report",
+    "render_report",
+    "run_all",
+]

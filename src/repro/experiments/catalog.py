@@ -1,0 +1,40 @@
+"""Import side-effect module that loads every experiment.
+
+Importing :mod:`repro.experiments.catalog` executes all ``@register(...)``
+decorators, populating the registry used by the CLI, the benchmark harness
+and the EXPERIMENTS.md generator.
+"""
+
+from . import (  # noqa: F401
+    exp_elasticity_sweep,
+    exp_eps_delta_sweep,
+    exp_error_terms,
+    exp_exploration_nash,
+    exp_imitation_stable,
+    exp_lambda_ablation,
+    exp_last_agent_lower_bound,
+    exp_logn_scaling,
+    exp_overshooting,
+    exp_price_of_imitation,
+    exp_protocol_comparison,
+    exp_sequential_lower_bound,
+    exp_singleton_survival,
+    exp_virtual_agents,
+)
+
+__all__ = [
+    "exp_elasticity_sweep",
+    "exp_eps_delta_sweep",
+    "exp_error_terms",
+    "exp_exploration_nash",
+    "exp_imitation_stable",
+    "exp_lambda_ablation",
+    "exp_last_agent_lower_bound",
+    "exp_logn_scaling",
+    "exp_overshooting",
+    "exp_price_of_imitation",
+    "exp_protocol_comparison",
+    "exp_sequential_lower_bound",
+    "exp_singleton_survival",
+    "exp_virtual_agents",
+]

@@ -1,0 +1,54 @@
+"""Shared experiment configuration helpers.
+
+Every experiment supports two scales:
+
+* ``quick=True`` — a scaled-down run (fewer players, fewer trials, smaller
+  round budgets) used by the test suite and the pytest-benchmark harness so
+  that the full matrix finishes in seconds;
+* ``quick=False`` — the full configuration whose numbers go into
+  ``EXPERIMENTS.md``.
+
+The helpers here keep that switch in one place and make the chosen values
+visible in the experiment's ``parameters`` record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["pick", "pick_list", "ExperimentDefaults"]
+
+
+def pick(quick: bool, quick_value: T, full_value: T) -> T:
+    """Return ``quick_value`` when running in quick mode, else ``full_value``."""
+    return quick_value if quick else full_value
+
+
+def pick_list(quick: bool, quick_values: Sequence[T], full_values: Sequence[T]) -> list[T]:
+    """List-valued variant of :func:`pick` (always returns a fresh list)."""
+    return list(quick_values if quick else full_values)
+
+
+@dataclass(frozen=True)
+class ExperimentDefaults:
+    """Default knobs shared by most experiments."""
+
+    seed: int = 2009  # PODC 2009
+    quick_trials: int = 5
+    full_trials: int = 20
+    quick_max_rounds: int = 5_000
+    full_max_rounds: int = 100_000
+
+    def trials(self, quick: bool) -> int:
+        """Number of Monte-Carlo trials for the requested scale."""
+        return pick(quick, self.quick_trials, self.full_trials)
+
+    def max_rounds(self, quick: bool) -> int:
+        """Round budget for the requested scale."""
+        return pick(quick, self.quick_max_rounds, self.full_max_rounds)
+
+
+DEFAULTS = ExperimentDefaults()

@@ -1,0 +1,107 @@
+"""E3 — Dependence of the hitting time on the approximation parameters.
+
+Theorem 7 bounds the expected hitting time of a (delta, eps, nu)-equilibrium
+by ``O(d / (eps^2 delta) * log(Phi(x0)/Phi*))``: halving ``delta`` should at
+most double the time, halving ``eps`` should at most quadruple it.  The
+experiment fixes the instance and the player count, sweeps ``eps`` with
+``delta`` fixed and then ``delta`` with ``eps`` fixed, and reports the mean
+hitting time next to the value of ``1/(eps^2 delta)`` so the two growth
+curves can be compared directly.
+"""
+
+from __future__ import annotations
+
+from ..analysis.convergence import measure_approx_equilibrium_times
+from ..core.imitation import ImitationProtocol
+from ..games.singleton import make_linear_singleton
+from ..rng import derive_rng
+from .config import DEFAULTS, pick, pick_list
+from .exp_logn_scaling import LINK_COEFFICIENTS
+from .registry import ExperimentResult, register
+
+__all__ = ["run_eps_delta_sweep_experiment"]
+
+
+@register(
+    "E3",
+    "Hitting time versus the approximation parameters eps and delta",
+    "Theorem 7: the expected convergence time is polynomial in 1/eps and "
+    "1/delta (the bound scales as 1/(eps^2 delta)).",
+)
+def run_eps_delta_sweep_experiment(
+    *, quick: bool = True, seed: int = DEFAULTS.seed, trials: int | None = None,
+    num_players: int | None = None,
+) -> ExperimentResult:
+    """Run experiment E3 and return its result table."""
+    trials = trials if trials is not None else pick(quick, 5, 20)
+    num_players = num_players if num_players is not None else pick(quick, 256, 1024)
+    max_rounds = DEFAULTS.max_rounds(quick)
+    protocol = ImitationProtocol()
+
+    epsilons = pick_list(quick, [0.4, 0.2, 0.1], [0.4, 0.3, 0.2, 0.1, 0.05])
+    deltas = pick_list(quick, [0.4, 0.2, 0.1], [0.4, 0.3, 0.2, 0.1, 0.05])
+    fixed_delta = 0.25
+    fixed_epsilon = 0.25
+
+    def factory():
+        return make_linear_singleton(num_players, LINK_COEFFICIENTS)
+
+    rows: list[dict] = []
+    for epsilon in epsilons:
+        hitting = measure_approx_equilibrium_times(
+            factory, protocol, fixed_delta, epsilon,
+            trials=trials, max_rounds=max_rounds,
+            rng=derive_rng(seed, "eps-sweep", int(epsilon * 1000)),
+        )
+        rows.append({
+            "sweep": "epsilon",
+            "epsilon": epsilon,
+            "delta": fixed_delta,
+            "bound_term_1/(eps^2*delta)": 1.0 / (epsilon ** 2 * fixed_delta),
+            "mean_rounds": hitting.summary.mean,
+            "max_rounds": hitting.summary.maximum,
+            "censored_trials": hitting.censored,
+        })
+    for delta in deltas:
+        hitting = measure_approx_equilibrium_times(
+            factory, protocol, delta, fixed_epsilon,
+            trials=trials, max_rounds=max_rounds,
+            rng=derive_rng(seed, "delta-sweep", int(delta * 1000)),
+        )
+        rows.append({
+            "sweep": "delta",
+            "epsilon": fixed_epsilon,
+            "delta": delta,
+            "bound_term_1/(eps^2*delta)": 1.0 / (fixed_epsilon ** 2 * delta),
+            "mean_rounds": hitting.summary.mean,
+            "max_rounds": hitting.summary.maximum,
+            "censored_trials": hitting.censored,
+        })
+
+    eps_rows = [row for row in rows if row["sweep"] == "epsilon"]
+    delta_rows = [row for row in rows if row["sweep"] == "delta"]
+    notes = []
+    eps_growth = eps_rows[-1]["mean_rounds"] / max(eps_rows[0]["mean_rounds"], 1e-9)
+    eps_bound_growth = (eps_rows[-1]["bound_term_1/(eps^2*delta)"]
+                        / eps_rows[0]["bound_term_1/(eps^2*delta)"])
+    notes.append(
+        f"tightening eps from {eps_rows[0]['epsilon']} to {eps_rows[-1]['epsilon']} grew the "
+        f"measured time by x{eps_growth:.2f} while the bound term grew by x{eps_bound_growth:.1f} "
+        "(measured growth stays below the bound's growth, as expected for an upper bound)"
+    )
+    delta_growth = delta_rows[-1]["mean_rounds"] / max(delta_rows[0]["mean_rounds"], 1e-9)
+    delta_bound_growth = (delta_rows[-1]["bound_term_1/(eps^2*delta)"]
+                          / delta_rows[0]["bound_term_1/(eps^2*delta)"])
+    notes.append(
+        f"tightening delta from {delta_rows[0]['delta']} to {delta_rows[-1]['delta']} grew the "
+        f"measured time by x{delta_growth:.2f} (bound term x{delta_bound_growth:.1f})"
+    )
+    return ExperimentResult(
+        experiment_id="E3",
+        title="Hitting time versus eps and delta",
+        claim="Theorem 7 (polynomial dependence on 1/eps, 1/delta)",
+        rows=rows,
+        notes=notes,
+        parameters={"quick": quick, "seed": seed, "trials": trials,
+                    "num_players": num_players, "max_rounds": max_rounds},
+    )

@@ -1,0 +1,115 @@
+"""E9 — Exploration, imitation and their combination (Section 6, Theorem 15).
+
+Pure imitation can stabilise away from a Nash equilibrium when attractive
+strategies have no users (it is not innovative).  The EXPLORATION PROTOCOL
+samples strategies directly and therefore converges to an exact Nash
+equilibrium (Theorem 15), but its damping makes it slow; the half-and-half
+mixture inherits the best of both (fast approximate convergence *and*
+eventual Nash convergence).
+
+The experiment starts all protocols from a deliberately bad state — every
+player on the slowest link, so that the good links are initially unused — and
+reports, per protocol, whether a Nash equilibrium is reached, the number of
+rounds used, and the final social cost relative to the optimum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.exploration import ExplorationProtocol
+from ..core.hybrid import make_hybrid_protocol
+from ..core.imitation import ImitationProtocol
+from ..core.run import run_until_nash
+from ..games.nash import is_nash
+from ..games.optimum import compute_social_optimum
+from ..games.singleton import make_linear_singleton
+from ..games.state import GameState
+from ..rng import derive_rng, spawn_rngs
+from .config import DEFAULTS, pick
+from .registry import ExperimentResult, register
+
+__all__ = ["run_exploration_nash_experiment"]
+
+
+@register(
+    "E9",
+    "Convergence to Nash equilibria: imitation vs exploration vs hybrid",
+    "Section 6 / Theorem 15: exploration (and any mixture containing it) "
+    "converges to a Nash equilibrium even from states where good strategies "
+    "are unused; pure imitation cannot, and pure exploration is slower than "
+    "the mixture.",
+)
+def run_exploration_nash_experiment(
+    *, quick: bool = True, seed: int = DEFAULTS.seed, trials: int | None = None,
+    num_players: int | None = None,
+) -> ExperimentResult:
+    """Run experiment E9 and return its result table."""
+    trials = trials if trials is not None else pick(quick, 3, 10)
+    num_players = num_players if num_players is not None else pick(quick, 40, 120)
+    max_rounds = pick(quick, 30_000, 300_000)
+    coefficients = [1.0, 2.0, 4.0, 8.0]
+    game = make_linear_singleton(num_players, coefficients)
+    optimum = compute_social_optimum(game)
+
+    # Adversarial start: everybody on the slowest link, all other links unused.
+    slowest = int(np.argmax(coefficients))
+    start_counts = np.zeros(len(coefficients), dtype=np.int64)
+    start_counts[slowest] = num_players
+    start = GameState(start_counts)
+
+    protocols = {
+        "imitation": ImitationProtocol(use_nu_threshold=False),
+        "exploration": ExplorationProtocol(),
+        "hybrid (0.5/0.5)": make_hybrid_protocol(use_nu_threshold=False),
+    }
+
+    rows: list[dict] = []
+    for protocol_name, protocol in protocols.items():
+        generators = spawn_rngs(derive_rng(seed, "e9", protocol_name), trials)
+        rounds_used: list[float] = []
+        reached_nash: list[bool] = []
+        final_costs: list[float] = []
+        for generator in generators:
+            result = run_until_nash(
+                game, protocol, initial_state=start, max_rounds=max_rounds, rng=generator,
+            )
+            rounds_used.append(float(result.rounds))
+            reached_nash.append(bool(is_nash(game, result.final_state)))
+            final_costs.append(float(game.social_cost(result.final_state)))
+        rows.append({
+            "protocol": protocol_name,
+            "trials": trials,
+            "nash_reached_fraction": float(np.mean(reached_nash)),
+            "mean_rounds": float(np.mean(rounds_used)),
+            "max_rounds_budget": max_rounds,
+            "mean_final_cost": float(np.mean(final_costs)),
+            "optimum_cost": optimum.social_cost,
+            "final_cost_over_opt": float(np.mean(final_costs)) / optimum.social_cost,
+        })
+
+    by_name = {row["protocol"]: row for row in rows}
+    notes: list[str] = []
+    notes.append(
+        "pure imitation never reaches a Nash equilibrium from the all-on-one start "
+        f"(fraction {by_name['imitation']['nash_reached_fraction']:.2f}) because the unused "
+        "links can never be sampled"
+    )
+    notes.append(
+        "exploration and the hybrid protocol reach a Nash equilibrium "
+        f"(fractions {by_name['exploration']['nash_reached_fraction']:.2f} and "
+        f"{by_name['hybrid (0.5/0.5)']['nash_reached_fraction']:.2f})"
+    )
+    if by_name["hybrid (0.5/0.5)"]["mean_rounds"] <= by_name["exploration"]["mean_rounds"]:
+        notes.append("the hybrid protocol needs no more rounds than pure exploration, as Section 6 "
+                     "predicts (imitation accelerates the bulk of the convergence)")
+    return ExperimentResult(
+        experiment_id="E9",
+        title="Imitation vs exploration vs hybrid",
+        claim="Section 6 / Theorem 15",
+        rows=rows,
+        notes=notes,
+        parameters={"quick": quick, "seed": seed, "trials": trials,
+                    "num_players": num_players, "coefficients": coefficients,
+                    "max_rounds": max_rounds},
+    )

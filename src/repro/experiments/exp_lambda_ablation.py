@@ -1,0 +1,124 @@
+"""E12 (extension) — sensitivity to the damping constant ``lambda``.
+
+The paper's proofs need a very small migration constant ``lambda`` (e.g.
+``lambda < 1/512`` in Lemma 2's case analysis), but nothing in the protocol
+prevents larger values — they simply risk more concurrency error.  This
+ablation sweeps ``lambda`` over two orders of magnitude and measures, on a
+fixed instance,
+
+* the number of rounds to a (delta, eps, nu)-equilibrium (smaller lambda =
+  slower, the trade-off the constant controls),
+* the fraction of realised rounds in which the potential increased and the
+  empirical ratio of the error terms to the virtual potential gain (larger
+  lambda = more concurrency error; Lemma 2's 1/2 bound is the reference
+  line).
+
+The design-choice conclusion documented in DESIGN.md: moderate values
+(``lambda ~ 0.25``) converge an order of magnitude faster than the proof-safe
+constants while keeping the error ratio well below 1/2, which is why the
+library defaults to 0.25.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.convergence import measure_approx_equilibrium_times
+from ..analysis.martingale import potential_increase_rate
+from ..core.dynamics import sample_migration_matrix
+from ..core.imitation import ImitationProtocol
+from ..core.potential import potential_breakdown
+from ..games.singleton import make_linear_singleton
+from ..rng import derive_rng
+from .config import DEFAULTS, pick, pick_list
+from .exp_logn_scaling import LINK_COEFFICIENTS
+from .registry import ExperimentResult, register
+
+__all__ = ["run_lambda_ablation_experiment"]
+
+
+def _error_ratio(game, protocol, *, samples: int, rng) -> float:
+    """Empirical mean of (sum F_e) / |sum V_PQ| over sampled rounds."""
+    state = game.uniform_random_state(rng)
+    probabilities = protocol.switch_probabilities(game, state)
+    ratios: list[float] = []
+    for _ in range(samples):
+        migration = sample_migration_matrix(state.counts, probabilities.matrix, rng)
+        breakdown = potential_breakdown(game, state, migration)
+        if breakdown.virtual_gain < -1e-12:
+            ratios.append(breakdown.error_term / abs(breakdown.virtual_gain))
+    return float(np.mean(ratios)) if ratios else 0.0
+
+
+@register(
+    "E12",
+    "Sensitivity to the damping constant lambda (extension)",
+    "Design-choice ablation: larger lambda converges faster but incurs more "
+    "concurrency error; the Lemma 2 guarantee (error <= half the virtual gain) "
+    "holds comfortably for the moderate default used by the library.",
+)
+def run_lambda_ablation_experiment(
+    *, quick: bool = True, seed: int = DEFAULTS.seed, trials: int | None = None,
+    num_players: int | None = None, delta: float = 0.2, epsilon: float = 0.2,
+) -> ExperimentResult:
+    """Run experiment E12 and return its result table."""
+    trials = trials if trials is not None else pick(quick, 4, 15)
+    num_players = num_players if num_players is not None else pick(quick, 256, 1024)
+    max_rounds = DEFAULTS.max_rounds(quick)
+    lambdas = pick_list(quick, [0.01, 0.0625, 0.25, 1.0],
+                        [0.01, 0.03125, 0.0625, 0.125, 0.25, 0.5, 1.0])
+
+    def factory():
+        return make_linear_singleton(num_players, LINK_COEFFICIENTS)
+
+    rows: list[dict] = []
+    for lambda_ in lambdas:
+        protocol = ImitationProtocol(lambda_=lambda_, use_nu_threshold=False)
+        hitting = measure_approx_equilibrium_times(
+            factory, protocol, delta, epsilon,
+            trials=trials, max_rounds=max_rounds,
+            rng=derive_rng(seed, "e12-time", int(lambda_ * 10_000)),
+        )
+        game = factory()
+        drift = potential_increase_rate(
+            game, protocol, rounds=pick(quick, 40, 150), trials=3,
+            rng=derive_rng(seed, "e12-drift", int(lambda_ * 10_000)),
+        )
+        error_ratio = _error_ratio(
+            game, protocol, samples=pick(quick, 100, 400),
+            rng=derive_rng(seed, "e12-error", int(lambda_ * 10_000)),
+        )
+        rows.append({
+            "lambda": lambda_,
+            "mean_rounds_to_approx_eq": hitting.summary.mean,
+            "censored_trials": hitting.censored,
+            "potential_increase_rate": drift["increase_rate"],
+            "error_over_virtual_gain": error_ratio,
+            "lemma2_reference": 0.5,
+        })
+
+    notes: list[str] = []
+    fastest = min(rows, key=lambda row: row["mean_rounds_to_approx_eq"])
+    slowest = max(rows, key=lambda row: row["mean_rounds_to_approx_eq"])
+    notes.append(
+        f"convergence time ranges from {fastest['mean_rounds_to_approx_eq']:.1f} rounds at "
+        f"lambda={fastest['lambda']} to {slowest['mean_rounds_to_approx_eq']:.1f} rounds at "
+        f"lambda={slowest['lambda']} — the damping constant trades speed for concurrency error"
+    )
+    if all(row["error_over_virtual_gain"] <= 0.5 for row in rows):
+        notes.append("the empirical error-to-virtual-gain ratio stays below the Lemma 2 "
+                     "reference of 1/2 for every lambda tested, including lambda = 1")
+    else:
+        exceeded = [row["lambda"] for row in rows if row["error_over_virtual_gain"] > 0.5]
+        notes.append(f"the error ratio exceeds 1/2 for lambda in {exceeded} — the proof-safe "
+                     "regime requires smaller constants, as the paper's analysis anticipates")
+    return ExperimentResult(
+        experiment_id="E12",
+        title="Sensitivity to the damping constant lambda",
+        claim="Design-choice ablation (extension; relates to Lemma 2's constant)",
+        rows=rows,
+        notes=notes,
+        parameters={"quick": quick, "seed": seed, "trials": trials,
+                    "num_players": num_players, "delta": delta, "epsilon": epsilon,
+                    "lambdas": lambdas, "max_rounds": max_rounds},
+    )

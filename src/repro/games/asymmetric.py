@@ -1,0 +1,283 @@
+"""Asymmetric congestion games (player-specific strategy spaces).
+
+The concurrent IMITATION PROTOCOL is analysed for symmetric games, but the
+paper notes (end of Section 3.1) that all potential-based arguments carry
+over to asymmetric games provided each player samples only among players with
+the same strategy space.  Asymmetric games are also the natural home of the
+*threshold games* used in the Theorem 6 lower-bound construction, where every
+player has exactly two strategies of its own.
+
+Because the players are no longer exchangeable, the state of an asymmetric
+game is a *profile*: an integer array ``profile[i]`` holding the index of the
+strategy chosen by player ``i`` within its own strategy list.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..errors import GameDefinitionError, StateError
+from ..rng import RngLike, ensure_rng
+from .latency import LatencyFunction
+
+Strategy = tuple[int, ...]
+
+__all__ = ["AsymmetricCongestionGame"]
+
+
+class AsymmetricCongestionGame:
+    """A congestion game in which every player has its own strategy list.
+
+    Parameters
+    ----------
+    latencies:
+        One latency function per resource.
+    strategy_spaces:
+        ``strategy_spaces[i]`` is the list of strategies available to player
+        ``i``; each strategy is an iterable of resource indices.
+    player_names, resource_names:
+        Optional labels for reports.
+    """
+
+    def __init__(
+        self,
+        latencies: Sequence[LatencyFunction],
+        strategy_spaces: Sequence[Iterable[Iterable[int]]],
+        *,
+        player_names: Optional[Sequence[str]] = None,
+        resource_names: Optional[Sequence[str]] = None,
+        name: str = "asymmetric-game",
+    ):
+        self._latencies = list(latencies)
+        if not self._latencies:
+            raise GameDefinitionError("need at least one resource")
+        self._strategy_spaces: list[tuple[Strategy, ...]] = []
+        for player, space in enumerate(strategy_spaces):
+            normalised: list[Strategy] = []
+            for strategy in space:
+                resources = tuple(sorted(set(int(r) for r in strategy)))
+                if not resources:
+                    raise GameDefinitionError(
+                        f"player {player} has an empty strategy"
+                    )
+                if resources[0] < 0 or resources[-1] >= len(self._latencies):
+                    raise GameDefinitionError(
+                        f"player {player} strategy {resources} references an unknown resource"
+                    )
+                normalised.append(resources)
+            if not normalised:
+                raise GameDefinitionError(f"player {player} has no strategies")
+            self._strategy_spaces.append(tuple(normalised))
+        if not self._strategy_spaces:
+            raise GameDefinitionError("need at least one player")
+
+        self._player_names = (
+            list(player_names) if player_names is not None
+            else [f"p{idx}" for idx in range(len(self._strategy_spaces))]
+        )
+        self._resource_names = (
+            list(resource_names) if resource_names is not None
+            else [f"e{idx}" for idx in range(len(self._latencies))]
+        )
+        self.name = name
+
+    # ------------------------------------------------------------------
+    @property
+    def num_players(self) -> int:
+        """Number of players."""
+        return len(self._strategy_spaces)
+
+    @property
+    def num_resources(self) -> int:
+        """Number of resources."""
+        return len(self._latencies)
+
+    @property
+    def latencies(self) -> list[LatencyFunction]:
+        """The per-resource latency functions."""
+        return list(self._latencies)
+
+    @property
+    def player_names(self) -> list[str]:
+        """Player labels."""
+        return list(self._player_names)
+
+    def strategy_space(self, player: int) -> tuple[Strategy, ...]:
+        """The strategy list of ``player``."""
+        return self._strategy_spaces[player]
+
+    def num_strategies(self, player: int) -> int:
+        """Number of strategies of ``player``."""
+        return len(self._strategy_spaces[player])
+
+    def strategy_space_groups(self) -> dict[tuple[Strategy, ...], list[int]]:
+        """Group players by identical strategy spaces.
+
+        Imitation in asymmetric games is restricted to players within the
+        same group (they are the only ones whose strategies are feasible for
+        the imitator).
+        """
+        groups: dict[tuple[Strategy, ...], list[int]] = {}
+        for player, space in enumerate(self._strategy_spaces):
+            groups.setdefault(space, []).append(player)
+        return groups
+
+    # ------------------------------------------------------------------
+    # Profiles
+    # ------------------------------------------------------------------
+    def validate_profile(self, profile: Sequence[int]) -> np.ndarray:
+        """Check a strategy profile and return it as an array."""
+        arr = np.asarray(profile, dtype=np.int64)
+        if arr.shape != (self.num_players,):
+            raise StateError(
+                f"profile must have one entry per player ({self.num_players})"
+            )
+        for player, choice in enumerate(arr):
+            if not 0 <= choice < self.num_strategies(player):
+                raise StateError(
+                    f"player {player} has no strategy index {int(choice)}"
+                )
+        return arr
+
+    def random_profile(self, rng: RngLike = None) -> np.ndarray:
+        """Every player independently picks a uniform strategy of its own."""
+        gen = ensure_rng(rng)
+        return np.array(
+            [gen.integers(0, self.num_strategies(p)) for p in range(self.num_players)],
+            dtype=np.int64,
+        )
+
+    def congestion(self, profile: Sequence[int]) -> np.ndarray:
+        """Per-resource congestion induced by ``profile``."""
+        arr = self.validate_profile(profile)
+        loads = np.zeros(self.num_resources, dtype=np.int64)
+        for player, choice in enumerate(arr):
+            for resource in self._strategy_spaces[player][choice]:
+                loads[resource] += 1
+        return loads
+
+    def resource_latencies(self, loads: np.ndarray) -> np.ndarray:
+        """Per-resource latency at the given loads."""
+        return np.array(
+            [lat.value(np.asarray(float(load))) for lat, load in zip(self._latencies, loads)],
+            dtype=float,
+        )
+
+    def player_latency(self, profile: Sequence[int], player: int,
+                       loads: Optional[np.ndarray] = None) -> float:
+        """Latency of ``player`` under ``profile``."""
+        arr = self.validate_profile(profile)
+        if loads is None:
+            loads = self.congestion(arr)
+        strategy = self._strategy_spaces[player][arr[player]]
+        latencies = self.resource_latencies(loads)
+        return float(sum(latencies[r] for r in strategy))
+
+    def latency_after_switch(self, profile: Sequence[int], player: int,
+                             new_strategy: int,
+                             loads: Optional[np.ndarray] = None) -> float:
+        """Latency ``player`` would experience after unilaterally switching to
+        ``new_strategy`` (its own index), all other players fixed."""
+        arr = self.validate_profile(profile)
+        if loads is None:
+            loads = self.congestion(arr)
+        current = set(self._strategy_spaces[player][arr[player]])
+        target = self._strategy_spaces[player][new_strategy]
+        total = 0.0
+        for resource in target:
+            load = loads[resource]
+            if resource not in current:
+                load = load + 1
+            total += float(self._latencies[resource].value(np.asarray(float(load))))
+        return total
+
+    # ------------------------------------------------------------------
+    # Potential and equilibrium notions
+    # ------------------------------------------------------------------
+    def potential(self, profile: Sequence[int]) -> float:
+        """Rosenthal potential of the profile."""
+        loads = self.congestion(profile)
+        total = 0.0
+        for latency, load in zip(self._latencies, loads):
+            if load > 0:
+                values = latency.value(np.arange(1, int(load) + 1, dtype=float))
+                total += float(np.sum(values))
+        return total
+
+    def improving_moves(self, profile: Sequence[int], *, tolerance: float = 1e-12
+                        ) -> list[tuple[int, int, float]]:
+        """All strictly improving unilateral deviations.
+
+        Returns a list of ``(player, new_strategy_index, gain)`` with
+        ``gain > tolerance``.
+        """
+        arr = self.validate_profile(profile)
+        loads = self.congestion(arr)
+        moves: list[tuple[int, int, float]] = []
+        for player in range(self.num_players):
+            current_latency = self.player_latency(arr, player, loads=loads)
+            for candidate in range(self.num_strategies(player)):
+                if candidate == arr[player]:
+                    continue
+                new_latency = self.latency_after_switch(arr, player, candidate, loads=loads)
+                gain = current_latency - new_latency
+                if gain > tolerance:
+                    moves.append((player, candidate, gain))
+        return moves
+
+    def is_nash(self, profile: Sequence[int], *, tolerance: float = 1e-12) -> bool:
+        """True if no player has a strictly improving unilateral deviation."""
+        return not self.improving_moves(profile, tolerance=tolerance)
+
+    def apply_move(self, profile: Sequence[int], player: int, new_strategy: int) -> np.ndarray:
+        """Return the profile with ``player`` switched to ``new_strategy``."""
+        arr = self.validate_profile(profile).copy()
+        if not 0 <= new_strategy < self.num_strategies(player):
+            raise StateError(f"player {player} has no strategy index {new_strategy}")
+        arr[player] = new_strategy
+        return arr
+
+    # ------------------------------------------------------------------
+    # Imitation moves (within identical strategy spaces)
+    # ------------------------------------------------------------------
+    def imitation_moves(self, profile: Sequence[int], *, tolerance: float = 1e-12,
+                        require_gain: bool = True) -> list[tuple[int, int, float]]:
+        """All moves in which a player adopts the strategy of another player
+        with the same strategy space.
+
+        Returns tuples ``(imitator, new_strategy_index, gain)``.  When
+        ``require_gain`` is True only strictly improving imitations are
+        returned (the sequential dynamics of Section 3.2).
+        """
+        arr = self.validate_profile(profile)
+        loads = self.congestion(arr)
+        groups = self.strategy_space_groups()
+        moves: list[tuple[int, int, float]] = []
+        for members in groups.values():
+            if len(members) < 2:
+                continue
+            for imitator in members:
+                current_latency = self.player_latency(arr, imitator, loads=loads)
+                seen: set[int] = set()
+                for role_model in members:
+                    if role_model == imitator:
+                        continue
+                    target = int(arr[role_model])
+                    if target == int(arr[imitator]) or target in seen:
+                        continue
+                    seen.add(target)
+                    new_latency = self.latency_after_switch(arr, imitator, target, loads=loads)
+                    gain = current_latency - new_latency
+                    if not require_gain or gain > tolerance:
+                        moves.append((imitator, target, gain))
+        return moves
+
+    def is_imitation_stable(self, profile: Sequence[int], *, tolerance: float = 1e-12) -> bool:
+        """True if no player can strictly improve by copying a same-space player."""
+        return not self.imitation_moves(profile, tolerance=tolerance)
+
+    def __repr__(self) -> str:
+        return (f"AsymmetricCongestionGame(players={self.num_players}, "
+                f"resources={self.num_resources})")

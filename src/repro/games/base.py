@@ -1,0 +1,416 @@
+"""Symmetric congestion games.
+
+A symmetric congestion game is described by a set of *resources* (edges),
+one non-decreasing latency function per resource, a common *strategy set*
+(each strategy is a non-empty set of resources — a path in the network
+interpretation of the paper), and a number of players ``n``.
+
+The class :class:`CongestionGame` stores the strategy/resource incidence
+matrix and offers vectorised primitives needed by the dynamics:
+
+* per-strategy latencies ``l_P(x)`` and ``l_P(x + 1_P)``,
+* the full post-migration latency matrix ``M[P, Q] = l_Q(x + 1_Q - 1_P)``
+  (the latency a player currently on ``P`` would experience after switching
+  to ``Q``, all other players fixed),
+* the Rosenthal potential ``Phi(x) = sum_e sum_{i<=x_e} l_e(i)``,
+* the structural parameters of the paper's analysis: the elasticity bound
+  ``d``, the slope bound ``nu``, ``l_max`` and ``l_min``.
+
+States are count vectors ``x_P``; see :mod:`repro.games.state`.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import cached_property
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import GameDefinitionError, StateError
+from ..rng import RngLike
+from .latency import LatencyFunction, validate_latency
+from .state import (
+    GameState,
+    StateLike,
+    all_on_one_counts,
+    as_counts,
+    balanced_counts,
+    uniform_random_counts,
+)
+
+Strategy = tuple[int, ...]
+
+__all__ = ["CongestionGame", "Strategy"]
+
+
+class CongestionGame:
+    """A symmetric congestion game on explicit strategy sets.
+
+    Parameters
+    ----------
+    num_players:
+        Number of players ``n`` (must be positive).
+    latencies:
+        One :class:`~repro.games.latency.LatencyFunction` per resource.
+    strategies:
+        Iterable of strategies; each strategy is an iterable of resource
+        indices.  Duplicate resources within a strategy are ignored.
+    resource_names, strategy_names:
+        Optional human-readable labels used in reports.
+    name:
+        Optional instance name.
+    validate:
+        When True (default) the latency functions are checked against the
+        model assumptions on the relevant load range.
+    """
+
+    def __init__(
+        self,
+        num_players: int,
+        latencies: Sequence[LatencyFunction],
+        strategies: Iterable[Iterable[int]],
+        *,
+        resource_names: Optional[Sequence[str]] = None,
+        strategy_names: Optional[Sequence[str]] = None,
+        name: str = "",
+        validate: bool = True,
+    ):
+        if num_players <= 0:
+            raise GameDefinitionError("a congestion game needs at least one player")
+        self._num_players = int(num_players)
+        self._latencies = list(latencies)
+        if not self._latencies:
+            raise GameDefinitionError("a congestion game needs at least one resource")
+
+        normalised: list[Strategy] = []
+        for strategy in strategies:
+            resources = tuple(sorted(set(int(r) for r in strategy)))
+            if not resources:
+                raise GameDefinitionError("strategies must use at least one resource")
+            if resources[0] < 0 or resources[-1] >= len(self._latencies):
+                raise GameDefinitionError(
+                    f"strategy {resources} references an unknown resource"
+                )
+            normalised.append(resources)
+        if not normalised:
+            raise GameDefinitionError("a congestion game needs at least one strategy")
+        self._strategies: tuple[Strategy, ...] = tuple(normalised)
+
+        self._resource_names = (
+            list(resource_names)
+            if resource_names is not None
+            else [f"e{idx}" for idx in range(len(self._latencies))]
+        )
+        self._strategy_names = (
+            list(strategy_names)
+            if strategy_names is not None
+            else ["{" + ",".join(self._resource_names[r] for r in s) + "}" for s in self._strategies]
+        )
+        if len(self._resource_names) != len(self._latencies):
+            raise GameDefinitionError("resource_names length mismatch")
+        if len(self._strategy_names) != len(self._strategies):
+            raise GameDefinitionError("strategy_names length mismatch")
+        self.name = name or type(self).__name__
+
+        # Strategy/resource incidence matrix (S x m), float for fast matmul.
+        incidence = np.zeros((len(self._strategies), len(self._latencies)), dtype=float)
+        for idx, strategy in enumerate(self._strategies):
+            incidence[idx, list(strategy)] = 1.0
+        self._incidence = incidence
+        self._incidence.setflags(write=False)
+
+        if validate:
+            for latency in self._latencies:
+                validate_latency(latency, max_load=self._num_players)
+
+        self._potential_table: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Basic structure
+    # ------------------------------------------------------------------
+    @property
+    def num_players(self) -> int:
+        """Number of players ``n``."""
+        return self._num_players
+
+    @property
+    def num_resources(self) -> int:
+        """Number of resources (edges) ``m``."""
+        return len(self._latencies)
+
+    @property
+    def num_strategies(self) -> int:
+        """Number of strategies ``|P|``."""
+        return len(self._strategies)
+
+    @property
+    def latencies(self) -> list[LatencyFunction]:
+        """The per-resource latency functions."""
+        return list(self._latencies)
+
+    @property
+    def strategies(self) -> tuple[Strategy, ...]:
+        """The strategies as sorted tuples of resource indices."""
+        return self._strategies
+
+    @property
+    def incidence(self) -> np.ndarray:
+        """Read-only strategy/resource incidence matrix of shape (S, m)."""
+        return self._incidence
+
+    @property
+    def resource_names(self) -> list[str]:
+        """Human-readable resource labels."""
+        return list(self._resource_names)
+
+    @property
+    def strategy_names(self) -> list[str]:
+        """Human-readable strategy labels."""
+        return list(self._strategy_names)
+
+    @property
+    def is_singleton(self) -> bool:
+        """True if every strategy consists of exactly one resource."""
+        return all(len(s) == 1 for s in self._strategies)
+
+    def strategy_size(self) -> int:
+        """``k = max_P |P|``, the maximum number of resources per strategy."""
+        return max(len(s) for s in self._strategies)
+
+    # ------------------------------------------------------------------
+    # State handling
+    # ------------------------------------------------------------------
+    def validate_state(self, state: StateLike) -> np.ndarray:
+        """Check that ``state`` is a valid count vector for this game and
+        return it as an array."""
+        counts = as_counts(state)
+        if counts.size != self.num_strategies:
+            raise StateError(
+                f"state has {counts.size} entries, game has {self.num_strategies} strategies"
+            )
+        total = int(counts.sum())
+        if total != self.num_players:
+            raise StateError(
+                f"state assigns {total} players, game has {self.num_players}"
+            )
+        return counts
+
+    def uniform_random_state(self, rng: RngLike = None) -> GameState:
+        """Random initialisation: each player independently picks a uniform strategy."""
+        return GameState(uniform_random_counts(self.num_players, self.num_strategies, rng))
+
+    def all_on_one_state(self, strategy: int = 0) -> GameState:
+        """All players on a single strategy."""
+        return GameState(all_on_one_counts(self.num_players, self.num_strategies, strategy))
+
+    def balanced_state(self) -> GameState:
+        """Players spread as evenly as possible over the strategies."""
+        return GameState(balanced_counts(self.num_players, self.num_strategies))
+
+    # ------------------------------------------------------------------
+    # Latency evaluation
+    # ------------------------------------------------------------------
+    def congestion(self, state: StateLike) -> np.ndarray:
+        """Per-resource congestion ``x_e = sum_{P ∋ e} x_P`` (shape (m,))."""
+        counts = as_counts(state)
+        return self._incidence.T @ counts.astype(float)
+
+    def resource_latencies(self, loads: np.ndarray) -> np.ndarray:
+        """Evaluate every resource's latency at the given load vector."""
+        loads = np.asarray(loads, dtype=float)
+        return np.array([lat.value(np.asarray(load)) for lat, load in zip(self._latencies, loads)],
+                        dtype=float)
+
+    def strategy_latencies(self, state: StateLike) -> np.ndarray:
+        """``l_P(x)`` for every strategy ``P`` (shape (S,))."""
+        loads = self.congestion(state)
+        return self._incidence @ self.resource_latencies(loads)
+
+    def strategy_latencies_after_join(self, state: StateLike) -> np.ndarray:
+        """``l_P^+(x) = l_P(x + 1_P)``: the latency of ``P`` if one extra
+        player joined every resource of ``P`` (paper, Section 2.1)."""
+        loads = self.congestion(state)
+        return self._incidence @ self.resource_latencies(loads + 1.0)
+
+    def post_migration_latency_matrix(self, state: StateLike) -> np.ndarray:
+        """Matrix ``M[P, Q] = l_Q(x + 1_Q - 1_P)``.
+
+        ``M[P, Q]`` is the latency a player currently on ``P`` anticipates on
+        ``Q`` if it migrates alone.  Resources shared by ``P`` and ``Q`` keep
+        their current congestion, all other resources of ``Q`` gain one unit:
+
+        ``M[P, Q] = l_Q^+(x) - sum_{e in P ∩ Q} (l_e(x_e + 1) - l_e(x_e))``.
+
+        The diagonal therefore equals ``l_P(x)``.
+        """
+        loads = self.congestion(state)
+        latency_now = self.resource_latencies(loads)
+        latency_plus = self.resource_latencies(loads + 1.0)
+        marginal = latency_plus - latency_now
+        joined = self._incidence @ latency_plus  # l_Q^+ per strategy
+        overlap_correction = (self._incidence * marginal) @ self._incidence.T
+        return joined[np.newaxis, :] - overlap_correction
+
+    def player_latency(self, state: StateLike, strategy: int) -> float:
+        """Latency experienced by a player using ``strategy`` in ``state``."""
+        return float(self.strategy_latencies(state)[strategy])
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def average_latency(self, state: StateLike) -> float:
+        """``L_av(x) = sum_P (x_P / n) l_P(x)``."""
+        counts = as_counts(state)
+        latencies = self.strategy_latencies(counts)
+        return float(counts @ latencies / self.num_players)
+
+    def average_latency_after_join(self, state: StateLike) -> float:
+        """``L_av^+(x) = sum_P (x_P / n) l_P(x + 1_P)``."""
+        counts = as_counts(state)
+        latencies_plus = self.strategy_latencies_after_join(counts)
+        return float(counts @ latencies_plus / self.num_players)
+
+    def total_latency(self, state: StateLike) -> float:
+        """``sum_P x_P l_P(x) = n * L_av(x)``."""
+        counts = as_counts(state)
+        return float(counts @ self.strategy_latencies(counts))
+
+    def social_cost(self, state: StateLike) -> float:
+        """Social cost used in Section 5.1: the average latency ``L_av``."""
+        return self.average_latency(state)
+
+    def makespan(self, state: StateLike) -> float:
+        """Maximum latency sustained by any player (0 if a strategy is empty
+        it does not count)."""
+        counts = as_counts(state)
+        latencies = self.strategy_latencies(counts)
+        used = counts > 0
+        if not np.any(used):
+            return 0.0
+        return float(np.max(latencies[used]))
+
+    # ------------------------------------------------------------------
+    # Rosenthal potential
+    # ------------------------------------------------------------------
+    def _latency_prefix_table(self) -> np.ndarray:
+        """Cumulative sums ``T[e, k] = sum_{i=1..k} l_e(i)`` for ``k = 0..n``."""
+        if self._potential_table is None:
+            loads = np.arange(1, self.num_players + 1, dtype=float)
+            rows = []
+            for latency in self._latencies:
+                values = latency.value(loads)
+                rows.append(np.concatenate(([0.0], np.cumsum(values))))
+            self._potential_table = np.vstack(rows)
+            self._potential_table.setflags(write=False)
+        return self._potential_table
+
+    def potential(self, state: StateLike) -> float:
+        """Rosenthal potential ``Phi(x) = sum_e sum_{i=1..x_e} l_e(i)``."""
+        counts = as_counts(state)
+        loads = np.rint(self.congestion(counts)).astype(int)
+        table = self._latency_prefix_table()
+        return float(table[np.arange(self.num_resources), np.clip(loads, 0, self.num_players)].sum())
+
+    def potential_upper_bound(self) -> float:
+        """A coarse upper bound on the potential over all states:
+        every resource loaded with all ``n`` players."""
+        table = self._latency_prefix_table()
+        return float(table[:, -1].sum())
+
+    def minimum_potential(self, *, exhaustive_limit: int = 200_000) -> float:
+        """``Phi* = min_x Phi(x)``.
+
+        Computed exactly by enumerating states when the state space is small
+        (at most ``exhaustive_limit`` states), otherwise by best-response
+        descent from several starting points (which reaches a local minimum
+        of the potential; for the logarithmic bounds of the paper only the
+        order of magnitude matters).
+        """
+        from .nash import best_response_potential_minimum  # local import, avoids cycle
+
+        return best_response_potential_minimum(self, exhaustive_limit=exhaustive_limit)
+
+    # ------------------------------------------------------------------
+    # Structural parameters (paper Section 2.2)
+    # ------------------------------------------------------------------
+    @cached_property
+    def elasticity_bound(self) -> float:
+        """``d``: maximum elasticity of any latency function on ``(0, n]``.
+
+        The protocol requires ``d >= 1`` as a damping denominator, so the
+        returned value is clamped below at 1.
+        """
+        bound = max(lat.elasticity_bound(self.num_players) for lat in self._latencies)
+        return max(1.0, float(bound))
+
+    @cached_property
+    def resource_slope_bounds(self) -> np.ndarray:
+        """``nu_e`` per resource: maximum step of ``l_e`` on loads ``1..d``."""
+        d = int(math.ceil(self.elasticity_bound))
+        return np.array([lat.slope_bound(d) for lat in self._latencies], dtype=float)
+
+    @cached_property
+    def strategy_slope_bounds(self) -> np.ndarray:
+        """``nu_P = sum_{e in P} nu_e`` per strategy."""
+        return self._incidence @ self.resource_slope_bounds
+
+    @cached_property
+    def nu_bound(self) -> float:
+        """``nu >= max_P nu_P``: the gain threshold used by the protocol."""
+        return float(np.max(self.strategy_slope_bounds))
+
+    @cached_property
+    def max_strategy_latency(self) -> float:
+        """``l_max``: maximum latency of any strategy over all states,
+        bounded by loading every resource of the strategy with all n players."""
+        full_load = self.resource_latencies(np.full(self.num_resources, float(self.num_players)))
+        return float(np.max(self._incidence @ full_load))
+
+    @cached_property
+    def min_resource_latency(self) -> float:
+        """``l_min = min_e l_e(1)``: minimum latency of a resource used by one player."""
+        single_load = self.resource_latencies(np.ones(self.num_resources))
+        return float(np.min(single_load))
+
+    @cached_property
+    def max_slope(self) -> float:
+        """``beta``: maximum one-player latency increase of any strategy over
+        all loads (used by the EXPLORATION PROTOCOL damping)."""
+        loads = np.arange(1, self.num_players + 1, dtype=float)
+        per_resource = []
+        for latency in self._latencies:
+            values = latency.value(loads)
+            values_prev = latency.value(loads - 1.0)
+            per_resource.append(float(np.max(values - values_prev)))
+        per_resource_array = np.asarray(per_resource)
+        return float(np.max(self._incidence @ per_resource_array))
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def restrict_to_strategies(self, keep: Sequence[int]) -> "CongestionGame":
+        """Return a copy of the game with the strategy set restricted to
+        ``keep`` (used by the Price-of-Imitation analysis which removes
+        emptied resources)."""
+        keep = list(keep)
+        if not keep:
+            raise GameDefinitionError("cannot restrict to an empty strategy set")
+        return CongestionGame(
+            self.num_players,
+            self._latencies,
+            [self._strategies[i] for i in keep],
+            resource_names=self._resource_names,
+            strategy_names=[self._strategy_names[i] for i in keep],
+            name=f"{self.name}|restricted",
+            validate=False,
+        )
+
+    def describe(self) -> str:
+        """One-line description used in experiment tables."""
+        return (f"{self.name}: n={self.num_players}, m={self.num_resources}, "
+                f"|P|={self.num_strategies}, d<={self.elasticity_bound:.3g}")
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(n={self.num_players}, m={self.num_resources}, "
+                f"strategies={self.num_strategies})")

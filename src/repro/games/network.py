@@ -1,0 +1,386 @@
+"""Symmetric network congestion games.
+
+The paper defines its model in terms of a directed network ``G = (V, E)``
+with a common source ``s`` and sink ``t``: the strategy set of every player
+is the set of simple ``s``-``t`` paths and the latency of a path is the sum
+of the latencies of its edges.  This module builds such games on top of
+:mod:`networkx`:
+
+* :class:`NetworkCongestionGame` enumerates the ``s``-``t`` paths (optionally
+  capped) and exposes the game through the generic
+  :class:`~repro.games.base.CongestionGame` interface, keeping the edge/path
+  structure around for reporting;
+* a collection of generators for the standard topologies used in the
+  experiments (parallel links, the Braess network, layered random DAGs and
+  series-parallel grids).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Optional, Sequence
+
+import networkx as nx
+import numpy as np
+
+from ..errors import GameDefinitionError
+from ..rng import RngLike, ensure_rng
+from .base import CongestionGame
+from .latency import (
+    ConstantLatency,
+    LatencyFunction,
+    LinearLatency,
+    MonomialLatency,
+)
+
+Edge = tuple[Hashable, Hashable]
+
+__all__ = [
+    "NetworkCongestionGame",
+    "braess_network_game",
+    "parallel_links_network_game",
+    "layered_random_network_game",
+    "grid_network_game",
+    "series_parallel_network_game",
+]
+
+
+class NetworkCongestionGame(CongestionGame):
+    """A symmetric congestion game defined on a directed network.
+
+    Parameters
+    ----------
+    graph:
+        Directed graph.  Each edge must carry a ``"latency"`` attribute
+        holding a :class:`~repro.games.latency.LatencyFunction` (or one is
+        supplied through ``edge_latencies``).
+    source, sink:
+        Common origin and destination of all players.
+    num_players:
+        Number of players routing from ``source`` to ``sink``.
+    edge_latencies:
+        Optional mapping ``(u, v) -> LatencyFunction`` overriding/replacing
+        edge attributes.
+    max_paths:
+        Safety cap on the number of enumerated simple paths.  ``None`` means
+        "enumerate everything"; a :class:`GameDefinitionError` is raised when
+        the cap is exceeded so that callers never silently truncate the
+        strategy space.
+    """
+
+    def __init__(
+        self,
+        graph: nx.DiGraph,
+        source: Hashable,
+        sink: Hashable,
+        num_players: int,
+        *,
+        edge_latencies: Optional[Mapping[Edge, LatencyFunction]] = None,
+        max_paths: Optional[int] = 10_000,
+        name: str = "network-game",
+        validate: bool = True,
+    ):
+        if source not in graph or sink not in graph:
+            raise GameDefinitionError("source and sink must be nodes of the graph")
+        if source == sink:
+            raise GameDefinitionError("source and sink must differ")
+
+        edges: list[Edge] = list(graph.edges())
+        edge_index = {edge: idx for idx, edge in enumerate(edges)}
+
+        latencies: list[LatencyFunction] = []
+        for edge in edges:
+            latency = None
+            if edge_latencies is not None and edge in edge_latencies:
+                latency = edge_latencies[edge]
+            elif "latency" in graph.edges[edge]:
+                latency = graph.edges[edge]["latency"]
+            if latency is None:
+                raise GameDefinitionError(f"edge {edge} has no latency function")
+            if not isinstance(latency, LatencyFunction):
+                raise GameDefinitionError(f"edge {edge} latency is not a LatencyFunction")
+            latencies.append(latency)
+
+        paths = self._enumerate_paths(graph, source, sink, max_paths)
+        if not paths:
+            raise GameDefinitionError(f"no path from {source!r} to {sink!r}")
+
+        strategies: list[list[int]] = []
+        strategy_names: list[str] = []
+        for path in paths:
+            path_edges = list(zip(path[:-1], path[1:]))
+            strategies.append([edge_index[e] for e in path_edges])
+            strategy_names.append("->".join(str(v) for v in path))
+
+        super().__init__(
+            num_players,
+            latencies,
+            strategies,
+            resource_names=[f"{u}->{v}" for u, v in edges],
+            strategy_names=strategy_names,
+            name=name,
+            validate=validate,
+        )
+        self._graph = graph
+        self._source = source
+        self._sink = sink
+        self._paths = paths
+        self._edges = edges
+
+    @staticmethod
+    def _enumerate_paths(
+        graph: nx.DiGraph,
+        source: Hashable,
+        sink: Hashable,
+        max_paths: Optional[int],
+    ) -> list[tuple[Hashable, ...]]:
+        paths: list[tuple[Hashable, ...]] = []
+        for path in nx.all_simple_paths(graph, source, sink):
+            paths.append(tuple(path))
+            if max_paths is not None and len(paths) > max_paths:
+                raise GameDefinitionError(
+                    f"more than {max_paths} simple paths between "
+                    f"{source!r} and {sink!r}; raise max_paths to allow this"
+                )
+        return paths
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> nx.DiGraph:
+        """The underlying directed graph."""
+        return self._graph
+
+    @property
+    def source(self) -> Hashable:
+        """Common source node."""
+        return self._source
+
+    @property
+    def sink(self) -> Hashable:
+        """Common sink node."""
+        return self._sink
+
+    @property
+    def paths(self) -> list[tuple[Hashable, ...]]:
+        """The enumerated ``s``-``t`` paths (in strategy order)."""
+        return list(self._paths)
+
+    @property
+    def edges(self) -> list[Edge]:
+        """The edges (in resource order)."""
+        return list(self._edges)
+
+    def edge_congestion(self, state) -> dict[Edge, float]:
+        """Per-edge congestion keyed by the edge tuple."""
+        loads = self.congestion(state)
+        return {edge: float(load) for edge, load in zip(self._edges, loads)}
+
+
+# ----------------------------------------------------------------------
+# Topology generators
+# ----------------------------------------------------------------------
+
+def parallel_links_network_game(
+    num_players: int,
+    latencies: Sequence[LatencyFunction],
+    *,
+    name: str = "parallel-links",
+) -> NetworkCongestionGame:
+    """Two nodes ``s`` and ``t`` connected by ``len(latencies)`` parallel links.
+
+    networkx DiGraphs cannot hold parallel edges, so each link is expanded to
+    a two-edge path through a private middle node whose second edge has zero
+    congestion effect (constant latency close to zero would violate the
+    positivity assumption, so the full latency sits on the first edge and the
+    second edge is constant with a negligible value folded into validation).
+    The resulting game is strategically identical to the singleton game on
+    the same latencies.
+    """
+    graph = nx.DiGraph()
+    edge_latencies: dict[Edge, LatencyFunction] = {}
+    for idx, latency in enumerate(latencies):
+        middle = f"m{idx}"
+        graph.add_edge("s", middle)
+        graph.add_edge(middle, "t")
+        edge_latencies[("s", middle)] = latency
+        edge_latencies[(middle, "t")] = ConstantLatency(0.0)
+    return NetworkCongestionGame(
+        graph, "s", "t", num_players,
+        edge_latencies=edge_latencies, name=name, validate=False,
+    )
+
+
+def braess_network_game(
+    num_players: int,
+    *,
+    with_shortcut: bool = True,
+    scale: float = 1.0,
+    name: str = "braess",
+) -> NetworkCongestionGame:
+    """The classic Braess network.
+
+    Nodes ``s, a, b, t``.  The load-dependent edges ``s->a`` and ``b->t``
+    have latency ``scale * x / n`` style linear growth (here simply
+    ``scale * x``), the constant edges ``s->b`` and ``a->t`` have latency
+    ``scale * n`` and the optional shortcut ``a->b`` is (almost) free.  With
+    the shortcut the unique Nash equilibrium routes everybody through
+    ``s->a->b->t``; without it traffic splits evenly.
+    """
+    graph = nx.DiGraph()
+    n = float(num_players)
+    edge_latencies: dict[Edge, LatencyFunction] = {
+        ("s", "a"): LinearLatency(scale, 0.0),
+        ("b", "t"): LinearLatency(scale, 0.0),
+        ("s", "b"): ConstantLatency(scale * n),
+        ("a", "t"): ConstantLatency(scale * n),
+    }
+    graph.add_edges_from(edge_latencies.keys())
+    if with_shortcut:
+        graph.add_edge("a", "b")
+        edge_latencies[("a", "b")] = ConstantLatency(scale * 1e-3)
+    return NetworkCongestionGame(
+        graph, "s", "t", num_players,
+        edge_latencies=edge_latencies, name=name, validate=False,
+    )
+
+
+def layered_random_network_game(
+    num_players: int,
+    *,
+    layers: int = 3,
+    width: int = 3,
+    edge_probability: float = 0.7,
+    degree: int = 1,
+    coefficient_range: tuple[float, float] = (0.5, 2.0),
+    rng: RngLike = None,
+    max_paths: Optional[int] = 10_000,
+    name: str = "layered-random",
+) -> NetworkCongestionGame:
+    """A random layered DAG between ``s`` and ``t``.
+
+    ``layers`` internal layers of ``width`` nodes each; every node of layer
+    ``i`` is connected to each node of layer ``i+1`` independently with
+    probability ``edge_probability`` (plus a deterministic "spine" edge so the
+    graph always stays connected).  Edge latencies are monomials
+    ``a x**degree`` with ``a`` drawn uniformly from ``coefficient_range``.
+    """
+    if layers < 1 or width < 1:
+        raise GameDefinitionError("layers and width must be positive")
+    gen = ensure_rng(rng)
+    graph = nx.DiGraph()
+    edge_latencies: dict[Edge, LatencyFunction] = {}
+
+    def random_latency() -> LatencyFunction:
+        a = float(gen.uniform(*coefficient_range))
+        if degree == 1:
+            return LinearLatency(a, 0.0)
+        return MonomialLatency(a, float(degree))
+
+    def node(layer: int, pos: int) -> str:
+        return f"L{layer}N{pos}"
+
+    previous = ["s"]
+    for layer in range(layers):
+        current = [node(layer, pos) for pos in range(width)]
+        for u_idx, u in enumerate(previous):
+            for v_idx, v in enumerate(current):
+                spine = (u_idx % max(1, len(current))) == v_idx
+                if spine or gen.uniform() < edge_probability:
+                    graph.add_edge(u, v)
+                    edge_latencies[(u, v)] = random_latency()
+        previous = current
+    for u_idx, u in enumerate(previous):
+        graph.add_edge(u, "t")
+        edge_latencies[(u, "t")] = random_latency()
+
+    return NetworkCongestionGame(
+        graph, "s", "t", num_players,
+        edge_latencies=edge_latencies, max_paths=max_paths, name=name, validate=False,
+    )
+
+
+def grid_network_game(
+    num_players: int,
+    *,
+    rows: int = 2,
+    cols: int = 3,
+    degree: int = 1,
+    coefficient_range: tuple[float, float] = (0.5, 2.0),
+    rng: RngLike = None,
+    max_paths: Optional[int] = 10_000,
+    name: str = "grid",
+) -> NetworkCongestionGame:
+    """A directed grid from the top-left corner to the bottom-right corner.
+
+    Edges point right and down, so every ``s``-``t`` path is a monotone
+    staircase; the number of paths is ``C(rows+cols-2, rows-1)``.
+    """
+    if rows < 1 or cols < 1:
+        raise GameDefinitionError("rows and cols must be positive")
+    gen = ensure_rng(rng)
+    graph = nx.DiGraph()
+    edge_latencies: dict[Edge, LatencyFunction] = {}
+
+    def random_latency() -> LatencyFunction:
+        a = float(gen.uniform(*coefficient_range))
+        if degree == 1:
+            return LinearLatency(a, 0.0)
+        return MonomialLatency(a, float(degree))
+
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                graph.add_edge((r, c), (r, c + 1))
+                edge_latencies[((r, c), (r, c + 1))] = random_latency()
+            if r + 1 < rows:
+                graph.add_edge((r, c), (r + 1, c))
+                edge_latencies[((r, c), (r + 1, c))] = random_latency()
+
+    return NetworkCongestionGame(
+        graph, (0, 0), (rows - 1, cols - 1), num_players,
+        edge_latencies=edge_latencies, max_paths=max_paths, name=name, validate=False,
+    )
+
+
+def series_parallel_network_game(
+    num_players: int,
+    *,
+    blocks: int = 2,
+    links_per_block: int = 3,
+    degree: int = 1,
+    coefficient_range: tuple[float, float] = (0.5, 2.0),
+    rng: RngLike = None,
+    name: str = "series-parallel",
+) -> NetworkCongestionGame:
+    """A chain of ``blocks`` parallel-link bundles in series.
+
+    Every player traverses one link out of each bundle, so the number of
+    strategies is ``links_per_block ** blocks`` and every strategy has
+    ``blocks`` resources.  A standard stress topology for multi-resource
+    strategies.
+    """
+    if blocks < 1 or links_per_block < 1:
+        raise GameDefinitionError("blocks and links_per_block must be positive")
+    gen = ensure_rng(rng)
+    graph = nx.DiGraph()
+    edge_latencies: dict[Edge, LatencyFunction] = {}
+
+    def random_latency() -> LatencyFunction:
+        a = float(gen.uniform(*coefficient_range))
+        if degree == 1:
+            return LinearLatency(a, 0.0)
+        return MonomialLatency(a, float(degree))
+
+    nodes = ["s"] + [f"v{idx}" for idx in range(1, blocks)] + ["t"]
+    for block in range(blocks):
+        u, v = nodes[block], nodes[block + 1]
+        for link in range(links_per_block):
+            middle = f"{u}-{v}-{link}"
+            graph.add_edge(u, middle)
+            graph.add_edge(middle, v)
+            edge_latencies[(u, middle)] = random_latency()
+            edge_latencies[(middle, v)] = ConstantLatency(0.0)
+
+    return NetworkCongestionGame(
+        graph, "s", "t", num_players,
+        edge_latencies=edge_latencies, name=name, validate=False,
+    )

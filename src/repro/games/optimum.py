@@ -1,0 +1,143 @@
+"""Social optima of congestion games.
+
+The Price-of-Imitation analysis (paper, Section 5.1) compares the expected
+social cost of the state reached by the IMITATION PROTOCOL with the optimum
+social cost (average latency).  This module computes (or bounds) that optimum
+for the game classes in the library:
+
+* exhaustive search for small state spaces (exact),
+* the greedy marginal-cost assignment for singleton games with convex
+  per-link total latency (exact; delegated to
+  :class:`~repro.games.singleton.SingletonCongestionGame`),
+* local-search descent on the total latency otherwise (an upper bound on the
+  optimum, clearly flagged in the result).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..rng import RngLike, ensure_rng
+from .base import CongestionGame
+from .nash import count_states, enumerate_states
+from .singleton import SingletonCongestionGame
+from .state import GameState, StateLike
+
+__all__ = ["OptimumResult", "compute_social_optimum", "local_search_total_latency"]
+
+
+@dataclass(frozen=True)
+class OptimumResult:
+    """Result of a social-optimum computation.
+
+    Attributes
+    ----------
+    state:
+        The best assignment found.
+    social_cost:
+        Its average latency.
+    total_latency:
+        Its total latency (``n`` times the average).
+    exact:
+        True when the value is provably the optimum (exhaustive search or
+        exact greedy), False when it is the value of a local minimum only.
+    method:
+        Human-readable description of how the optimum was obtained.
+    """
+
+    state: GameState
+    social_cost: float
+    total_latency: float
+    exact: bool
+    method: str
+
+
+def compute_social_optimum(
+    game: CongestionGame,
+    *,
+    exhaustive_limit: int = 200_000,
+    rng: RngLike = 0,
+) -> OptimumResult:
+    """Compute (or tightly bound) the minimum average latency of ``game``."""
+    if isinstance(game, SingletonCongestionGame):
+        loads = game.optimum_total_latency_assignment()
+        state = GameState(loads)
+        return OptimumResult(
+            state=state,
+            social_cost=float(game.social_cost(state)),
+            total_latency=float(game.total_latency(state)),
+            exact=True,
+            method="greedy-marginal-cost",
+        )
+
+    if count_states(game.num_players, game.num_strategies) <= exhaustive_limit:
+        best_counts: Optional[np.ndarray] = None
+        best_total = np.inf
+        for counts in enumerate_states(game.num_players, game.num_strategies):
+            total = game.total_latency(counts)
+            if total < best_total:
+                best_total = total
+                best_counts = counts
+        assert best_counts is not None
+        state = GameState(best_counts)
+        return OptimumResult(
+            state=state,
+            social_cost=float(game.social_cost(state)),
+            total_latency=float(best_total),
+            exact=True,
+            method="exhaustive",
+        )
+
+    state = local_search_total_latency(game, game.balanced_state(), rng=rng)
+    return OptimumResult(
+        state=state,
+        social_cost=float(game.social_cost(state)),
+        total_latency=float(game.total_latency(state)),
+        exact=False,
+        method="local-search",
+    )
+
+
+def local_search_total_latency(
+    game: CongestionGame,
+    start: StateLike,
+    *,
+    max_steps: int = 100_000,
+    rng: RngLike = 0,
+) -> GameState:
+    """Descend on the total latency by single-player moves.
+
+    In every step the single-player relocation (origin strategy, destination
+    strategy) with the largest decrease of the total latency is applied; the
+    procedure stops at a local minimum or when the step budget is exhausted.
+    """
+    counts = game.validate_state(start).copy()
+    ensure_rng(rng)  # reserved for future randomised tie-breaking
+    current_total = game.total_latency(counts)
+    for _ in range(max_steps):
+        best_gain = 0.0
+        best_move: Optional[tuple[int, int]] = None
+        occupied = np.nonzero(counts > 0)[0]
+        for origin in occupied:
+            counts[origin] -= 1
+            for destination in range(game.num_strategies):
+                if destination == origin:
+                    continue
+                counts[destination] += 1
+                total = game.total_latency(counts)
+                gain = current_total - total
+                if gain > best_gain + 1e-12:
+                    best_gain = gain
+                    best_move = (int(origin), int(destination))
+                counts[destination] -= 1
+            counts[origin] += 1
+        if best_move is None:
+            break
+        origin, destination = best_move
+        counts[origin] -= 1
+        counts[destination] += 1
+        current_total -= best_gain
+    return GameState(counts)

@@ -1,0 +1,59 @@
+"""Social-cost measures.
+
+Different parts of the paper evaluate states with different aggregate
+measures: the Price-of-Imitation analysis uses the *average latency*
+``SC(x) = sum_e (x_e / n) l_e(x_e)`` (and remarks the makespan works too),
+the potential arguments use Rosenthal's potential, and the related-work
+comparisons use the total latency.  This module gives all of them a common
+callable interface so the analysis code can be parameterised by measure.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable
+
+from .base import CongestionGame
+from .state import StateLike
+
+__all__ = ["SocialCostMeasure", "evaluate", "MEASURES"]
+
+
+class SocialCostMeasure(str, Enum):
+    """Named social-cost measures supported by the analysis helpers."""
+
+    AVERAGE_LATENCY = "average-latency"
+    TOTAL_LATENCY = "total-latency"
+    MAKESPAN = "makespan"
+    POTENTIAL = "potential"
+
+
+def _average(game: CongestionGame, state: StateLike) -> float:
+    return game.average_latency(state)
+
+
+def _total(game: CongestionGame, state: StateLike) -> float:
+    return game.total_latency(state)
+
+
+def _makespan(game: CongestionGame, state: StateLike) -> float:
+    return game.makespan(state)
+
+
+def _potential(game: CongestionGame, state: StateLike) -> float:
+    return game.potential(state)
+
+
+MEASURES: dict[SocialCostMeasure, Callable[[CongestionGame, StateLike], float]] = {
+    SocialCostMeasure.AVERAGE_LATENCY: _average,
+    SocialCostMeasure.TOTAL_LATENCY: _total,
+    SocialCostMeasure.MAKESPAN: _makespan,
+    SocialCostMeasure.POTENTIAL: _potential,
+}
+
+
+def evaluate(game: CongestionGame, state: StateLike,
+             measure: SocialCostMeasure | str = SocialCostMeasure.AVERAGE_LATENCY) -> float:
+    """Evaluate ``state`` under the requested social-cost measure."""
+    measure = SocialCostMeasure(measure)
+    return MEASURES[measure](game, state)

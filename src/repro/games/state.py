@@ -1,0 +1,195 @@
+"""Game states.
+
+A *state* of a symmetric congestion game with strategy set ``P`` is the
+vector ``x = (x_P)_{P in P}`` of player counts per strategy (the paper's own
+notation, Section 2.1).  Because the dynamics studied in the paper treat
+players as exchangeable, the count vector is a sufficient description; this
+module provides a light-weight :class:`GameState` wrapper plus helpers for
+constructing and manipulating such vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+from ..errors import StateError
+from ..rng import RngLike, ensure_rng
+
+StateLike = Union["GameState", np.ndarray, Sequence[int]]
+
+__all__ = [
+    "GameState",
+    "StateLike",
+    "as_counts",
+    "counts_from_assignment",
+    "assignment_from_counts",
+    "uniform_random_counts",
+    "all_on_one_counts",
+    "balanced_counts",
+]
+
+
+@dataclass(frozen=True)
+class GameState:
+    """Immutable strategy-count vector.
+
+    Attributes
+    ----------
+    counts:
+        1-D integer array; ``counts[P]`` is the number of players currently
+        using strategy ``P``.
+    """
+
+    counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        counts = np.asarray(self.counts, dtype=np.int64)
+        if counts.ndim != 1:
+            raise StateError("state counts must be a 1-D vector")
+        if np.any(counts < 0):
+            raise StateError("state counts must be non-negative")
+        object.__setattr__(self, "counts", counts)
+        self.counts.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_players(self) -> int:
+        """Total number of players in the state."""
+        return int(self.counts.sum())
+
+    @property
+    def num_strategies(self) -> int:
+        """Number of strategies (length of the count vector)."""
+        return int(self.counts.size)
+
+    @property
+    def support(self) -> np.ndarray:
+        """Indices of strategies used by at least one player."""
+        return np.nonzero(self.counts > 0)[0]
+
+    @property
+    def support_size(self) -> int:
+        """Number of strategies in use."""
+        return int(np.count_nonzero(self.counts))
+
+    # ------------------------------------------------------------------
+    def with_move(self, origin: int, destination: int, count: int = 1) -> "GameState":
+        """Return the state obtained by moving ``count`` players from
+        ``origin`` to ``destination``."""
+        if count < 0:
+            raise StateError("cannot move a negative number of players")
+        if self.counts[origin] < count:
+            raise StateError(
+                f"cannot move {count} players from strategy {origin}: "
+                f"only {int(self.counts[origin])} present"
+            )
+        new_counts = self.counts.copy()
+        new_counts[origin] -= count
+        new_counts[destination] += count
+        return GameState(new_counts)
+
+    def with_delta(self, delta: np.ndarray) -> "GameState":
+        """Return the state ``x + delta`` (delta must conserve players)."""
+        delta = np.asarray(delta, dtype=np.int64)
+        if delta.shape != self.counts.shape:
+            raise StateError("delta has the wrong shape")
+        if int(delta.sum()) != 0:
+            raise StateError("delta must conserve the number of players")
+        new_counts = self.counts + delta
+        if np.any(new_counts < 0):
+            raise StateError("delta would make a strategy count negative")
+        return GameState(new_counts)
+
+    def to_array(self) -> np.ndarray:
+        """Return a writable copy of the count vector."""
+        return self.counts.copy()
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, GameState):
+            return bool(np.array_equal(self.counts, other.counts))
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.counts.tobytes())
+
+    def __repr__(self) -> str:
+        return f"GameState({self.counts.tolist()})"
+
+
+# ----------------------------------------------------------------------
+# Coercion and constructors
+# ----------------------------------------------------------------------
+
+def as_counts(state: StateLike) -> np.ndarray:
+    """Coerce a state-like object into a read-only count vector."""
+    if isinstance(state, GameState):
+        return state.counts
+    counts = np.asarray(state, dtype=np.int64)
+    if counts.ndim != 1:
+        raise StateError("state counts must be a 1-D vector")
+    if np.any(counts < 0):
+        raise StateError("state counts must be non-negative")
+    return counts
+
+
+def counts_from_assignment(assignment: Iterable[int], num_strategies: int) -> np.ndarray:
+    """Build a count vector from an explicit player-to-strategy assignment.
+
+    ``assignment[i]`` is the strategy index of player ``i``.
+    """
+    assignment_array = np.asarray(list(assignment), dtype=np.int64)
+    if assignment_array.size and (
+        assignment_array.min() < 0 or assignment_array.max() >= num_strategies
+    ):
+        raise StateError("assignment references an unknown strategy index")
+    return np.bincount(assignment_array, minlength=num_strategies).astype(np.int64)
+
+
+def assignment_from_counts(counts: StateLike) -> np.ndarray:
+    """Return one canonical player-to-strategy assignment realising ``counts``.
+
+    Players are numbered in strategy order; because players are exchangeable
+    any assignment with the same counts induces the same dynamics.
+    """
+    counts = as_counts(counts)
+    return np.repeat(np.arange(counts.size), counts)
+
+
+def uniform_random_counts(num_players: int, num_strategies: int,
+                          rng: RngLike = None) -> np.ndarray:
+    """Each player picks a strategy independently and uniformly at random.
+
+    This is the *random initialisation* assumed by Theorem 9 and by the
+    Price-of-Imitation analysis (Section 5.1).
+    """
+    if num_players < 0:
+        raise StateError("number of players must be non-negative")
+    if num_strategies <= 0:
+        raise StateError("need at least one strategy")
+    gen = ensure_rng(rng)
+    probabilities = np.full(num_strategies, 1.0 / num_strategies)
+    return gen.multinomial(num_players, probabilities).astype(np.int64)
+
+
+def all_on_one_counts(num_players: int, num_strategies: int, strategy: int = 0) -> np.ndarray:
+    """All players start on a single strategy (the worst case for imitation,
+    which can never leave such a state)."""
+    if not 0 <= strategy < num_strategies:
+        raise StateError("strategy index out of range")
+    counts = np.zeros(num_strategies, dtype=np.int64)
+    counts[strategy] = num_players
+    return counts
+
+
+def balanced_counts(num_players: int, num_strategies: int) -> np.ndarray:
+    """Spread players as evenly as possible over the strategies
+    (deterministic round-robin remainder handling)."""
+    if num_strategies <= 0:
+        raise StateError("need at least one strategy")
+    base, remainder = divmod(num_players, num_strategies)
+    counts = np.full(num_strategies, base, dtype=np.int64)
+    counts[:remainder] += 1
+    return counts

@@ -1,0 +1,102 @@
+"""Convenience constructors for general symmetric congestion games.
+
+:class:`~repro.games.base.CongestionGame` already *is* the general symmetric
+game; this module adds factory helpers that make it pleasant to define games
+from dictionaries of named resources and named strategies, which is how the
+examples and several experiments build their instances.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from ..errors import GameDefinitionError
+from .base import CongestionGame
+from .latency import LatencyFunction
+
+__all__ = ["SymmetricCongestionGame", "make_symmetric_game", "game_from_strategy_latencies"]
+
+
+class SymmetricCongestionGame(CongestionGame):
+    """Alias subclass kept for API clarity.
+
+    All behaviour lives in :class:`CongestionGame`; this subclass exists so
+    that user code can express intent (``SymmetricCongestionGame(...)``) and
+    so that future symmetric-only optimisations have a home.
+    """
+
+
+def make_symmetric_game(
+    num_players: int,
+    resources: Mapping[str, LatencyFunction],
+    strategies: Mapping[str, Iterable[str]],
+    *,
+    name: str = "symmetric-game",
+) -> SymmetricCongestionGame:
+    """Build a symmetric congestion game from named resources and strategies.
+
+    Parameters
+    ----------
+    num_players:
+        Number of players.
+    resources:
+        Mapping from resource name to its latency function.  The iteration
+        order of the mapping fixes the resource indices.
+    strategies:
+        Mapping from strategy name to an iterable of resource names.
+
+    Examples
+    --------
+    >>> from repro.games.latency import linear, constant
+    >>> game = make_symmetric_game(
+    ...     10,
+    ...     {"top": linear(1.0), "bottom": constant(5.0)},
+    ...     {"use-top": ["top"], "use-bottom": ["bottom"]},
+    ... )
+    >>> game.num_strategies
+    2
+    """
+    resource_names = list(resources.keys())
+    index_of = {rname: idx for idx, rname in enumerate(resource_names)}
+    latencies = [resources[rname] for rname in resource_names]
+
+    strategy_names = list(strategies.keys())
+    strategy_sets: list[list[int]] = []
+    for sname in strategy_names:
+        members = list(strategies[sname])
+        unknown = [m for m in members if m not in index_of]
+        if unknown:
+            raise GameDefinitionError(
+                f"strategy {sname!r} references unknown resources {unknown}"
+            )
+        strategy_sets.append([index_of[m] for m in members])
+
+    return SymmetricCongestionGame(
+        num_players,
+        latencies,
+        strategy_sets,
+        resource_names=resource_names,
+        strategy_names=strategy_names,
+        name=name,
+    )
+
+
+def game_from_strategy_latencies(
+    num_players: int,
+    strategy_latencies: Sequence[LatencyFunction],
+    *,
+    name: str = "strategy-latency-game",
+) -> SymmetricCongestionGame:
+    """Build a game in which every strategy is its own private resource.
+
+    This is exactly a singleton game but constructed through the generic
+    interface; it is occasionally useful in tests to cross-check the
+    dedicated :class:`~repro.games.singleton.SingletonCongestionGame`.
+    """
+    strategies = [[idx] for idx in range(len(strategy_latencies))]
+    return SymmetricCongestionGame(
+        num_players,
+        list(strategy_latencies),
+        strategies,
+        name=name,
+    )

@@ -1,0 +1,134 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component of the library accepts either a seed, an existing
+:class:`numpy.random.Generator`, or ``None`` (fresh entropy).  This module
+centralises the coercion logic so that the whole stack is reproducible from a
+single integer seed and so that independent child streams can be spawned for
+parallel trials without statistical overlap.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+__all__ = ["RngLike", "ensure_rng", "spawn_rngs", "derive_rng", "SeedSequencePool"]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` (fresh OS entropy), an integer seed, a ``SeedSequence``, or
+        an already-constructed ``Generator`` (returned unchanged).
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, np.random.SeedSequence):
+        return np.random.default_rng(rng)
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"cannot build a random generator from {type(rng).__name__}")
+
+
+def spawn_rngs(rng: RngLike, count: int) -> list[np.random.Generator]:
+    """Return ``count`` statistically independent generators derived from ``rng``.
+
+    When ``rng`` is an integer or a ``SeedSequence`` the children are derived
+    through ``SeedSequence.spawn`` which guarantees non-overlapping streams.
+    When ``rng`` is already a ``Generator`` the children are seeded from draws
+    of that generator, which is reproducible given the generator's state.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if isinstance(rng, np.random.SeedSequence):
+        return [np.random.default_rng(s) for s in rng.spawn(count)]
+    if isinstance(rng, (int, np.integer)):
+        seq = np.random.SeedSequence(int(rng))
+        return [np.random.default_rng(s) for s in seq.spawn(count)]
+    gen = ensure_rng(rng)
+    seeds = gen.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def derive_rng(rng: RngLike, *keys: Union[int, str]) -> np.random.Generator:
+    """Derive a child generator deterministically from ``rng`` and ``keys``.
+
+    This is used by the experiment harness to give every (experiment,
+    parameter point, trial index) triple its own reproducible stream.
+    String keys are hashed with a stable (non-salted) scheme.
+    """
+    material: list[int] = []
+    for key in keys:
+        if isinstance(key, str):
+            material.append(_stable_string_hash(key))
+        else:
+            material.append(int(key) & 0xFFFFFFFF)
+    if isinstance(rng, (int, np.integer)):
+        base = int(rng)
+    elif isinstance(rng, np.random.SeedSequence):
+        base = int(rng.generate_state(1)[0])
+    elif rng is None:
+        base = 0
+    else:
+        base = int(ensure_rng(rng).integers(0, 2**31 - 1))
+    seq = np.random.SeedSequence([base & 0xFFFFFFFF, *material])
+    return np.random.default_rng(seq)
+
+
+def _stable_string_hash(text: str) -> int:
+    """A small, stable (cross-process) 32-bit FNV-1a hash of ``text``."""
+    value = 0x811C9DC5
+    for byte in text.encode("utf-8"):
+        value ^= byte
+        value = (value * 0x01000193) & 0xFFFFFFFF
+    return value
+
+
+class SeedSequencePool:
+    """Iterator over independent generators, used for multi-trial experiments.
+
+    Parameters
+    ----------
+    seed:
+        Master seed (or generator) for the pool.
+    """
+
+    def __init__(self, seed: RngLike = None):
+        if isinstance(seed, (int, np.integer)):
+            self._sequence = np.random.SeedSequence(int(seed))
+        elif isinstance(seed, np.random.SeedSequence):
+            self._sequence = seed
+        else:
+            # Fall back to entropy drawn from the provided generator/None.
+            gen = ensure_rng(seed)
+            self._sequence = np.random.SeedSequence(int(gen.integers(0, 2**63 - 1)))
+        self._spawned = 0
+
+    def next_rng(self) -> np.random.Generator:
+        """Return the next independent generator from the pool."""
+        child = self._sequence.spawn(1)[0]
+        self._spawned += 1
+        return np.random.default_rng(child)
+
+    def take(self, count: int) -> list[np.random.Generator]:
+        """Return ``count`` independent generators."""
+        children = self._sequence.spawn(count)
+        self._spawned += count
+        return [np.random.default_rng(c) for c in children]
+
+    def __iter__(self) -> Iterator[np.random.Generator]:
+        while True:
+            yield self.next_rng()
+
+    @property
+    def spawned(self) -> int:
+        """Number of generators handed out so far."""
+        return self._spawned

@@ -1,0 +1,82 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exploration import ExplorationProtocol
+from repro.core.imitation import ImitationProtocol
+from repro.games.latency import ConstantLatency, LinearLatency, MonomialLatency
+from repro.games.network import braess_network_game
+from repro.games.singleton import SingletonCongestionGame, make_linear_singleton
+from repro.games.symmetric import make_symmetric_game
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def linear_singleton() -> SingletonCongestionGame:
+    """A small linear singleton game: 30 players, 3 links with speeds 1, 2, 4."""
+    return make_linear_singleton(30, [1.0, 2.0, 4.0])
+
+
+@pytest.fixture
+def quadratic_singleton() -> SingletonCongestionGame:
+    """A singleton game with quadratic latencies (elasticity 2)."""
+    return SingletonCongestionGame(
+        24, [MonomialLatency(1.0, 2.0), MonomialLatency(2.0, 2.0), MonomialLatency(0.5, 2.0)]
+    )
+
+
+@pytest.fixture
+def mixed_singleton() -> SingletonCongestionGame:
+    """A singleton game mixing constant, linear and quadratic links."""
+    return SingletonCongestionGame(
+        20, [ConstantLatency(8.0), LinearLatency(1.0, 0.0), MonomialLatency(0.25, 2.0)]
+    )
+
+
+@pytest.fixture
+def two_path_network():
+    """A tiny symmetric game with two overlapping two-resource strategies."""
+    return make_symmetric_game(
+        10,
+        {
+            "shared": LinearLatency(1.0, 0.0),
+            "top": LinearLatency(2.0, 0.0),
+            "bottom": ConstantLatency(6.0),
+        },
+        {
+            "via-top": ["shared", "top"],
+            "via-bottom": ["shared", "bottom"],
+        },
+    )
+
+
+@pytest.fixture
+def braess_game():
+    """The Braess network with 12 players."""
+    return braess_network_game(12)
+
+
+@pytest.fixture
+def imitation_protocol() -> ImitationProtocol:
+    """Default imitation protocol."""
+    return ImitationProtocol()
+
+
+@pytest.fixture
+def aggressive_imitation() -> ImitationProtocol:
+    """Imitation protocol with lambda = 1 and no nu threshold (moves fast)."""
+    return ImitationProtocol(lambda_=1.0, use_nu_threshold=False)
+
+
+@pytest.fixture
+def exploration_protocol() -> ExplorationProtocol:
+    """Default exploration protocol."""
+    return ExplorationProtocol()

@@ -1,0 +1,130 @@
+"""Unit tests for hitting-time measurement and scaling fits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import (
+    compare_scaling_models,
+    fit_linear,
+    fit_logarithmic,
+    fit_power_law,
+    measure_approx_equilibrium_times,
+    measure_hitting_times,
+    measure_imitation_stable_times,
+)
+from repro.core.dynamics import StopReason, TrajectoryResult
+from repro.core.imitation import ImitationProtocol
+from repro.games.singleton import make_linear_singleton
+from repro.games.state import GameState
+
+
+class TestScalingFits:
+    def test_logarithmic_fit_recovers_coefficients(self):
+        x = np.array([10, 20, 40, 80, 160], dtype=float)
+        y = 3.0 + 2.0 * np.log(x)
+        fit = fit_logarithmic(x, y)
+        assert fit.coefficients[0] == pytest.approx(3.0, abs=1e-6)
+        assert fit.coefficients[1] == pytest.approx(2.0, abs=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_power_law_fit_recovers_exponent(self):
+        x = np.array([2, 4, 8, 16], dtype=float)
+        y = 5.0 * x ** 1.5
+        fit = fit_power_law(x, y)
+        assert fit.coefficients[1] == pytest.approx(1.5, abs=1e-6)
+
+    def test_linear_fit(self):
+        x = [1, 2, 3, 4]
+        y = [3, 5, 7, 9]
+        fit = fit_linear(x, y)
+        assert fit.coefficients[1] == pytest.approx(2.0)
+
+    def test_predict_roundtrip(self):
+        x = np.array([1.0, 2.0, 4.0])
+        fit = fit_linear(x, 2 * x + 1)
+        assert np.allclose(fit.predict(x), 2 * x + 1)
+
+    def test_logarithmic_data_prefers_logarithmic_model(self):
+        x = np.array([16, 32, 64, 128, 256, 512, 1024], dtype=float)
+        y = 10 + 4 * np.log(x)
+        fits = compare_scaling_models(x, y)
+        assert fits["logarithmic"].r_squared >= fits["linear"].r_squared
+        assert fits["power-law"].coefficients[1] < 0.5
+
+    def test_logarithmic_fit_requires_positive_x(self):
+        with pytest.raises(ValueError):
+            fit_logarithmic([0.0, 1.0], [1.0, 2.0])
+
+    def test_power_law_requires_positive_data(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, 2.0], [0.0, 1.0])
+
+    def test_unknown_model_prediction_rejected(self):
+        fit = fit_linear([1, 2], [1, 2])
+        bad = type(fit)("bogus", fit.coefficients, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            bad.predict(np.array([1.0]))
+
+
+class TestHittingTimes:
+    def test_measure_hitting_times_generic(self):
+        calls = []
+
+        def run_one(generator):
+            calls.append(generator)
+            rounds = int(generator.integers(1, 10))
+            return TrajectoryResult(
+                final_state=GameState(np.array([1])),
+                rounds=rounds,
+                stop_reason=StopReason.STOP_CONDITION,
+            )
+
+        result = measure_hitting_times(run_one, trials=6, rng=0)
+        assert len(result.times) == 6
+        assert result.censored == 0
+        assert result.all_converged
+        assert len(calls) == 6
+
+    def test_censored_runs_counted(self):
+        def run_one(generator):
+            return TrajectoryResult(
+                final_state=GameState(np.array([1])),
+                rounds=100,
+                stop_reason=StopReason.MAX_ROUNDS,
+            )
+
+        result = measure_hitting_times(run_one, trials=3, rng=0)
+        assert result.censored == 3
+        assert not result.all_converged
+
+    def test_measure_approx_equilibrium_times_end_to_end(self):
+        protocol = ImitationProtocol()
+        result = measure_approx_equilibrium_times(
+            lambda: make_linear_singleton(100, [1.0, 2.0, 4.0]),
+            protocol, delta=0.25, epsilon=0.3,
+            trials=3, max_rounds=5_000, rng=0,
+        )
+        assert result.all_converged
+        assert all(t >= 0 for t in result.times)
+
+    def test_measure_imitation_stable_times_end_to_end(self):
+        protocol = ImitationProtocol()
+        result = measure_imitation_stable_times(
+            lambda: make_linear_singleton(60, [1.0, 2.0, 4.0]),
+            protocol, trials=3, max_rounds=5_000, rng=1,
+        )
+        assert result.all_converged
+
+    def test_reproducible_given_seed(self):
+        protocol = ImitationProtocol()
+
+        def run():
+            return measure_approx_equilibrium_times(
+                lambda: make_linear_singleton(80, [1.0, 2.0]),
+                protocol, delta=0.25, epsilon=0.3,
+                trials=3, max_rounds=5_000, rng=7,
+            ).times
+
+        assert run() == run()

@@ -1,0 +1,140 @@
+"""Unit tests for the martingale, survival and price analyses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.martingale import (
+    empirical_drift,
+    potential_increase_rate,
+    trajectory_drift_report,
+)
+from repro.analysis.prices import estimate_price_of_imitation, nash_cost_range
+from repro.analysis.survival import (
+    estimate_extinction_probability,
+    run_with_extinction_tracking,
+)
+from repro.core.imitation import ImitationProtocol
+from repro.games.latency import LinearLatency
+from repro.games.singleton import make_linear_singleton, make_scaled_singleton
+
+
+class TestMartingaleDiagnostics:
+    def test_drift_report_fields(self):
+        report = trajectory_drift_report([10.0, 8.0, 9.0, 5.0])
+        assert report.rounds == 3
+        assert report.initial_potential == 10.0
+        assert report.final_potential == 5.0
+        assert report.increases == 1
+        assert report.max_increase == pytest.approx(1.0)
+
+    def test_drift_report_single_point(self):
+        report = trajectory_drift_report([4.0])
+        assert report.rounds == 0
+        assert report.increases == 0
+
+    def test_drift_report_rejects_empty(self):
+        with pytest.raises(ValueError):
+            trajectory_drift_report([])
+
+    def test_monotone_in_expectation_flag(self):
+        decreasing = trajectory_drift_report([10.0, 7.0, 5.0])
+        assert decreasing.monotone_in_expectation
+        increasing = trajectory_drift_report([5.0, 7.0, 10.0])
+        assert not increasing.monotone_in_expectation
+
+    def test_empirical_drift_satisfies_lemma2(self):
+        game = make_linear_singleton(80, [1.0, 2.0, 4.0])
+        protocol = ImitationProtocol()
+        drift = empirical_drift(game, protocol, game.uniform_random_state(3),
+                                samples=200, rng=0)
+        slack = 0.1 * abs(drift["lemma2_bound"]) + 1e-9
+        assert drift["mean_true_gain"] <= drift["lemma2_bound"] + slack
+
+    def test_potential_increase_rate_keys(self):
+        game = make_linear_singleton(40, [1.0, 2.0])
+        protocol = ImitationProtocol()
+        rates = potential_increase_rate(game, protocol, rounds=20, trials=2, rng=0)
+        assert set(rates) == {"rounds", "increase_rate", "max_increase", "mean_net_drop"}
+        assert 0.0 <= rates["increase_rate"] <= 1.0
+
+    def test_damped_protocol_rarely_increases_potential(self):
+        game = make_linear_singleton(200, [1.0, 2.0, 4.0])
+        protocol = ImitationProtocol()
+        rates = potential_increase_rate(game, protocol, rounds=50, trials=3, rng=1)
+        assert rates["increase_rate"] <= 0.25
+        assert rates["mean_net_drop"] >= 0.0
+
+
+class TestSurvival:
+    def test_trace_fields(self):
+        game = make_scaled_singleton(32, [LinearLatency(1.0, 0.0), LinearLatency(2.0, 0.0)])
+        protocol = ImitationProtocol(use_nu_threshold=False)
+        trace = run_with_extinction_tracking(game, protocol, rounds=50, rng=0)
+        assert trace.rounds <= 50
+        assert trace.final_support >= 1
+        assert trace.min_congestion >= 0.0
+
+    def test_extinction_detected_on_tiny_population(self):
+        # with 2 players on 2 links, one link is quite likely to empty quickly;
+        # run many trials and check the probability estimate is consistent
+        game_factory = lambda: make_scaled_singleton(  # noqa: E731
+            2, [LinearLatency(1.0, 0.0), LinearLatency(1.0, 0.0)])
+        protocol = ImitationProtocol(lambda_=1.0, use_nu_threshold=False)
+        estimate = estimate_extinction_probability(
+            game_factory, protocol, rounds=30, trials=30, rng=0)
+        assert 0.0 <= estimate["probability"] <= 1.0
+        assert estimate["probability_upper_bound"] >= estimate["probability"]
+
+    def test_large_population_never_goes_extinct(self):
+        game_factory = lambda: make_scaled_singleton(  # noqa: E731
+            128, [LinearLatency(1.0, 0.0), LinearLatency(2.0, 0.0)])
+        protocol = ImitationProtocol(use_nu_threshold=False)
+        estimate = estimate_extinction_probability(
+            game_factory, protocol, rounds=100, trials=10, rng=1)
+        assert estimate["probability"] == 0.0
+        assert estimate["min_congestion"] > 0.0
+
+    def test_extinction_round_recorded_when_extinct(self):
+        # a degenerate game where extinction is essentially guaranteed:
+        # two players, one link hugely slower, aggressive protocol
+        game = make_linear_singleton(2, [1.0, 1000.0])
+        protocol = ImitationProtocol(lambda_=1.0, use_nu_threshold=False)
+        for seed in range(20):
+            trace = run_with_extinction_tracking(
+                game, protocol, rounds=50, initial_state=[1, 1], rng=seed)
+            if trace.extinct:
+                assert trace.extinction_round is not None
+                assert trace.extinction_round >= 1
+                break
+        else:
+            pytest.fail("expected at least one extinction across 20 seeds")
+
+
+class TestPrices:
+    def test_price_of_imitation_reasonable_on_linear_singleton(self):
+        game = make_linear_singleton(60, [1.0, 2.0, 4.0])
+        protocol = ImitationProtocol()
+        result = estimate_price_of_imitation(game, protocol, trials=5,
+                                             max_rounds=20_000, rng=0)
+        assert result.optimum_cost > 0
+        assert result.price_of_imitation >= 1.0 - 1e-6
+        assert result.price_of_imitation <= 3.5
+        assert result.unconverged_trials == 0
+
+    def test_price_uses_fractional_optimum_for_linear(self):
+        game = make_linear_singleton(60, [1.0, 2.0, 4.0])
+        protocol = ImitationProtocol()
+        result = estimate_price_of_imitation(game, protocol, trials=3,
+                                             max_rounds=20_000, rng=1)
+        assert result.fractional_optimum_cost is not None
+        assert result.fractional_optimum_cost <= result.optimum_cost + 1e-9
+        assert result.price_vs_fractional is not None
+
+    def test_nash_cost_range_ordering(self):
+        game = make_linear_singleton(40, [1.0, 2.0, 4.0])
+        context = nash_cost_range(game, restarts=3, rng=0)
+        assert context["optimum_cost"] <= context["best_nash_cost"] + 1e-9
+        assert context["best_nash_cost"] <= context["worst_nash_cost"] + 1e-9
+        assert context["price_of_anarchy_sampled"] >= 1.0 - 1e-9

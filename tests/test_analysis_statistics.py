@@ -1,0 +1,87 @@
+"""Unit tests for the statistics helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.statistics import (
+    bootstrap_mean_interval,
+    probability_estimate,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.median == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+
+    def test_single_value_degenerate_interval(self):
+        summary = summarize([5.0])
+        assert summary.std == 0.0
+        assert summary.ci_low == summary.ci_high == 5.0
+
+    def test_confidence_interval_contains_mean(self):
+        summary = summarize(np.random.default_rng(0).normal(10, 2, size=200))
+        assert summary.ci_low <= summary.mean <= summary.ci_high
+        assert summary.ci_high - summary.ci_low < 2.0
+
+    def test_interval_narrows_with_more_samples(self):
+        gen = np.random.default_rng(1)
+        small = summarize(gen.normal(0, 1, size=20))
+        large = summarize(gen.normal(0, 1, size=2000))
+        assert (large.ci_high - large.ci_low) < (small.ci_high - small.ci_low)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_as_dict_keys(self):
+        keys = set(summarize([1.0, 2.0]).as_dict())
+        assert {"mean", "std", "median", "ci_low", "ci_high"} <= keys
+
+
+class TestBootstrap:
+    def test_interval_contains_sample_mean(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        low, high = bootstrap_mean_interval(data, rng=0)
+        assert low <= float(np.mean(data)) <= high
+
+    def test_single_value(self):
+        assert bootstrap_mean_interval([2.0]) == (2.0, 2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_interval([])
+
+    def test_deterministic_given_seed(self):
+        data = list(np.random.default_rng(0).normal(0, 1, 30))
+        assert bootstrap_mean_interval(data, rng=5) == bootstrap_mean_interval(data, rng=5)
+
+
+class TestProbabilityEstimate:
+    def test_point_estimate(self):
+        estimate, upper = probability_estimate(5, 10)
+        assert estimate == 0.5
+        assert upper >= 0.5
+
+    def test_zero_successes_rule_of_three(self):
+        estimate, upper = probability_estimate(0, 100)
+        assert estimate == 0.0
+        assert 0.0 < upper <= 3.5 / 100
+
+    def test_all_successes(self):
+        estimate, upper = probability_estimate(10, 10)
+        assert estimate == 1.0
+        assert upper == 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            probability_estimate(1, 0)
+        with pytest.raises(ValueError):
+            probability_estimate(5, 3)

@@ -1,0 +1,118 @@
+"""Unit tests for the baseline dynamics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BaselineResult,
+    ProportionalImitationProtocol,
+    make_aggressive_proportional_protocol,
+    run_best_response_baseline,
+    run_epsilon_greedy_baseline,
+    run_exploration_only,
+    run_goldberg_baseline,
+)
+from repro.core.imitation import ImitationProtocol
+from repro.games.nash import is_epsilon_nash, is_nash
+from repro.games.singleton import make_linear_singleton
+
+
+class TestBestResponseBaseline:
+    def test_reaches_nash(self):
+        game = make_linear_singleton(30, [1.0, 2.0, 4.0])
+        result = run_best_response_baseline(game, rng=0)
+        assert isinstance(result, BaselineResult)
+        assert result.converged
+        assert is_nash(game, result.final_state)
+
+    def test_defaults_to_random_start(self):
+        game = make_linear_singleton(20, [1.0, 2.0])
+        a = run_best_response_baseline(game, rng=1)
+        b = run_best_response_baseline(game, rng=1)
+        assert np.array_equal(a.final_state.counts, b.final_state.counts)
+
+    def test_explicit_start(self):
+        game = make_linear_singleton(20, [1.0, 2.0])
+        result = run_best_response_baseline(game, initial_state=[20, 0])
+        assert result.converged
+        assert result.steps > 0
+
+
+class TestEpsilonGreedyBaseline:
+    def test_reaches_relative_approximate_equilibrium(self):
+        game = make_linear_singleton(30, [1.0, 2.0, 4.0])
+        result = run_epsilon_greedy_baseline(game, epsilon=0.2, rng=0)
+        assert result.converged
+        # at termination no player can improve by a relative factor 1.2,
+        # which implies an additive epsilon-Nash for epsilon = 0.2 * makespan
+        assert is_epsilon_nash(game, result.final_state,
+                               epsilon=0.2 * game.makespan(result.final_state) + 1e-9)
+
+    def test_zero_epsilon_reaches_nash(self):
+        game = make_linear_singleton(16, [1.0, 1.0])
+        result = run_epsilon_greedy_baseline(game, epsilon=0.0, initial_state=[16, 0])
+        assert is_nash(game, result.final_state)
+
+    def test_larger_epsilon_stops_no_later(self):
+        game = make_linear_singleton(40, [1.0, 2.0, 3.0])
+        loose = run_epsilon_greedy_baseline(game, epsilon=0.5, initial_state=[40, 0, 0])
+        tight = run_epsilon_greedy_baseline(game, epsilon=0.01, initial_state=[40, 0, 0])
+        assert loose.steps <= tight.steps
+
+    def test_negative_epsilon_rejected(self):
+        game = make_linear_singleton(10, [1.0, 2.0])
+        with pytest.raises(ValueError):
+            run_epsilon_greedy_baseline(game, epsilon=-0.1)
+
+    def test_unknown_pivot_rejected(self):
+        game = make_linear_singleton(10, [1.0, 2.0])
+        with pytest.raises(ValueError):
+            run_epsilon_greedy_baseline(game, epsilon=0.1, initial_state=[10, 0], pivot="bogus")
+
+
+class TestGoldbergBaseline:
+    def test_reaches_nash_on_small_game(self):
+        game = make_linear_singleton(12, [1.0, 1.0])
+        result = run_goldberg_baseline(game, initial_state=[12, 0],
+                                       max_steps=50_000, rng=0)
+        assert result.converged
+        assert is_nash(game, result.final_state)
+
+    def test_counts_elementary_steps(self):
+        game = make_linear_singleton(12, [1.0, 1.0])
+        result = run_goldberg_baseline(game, initial_state=[12, 0],
+                                       max_steps=50_000, rng=1)
+        # the randomized search needs at least as many elementary steps as
+        # actual moves (6 players have to relocate)
+        assert result.steps >= 6
+
+    def test_respects_budget(self):
+        game = make_linear_singleton(50, [1.0, 2.0, 4.0])
+        result = run_goldberg_baseline(game, initial_state=[50, 0, 0],
+                                       max_steps=5, rng=0)
+        assert result.steps <= 5
+
+
+class TestProportionalBaseline:
+    def test_is_undamped(self):
+        game = make_linear_singleton(20, [1.0, 2.0])
+        damped = ImitationProtocol(lambda_=1.0, use_nu_threshold=False)
+        undamped = ProportionalImitationProtocol(lambda_=1.0, use_nu_threshold=False)
+        assert undamped.effective_elasticity(game) == 1.0
+        assert damped.effective_elasticity(game) == game.elasticity_bound
+
+    def test_aggressive_factory(self):
+        protocol = make_aggressive_proportional_protocol()
+        assert protocol.lambda_ == 1.0
+        assert not protocol.use_nu_threshold
+
+
+class TestExplorationOnlyBaseline:
+    def test_reaches_nash_from_degenerate_start(self):
+        game = make_linear_singleton(16, [1.0, 1.0])
+        result = run_exploration_only(game, lambda_=1.0, initial_state=[16, 0],
+                                      max_rounds=200_000, rng=0)
+        assert result.converged
+        assert is_nash(game, result.final_state)

@@ -1,0 +1,83 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_parses(self):
+        args = build_parser().parse_args(["run", "E2", "--quick", "--seed", "7"])
+        assert args.command == "run"
+        assert args.experiment == "E2"
+        assert args.quick
+        assert args.seed == 7
+
+    def test_run_all_command_parses(self):
+        args = build_parser().parse_args(["run-all", "--only", "E1", "F1", "--markdown"])
+        assert args.only == ["E1", "F1"]
+        assert args.markdown
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.game == "linear-singleton"
+        assert args.protocol == "imitation"
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "E1" in output and "F1" in output
+
+    def test_run_quick_experiment(self, capsys):
+        assert main(["run", "F1", "--quick"]) == 0
+        output = capsys.readouterr().out
+        assert "[F1]" in output
+        assert "lemma1_holds_fraction" in output
+
+    def test_run_markdown(self, capsys):
+        assert main(["run", "F1", "--quick", "--markdown"]) == 0
+        output = capsys.readouterr().out
+        assert output.startswith("### F1")
+
+    def test_simulate_prints_trajectory(self, capsys):
+        assert main([
+            "simulate", "--game", "linear-singleton", "--players", "50",
+            "--rounds", "20", "--seed", "3", "--every", "5",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "rounds executed" in output
+        assert "potential" in output
+
+    def test_simulate_all_games_and_protocols(self, capsys):
+        for game in ("braess", "two-link"):
+            assert main(["simulate", "--game", game, "--players", "20",
+                         "--rounds", "5"]) == 0
+        for protocol in ("exploration", "hybrid"):
+            assert main(["simulate", "--protocol", protocol, "--players", "20",
+                         "--rounds", "5"]) == 0
+        capsys.readouterr()
+
+    def test_run_all_with_output_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main(["run-all", "--quick", "--only", "F1", "--markdown",
+                     "--output", str(target)]) == 0
+        assert target.exists()
+        assert "### F1" in target.read_text()
+        assert "wrote report" in capsys.readouterr().out
+
+    def test_unknown_experiment_raises(self):
+        from repro.errors import ExperimentError
+        with pytest.raises(ExperimentError):
+            main(["run", "E99"])

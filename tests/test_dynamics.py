@@ -1,0 +1,166 @@
+"""Unit tests for the concurrent round engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dynamics import (
+    ConcurrentDynamics,
+    StopReason,
+    sample_migration_matrix,
+    step,
+)
+from repro.core.imitation import ImitationProtocol
+from repro.core.metrics import MetricsCollector
+from repro.core.run import stop_after_rounds, stop_at_imitation_stable
+from repro.core.stability import is_imitation_stable
+from repro.errors import ConvergenceError
+from repro.games.singleton import make_linear_singleton
+from repro.games.state import GameState
+
+
+class TestSampleMigrationMatrix:
+    def test_conserves_players_per_origin(self):
+        counts = np.array([10, 5, 0])
+        switch = np.array([
+            [0.0, 0.3, 0.2],
+            [0.1, 0.0, 0.1],
+            [0.0, 0.0, 0.0],
+        ])
+        migration = sample_migration_matrix(counts, switch, rng=0)
+        assert np.all(migration.sum(axis=1) <= counts)
+        assert np.all(migration >= 0)
+        assert np.all(np.diagonal(migration) == 0)
+
+    def test_zero_probabilities_mean_no_moves(self):
+        counts = np.array([4, 4])
+        migration = sample_migration_matrix(counts, np.zeros((2, 2)), rng=0)
+        assert np.all(migration == 0)
+
+    def test_probability_one_moves_everyone(self):
+        counts = np.array([7, 0])
+        switch = np.array([[0.0, 1.0], [0.0, 0.0]])
+        migration = sample_migration_matrix(counts, switch, rng=0)
+        assert migration[0, 1] == 7
+
+    def test_reproducible_with_seed(self):
+        counts = np.array([20, 10])
+        switch = np.array([[0.0, 0.4], [0.2, 0.0]])
+        a = sample_migration_matrix(counts, switch, rng=42)
+        b = sample_migration_matrix(counts, switch, rng=42)
+        assert np.array_equal(a, b)
+
+    def test_expected_moves_match_probabilities(self):
+        counts = np.array([1000, 0])
+        switch = np.array([[0.0, 0.25], [0.0, 0.0]])
+        gen = np.random.default_rng(0)
+        total = sum(sample_migration_matrix(counts, switch, gen)[0, 1] for _ in range(200))
+        assert total / 200 == pytest.approx(250, rel=0.05)
+
+
+class TestStep:
+    def test_step_conserves_players(self, linear_singleton, aggressive_imitation):
+        outcome = step(linear_singleton, aggressive_imitation,
+                       linear_singleton.uniform_random_state(0), rng=1)
+        assert outcome.state.counts.sum() == linear_singleton.num_players
+
+    def test_step_counts_migrations(self, linear_singleton, aggressive_imitation):
+        start = linear_singleton.all_on_one_state(2)
+        # everyone on the slow link cannot imitate anyone (all on the same strategy)
+        outcome = step(linear_singleton, aggressive_imitation, start, rng=1)
+        assert outcome.migrations == 0
+        assert outcome.state == GameState(start.counts)
+
+    def test_step_never_moves_players_off_the_cheapest_strategy(self, linear_singleton,
+                                                                aggressive_imitation):
+        start = np.array([25, 4, 1])
+        # latencies: 25, 8, 4 -> strategy 2 is currently cheapest and offers no
+        # improving destination, so none of its players may leave
+        outcome = step(linear_singleton, aggressive_imitation, start, rng=2)
+        assert outcome.state.counts[2] >= 1
+        assert outcome.state.counts.sum() == 30
+
+
+class TestConcurrentDynamics:
+    def test_run_records_initial_and_final(self, linear_singleton, aggressive_imitation):
+        collector = MetricsCollector(linear_singleton)
+        dynamics = ConcurrentDynamics(linear_singleton, aggressive_imitation, rng=0)
+        result = dynamics.run(linear_singleton.uniform_random_state(0),
+                              max_rounds=20, collector=collector)
+        assert result.records[0].round_index == 0
+        assert result.records[-1].round_index == result.rounds
+
+    def test_run_stop_condition_checked_before_round_zero(self, linear_singleton,
+                                                          aggressive_imitation):
+        dynamics = ConcurrentDynamics(linear_singleton, aggressive_imitation, rng=0)
+        result = dynamics.run(linear_singleton.balanced_state(),
+                              max_rounds=50,
+                              stop_condition=lambda game, counts, rnd: True)
+        assert result.rounds == 0
+        assert result.stop_reason is StopReason.STOP_CONDITION
+
+    def test_run_quiescent_stop(self, linear_singleton, imitation_protocol):
+        # all players on one strategy: imitation can never move
+        dynamics = ConcurrentDynamics(linear_singleton, imitation_protocol, rng=0)
+        result = dynamics.run(linear_singleton.all_on_one_state(0), max_rounds=10)
+        assert result.stop_reason is StopReason.QUIESCENT
+        assert result.rounds == 0
+
+    def test_run_max_rounds(self, linear_singleton, aggressive_imitation):
+        dynamics = ConcurrentDynamics(linear_singleton, aggressive_imitation, rng=0)
+        result = dynamics.run(np.array([28, 1, 1]), max_rounds=1,
+                              stop_when_quiescent=False)
+        assert result.rounds <= 1
+
+    def test_strict_raises_when_budget_exhausted(self, linear_singleton):
+        protocol = ImitationProtocol(lambda_=0.01, use_nu_threshold=False)
+        dynamics = ConcurrentDynamics(linear_singleton, protocol, rng=0)
+        with pytest.raises(ConvergenceError):
+            dynamics.run(np.array([28, 1, 1]), max_rounds=1,
+                         stop_condition=lambda g, c, r: False,
+                         stop_when_quiescent=False, strict=True)
+
+    def test_record_states_history(self, linear_singleton, aggressive_imitation):
+        dynamics = ConcurrentDynamics(linear_singleton, aggressive_imitation, rng=0)
+        result = dynamics.run(np.array([20, 9, 1]), max_rounds=5,
+                              record_states=True, stop_when_quiescent=False)
+        assert result.states is not None
+        assert len(result.states) == result.rounds + 1
+        assert all(s.counts.sum() == 30 for s in result.states)
+
+    def test_total_migrations_accumulates(self, linear_singleton, aggressive_imitation):
+        dynamics = ConcurrentDynamics(linear_singleton, aggressive_imitation, rng=0)
+        result = dynamics.run(np.array([5, 5, 20]), max_rounds=30)
+        assert result.total_migrations > 0
+
+    def test_stop_at_imitation_stable_condition(self, linear_singleton, aggressive_imitation):
+        dynamics = ConcurrentDynamics(linear_singleton, aggressive_imitation, rng=3)
+        result = dynamics.run(
+            np.array([5, 5, 20]),
+            max_rounds=5_000,
+            stop_condition=stop_at_imitation_stable(nu=0.0),
+        )
+        assert result.stop_reason in (StopReason.STOP_CONDITION, StopReason.QUIESCENT)
+        assert is_imitation_stable(linear_singleton, result.final_state, nu=0.0)
+
+    def test_stop_after_rounds_condition(self, linear_singleton, aggressive_imitation):
+        dynamics = ConcurrentDynamics(linear_singleton, aggressive_imitation, rng=0)
+        result = dynamics.run(np.array([5, 5, 20]), max_rounds=100,
+                              stop_condition=stop_after_rounds(3),
+                              stop_when_quiescent=False)
+        assert result.rounds == 3
+
+    def test_metric_accessor(self, linear_singleton, aggressive_imitation):
+        collector = MetricsCollector(linear_singleton)
+        dynamics = ConcurrentDynamics(linear_singleton, aggressive_imitation, rng=0)
+        result = dynamics.run(np.array([5, 5, 20]), max_rounds=10, collector=collector)
+        potentials = result.metric("potential")
+        assert potentials.size == len(result.records)
+        assert potentials[0] >= potentials[-1] - 1e-9
+
+    def test_converged_property(self, linear_singleton, aggressive_imitation):
+        dynamics = ConcurrentDynamics(linear_singleton, aggressive_imitation, rng=0)
+        result = dynamics.run(np.array([10, 10, 10]), max_rounds=2,
+                              stop_when_quiescent=False)
+        assert result.converged == (result.stop_reason is not StopReason.MAX_ROUNDS)

@@ -1,0 +1,124 @@
+"""End-to-end tests of the experiment suite at a tiny scale.
+
+These tests run each registered experiment with minimal parameters and check
+the structure of the result and the key qualitative claim the experiment is
+supposed to reproduce.  They are the integration tests of the harness; the
+full-scale numbers live in EXPERIMENTS.md and the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.exp_elasticity_sweep import run_elasticity_sweep_experiment
+from repro.experiments.exp_eps_delta_sweep import run_eps_delta_sweep_experiment
+from repro.experiments.exp_error_terms import run_error_terms_experiment
+from repro.experiments.exp_exploration_nash import run_exploration_nash_experiment
+from repro.experiments.exp_imitation_stable import run_imitation_stable_experiment
+from repro.experiments.exp_last_agent_lower_bound import run_last_agent_lower_bound_experiment
+from repro.experiments.exp_logn_scaling import run_logn_scaling_experiment
+from repro.experiments.exp_overshooting import run_overshooting_experiment
+from repro.experiments.exp_price_of_imitation import run_price_of_imitation_experiment
+from repro.experiments.exp_sequential_lower_bound import run_sequential_lower_bound_experiment
+from repro.experiments.exp_singleton_survival import run_singleton_survival_experiment
+
+
+def test_e1_imitation_stable_structure():
+    result = run_imitation_stable_experiment(quick=True, trials=2, seed=1)
+    assert result.experiment_id == "E1"
+    assert result.rows
+    assert all(row["mean_rounds_to_stable"] >= 0 for row in result.rows)
+    assert all(0.0 <= row["potential_increase_rate"] <= 1.0 for row in result.rows)
+
+
+def test_e2_logn_scaling_growth_is_sublinear():
+    result = run_logn_scaling_experiment(quick=True, trials=3, seed=2)
+    rows = result.rows
+    assert [row["n"] for row in rows] == sorted(row["n"] for row in rows)
+    n_growth = rows[-1]["n"] / rows[0]["n"]
+    time_growth = rows[-1]["mean_rounds"] / max(rows[0]["mean_rounds"], 1.0)
+    # the measured growth must be far below linear growth in n
+    assert time_growth < 0.5 * n_growth
+
+
+def test_e3_eps_delta_sweep_monotone_in_tightness():
+    result = run_eps_delta_sweep_experiment(quick=True, trials=3, seed=3, num_players=128)
+    eps_rows = [row for row in result.rows if row["sweep"] == "epsilon"]
+    assert eps_rows[0]["epsilon"] > eps_rows[-1]["epsilon"]
+    # tightening epsilon cannot make the measured time dramatically smaller
+    assert eps_rows[-1]["mean_rounds"] >= 0.5 * eps_rows[0]["mean_rounds"]
+
+
+def test_e4_elasticity_rows_have_expected_bounds():
+    result = run_elasticity_sweep_experiment(quick=True, trials=2, seed=4, num_players=64)
+    for row in result.rows:
+        assert row["elasticity_bound"] == pytest.approx(row["degree_d"], abs=1e-9)
+        assert row["mean_rounds"] >= 0
+
+
+def test_e5_overshooting_undamped_worse_than_damped():
+    result = run_overshooting_experiment(quick=True, trials=5, seed=5, num_players=400)
+    by_degree: dict[int, dict[str, float]] = {}
+    for row in result.rows:
+        by_degree.setdefault(row["degree_d"], {})[row["protocol"]] = row["mean_overshoot_ratio"]
+    largest_degree = max(by_degree)
+    damped = by_degree[largest_degree]["imitation (1/d damped)"]
+    undamped = by_degree[largest_degree]["proportional (undamped)"]
+    assert undamped > damped
+    assert damped <= 1.0 + 0.2
+
+
+def test_e6_sequential_lower_bound_growth():
+    result = run_sequential_lower_bound_experiment(quick=True, seed=6, max_steps=20_000)
+    rows = result.rows
+    assert all(row["final_imitation_stable"] for row in rows)
+    worst_case = [row["longest_improvement_sequence"] for row in rows]
+    assert worst_case[-1] >= worst_case[0]
+    # super-linear growth: moves per player increase with the instance size
+    assert rows[-1]["sequence_per_player"] >= rows[0]["sequence_per_player"]
+
+
+def test_e7_survival_probability_decreases():
+    result = run_singleton_survival_experiment(quick=True, trials=15, seed=7)
+    probabilities = [row["extinction_probability"] for row in result.rows]
+    # largest population must not go extinct more often than the smallest
+    assert probabilities[-1] <= probabilities[0] + 1e-9
+    assert result.rows[-1]["min_congestion_seen"] >= 0
+
+
+def test_e8_price_of_imitation_below_three():
+    result = run_price_of_imitation_experiment(quick=True, trials=4, seed=8)
+    for row in result.rows:
+        assert row["price_of_imitation"] < 3.0
+        assert row["price_of_imitation"] >= 1.0 - 1e-6
+
+
+def test_e9_exploration_reaches_nash_imitation_does_not():
+    result = run_exploration_nash_experiment(quick=True, trials=2, seed=9, num_players=30)
+    by_protocol = {row["protocol"]: row for row in result.rows}
+    assert by_protocol["imitation"]["nash_reached_fraction"] == 0.0
+    assert by_protocol["exploration"]["nash_reached_fraction"] == 1.0
+    assert by_protocol["hybrid (0.5/0.5)"]["nash_reached_fraction"] == 1.0
+
+
+def test_e10_last_agent_lower_bound_linear_growth():
+    result = run_last_agent_lower_bound_experiment(quick=True, trials=5, seed=10)
+    rows = result.rows
+    # rounds per player should stay within a constant band (linear growth)
+    ratios = [row["rounds_per_player"] for row in rows]
+    assert max(ratios) <= 10 * max(min(ratios), 1e-9)
+    # and the absolute time must grow with n
+    assert rows[-1]["mean_rounds_to_nash"] > rows[0]["mean_rounds_to_nash"]
+
+
+def test_f1_error_terms_lemmas_hold():
+    result = run_error_terms_experiment(quick=True, samples=50, seed=11, num_players=100)
+    for row in result.rows:
+        assert row["lemma1_holds_fraction"] == 1.0
+        assert row["lemma2_satisfied"]
+
+
+def test_run_experiment_by_identifier():
+    result = run_experiment("F1", quick=True, samples=10, num_players=50)
+    assert result.experiment_id == "F1"

@@ -1,0 +1,127 @@
+"""Unit tests for the EXPLORATION PROTOCOL and protocol mixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exploration import ExplorationProtocol
+from repro.core.hybrid import MixtureProtocol, make_hybrid_protocol
+from repro.core.imitation import ImitationProtocol
+from repro.errors import ProtocolError
+from repro.games.singleton import make_linear_singleton
+
+
+class TestExplorationProtocol:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ProtocolError):
+            ExplorationProtocol(0.0)
+        with pytest.raises(ProtocolError):
+            ExplorationProtocol(min_gain=-1.0)
+        with pytest.raises(ProtocolError):
+            ExplorationProtocol(beta_override=0.0)
+
+    def test_can_sample_empty_strategies(self):
+        game = make_linear_singleton(10, [1.0, 1.0])
+        protocol = ExplorationProtocol(lambda_=1.0)
+        counts = np.array([10, 0])
+        probabilities = protocol.switch_probabilities(game, counts)
+        # unlike imitation, exploration can discover the unused link
+        assert probabilities.matrix[0, 1] > 0.0
+
+    def test_uniform_strategy_sampling(self):
+        game = make_linear_singleton(12, [1.0, 1.0, 1.0])
+        protocol = ExplorationProtocol(lambda_=1.0)
+        counts = np.array([12, 0, 0])
+        probabilities = protocol.switch_probabilities(game, counts)
+        # both empty strategies are equally attractive and sampled uniformly
+        assert probabilities.matrix[0, 1] == pytest.approx(probabilities.matrix[0, 2])
+
+    def test_damping_factor_formula(self):
+        game = make_linear_singleton(10, [1.0, 2.0])
+        protocol = ExplorationProtocol(lambda_=0.5)
+        expected = 0.5 * game.num_strategies * game.min_resource_latency / (
+            game.max_slope * game.num_players)
+        assert protocol.damping_factor(game) == pytest.approx(expected)
+
+    def test_damping_much_stronger_than_imitation(self):
+        game = make_linear_singleton(100, [1.0, 2.0, 4.0])
+        exploration = ExplorationProtocol(lambda_=1.0)
+        imitation = ImitationProtocol(lambda_=1.0, use_nu_threshold=False)
+        counts = np.array([98, 1, 1])
+        explore_max = float(np.max(exploration.switch_probabilities(game, counts).matrix))
+        imitate_max = float(np.max(imitation.switch_probabilities(game, counts).matrix))
+        assert explore_max < imitate_max
+
+    def test_no_migration_to_worse_strategy(self):
+        game = make_linear_singleton(10, [1.0, 10.0])
+        protocol = ExplorationProtocol(lambda_=1.0)
+        counts = np.array([5, 5])
+        probabilities = protocol.switch_probabilities(game, counts)
+        # strategy 0 (fast) players never move to strategy 1 (slow)
+        assert probabilities.matrix[0, 1] == 0.0
+
+    def test_min_gain_threshold(self):
+        game = make_linear_singleton(4, [1.0, 1.0])
+        strict = ExplorationProtocol(lambda_=1.0, min_gain=2.0)
+        # gain from (3,1) is exactly 1 -> blocked by min_gain = 2
+        assert np.all(strict.switch_probabilities(game, np.array([3, 1])).matrix == 0.0)
+
+    def test_describe(self):
+        assert "exploration" in ExplorationProtocol().describe()
+
+
+class TestMixtureProtocol:
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ProtocolError):
+            MixtureProtocol([ImitationProtocol(), ExplorationProtocol()], [0.7, 0.7])
+
+    def test_weights_must_be_non_negative(self):
+        with pytest.raises(ProtocolError):
+            MixtureProtocol([ImitationProtocol(), ExplorationProtocol()], [1.5, -0.5])
+
+    def test_needs_components(self):
+        with pytest.raises(ProtocolError):
+            MixtureProtocol([], [])
+
+    def test_mixture_is_weighted_average(self):
+        game = make_linear_singleton(20, [1.0, 2.0])
+        imitation = ImitationProtocol(use_nu_threshold=False)
+        exploration = ExplorationProtocol()
+        mixture = MixtureProtocol([imitation, exploration], [0.5, 0.5])
+        counts = np.array([15, 5])
+        combined = mixture.switch_probabilities(game, counts).matrix
+        expected = 0.5 * imitation.switch_probabilities(game, counts).matrix \
+            + 0.5 * exploration.switch_probabilities(game, counts).matrix
+        assert np.allclose(combined, expected)
+
+    def test_zero_weight_component_ignored(self):
+        game = make_linear_singleton(20, [1.0, 2.0])
+        imitation = ImitationProtocol(use_nu_threshold=False)
+        exploration = ExplorationProtocol()
+        mixture = MixtureProtocol([imitation, exploration], [1.0, 0.0])
+        counts = np.array([15, 5])
+        assert np.allclose(
+            mixture.switch_probabilities(game, counts).matrix,
+            imitation.switch_probabilities(game, counts).matrix,
+        )
+
+    def test_make_hybrid_protocol(self):
+        hybrid = make_hybrid_protocol()
+        assert isinstance(hybrid, MixtureProtocol)
+        assert np.allclose(hybrid.weights, [0.5, 0.5])
+
+    def test_make_hybrid_rejects_bad_weight(self):
+        with pytest.raises(ProtocolError):
+            make_hybrid_protocol(imitation_weight=1.5)
+
+    def test_hybrid_can_reach_unused_strategies(self):
+        game = make_linear_singleton(10, [1.0, 1.0])
+        hybrid = make_hybrid_protocol()
+        counts = np.array([10, 0])
+        assert hybrid.switch_probabilities(game, counts).matrix[0, 1] > 0.0
+
+    def test_describe_lists_components(self):
+        hybrid = make_hybrid_protocol()
+        text = hybrid.describe()
+        assert "imitation" in text and "exploration" in text

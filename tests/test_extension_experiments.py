@@ -1,0 +1,45 @@
+"""End-to-end tests for the extension experiments (E11-E13)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import list_experiments
+from repro.experiments.exp_lambda_ablation import run_lambda_ablation_experiment
+from repro.experiments.exp_protocol_comparison import run_protocol_comparison_experiment
+from repro.experiments.exp_virtual_agents import run_virtual_agents_experiment
+
+
+def test_extensions_are_registered():
+    identifiers = {spec.experiment_id for spec in list_experiments()}
+    assert {"E11", "E12", "E13"} <= identifiers
+
+
+def test_e11_concurrent_rounds_much_smaller_than_sequential_moves():
+    result = run_protocol_comparison_experiment(quick=True, trials=2, seed=21)
+    for num_players in {row["n"] for row in result.rows}:
+        imitation = next(r for r in result.rows
+                         if r["n"] == num_players and r["dynamics"].startswith("imitation"))
+        best_response = next(r for r in result.rows
+                             if r["n"] == num_players and r["dynamics"].startswith("best-response"))
+        assert imitation["mean_work"] < best_response["mean_work"]
+        # every dynamics ends close to the optimum on these instances
+        assert imitation["cost_over_optimum"] < 1.2
+
+
+def test_e12_lambda_tradeoff():
+    result = run_lambda_ablation_experiment(quick=True, trials=3, seed=22, num_players=128)
+    rows = sorted(result.rows, key=lambda row: row["lambda"])
+    # larger lambda converges in fewer rounds ...
+    assert rows[-1]["mean_rounds_to_approx_eq"] <= rows[0]["mean_rounds_to_approx_eq"]
+    # ... at the price of a larger (but still bounded) concurrency error
+    assert rows[-1]["error_over_virtual_gain"] >= rows[0]["error_over_virtual_gain"]
+    assert all(row["error_over_virtual_gain"] <= 1.0 for row in rows)
+
+
+def test_e13_virtual_agents_restore_innovativeness():
+    result = run_virtual_agents_experiment(quick=True, trials=2, seed=23, num_players=30)
+    by_protocol = {row["protocol"]: row for row in result.rows}
+    assert by_protocol["imitation (plain)"]["nash_reached_fraction"] == 0.0
+    assert by_protocol["imitation + virtual agents"]["nash_reached_fraction"] == 1.0
+    assert by_protocol["imitation + virtual agents"]["cost_over_optimum"] == pytest.approx(1.0, abs=0.1)

@@ -1,0 +1,228 @@
+"""Unit tests for the core CongestionGame class."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GameDefinitionError, StateError
+from repro.games.base import CongestionGame
+from repro.games.latency import ConstantLatency, LinearLatency, MonomialLatency
+
+
+def make_two_path_game(num_players: int = 6) -> CongestionGame:
+    """Three resources; strategy A = {0, 1}, strategy B = {0, 2}."""
+    return CongestionGame(
+        num_players,
+        [LinearLatency(1.0, 0.0), LinearLatency(2.0, 0.0), ConstantLatency(5.0)],
+        [[0, 1], [0, 2]],
+        name="two-path",
+    )
+
+
+class TestConstruction:
+    def test_basic_shape(self):
+        game = make_two_path_game()
+        assert game.num_players == 6
+        assert game.num_resources == 3
+        assert game.num_strategies == 2
+        assert game.strategies == ((0, 1), (0, 2))
+
+    def test_incidence_matrix(self):
+        game = make_two_path_game()
+        expected = np.array([[1.0, 1.0, 0.0], [1.0, 0.0, 1.0]])
+        assert np.array_equal(game.incidence, expected)
+
+    def test_duplicate_resources_in_strategy_deduplicated(self):
+        game = CongestionGame(2, [LinearLatency(1.0, 0.0)], [[0, 0]])
+        assert game.strategies == ((0,),)
+
+    def test_rejects_zero_players(self):
+        with pytest.raises(GameDefinitionError):
+            CongestionGame(0, [LinearLatency(1.0, 0.0)], [[0]])
+
+    def test_rejects_unknown_resource(self):
+        with pytest.raises(GameDefinitionError):
+            CongestionGame(2, [LinearLatency(1.0, 0.0)], [[0, 1]])
+
+    def test_rejects_empty_strategy(self):
+        with pytest.raises(GameDefinitionError):
+            CongestionGame(2, [LinearLatency(1.0, 0.0)], [[]])
+
+    def test_rejects_no_strategies(self):
+        with pytest.raises(GameDefinitionError):
+            CongestionGame(2, [LinearLatency(1.0, 0.0)], [])
+
+    def test_is_singleton_detection(self):
+        singleton = CongestionGame(2, [LinearLatency(1.0, 0.0), LinearLatency(2.0, 0.0)],
+                                   [[0], [1]])
+        assert singleton.is_singleton
+        assert not make_two_path_game().is_singleton
+
+    def test_strategy_size(self):
+        assert make_two_path_game().strategy_size() == 2
+
+
+class TestStateValidation:
+    def test_accepts_valid_state(self):
+        game = make_two_path_game()
+        counts = game.validate_state([4, 2])
+        assert counts.sum() == 6
+
+    def test_rejects_wrong_length(self):
+        game = make_two_path_game()
+        with pytest.raises(StateError):
+            game.validate_state([1, 2, 3])
+
+    def test_rejects_wrong_total(self):
+        game = make_two_path_game()
+        with pytest.raises(StateError):
+            game.validate_state([1, 2])
+
+    def test_state_constructors(self):
+        game = make_two_path_game()
+        assert game.all_on_one_state(1).counts[1] == 6
+        assert game.balanced_state().counts.sum() == 6
+        assert game.uniform_random_state(rng=0).counts.sum() == 6
+
+
+class TestLatencies:
+    def test_congestion(self):
+        game = make_two_path_game()
+        loads = game.congestion([4, 2])
+        # resource 0 shared by both strategies
+        assert list(loads) == [6.0, 4.0, 2.0]
+
+    def test_strategy_latencies(self):
+        game = make_two_path_game()
+        latencies = game.strategy_latencies([4, 2])
+        # strategy A: l0(6) + l1(4) = 6 + 8 = 14; strategy B: l0(6) + 5 = 11
+        assert latencies[0] == pytest.approx(14.0)
+        assert latencies[1] == pytest.approx(11.0)
+
+    def test_strategy_latencies_after_join(self):
+        game = make_two_path_game()
+        latencies = game.strategy_latencies_after_join([4, 2])
+        # one more player on every resource of the strategy
+        assert latencies[0] == pytest.approx(7.0 + 10.0)
+        assert latencies[1] == pytest.approx(7.0 + 5.0)
+
+    def test_post_migration_matrix_diagonal_equals_current_latency(self):
+        game = make_two_path_game()
+        counts = np.array([4, 2])
+        matrix = game.post_migration_latency_matrix(counts)
+        latencies = game.strategy_latencies(counts)
+        assert np.allclose(np.diagonal(matrix), latencies)
+
+    def test_post_migration_matrix_off_diagonal(self):
+        game = make_two_path_game()
+        matrix = game.post_migration_latency_matrix([4, 2])
+        # moving from A to B: resource 0 stays at 6 (shared), resource 2 gets 1 more player
+        # l_B(x + 1_B - 1_A) = l0(6) + l2(3) = 6 + 5 = 11
+        assert matrix[0, 1] == pytest.approx(11.0)
+        # moving from B to A: l_A = l0(6) + l1(5) = 6 + 10 = 16
+        assert matrix[1, 0] == pytest.approx(16.0)
+
+    def test_player_latency(self):
+        game = make_two_path_game()
+        assert game.player_latency([4, 2], 1) == pytest.approx(11.0)
+
+
+class TestAggregates:
+    def test_average_latency(self):
+        game = make_two_path_game()
+        expected = (4 * 14.0 + 2 * 11.0) / 6
+        assert game.average_latency([4, 2]) == pytest.approx(expected)
+
+    def test_total_latency_is_n_times_average(self):
+        game = make_two_path_game()
+        assert game.total_latency([4, 2]) == pytest.approx(6 * game.average_latency([4, 2]))
+
+    def test_social_cost_is_average_latency(self):
+        game = make_two_path_game()
+        assert game.social_cost([4, 2]) == game.average_latency([4, 2])
+
+    def test_makespan(self):
+        game = make_two_path_game()
+        assert game.makespan([4, 2]) == pytest.approx(14.0)
+
+    def test_makespan_ignores_empty_strategies(self):
+        game = make_two_path_game()
+        assert game.makespan([0, 6]) == pytest.approx(game.strategy_latencies([0, 6])[1])
+
+
+class TestPotential:
+    def test_potential_by_hand(self):
+        game = CongestionGame(3, [LinearLatency(1.0, 0.0)], [[0]])
+        # all three players on the single resource: 1 + 2 + 3 = 6
+        assert game.potential([3]) == pytest.approx(6.0)
+
+    def test_potential_two_resources(self):
+        game = CongestionGame(
+            3, [LinearLatency(1.0, 0.0), LinearLatency(2.0, 0.0)], [[0], [1]]
+        )
+        # 2 on resource 0 (1+2=3), 1 on resource 1 (2)
+        assert game.potential([2, 1]) == pytest.approx(5.0)
+
+    def test_potential_upper_bound_dominates(self):
+        game = make_two_path_game()
+        for counts in ([6, 0], [3, 3], [0, 6]):
+            assert game.potential(counts) <= game.potential_upper_bound() + 1e-9
+
+    def test_minimum_potential_small_game(self):
+        game = CongestionGame(
+            2, [LinearLatency(1.0, 0.0), LinearLatency(1.0, 0.0)], [[0], [1]]
+        )
+        # minimum at (1, 1): potential 1 + 1 = 2
+        assert game.minimum_potential() == pytest.approx(2.0)
+
+
+class TestStructuralParameters:
+    def test_elasticity_of_linear_game(self):
+        game = make_two_path_game()
+        assert game.elasticity_bound == pytest.approx(1.0)
+
+    def test_elasticity_of_monomial_game(self):
+        game = CongestionGame(4, [MonomialLatency(1.0, 3.0)], [[0]])
+        assert game.elasticity_bound == pytest.approx(3.0)
+
+    def test_elasticity_clamped_to_one(self):
+        game = CongestionGame(4, [ConstantLatency(2.0)], [[0]], validate=False)
+        assert game.elasticity_bound == 1.0
+
+    def test_nu_bound_is_max_strategy_slope(self):
+        game = make_two_path_game()
+        # nu_A = 1 + 2 = 3, nu_B = 1 + 0 = 1
+        assert game.nu_bound == pytest.approx(3.0)
+
+    def test_max_strategy_latency(self):
+        game = make_two_path_game()
+        # all 6 players on every resource of strategy A: 6 + 12 = 18
+        assert game.max_strategy_latency == pytest.approx(18.0)
+
+    def test_min_resource_latency(self):
+        game = make_two_path_game()
+        assert game.min_resource_latency == pytest.approx(1.0)
+
+    def test_max_slope(self):
+        game = make_two_path_game()
+        assert game.max_slope == pytest.approx(3.0)
+
+
+class TestRestriction:
+    def test_restrict_to_strategies(self):
+        game = make_two_path_game()
+        restricted = game.restrict_to_strategies([1])
+        assert restricted.num_strategies == 1
+        assert restricted.strategies == ((0, 2),)
+
+    def test_restrict_rejects_empty(self):
+        game = make_two_path_game()
+        with pytest.raises(GameDefinitionError):
+            game.restrict_to_strategies([])
+
+    def test_describe_contains_key_numbers(self):
+        game = make_two_path_game()
+        text = game.describe()
+        assert "n=6" in text
+        assert "m=3" in text

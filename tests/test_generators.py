@@ -1,0 +1,97 @@
+"""Unit tests for the instance generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GameDefinitionError
+from repro.games.generators import (
+    dominant_strategy_game,
+    identical_links_game,
+    random_linear_singleton,
+    random_monomial_singleton,
+    random_polynomial_singleton,
+    random_symmetric_game,
+    two_link_overshoot_game,
+)
+
+
+class TestSingletonGenerators:
+    def test_random_linear_singleton_shape(self):
+        game = random_linear_singleton(50, 6, rng=0)
+        assert game.num_players == 50
+        assert game.num_strategies == 6
+        assert game.is_linear
+
+    def test_random_linear_singleton_coefficient_range(self):
+        game = random_linear_singleton(50, 20, coefficient_range=(1.0, 2.0), rng=1)
+        coefficients = game.linear_coefficients()
+        assert np.all(coefficients >= 1.0)
+        assert np.all(coefficients <= 2.0)
+
+    def test_random_linear_singleton_reproducible(self):
+        a = random_linear_singleton(10, 4, rng=7).linear_coefficients()
+        b = random_linear_singleton(10, 4, rng=7).linear_coefficients()
+        assert np.allclose(a, b)
+
+    def test_random_monomial_singleton_elasticity(self):
+        game = random_monomial_singleton(30, 5, 3.0, rng=0)
+        assert game.elasticity_bound == pytest.approx(3.0)
+
+    def test_random_polynomial_singleton_zero_at_zero(self):
+        game = random_polynomial_singleton(30, 4, 3, rng=0)
+        for latency in game.latencies:
+            assert latency.zero_at_zero
+
+    def test_random_polynomial_requires_positive_degree(self):
+        with pytest.raises(GameDefinitionError):
+            random_polynomial_singleton(10, 3, 0, rng=0)
+
+
+class TestSpecialInstances:
+    def test_two_link_overshoot_structure(self):
+        game = two_link_overshoot_game(100, 3.0)
+        assert game.num_strategies == 2
+        assert game.elasticity_bound == pytest.approx(3.0)
+
+    def test_two_link_default_constant_balances_at_half(self):
+        game = two_link_overshoot_game(100, 2.0)
+        # the constant equals the power link's latency at n/2 players
+        constant = game.latencies[0](0)
+        assert constant == pytest.approx(game.latencies[1](50))
+
+    def test_identical_links_game(self):
+        game = identical_links_game(16, 8)
+        assert game.num_strategies == 8
+        coefficients = game.linear_coefficients()
+        assert np.allclose(coefficients, coefficients[0])
+
+    def test_dominant_strategy_game(self):
+        game = dominant_strategy_game(10)
+        latencies = game.strategy_latencies([5, 5])
+        assert latencies[0] < latencies[1]
+
+
+class TestRandomSymmetricGame:
+    def test_shape(self):
+        game = random_symmetric_game(20, 8, 5, strategy_size=3, rng=0)
+        assert game.num_strategies == 5
+        assert all(len(strategy) == 3 for strategy in game.strategies)
+
+    def test_strategies_are_distinct(self):
+        game = random_symmetric_game(20, 6, 10, strategy_size=2, rng=1)
+        assert len(set(game.strategies)) == 10
+
+    def test_rejects_oversized_strategy(self):
+        with pytest.raises(GameDefinitionError):
+            random_symmetric_game(10, 3, 2, strategy_size=5)
+
+    def test_rejects_impossible_strategy_count(self):
+        # only C(3, 2) = 3 distinct strategies of size 2 exist
+        with pytest.raises(GameDefinitionError):
+            random_symmetric_game(10, 3, 10, strategy_size=2, rng=0)
+
+    def test_degree_parameter_sets_elasticity(self):
+        game = random_symmetric_game(10, 6, 4, strategy_size=2, degree=3, rng=2)
+        assert game.elasticity_bound == pytest.approx(3.0)

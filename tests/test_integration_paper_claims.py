@@ -1,0 +1,144 @@
+"""Integration tests exercising the whole stack against the paper's claims.
+
+Each test here composes several subsystems (games, protocols, dynamics,
+analysis) end-to-end and checks a qualitative statement of the paper on a
+small but non-trivial instance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import measure_approx_equilibrium_times
+from repro.baselines import run_best_response_baseline
+from repro.core import (
+    ConcurrentDynamics,
+    ExplorationProtocol,
+    ImitationProtocol,
+    MetricsCollector,
+    make_hybrid_protocol,
+    run_until_approx_equilibrium,
+    run_until_imitation_stable,
+    run_until_nash,
+)
+from repro.core.stability import is_approx_equilibrium, is_imitation_stable
+from repro.games import (
+    braess_network_game,
+    grid_network_game,
+    make_linear_singleton,
+)
+from repro.games.generators import random_monomial_singleton
+from repro.games.nash import is_nash
+from repro.games.optimum import compute_social_optimum
+
+
+class TestCorollary3SuperMartingale:
+    """The potential decreases (in expectation) along imitation trajectories."""
+
+    def test_network_game_potential_trend(self):
+        game = grid_network_game(120, rows=2, cols=3, rng=5)
+        protocol = ImitationProtocol()
+        collector = MetricsCollector(game, track_gain=False)
+        dynamics = ConcurrentDynamics(game, protocol, rng=0)
+        dynamics.run(game.uniform_random_state(1), max_rounds=150, collector=collector)
+        potentials = collector.potentials()
+        # the trajectory ends well below where it started and the number of
+        # up-rounds is a small fraction
+        assert potentials[-1] <= potentials[0]
+        increases = np.sum(np.diff(potentials) > 1e-9)
+        assert increases <= 0.25 * (potentials.size - 1) + 1
+
+    def test_polynomial_singleton_potential_trend(self):
+        game = random_monomial_singleton(200, 6, 3.0, rng=2)
+        protocol = ImitationProtocol()
+        collector = MetricsCollector(game, track_gain=False)
+        dynamics = ConcurrentDynamics(game, protocol, rng=1)
+        dynamics.run(game.uniform_random_state(2), max_rounds=100, collector=collector)
+        potentials = collector.potentials()
+        assert potentials[-1] <= potentials[0]
+
+
+class TestTheorem4ImitationStable:
+    def test_braess_reaches_imitation_stable_state(self):
+        game = braess_network_game(40)
+        protocol = ImitationProtocol()
+        result = run_until_imitation_stable(game, protocol, max_rounds=20_000, rng=3)
+        assert result.converged
+        assert is_imitation_stable(game, result.final_state)
+
+    def test_stable_state_respects_support_restriction(self):
+        game = make_linear_singleton(50, [1.0, 2.0, 4.0])
+        protocol = ImitationProtocol(use_nu_threshold=False)
+        result = run_until_imitation_stable(game, protocol, nu=0.0,
+                                            max_rounds=20_000, rng=4)
+        assert is_imitation_stable(game, result.final_state, nu=0.0)
+
+
+class TestTheorem7FastApproximateConvergence:
+    def test_hitting_time_much_smaller_than_player_count(self):
+        # n = 2000 players: the (0.25, 0.25, nu)-equilibrium must be hit in far
+        # fewer than n rounds (the bound is logarithmic in n)
+        game_factory = lambda: make_linear_singleton(  # noqa: E731
+            2000, [0.5, 1.0, 1.0, 2.0, 4.0])
+        protocol = ImitationProtocol()
+        result = measure_approx_equilibrium_times(
+            game_factory, protocol, delta=0.25, epsilon=0.25,
+            trials=3, max_rounds=5_000, rng=0)
+        assert result.all_converged
+        assert result.summary.mean < 200
+
+    def test_final_state_actually_satisfies_definition1(self):
+        game = make_linear_singleton(500, [1.0, 2.0, 3.0])
+        protocol = ImitationProtocol()
+        result = run_until_approx_equilibrium(game, protocol, delta=0.1, epsilon=0.2,
+                                              max_rounds=50_000, rng=6)
+        assert result.converged
+        assert is_approx_equilibrium(game, result.final_state, 0.1, 0.2)
+
+
+class TestSection5PriceOfImitation:
+    def test_imitation_outcome_cost_close_to_optimum(self):
+        game = make_linear_singleton(300, [0.5, 1.0, 1.5, 2.0])
+        protocol = ImitationProtocol()
+        optimum = compute_social_optimum(game)
+        costs = []
+        for seed in range(3):
+            result = run_until_imitation_stable(game, protocol, max_rounds=50_000, rng=seed)
+            costs.append(game.social_cost(result.final_state))
+        assert np.mean(costs) <= 3.0 * optimum.social_cost
+
+    def test_best_response_and_imitation_land_in_similar_cost_range(self):
+        game = make_linear_singleton(200, [1.0, 2.0, 4.0])
+        imitation = run_until_imitation_stable(
+            game, ImitationProtocol(), max_rounds=50_000, rng=1)
+        best_response = run_best_response_baseline(game, rng=1)
+        imitation_cost = game.social_cost(imitation.final_state)
+        nash_cost = game.social_cost(best_response.final_state)
+        assert imitation_cost <= 1.5 * nash_cost + 1e-9
+
+
+class TestSection6Exploration:
+    def test_only_innovative_protocols_recover_lost_strategies(self):
+        game = make_linear_singleton(30, [1.0, 3.0])
+        start = [0, 30]  # the fast link is unused
+        imitation = run_until_nash(game, ImitationProtocol(use_nu_threshold=False),
+                                   initial_state=start, max_rounds=2_000, rng=0)
+        hybrid = run_until_nash(game, make_hybrid_protocol(use_nu_threshold=False),
+                                initial_state=start, max_rounds=200_000, rng=0)
+        assert not is_nash(game, imitation.final_state)
+        assert is_nash(game, hybrid.final_state)
+
+    def test_exploration_slower_than_hybrid_on_average(self):
+        game = make_linear_singleton(40, [1.0, 2.0])
+        start = [0, 40]
+        exploration_rounds = []
+        hybrid_rounds = []
+        for seed in range(3):
+            exploration_rounds.append(run_until_nash(
+                game, ExplorationProtocol(), initial_state=start,
+                max_rounds=500_000, rng=seed).rounds)
+            hybrid_rounds.append(run_until_nash(
+                game, make_hybrid_protocol(use_nu_threshold=False), initial_state=start,
+                max_rounds=500_000, rng=seed).rounds)
+        assert np.mean(hybrid_rounds) <= np.mean(exploration_rounds)

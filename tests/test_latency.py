@@ -1,0 +1,261 @@
+"""Unit tests for the latency-function library."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GameDefinitionError
+from repro.games.latency import (
+    ConstantLatency,
+    ExponentialLatency,
+    LinearLatency,
+    MM1Latency,
+    MonomialLatency,
+    PiecewiseLinearLatency,
+    PolynomialLatency,
+    ScaledLatency,
+    ShiftedLatency,
+    TableLatency,
+    affine,
+    constant,
+    linear,
+    monomial,
+    polynomial,
+    scale_to_population,
+    validate_latency,
+)
+
+
+class TestConstantLatency:
+    def test_value_is_constant(self):
+        lat = ConstantLatency(5.0)
+        assert lat(0) == 5.0
+        assert lat(17) == 5.0
+
+    def test_vectorised_evaluation(self):
+        lat = ConstantLatency(2.5)
+        values = lat.value(np.array([0.0, 1.0, 10.0]))
+        assert np.allclose(values, 2.5)
+
+    def test_zero_elasticity_and_slope(self):
+        lat = ConstantLatency(5.0)
+        assert lat.elasticity_bound(100) == 0.0
+        assert lat.slope_bound(3) == 0.0
+
+    def test_negative_constant_rejected(self):
+        with pytest.raises(GameDefinitionError):
+            ConstantLatency(-1.0)
+
+
+class TestLinearLatency:
+    def test_pure_linear_values(self):
+        lat = LinearLatency(2.0, 0.0)
+        assert lat(3) == 6.0
+        assert lat.zero_at_zero
+
+    def test_affine_values(self):
+        lat = LinearLatency(1.0, 4.0)
+        assert lat(2) == 6.0
+        assert not lat.zero_at_zero
+
+    def test_elasticity_of_pure_linear_is_one(self):
+        assert LinearLatency(3.0, 0.0).elasticity_bound(50) == 1.0
+
+    def test_elasticity_of_affine_below_one(self):
+        lat = LinearLatency(1.0, 5.0)
+        bound = lat.elasticity_bound(10)
+        assert 0.0 < bound < 1.0
+        # a*x/(a*x+b) at x = 10: 10/15
+        assert bound == pytest.approx(10.0 / 15.0)
+
+    def test_slope_equals_coefficient(self):
+        assert LinearLatency(2.5, 1.0).slope_bound(4) == 2.5
+
+    def test_rejects_negative_coefficients(self):
+        with pytest.raises(GameDefinitionError):
+            LinearLatency(-1.0, 0.0)
+        with pytest.raises(GameDefinitionError):
+            LinearLatency(1.0, -0.5)
+
+    def test_rejects_identically_zero(self):
+        with pytest.raises(GameDefinitionError):
+            LinearLatency(0.0, 0.0)
+
+
+class TestMonomialLatency:
+    def test_values(self):
+        lat = MonomialLatency(2.0, 3.0)
+        assert lat(2) == pytest.approx(16.0)
+
+    def test_elasticity_is_degree(self):
+        assert MonomialLatency(5.0, 4.0).elasticity_bound(100) == 4.0
+
+    def test_derivative(self):
+        lat = MonomialLatency(1.0, 2.0)
+        assert lat.derivative(np.asarray(3.0)) == pytest.approx(6.0)
+
+    def test_slope_bound_over_small_loads(self):
+        lat = MonomialLatency(1.0, 2.0)
+        # steps: 1, 3 for loads 1 and 2 -> max over {1..2} is 3
+        assert lat.slope_bound(2) == pytest.approx(3.0)
+
+    def test_degree_zero_is_constant_like(self):
+        lat = MonomialLatency(3.0, 0.0)
+        assert lat(5) == pytest.approx(3.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(GameDefinitionError):
+            MonomialLatency(0.0, 2.0)
+        with pytest.raises(GameDefinitionError):
+            MonomialLatency(1.0, -1.0)
+
+
+class TestPolynomialLatency:
+    def test_values_ascending_coefficients(self):
+        lat = PolynomialLatency([1.0, 2.0, 3.0])  # 1 + 2x + 3x^2
+        assert lat(2) == pytest.approx(1 + 4 + 12)
+
+    def test_degree_and_elasticity(self):
+        lat = PolynomialLatency([0.0, 1.0, 0.0, 2.0])
+        assert lat.degree == 3
+        assert lat.elasticity_bound(10) == 3.0
+
+    def test_derivative(self):
+        lat = PolynomialLatency([0.0, 0.0, 1.0])  # x^2
+        assert lat.derivative(np.asarray(4.0)) == pytest.approx(8.0)
+
+    def test_zero_at_zero_detection(self):
+        assert PolynomialLatency([0.0, 1.0]).zero_at_zero
+        assert not PolynomialLatency([1.0, 1.0]).zero_at_zero
+
+    def test_rejects_negative_coefficients(self):
+        with pytest.raises(GameDefinitionError):
+            PolynomialLatency([1.0, -2.0])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(GameDefinitionError):
+            PolynomialLatency([0.0, 0.0])
+
+
+class TestExponentialLatency:
+    def test_values(self):
+        lat = ExponentialLatency(2.0, 0.5)
+        assert lat(0) == pytest.approx(2.0)
+        assert lat(2) == pytest.approx(2.0 * np.exp(1.0))
+
+    def test_elasticity_grows_with_range(self):
+        lat = ExponentialLatency(1.0, 0.1)
+        assert lat.elasticity_bound(10) == pytest.approx(1.0)
+        assert lat.elasticity_bound(100) == pytest.approx(10.0)
+
+
+class TestMM1Latency:
+    def test_values_below_capacity(self):
+        lat = MM1Latency(10.0)
+        assert lat(5) == pytest.approx(0.2)
+
+    def test_clamped_at_capacity(self):
+        lat = MM1Latency(10.0, ceiling=1e6)
+        assert lat(10) == pytest.approx(1e6)
+        assert lat(15) == pytest.approx(1e6)
+
+    def test_monotone(self):
+        lat = MM1Latency(20.0)
+        xs = np.arange(0, 19, dtype=float)
+        values = lat.value(xs)
+        assert np.all(np.diff(values) >= 0)
+
+
+class TestPiecewiseLinearLatency:
+    def test_interpolation(self):
+        lat = PiecewiseLinearLatency([(0, 0.0), (2, 4.0), (4, 6.0)])
+        assert lat(1) == pytest.approx(2.0)
+        assert lat(3) == pytest.approx(5.0)
+
+    def test_extrapolation_beyond_last_breakpoint(self):
+        lat = PiecewiseLinearLatency([(0, 0.0), (2, 4.0)])
+        assert lat(4) == pytest.approx(8.0)
+
+    def test_rejects_decreasing(self):
+        with pytest.raises(GameDefinitionError):
+            PiecewiseLinearLatency([(0, 5.0), (1, 3.0)])
+
+    def test_requires_origin_breakpoint(self):
+        with pytest.raises(GameDefinitionError):
+            PiecewiseLinearLatency([(1, 1.0), (2, 2.0)])
+
+
+class TestTableLatency:
+    def test_integer_lookup(self):
+        lat = TableLatency([0.0, 1.0, 3.0, 6.0])
+        assert lat(2) == pytest.approx(3.0)
+
+    def test_clamps_beyond_table(self):
+        lat = TableLatency([0.0, 1.0, 3.0])
+        assert lat(10) == pytest.approx(3.0)
+
+    def test_rejects_non_monotone(self):
+        with pytest.raises(GameDefinitionError):
+            TableLatency([0.0, 2.0, 1.0])
+
+
+class TestCombinators:
+    def test_scaled_argument(self):
+        base = LinearLatency(2.0, 0.0)
+        scaled = base.scaled_argument(0.5)
+        assert scaled(4) == pytest.approx(4.0)
+
+    def test_scaled_value(self):
+        base = LinearLatency(2.0, 0.0)
+        scaled = base.scaled_value(3.0)
+        assert scaled(1) == pytest.approx(6.0)
+
+    def test_scale_to_population_keeps_elasticity(self):
+        base = MonomialLatency(1.0, 3.0)
+        scaled = scale_to_population(base, 100)
+        assert scaled.elasticity_bound(100) == pytest.approx(3.0)
+        assert scaled(100) == pytest.approx(base(1.0))
+
+    def test_scaling_shrinks_slope(self):
+        base = LinearLatency(1.0, 0.0)
+        scaled = scale_to_population(base, 10)
+        assert scaled.slope_bound(1) == pytest.approx(0.1)
+
+    def test_shifted(self):
+        base = MonomialLatency(1.0, 2.0)
+        shifted = ShiftedLatency(base, 5.0)
+        assert shifted(2) == pytest.approx(9.0)
+        assert not shifted.zero_at_zero
+
+    def test_shifted_reduces_elasticity(self):
+        base = MonomialLatency(1.0, 2.0)
+        shifted = ShiftedLatency(base, 100.0)
+        assert shifted.elasticity_bound(10) < base.elasticity_bound(10)
+
+    def test_scaled_rejects_bad_factors(self):
+        with pytest.raises(GameDefinitionError):
+            ScaledLatency(LinearLatency(1.0, 0.0), argument_factor=0.0)
+
+
+class TestValidateLatency:
+    def test_accepts_valid(self):
+        validate_latency(LinearLatency(1.0, 0.0), max_load=10)
+
+    def test_rejects_zero_on_positive_load(self):
+        # a constant zero fails the positivity requirement for loads >= 1
+        with pytest.raises(GameDefinitionError):
+            validate_latency(ConstantLatency(0.0), max_load=10)
+
+
+class TestShorthands:
+    def test_shorthand_constructors(self):
+        assert isinstance(constant(1.0), ConstantLatency)
+        assert isinstance(linear(1.0), LinearLatency)
+        assert isinstance(affine(1.0, 2.0), LinearLatency)
+        assert isinstance(monomial(1.0, 2.0), MonomialLatency)
+        assert isinstance(polynomial([0.0, 1.0]), PolynomialLatency)
+
+    def test_shorthand_values(self):
+        assert linear(2.0)(3) == 6.0
+        assert affine(1.0, 1.0)(3) == 4.0

@@ -1,0 +1,130 @@
+"""Unit tests for metric collection and the high-level run drivers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dynamics import StopReason
+from repro.core.imitation import ImitationProtocol
+from repro.core.metrics import MetricsCollector
+from repro.core.run import (
+    run_until_approx_equilibrium,
+    run_until_imitation_stable,
+    run_until_nash,
+    simulate,
+    stop_at_approx_equilibrium,
+    stop_at_nash,
+)
+from repro.core.stability import is_approx_equilibrium, is_imitation_stable
+from repro.core.exploration import ExplorationProtocol
+from repro.games.nash import is_nash
+from repro.games.singleton import make_linear_singleton
+
+
+class TestMetricsCollector:
+    def test_record_fields(self, linear_singleton):
+        collector = MetricsCollector(linear_singleton, epsilon=0.2)
+        record = collector.record(0, linear_singleton.balanced_state(), migrations=3)
+        assert record.round_index == 0
+        assert record.migrations == 3
+        assert record.potential == pytest.approx(
+            linear_singleton.potential(linear_singleton.balanced_state()))
+        assert 0.0 <= record.unsatisfied_fraction <= 1.0
+        assert record.support_size == 3
+
+    def test_every_parameter(self, linear_singleton):
+        collector = MetricsCollector(linear_singleton, every=5)
+        assert collector.should_record(0)
+        assert not collector.should_record(3)
+        assert collector.should_record(10)
+
+    def test_every_must_be_positive(self, linear_singleton):
+        with pytest.raises(ValueError):
+            MetricsCollector(linear_singleton, every=0)
+
+    def test_column_extraction(self, linear_singleton):
+        collector = MetricsCollector(linear_singleton)
+        collector.record(0, linear_singleton.balanced_state())
+        collector.record(1, linear_singleton.all_on_one_state(0))
+        potentials = collector.potentials()
+        assert potentials.size == 2
+        assert potentials[1] == pytest.approx(
+            linear_singleton.potential(linear_singleton.all_on_one_state(0)))
+
+    def test_track_gain_off_gives_nan(self, linear_singleton):
+        collector = MetricsCollector(linear_singleton, track_gain=False)
+        record = collector.record(0, linear_singleton.balanced_state())
+        assert np.isnan(record.max_imitation_gain)
+
+    def test_clear(self, linear_singleton):
+        collector = MetricsCollector(linear_singleton)
+        collector.record(0, linear_singleton.balanced_state())
+        collector.clear()
+        assert len(collector) == 0
+
+
+class TestSimulate:
+    def test_simulate_runs_requested_rounds(self, linear_singleton, aggressive_imitation):
+        result = simulate(linear_singleton, aggressive_imitation, rounds=10, rng=0)
+        assert result.rounds <= 10
+
+    def test_simulate_default_initial_state_is_random(self, linear_singleton,
+                                                      aggressive_imitation):
+        result_a = simulate(linear_singleton, aggressive_imitation, rounds=5, rng=1)
+        result_b = simulate(linear_singleton, aggressive_imitation, rounds=5, rng=1)
+        assert np.array_equal(result_a.final_state.counts, result_b.final_state.counts)
+
+    def test_simulate_with_collector(self, linear_singleton, aggressive_imitation):
+        collector = MetricsCollector(linear_singleton)
+        result = simulate(linear_singleton, aggressive_imitation, rounds=10,
+                          rng=0, collector=collector)
+        assert len(result.records) >= 1
+
+
+class TestRunUntil:
+    def test_run_until_imitation_stable(self, linear_singleton, aggressive_imitation):
+        result = run_until_imitation_stable(
+            linear_singleton, aggressive_imitation, nu=0.0, max_rounds=5_000, rng=0)
+        assert result.converged
+        assert is_imitation_stable(linear_singleton, result.final_state, nu=0.0)
+
+    def test_run_until_approx_equilibrium(self):
+        game = make_linear_singleton(200, [1.0, 2.0, 4.0])
+        protocol = ImitationProtocol()
+        result = run_until_approx_equilibrium(
+            game, protocol, delta=0.2, epsilon=0.25, max_rounds=20_000, rng=1)
+        assert result.converged
+        assert is_approx_equilibrium(game, result.final_state, 0.2, 0.25)
+
+    def test_run_until_nash_with_exploration(self):
+        game = make_linear_singleton(20, [1.0, 1.0])
+        protocol = ExplorationProtocol(lambda_=1.0)
+        result = run_until_nash(game, protocol, initial_state=[20, 0],
+                                max_rounds=200_000, rng=2)
+        assert result.converged
+        assert is_nash(game, result.final_state)
+
+    def test_pure_imitation_cannot_reach_unused_nash(self):
+        game = make_linear_singleton(20, [1.0, 10.0])
+        protocol = ImitationProtocol(use_nu_threshold=False)
+        # everyone on the slow link; the fast link is unused and can never be found
+        result = run_until_nash(game, protocol, initial_state=[0, 20],
+                                max_rounds=500, rng=0)
+        assert result.stop_reason is StopReason.QUIESCENT
+        assert not is_nash(game, result.final_state)
+
+    def test_stop_condition_factories_signatures(self, linear_singleton):
+        nash_condition = stop_at_nash()
+        approx_condition = stop_at_approx_equilibrium(0.1, 0.1, nu=0.0)
+        counts = linear_singleton.validate_state(linear_singleton.balanced_state())
+        assert isinstance(nash_condition(linear_singleton, counts, 0), bool)
+        assert isinstance(approx_condition(linear_singleton, counts, 0), bool)
+
+    def test_hitting_time_zero_if_start_satisfies(self):
+        game = make_linear_singleton(12, [1.0, 1.0, 1.0])
+        protocol = ImitationProtocol()
+        result = run_until_approx_equilibrium(
+            game, protocol, delta=0.5, epsilon=0.5, initial_state=[4, 4, 4],
+            max_rounds=100, rng=0)
+        assert result.rounds == 0

@@ -1,0 +1,159 @@
+"""Unit tests for Nash-equilibrium computation and social optima."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.games.base import CongestionGame
+from repro.games.latency import ConstantLatency, LinearLatency, MonomialLatency
+from repro.games.nash import (
+    best_response_step,
+    compute_nash_equilibrium,
+    count_states,
+    enumerate_states,
+    exhaustive_minimum_potential,
+    is_epsilon_nash,
+    is_nash,
+    run_best_response,
+)
+from repro.games.optimum import compute_social_optimum, local_search_total_latency
+from repro.games.singleton import make_linear_singleton
+from repro.games.state import GameState
+
+
+class TestEnumeration:
+    def test_count_states_formula(self):
+        assert count_states(3, 2) == 4
+        assert count_states(5, 3) == 21
+
+    def test_enumerate_states_completeness(self):
+        states = list(enumerate_states(3, 2))
+        assert len(states) == 4
+        assert all(s.sum() == 3 for s in states)
+        as_tuples = {tuple(s.tolist()) for s in states}
+        assert as_tuples == {(0, 3), (1, 2), (2, 1), (3, 0)}
+
+    def test_exhaustive_minimum_potential(self):
+        game = make_linear_singleton(4, [1.0, 1.0])
+        counts, value = exhaustive_minimum_potential(game)
+        assert list(counts) == [2, 2]
+        assert value == pytest.approx(1 + 2 + 1 + 2)
+
+
+class TestNashPredicates:
+    def test_balanced_identical_links_is_nash(self):
+        game = make_linear_singleton(4, [1.0, 1.0])
+        assert is_nash(game, [2, 2])
+
+    def test_unbalanced_identical_links_is_not_nash(self):
+        game = make_linear_singleton(4, [1.0, 1.0])
+        assert not is_nash(game, [4, 0])
+
+    def test_epsilon_nash_tolerance(self):
+        game = make_linear_singleton(4, [1.0, 1.0])
+        # from (3,1) a player can gain 3 - 2 = 1
+        assert not is_epsilon_nash(game, [3, 1], epsilon=0.5)
+        assert is_epsilon_nash(game, [3, 1], epsilon=1.0)
+
+    def test_empty_support_edge_case(self):
+        # single strategy game: always Nash (no alternative)
+        game = CongestionGame(3, [LinearLatency(1.0, 0.0)], [[0]])
+        assert is_nash(game, [3])
+
+
+class TestBestResponse:
+    def test_step_returns_none_at_nash(self):
+        game = make_linear_singleton(4, [1.0, 1.0])
+        assert best_response_step(game, [2, 2]) is None
+
+    def test_step_improves_potential(self):
+        game = make_linear_singleton(4, [1.0, 1.0])
+        state = GameState(np.array([4, 0]))
+        successor = best_response_step(game, state)
+        assert successor is not None
+        assert game.potential(successor) < game.potential(state)
+
+    def test_run_best_response_reaches_nash(self):
+        game = make_linear_singleton(20, [1.0, 2.0, 4.0])
+        final, steps = run_best_response(game, game.all_on_one_state(2))
+        assert is_nash(game, final)
+        assert steps > 0
+
+    def test_random_pivot_also_reaches_nash(self):
+        game = make_linear_singleton(10, [1.0, 1.0])
+        final, _ = run_best_response(game, [10, 0], pivot="random", rng=3)
+        assert is_nash(game, final)
+
+    def test_unknown_pivot_rejected(self):
+        game = make_linear_singleton(4, [1.0, 1.0])
+        with pytest.raises(ValueError):
+            best_response_step(game, [4, 0], pivot="bogus")
+
+    def test_compute_nash_equilibrium(self):
+        game = make_linear_singleton(12, [1.0, 2.0])
+        equilibrium = compute_nash_equilibrium(game)
+        assert is_nash(game, equilibrium)
+
+    def test_best_response_monotone_potential(self):
+        game = make_linear_singleton(15, [1.0, 3.0, 5.0])
+        state = GameState(game.validate_state([15, 0, 0]))
+        previous = game.potential(state)
+        for _ in range(50):
+            successor = best_response_step(game, state)
+            if successor is None:
+                break
+            current = game.potential(successor)
+            assert current < previous + 1e-9
+            previous = current
+            state = successor
+
+
+class TestSocialOptimum:
+    def test_singleton_uses_exact_greedy(self):
+        game = make_linear_singleton(9, [1.0, 1.0, 1.0])
+        result = compute_social_optimum(game)
+        assert result.exact
+        assert result.method == "greedy-marginal-cost"
+        assert result.social_cost == pytest.approx(3.0)
+
+    def test_exhaustive_for_small_general_game(self):
+        game = CongestionGame(
+            4,
+            [LinearLatency(1.0, 0.0), ConstantLatency(3.0)],
+            [[0], [1]],
+        )
+        result = compute_social_optimum(game)
+        assert result.exact
+        # best split: 2 on the linear link (cost 2 each), 2 on the constant
+        assert result.state.counts.sum() == 4
+        brute = min(
+            game.total_latency([k, 4 - k]) for k in range(5)
+        )
+        assert result.total_latency == pytest.approx(brute)
+
+    def test_local_search_conserves_players(self):
+        game = make_linear_singleton(12, [1.0, 2.0, 4.0])
+        state = local_search_total_latency(game, [12, 0, 0])
+        assert state.counts.sum() == 12
+
+    def test_local_search_never_increases_total_latency(self):
+        game = make_linear_singleton(12, [1.0, 2.0, 4.0])
+        start_total = game.total_latency([12, 0, 0])
+        state = local_search_total_latency(game, [12, 0, 0])
+        assert game.total_latency(state) <= start_total + 1e-9
+
+    def test_optimum_cost_lower_bounds_nash_cost(self):
+        game = make_linear_singleton(20, [1.0, 2.0, 3.0])
+        optimum = compute_social_optimum(game)
+        nash = compute_nash_equilibrium(game)
+        assert optimum.social_cost <= game.social_cost(nash) + 1e-9
+
+    def test_quadratic_optimum(self):
+        game = CongestionGame(
+            4,
+            [MonomialLatency(1.0, 2.0), MonomialLatency(1.0, 2.0)],
+            [[0], [1]],
+        )
+        result = compute_social_optimum(game)
+        assert list(np.sort(result.state.counts)) == [2, 2]

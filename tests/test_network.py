@@ -1,0 +1,141 @@
+"""Unit tests for network congestion games and topology generators."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import GameDefinitionError
+from repro.games.latency import ConstantLatency, LinearLatency
+from repro.games.network import (
+    NetworkCongestionGame,
+    braess_network_game,
+    grid_network_game,
+    layered_random_network_game,
+    parallel_links_network_game,
+    series_parallel_network_game,
+)
+
+
+def diamond_graph() -> tuple[nx.DiGraph, dict]:
+    """s -> a -> t and s -> b -> t."""
+    graph = nx.DiGraph()
+    latencies = {
+        ("s", "a"): LinearLatency(1.0, 0.0),
+        ("a", "t"): LinearLatency(1.0, 0.0),
+        ("s", "b"): ConstantLatency(3.0),
+        ("b", "t"): ConstantLatency(3.0),
+    }
+    graph.add_edges_from(latencies.keys())
+    return graph, latencies
+
+
+class TestNetworkCongestionGame:
+    def test_path_enumeration(self):
+        graph, latencies = diamond_graph()
+        game = NetworkCongestionGame(graph, "s", "t", 4, edge_latencies=latencies)
+        assert game.num_strategies == 2
+        assert sorted(game.paths) == [("s", "a", "t"), ("s", "b", "t")]
+
+    def test_strategy_latency_sums_edges(self):
+        graph, latencies = diamond_graph()
+        game = NetworkCongestionGame(graph, "s", "t", 4, edge_latencies=latencies)
+        upper = game.strategy_names.index("s->a->t")
+        # 3 players on the upper path: latency 3 + 3 = 6
+        counts = np.zeros(2, dtype=int)
+        counts[upper] = 3
+        counts[1 - upper] = 1
+        assert game.strategy_latencies(counts)[upper] == pytest.approx(6.0)
+
+    def test_edge_congestion_mapping(self):
+        graph, latencies = diamond_graph()
+        game = NetworkCongestionGame(graph, "s", "t", 4, edge_latencies=latencies)
+        upper = game.strategy_names.index("s->a->t")
+        counts = np.zeros(2, dtype=int)
+        counts[upper] = 4
+        congestion = game.edge_congestion(counts)
+        assert congestion[("s", "a")] == 4.0
+        assert congestion[("s", "b")] == 0.0
+
+    def test_missing_latency_rejected(self):
+        graph, latencies = diamond_graph()
+        latencies.pop(("s", "a"))
+        with pytest.raises(GameDefinitionError):
+            NetworkCongestionGame(graph, "s", "t", 4, edge_latencies=latencies)
+
+    def test_unreachable_sink_rejected(self):
+        graph = nx.DiGraph()
+        graph.add_edge("s", "a", latency=LinearLatency(1.0, 0.0))
+        graph.add_node("t")
+        with pytest.raises(GameDefinitionError):
+            NetworkCongestionGame(graph, "s", "t", 2)
+
+    def test_source_equals_sink_rejected(self):
+        graph, latencies = diamond_graph()
+        with pytest.raises(GameDefinitionError):
+            NetworkCongestionGame(graph, "s", "s", 2, edge_latencies=latencies)
+
+    def test_max_paths_cap_enforced(self):
+        graph, latencies = diamond_graph()
+        with pytest.raises(GameDefinitionError):
+            NetworkCongestionGame(graph, "s", "t", 2, edge_latencies=latencies, max_paths=1)
+
+    def test_latency_attribute_on_edges(self):
+        graph = nx.DiGraph()
+        graph.add_edge("s", "t", latency=LinearLatency(1.0, 0.0))
+        game = NetworkCongestionGame(graph, "s", "t", 3)
+        assert game.num_strategies == 1
+
+
+class TestGenerators:
+    def test_parallel_links_matches_singleton_structure(self):
+        game = parallel_links_network_game(10, [LinearLatency(1.0, 0.0), LinearLatency(2.0, 0.0)])
+        assert game.num_strategies == 2
+        # every strategy has one real link plus one zero-latency connector
+        latencies = game.strategy_latencies([5, 5])
+        assert latencies[0] == pytest.approx(5.0)
+        assert latencies[1] == pytest.approx(10.0)
+
+    def test_braess_with_shortcut_has_three_paths(self):
+        game = braess_network_game(10, with_shortcut=True)
+        assert game.num_strategies == 3
+
+    def test_braess_without_shortcut_has_two_paths(self):
+        game = braess_network_game(10, with_shortcut=False)
+        assert game.num_strategies == 2
+
+    def test_grid_path_count(self):
+        game = grid_network_game(5, rows=2, cols=3, rng=0)
+        assert game.num_strategies == math.comb(2 + 3 - 2, 1)
+
+    def test_grid_strategy_lengths(self):
+        game = grid_network_game(5, rows=2, cols=3, rng=0)
+        # every monotone path in a 2x3 grid uses rows+cols-2 = 3 edges
+        assert all(len(s) == 3 for s in game.strategies)
+
+    def test_layered_random_network_connected(self):
+        game = layered_random_network_game(8, layers=2, width=3, rng=7)
+        assert game.num_strategies >= 1
+        assert game.num_players == 8
+
+    def test_layered_random_network_reproducible(self):
+        game_a = layered_random_network_game(8, layers=2, width=3, rng=11)
+        game_b = layered_random_network_game(8, layers=2, width=3, rng=11)
+        assert game_a.num_strategies == game_b.num_strategies
+        assert game_a.num_resources == game_b.num_resources
+
+    def test_series_parallel_strategy_count(self):
+        game = series_parallel_network_game(6, blocks=2, links_per_block=3, rng=0)
+        assert game.num_strategies == 9
+        assert all(len(strategy) == 4 for strategy in game.strategies)
+
+    def test_generators_reject_bad_parameters(self):
+        with pytest.raises(GameDefinitionError):
+            grid_network_game(5, rows=0, cols=3)
+        with pytest.raises(GameDefinitionError):
+            layered_random_network_game(5, layers=0)
+        with pytest.raises(GameDefinitionError):
+            series_parallel_network_game(5, blocks=0)

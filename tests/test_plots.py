@@ -1,0 +1,75 @@
+"""Unit tests for the text-plot helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.plots import ascii_plot, histogram, sparkline
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_series_uses_increasing_levels(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_constant_series(self):
+        assert set(sparkline([3, 3, 3])) == {"▁"}
+
+    def test_empty_series(self):
+        assert sparkline([]) == ""
+
+    def test_downsampling_width(self):
+        line = sparkline(np.linspace(0, 1, 1000), width=20)
+        assert len(line) == 20
+
+    def test_non_finite_values_rendered_as_blank(self):
+        line = sparkline([1.0, float("nan"), 2.0])
+        assert line[1] == " "
+
+
+class TestAsciiPlot:
+    def test_contains_points_and_labels(self):
+        text = ascii_plot([1, 2, 3], [10, 20, 15], x_label="n", y_label="rounds")
+        assert "*" in text
+        assert "(rounds)" in text
+        assert "(n)" in text
+
+    def test_dimensions(self):
+        text = ascii_plot([1, 2, 3, 4], [1, 4, 9, 16], width=30, height=8)
+        # one label line + height rows + axis + x-label line
+        assert len(text.splitlines()) == 8 + 3
+
+    def test_rejects_mismatched_input(self):
+        with pytest.raises(ValueError):
+            ascii_plot([1, 2], [1])
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ValueError):
+            ascii_plot([1, 2], [1, 2], width=1)
+
+
+class TestHistogram:
+    def test_counts_sum_to_sample_size(self):
+        data = np.random.default_rng(0).normal(size=200)
+        text = histogram(data, bins=8)
+        counts = [int(line.split("|")[1]) for line in text.splitlines()]
+        assert sum(counts) == 200
+
+    def test_bar_lengths_scale_with_counts(self):
+        text = histogram([1] * 50 + [10], bins=2, width=20)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 20
+        assert 0 < lines[1].count("#") <= 20
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            histogram([])
+
+    def test_rejects_bad_bins(self):
+        with pytest.raises(ValueError):
+            histogram([1.0, 2.0], bins=0)

@@ -1,0 +1,159 @@
+"""Unit tests for the potential bookkeeping (Lemma 1 / Lemma 2 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dynamics import sample_migration_matrix
+from repro.core.imitation import ImitationProtocol
+from repro.core.potential import (
+    error_terms,
+    estimate_expected_drift,
+    expected_virtual_potential_gain,
+    migration_delta,
+    potential_breakdown,
+    true_potential_gain,
+    virtual_potential_gain,
+)
+from repro.errors import StateError
+from repro.games.generators import random_linear_singleton
+from repro.games.latency import LinearLatency
+from repro.games.base import CongestionGame
+from repro.games.singleton import make_linear_singleton
+
+
+def single_move(num_strategies: int, origin: int, destination: int, count: int = 1) -> np.ndarray:
+    migration = np.zeros((num_strategies, num_strategies), dtype=np.int64)
+    migration[origin, destination] = count
+    return migration
+
+
+class TestMigrationValidation:
+    def test_rejects_wrong_shape(self):
+        game = make_linear_singleton(4, [1.0, 1.0])
+        with pytest.raises(StateError):
+            virtual_potential_gain(game, [2, 2], np.zeros((3, 3), dtype=int))
+
+    def test_rejects_negative_entries(self):
+        game = make_linear_singleton(4, [1.0, 1.0])
+        migration = np.array([[0, -1], [0, 0]])
+        with pytest.raises(StateError):
+            virtual_potential_gain(game, [2, 2], migration)
+
+    def test_rejects_overdraw(self):
+        game = make_linear_singleton(4, [1.0, 1.0])
+        with pytest.raises(StateError):
+            virtual_potential_gain(game, [1, 3], single_move(2, 0, 1, count=2))
+
+    def test_rejects_diagonal_moves(self):
+        game = make_linear_singleton(4, [1.0, 1.0])
+        migration = np.array([[1, 0], [0, 0]])
+        with pytest.raises(StateError):
+            virtual_potential_gain(game, [2, 2], migration)
+
+    def test_migration_delta(self):
+        migration = np.array([[0, 2], [1, 0]])
+        assert list(migration_delta(migration)) == [-1, 1]
+
+
+class TestSingleMoveIdentities:
+    def test_single_move_virtual_equals_true_gain(self):
+        """For one migrating player the error terms vanish and
+        Delta Phi = V_PQ exactly (the defining property of the potential)."""
+        game = make_linear_singleton(6, [1.0, 2.0])
+        state = [5, 1]
+        migration = single_move(2, 0, 1)
+        virtual = virtual_potential_gain(game, state, migration)
+        true = true_potential_gain(game, state, migration)
+        assert virtual == pytest.approx(true)
+        assert np.allclose(error_terms(game, state, migration), 0.0)
+
+    def test_single_move_gain_matches_latency_difference(self):
+        game = make_linear_singleton(6, [1.0, 2.0])
+        state = [5, 1]
+        migration = single_move(2, 0, 1)
+        # player leaves latency 5, arrives at latency 2*2 = 4 -> potential gain -1
+        assert true_potential_gain(game, state, migration) == pytest.approx(-1.0)
+
+    def test_single_move_on_shared_resources(self):
+        game = CongestionGame(
+            4,
+            [LinearLatency(1.0, 0.0), LinearLatency(1.0, 0.0), LinearLatency(1.0, 0.0)],
+            [[0, 1], [0, 2]],
+        )
+        state = [3, 1]
+        migration = single_move(2, 0, 1)
+        assert true_potential_gain(game, state, migration) == pytest.approx(
+            virtual_potential_gain(game, state, migration))
+
+
+class TestErrorTerms:
+    def test_concurrent_arrivals_create_positive_error(self):
+        game = make_linear_singleton(8, [1.0, 1.0])
+        state = [8, 0]
+        # three players move simultaneously to the empty link
+        migration = single_move(2, 0, 1, count=3)
+        errors = error_terms(game, state, migration)
+        # F_1 = (l(2) - l(1)) + (l(3) - l(1)) = 1 + 2 = 3
+        assert errors[1] == pytest.approx(3.0)
+
+    def test_concurrent_departures_create_positive_error(self):
+        game = make_linear_singleton(8, [1.0, 1.0])
+        state = [8, 0]
+        migration = single_move(2, 0, 1, count=3)
+        errors = error_terms(game, state, migration)
+        # departures from link 0: (l(8)-l(7)) + (l(8)-l(6)) = 1 + 2 = 3
+        assert errors[0] == pytest.approx(3.0)
+
+    def test_lemma1_inequality_holds(self):
+        game = make_linear_singleton(12, [1.0, 2.0, 4.0])
+        state = [8, 2, 2]
+        migration = np.array([
+            [0, 3, 2],
+            [0, 0, 1],
+            [0, 0, 0],
+        ])
+        breakdown = potential_breakdown(game, state, migration)
+        assert breakdown.lemma1_holds
+        assert breakdown.error_term >= 0.0
+
+    def test_lemma1_on_random_protocol_rounds(self):
+        game = random_linear_singleton(60, 5, rng=0)
+        protocol = ImitationProtocol(lambda_=1.0, use_nu_threshold=False)
+        gen = np.random.default_rng(1)
+        state = game.uniform_random_state(gen)
+        probabilities = protocol.switch_probabilities(game, state)
+        for _ in range(25):
+            migration = sample_migration_matrix(state.counts, probabilities.matrix, gen)
+            assert potential_breakdown(game, state, migration).lemma1_holds
+
+
+class TestExpectedDrift:
+    def test_expected_virtual_gain_nonpositive(self):
+        game = make_linear_singleton(30, [1.0, 2.0, 4.0])
+        protocol = ImitationProtocol(use_nu_threshold=False)
+        state = game.uniform_random_state(3)
+        assert expected_virtual_potential_gain(game, protocol, state) <= 0.0
+
+    def test_expected_virtual_gain_zero_at_quiescence(self):
+        game = make_linear_singleton(30, [1.0, 2.0, 4.0])
+        protocol = ImitationProtocol()
+        assert expected_virtual_potential_gain(game, protocol,
+                                               game.all_on_one_state(0)) == 0.0
+
+    def test_lemma2_bound_on_sampled_drift(self):
+        game = make_linear_singleton(100, [1.0, 2.0, 4.0])
+        protocol = ImitationProtocol()  # conservative lambda, nu threshold on
+        state = game.uniform_random_state(7)
+        drift = estimate_expected_drift(game, protocol, state, samples=300, rng=11)
+        # E[Delta Phi] <= 1/2 E[sum V_PQ]  (allow small Monte-Carlo slack)
+        slack = 0.1 * abs(drift["lemma2_bound"]) + 1e-9
+        assert drift["mean_true_gain"] <= drift["lemma2_bound"] + slack
+
+    def test_drift_dictionary_keys(self):
+        game = make_linear_singleton(20, [1.0, 2.0])
+        protocol = ImitationProtocol()
+        drift = estimate_expected_drift(game, protocol, game.uniform_random_state(0),
+                                        samples=10, rng=0)
+        assert set(drift) == {"mean_true_gain", "expected_virtual_gain", "lemma2_bound"}

@@ -1,0 +1,205 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These tests encode the structural facts the paper's analysis rests on:
+
+* player conservation under arbitrary protocol rounds,
+* validity of switch-probability matrices for arbitrary states,
+* the Lemma 1 inequality for arbitrary sampled migration vectors,
+* monotonicity / positivity of latency functions and their bounds,
+* the diagonal identity of the post-migration latency matrix,
+* consistency of the stability predicates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.dynamics import sample_migration_matrix, step
+from repro.core.imitation import ImitationProtocol, UndampedImitationProtocol
+from repro.core.potential import potential_breakdown
+from repro.core.stability import is_imitation_stable, max_imitation_gain
+from repro.games.latency import LinearLatency, MonomialLatency, PolynomialLatency
+from repro.games.singleton import SingletonCongestionGame
+from repro.games.state import GameState
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+coefficients = st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=2, max_size=5)
+degrees = st.integers(min_value=1, max_value=4)
+player_counts = st.integers(min_value=2, max_value=60)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def build_game(coeffs: list[float], degree: int, num_players: int) -> SingletonCongestionGame:
+    latencies = [MonomialLatency(a, float(degree)) for a in coeffs]
+    return SingletonCongestionGame(num_players, latencies, validate=False)
+
+
+def random_state(game: SingletonCongestionGame, seed: int) -> GameState:
+    return game.uniform_random_state(np.random.default_rng(seed))
+
+
+COMMON_SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ----------------------------------------------------------------------
+# Latency functions
+# ----------------------------------------------------------------------
+
+@COMMON_SETTINGS
+@given(a=st.floats(min_value=0.01, max_value=100.0), degree=st.floats(min_value=0.0, max_value=5.0),
+       loads=st.lists(st.floats(min_value=0.0, max_value=1000.0), min_size=2, max_size=10))
+def test_monomial_latency_is_monotone_and_nonnegative(a, degree, loads):
+    latency = MonomialLatency(a, degree)
+    values = latency.value(np.sort(np.asarray(loads)))
+    assert np.all(values >= 0)
+    assert np.all(np.diff(values) >= -1e-9)
+
+
+@COMMON_SETTINGS
+@given(coeffs=st.lists(st.floats(min_value=0.0, max_value=5.0), min_size=2, max_size=5),
+       alpha=st.floats(min_value=1.0, max_value=4.0),
+       x=st.floats(min_value=0.1, max_value=50.0))
+def test_elasticity_bound_controls_multiplicative_growth(coeffs, alpha, x):
+    """l(alpha * x) <= l(x) * alpha**d for alpha >= 1 (paper, Section 2.2)."""
+    if not any(c > 0 for c in coeffs):
+        coeffs = list(coeffs)
+        coeffs[-1] = 1.0
+    latency = PolynomialLatency(coeffs)
+    d = latency.elasticity_bound(int(np.ceil(alpha * x)) + 1)
+    left = float(latency.value(np.asarray(alpha * x)))
+    right = float(latency.value(np.asarray(x))) * alpha ** d
+    assert left <= right * (1 + 1e-9) + 1e-12
+
+
+@COMMON_SETTINGS
+@given(a=st.floats(min_value=0.1, max_value=10.0), d=st.integers(min_value=1, max_value=5))
+def test_slope_bound_covers_unit_steps_up_to_d(a, d):
+    latency = MonomialLatency(a, float(d))
+    nu = latency.slope_bound(d)
+    for load in range(1, d + 1):
+        step_size = float(latency.value(np.asarray(float(load)))
+                          - latency.value(np.asarray(float(load - 1))))
+        assert step_size <= nu + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Game structure
+# ----------------------------------------------------------------------
+
+@COMMON_SETTINGS
+@given(coeffs=coefficients, degree=degrees, num_players=player_counts, seed=seeds)
+def test_post_migration_diagonal_equals_current_latency(coeffs, degree, num_players, seed):
+    game = build_game(coeffs, degree, num_players)
+    state = random_state(game, seed)
+    matrix = game.post_migration_latency_matrix(state)
+    assert np.allclose(np.diagonal(matrix), game.strategy_latencies(state))
+
+
+@COMMON_SETTINGS
+@given(coeffs=coefficients, degree=degrees, num_players=player_counts, seed=seeds)
+def test_average_latency_below_after_join_average(coeffs, degree, num_players, seed):
+    game = build_game(coeffs, degree, num_players)
+    state = random_state(game, seed)
+    assert game.average_latency(state) <= game.average_latency_after_join(state) + 1e-9
+
+
+@COMMON_SETTINGS
+@given(coeffs=coefficients, degree=degrees, num_players=player_counts, seed=seeds)
+def test_potential_bounded_by_total_latency_and_upper_bound(coeffs, degree, num_players, seed):
+    game = build_game(coeffs, degree, num_players)
+    state = random_state(game, seed)
+    potential = game.potential(state)
+    assert 0.0 <= potential <= game.potential_upper_bound() + 1e-9
+    # For non-decreasing latencies the potential never exceeds the total latency.
+    assert potential <= game.total_latency(state) + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Protocol rounds
+# ----------------------------------------------------------------------
+
+@COMMON_SETTINGS
+@given(coeffs=coefficients, degree=degrees, num_players=player_counts, seed=seeds,
+       lambda_=st.floats(min_value=0.05, max_value=1.0))
+def test_switch_probability_matrix_is_valid(coeffs, degree, num_players, seed, lambda_):
+    game = build_game(coeffs, degree, num_players)
+    state = random_state(game, seed)
+    protocol = ImitationProtocol(lambda_, use_nu_threshold=False)
+    probabilities = protocol.switch_probabilities(game, state)
+    matrix = probabilities.matrix
+    assert np.all(matrix >= 0)
+    assert np.all(np.diagonal(matrix) == 0)
+    assert np.all(matrix.sum(axis=1) <= 1.0 + 1e-9)
+
+
+@COMMON_SETTINGS
+@given(coeffs=coefficients, degree=degrees, num_players=player_counts, seed=seeds)
+def test_round_conserves_players(coeffs, degree, num_players, seed):
+    game = build_game(coeffs, degree, num_players)
+    state = random_state(game, seed)
+    protocol = ImitationProtocol(1.0, use_nu_threshold=False)
+    outcome = step(game, protocol, state, rng=seed)
+    assert outcome.state.counts.sum() == num_players
+    assert np.all(outcome.state.counts >= 0)
+
+
+@COMMON_SETTINGS
+@given(coeffs=coefficients, degree=degrees, num_players=player_counts, seed=seeds)
+def test_lemma1_holds_for_sampled_rounds(coeffs, degree, num_players, seed):
+    game = build_game(coeffs, degree, num_players)
+    state = random_state(game, seed)
+    protocol = UndampedImitationProtocol(1.0, use_nu_threshold=False)
+    probabilities = protocol.switch_probabilities(game, state)
+    migration = sample_migration_matrix(state.counts, probabilities.matrix, seed)
+    assert potential_breakdown(game, state, migration).lemma1_holds
+
+
+@COMMON_SETTINGS
+@given(coeffs=coefficients, degree=degrees, num_players=player_counts, seed=seeds)
+def test_no_player_leaves_the_uniquely_cheapest_strategy(coeffs, degree, num_players, seed):
+    game = build_game(coeffs, degree, num_players)
+    state = random_state(game, seed)
+    protocol = ImitationProtocol(1.0, use_nu_threshold=False)
+    probabilities = protocol.switch_probabilities(game, state)
+    post = game.post_migration_latency_matrix(state)
+    latencies = game.strategy_latencies(state)
+    for origin in range(game.num_strategies):
+        # if no destination offers a strictly smaller post-move latency,
+        # the origin's switch probabilities must all be zero
+        if np.all(post[origin] >= latencies[origin] - 1e-12):
+            assert np.all(probabilities.matrix[origin] == 0.0)
+
+
+# ----------------------------------------------------------------------
+# Stability predicates
+# ----------------------------------------------------------------------
+
+@COMMON_SETTINGS
+@given(coeffs=coefficients, degree=degrees, num_players=player_counts, seed=seeds)
+def test_imitation_stability_iff_zero_gain(coeffs, degree, num_players, seed):
+    game = build_game(coeffs, degree, num_players)
+    state = random_state(game, seed)
+    gain = max_imitation_gain(game, state)
+    assert is_imitation_stable(game, state, nu=0.0) == (gain <= 0.0)
+
+
+@COMMON_SETTINGS
+@given(coeffs=coefficients, degree=degrees, num_players=player_counts, seed=seeds,
+       nu_small=st.floats(min_value=0.0, max_value=1.0),
+       nu_extra=st.floats(min_value=0.0, max_value=5.0))
+def test_imitation_stability_monotone_in_nu(coeffs, degree, num_players, seed,
+                                            nu_small, nu_extra):
+    game = build_game(coeffs, degree, num_players)
+    state = random_state(game, seed)
+    if is_imitation_stable(game, state, nu=nu_small):
+        assert is_imitation_stable(game, state, nu=nu_small + nu_extra)

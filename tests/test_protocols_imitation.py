@@ -1,0 +1,157 @@
+"""Unit tests for the protocol interface and the IMITATION PROTOCOL."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.imitation import DEFAULT_LAMBDA, ImitationProtocol, UndampedImitationProtocol
+from repro.core.protocols import SwitchProbabilities, relative_gain_matrix
+from repro.errors import ProtocolError
+from repro.games.latency import ConstantLatency, LinearLatency, MonomialLatency
+from repro.games.singleton import SingletonCongestionGame, make_linear_singleton
+
+
+class TestSwitchProbabilities:
+    def test_row_sums_and_stay(self):
+        matrix = np.array([[0.0, 0.3], [0.1, 0.0]])
+        probabilities = SwitchProbabilities(matrix=matrix, gains=np.zeros((2, 2)))
+        assert np.allclose(probabilities.stay_probabilities, [0.7, 0.9])
+
+    def test_rejects_nonzero_diagonal(self):
+        with pytest.raises(ProtocolError):
+            SwitchProbabilities(matrix=np.array([[0.1, 0.0], [0.0, 0.0]]),
+                                gains=np.zeros((2, 2)))
+
+    def test_rejects_row_sum_above_one(self):
+        with pytest.raises(ProtocolError):
+            SwitchProbabilities(matrix=np.array([[0.0, 0.8], [0.9, 0.0]]) * 2,
+                                gains=np.zeros((2, 2)))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ProtocolError):
+            SwitchProbabilities(matrix=np.array([[0.0, -0.1], [0.0, 0.0]]),
+                                gains=np.zeros((2, 2)))
+
+    def test_quiescence_detection(self):
+        matrix = np.array([[0.0, 0.0], [0.5, 0.0]])
+        probabilities = SwitchProbabilities(matrix=matrix, gains=np.zeros((2, 2)))
+        assert probabilities.is_quiescent(np.array([5, 0]))
+        assert not probabilities.is_quiescent(np.array([0, 5]))
+
+    def test_relative_gain_matrix_safe_division(self):
+        latencies = np.array([0.0, 2.0])
+        post = np.array([[0.0, 1.0], [1.0, 2.0]])
+        relative = relative_gain_matrix(latencies, post)
+        assert relative[0, 1] == 0.0  # zero current latency -> no division blowup
+        assert relative[1, 0] == pytest.approx(0.5)
+
+
+class TestImitationProtocolParameters:
+    def test_rejects_bad_lambda(self):
+        with pytest.raises(ProtocolError):
+            ImitationProtocol(0.0)
+        with pytest.raises(ProtocolError):
+            ImitationProtocol(1.5)
+
+    def test_rejects_negative_nu_override(self):
+        with pytest.raises(ProtocolError):
+            ImitationProtocol(nu_override=-1.0)
+
+    def test_effective_nu_defaults_to_game_bound(self, linear_singleton):
+        protocol = ImitationProtocol()
+        assert protocol.effective_nu(linear_singleton) == linear_singleton.nu_bound
+
+    def test_effective_nu_override(self, linear_singleton):
+        protocol = ImitationProtocol(nu_override=0.5)
+        assert protocol.effective_nu(linear_singleton) == 0.5
+
+    def test_effective_nu_disabled(self, linear_singleton):
+        protocol = ImitationProtocol(use_nu_threshold=False)
+        assert protocol.effective_nu(linear_singleton) == 0.0
+
+    def test_effective_elasticity_clamped(self, linear_singleton):
+        protocol = ImitationProtocol(elasticity_override=0.3)
+        assert protocol.effective_elasticity(linear_singleton) == 1.0
+
+    def test_describe_mentions_lambda(self):
+        assert "lambda" in ImitationProtocol(0.1).describe()
+
+
+class TestImitationProtocolProbabilities:
+    def test_no_migration_from_best_strategy(self, linear_singleton):
+        protocol = ImitationProtocol(use_nu_threshold=False)
+        counts = linear_singleton.balanced_state()
+        probabilities = protocol.switch_probabilities(linear_singleton, counts)
+        latencies = linear_singleton.strategy_latencies(counts)
+        best = int(np.argmin(latencies))
+        assert np.all(probabilities.matrix[best] == 0.0)
+
+    def test_sampling_weights_by_destination_population(self):
+        game = make_linear_singleton(10, [1.0, 1.0, 2.0])
+        protocol = ImitationProtocol(lambda_=1.0, use_nu_threshold=False)
+        # From state (6, 3, 1) both destinations offer the same post-move
+        # latency (1 * 4 = 4 and 2 * 2 = 4), so the switch probabilities
+        # differ only through the sampling weights x_Q / n -> ratio 3.
+        counts = np.array([6, 3, 1])
+        probabilities = protocol.switch_probabilities(game, counts)
+        assert probabilities.matrix[0, 1] == pytest.approx(3 * probabilities.matrix[0, 2])
+
+    def test_empty_destination_never_sampled(self):
+        game = make_linear_singleton(10, [1.0, 1.0])
+        protocol = ImitationProtocol(lambda_=1.0, use_nu_threshold=False)
+        counts = np.array([10, 0])
+        probabilities = protocol.switch_probabilities(game, counts)
+        assert np.all(probabilities.matrix == 0.0)
+
+    def test_migration_probability_formula(self):
+        game = make_linear_singleton(10, [1.0, 1.0])
+        protocol = ImitationProtocol(lambda_=0.5, use_nu_threshold=False)
+        counts = np.array([7, 3])
+        # l_0 = 7, moving to strategy 1 gives latency 4: relative gain 3/7
+        mu = protocol.migration_probabilities(game, counts)
+        assert mu[0, 1] == pytest.approx(0.5 * (7 - 4) / 7)
+        # switch probability additionally weighted by x_1 / n = 0.3
+        probabilities = protocol.switch_probabilities(game, counts)
+        assert probabilities.matrix[0, 1] == pytest.approx(0.3 * mu[0, 1])
+
+    def test_nu_threshold_blocks_small_gains(self):
+        game = make_linear_singleton(4, [1.0, 1.0])
+        # from (3,1): gain is 3 - 2 = 1 which is NOT > nu = 1
+        protocol = ImitationProtocol()
+        probabilities = protocol.switch_probabilities(game, np.array([3, 1]))
+        assert np.all(probabilities.matrix == 0.0)
+        # without the threshold the move is allowed
+        unthresholded = ImitationProtocol(use_nu_threshold=False)
+        assert unthresholded.switch_probabilities(game, np.array([3, 1])).matrix[0, 1] > 0
+
+    def test_damping_divides_by_elasticity(self):
+        game = SingletonCongestionGame(
+            20, [ConstantLatency(100.0), MonomialLatency(1.0, 4.0)], validate=False
+        )
+        counts = np.array([18, 2])
+        damped = ImitationProtocol(lambda_=1.0, use_nu_threshold=False)
+        undamped = UndampedImitationProtocol(lambda_=1.0, use_nu_threshold=False)
+        mu_damped = damped.migration_probabilities(game, counts)
+        mu_undamped = undamped.migration_probabilities(game, counts)
+        assert mu_undamped[0, 1] == pytest.approx(4.0 * mu_damped[0, 1])
+
+    def test_expected_migration_matrix(self):
+        game = make_linear_singleton(10, [1.0, 1.0])
+        protocol = ImitationProtocol(lambda_=1.0, use_nu_threshold=False)
+        counts = np.array([8, 2])
+        expected = protocol.expected_migration(game, counts)
+        probabilities = protocol.switch_probabilities(game, counts)
+        assert expected[0, 1] == pytest.approx(8 * probabilities.matrix[0, 1])
+
+    def test_probabilities_clipped_to_one(self):
+        # extreme latency gap: the relative gain approaches 1, lambda = 1
+        game = SingletonCongestionGame(
+            10, [ConstantLatency(1e9), LinearLatency(1.0, 0.0)], validate=False
+        )
+        protocol = UndampedImitationProtocol(lambda_=1.0, use_nu_threshold=False)
+        mu = protocol.migration_probabilities(game, np.array([5, 5]))
+        assert np.all(mu <= 1.0)
+
+    def test_default_lambda_constant_exported(self):
+        assert 0 < DEFAULT_LAMBDA <= 1

@@ -1,0 +1,119 @@
+"""Unit tests for the experiment registry and table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.registry import (
+    ExperimentResult,
+    get_experiment,
+    list_experiments,
+)
+from repro.experiments.reporting import (
+    format_value,
+    render_markdown_table,
+    render_table,
+)
+
+
+class TestFormatValue:
+    def test_floats_compact(self):
+        assert format_value(1.23456789) == "1.235"
+        assert format_value(0.0) == "0"
+
+    def test_scientific_for_extremes(self):
+        assert "e" in format_value(1.5e9)
+        assert "e" in format_value(1.5e-7)
+
+    def test_bools(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_nan(self):
+        assert format_value(float("nan")) == "nan"
+
+    def test_strings_passthrough(self):
+        assert format_value("hello") == "hello"
+
+
+class TestRenderTable:
+    ROWS = [
+        {"n": 10, "time": 1.5},
+        {"n": 100, "time": 3.25},
+    ]
+
+    def test_contains_all_cells(self):
+        text = render_table(self.ROWS, title="demo")
+        assert "demo" in text
+        assert "10" in text and "100" in text
+        assert "1.5" in text and "3.25" in text
+
+    def test_column_order_preserved(self):
+        text = render_table(self.ROWS)
+        header = text.splitlines()[0]
+        assert header.index("n") < header.index("time")
+
+    def test_explicit_columns_subset(self):
+        text = render_table(self.ROWS, columns=["time"])
+        assert "time" in text
+        assert "\nn " not in text
+
+    def test_empty_rows(self):
+        assert "no rows" in render_table([], title="empty")
+
+    def test_missing_cells_rendered_blank(self):
+        rows = [{"a": 1}, {"b": 2}]
+        text = render_table(rows)
+        assert "a" in text and "b" in text
+
+    def test_markdown_table_structure(self):
+        text = render_markdown_table(self.ROWS)
+        lines = text.splitlines()
+        assert lines[0].startswith("| n")
+        assert set(lines[1].replace("|", "").strip()) <= {"-", " "}
+        assert len(lines) == 4
+
+
+class TestRegistry:
+    def test_all_paper_experiments_registered(self):
+        identifiers = {spec.experiment_id for spec in list_experiments()}
+        expected = {"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "F1"}
+        assert expected <= identifiers
+
+    def test_lookup_case_insensitive(self):
+        assert get_experiment("e2").experiment_id == "E2"
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("E99")
+
+    def test_specs_have_claims(self):
+        for spec in list_experiments():
+            assert spec.title
+            assert spec.claim
+
+
+class TestExperimentResult:
+    def make_result(self) -> ExperimentResult:
+        return ExperimentResult(
+            experiment_id="EX",
+            title="demo experiment",
+            claim="demo claim",
+            rows=[{"x": 1, "y": 2.5}],
+            notes=["a note"],
+            parameters={"quick": True},
+        )
+
+    def test_render_plain(self):
+        text = self.make_result().render()
+        assert "[EX] demo experiment" in text
+        assert "claim: demo claim" in text
+        assert "note: a note" in text
+        assert "quick=True" in text
+
+    def test_render_markdown(self):
+        text = self.make_result().render_markdown()
+        assert text.startswith("### EX")
+        assert "| x | y |" in text
+        assert "- a note" in text

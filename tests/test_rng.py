@@ -1,0 +1,91 @@
+"""Unit tests for the RNG plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rng import SeedSequencePool, derive_rng, ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_accepts_none(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_accepts_int_and_is_deterministic(self):
+        a = ensure_rng(7).integers(0, 1000, size=5)
+        b = ensure_rng(7).integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_passes_generator_through(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_accepts_seed_sequence(self):
+        seq = np.random.SeedSequence(5)
+        assert isinstance(ensure_rng(seq), np.random.Generator)
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not a seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rngs(0, 2)
+        a = children[0].integers(0, 10**9, size=4)
+        b = children[1].integers(0, 10**9, size=4)
+        assert not np.array_equal(a, b)
+
+    def test_deterministic_from_integer_seed(self):
+        first = [g.integers(0, 10**9) for g in spawn_rngs(3, 4)]
+        second = [g.integers(0, 10**9) for g in spawn_rngs(3, 4)]
+        assert first == second
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+
+class TestDeriveRng:
+    def test_deterministic(self):
+        a = derive_rng(1, "experiment", 5).integers(0, 10**9)
+        b = derive_rng(1, "experiment", 5).integers(0, 10**9)
+        assert a == b
+
+    def test_different_keys_give_different_streams(self):
+        a = derive_rng(1, "experiment", 5).integers(0, 10**9)
+        b = derive_rng(1, "experiment", 6).integers(0, 10**9)
+        c = derive_rng(1, "other", 5).integers(0, 10**9)
+        assert len({int(a), int(b), int(c)}) == 3
+
+    def test_string_and_int_keys_mix(self):
+        gen = derive_rng(0, "a", 1, "b", 2)
+        assert isinstance(gen, np.random.Generator)
+
+
+class TestSeedSequencePool:
+    def test_take(self):
+        pool = SeedSequencePool(0)
+        generators = pool.take(3)
+        assert len(generators) == 3
+        assert pool.spawned == 3
+
+    def test_next_rng_advances(self):
+        pool = SeedSequencePool(0)
+        a = pool.next_rng().integers(0, 10**9)
+        b = pool.next_rng().integers(0, 10**9)
+        assert a != b
+        assert pool.spawned == 2
+
+    def test_iteration(self):
+        pool = SeedSequencePool(1)
+        iterator = iter(pool)
+        first = next(iterator)
+        assert isinstance(first, np.random.Generator)

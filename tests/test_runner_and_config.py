@@ -1,0 +1,61 @@
+"""Unit tests for the experiment runner and configuration helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import DEFAULTS, ExperimentDefaults, pick, pick_list
+from repro.experiments.registry import ExperimentResult
+from repro.experiments.runner import (
+    render_markdown_report,
+    render_report,
+    run_all,
+)
+
+
+class TestConfigHelpers:
+    def test_pick(self):
+        assert pick(True, 1, 100) == 1
+        assert pick(False, 1, 100) == 100
+
+    def test_pick_list_returns_copy(self):
+        quick_values = [1, 2]
+        chosen = pick_list(True, quick_values, [3, 4])
+        chosen.append(99)
+        assert quick_values == [1, 2]
+
+    def test_defaults_scale_with_quick_flag(self):
+        defaults = ExperimentDefaults()
+        assert defaults.trials(True) < defaults.trials(False)
+        assert defaults.max_rounds(True) < defaults.max_rounds(False)
+
+    def test_module_level_defaults_exist(self):
+        assert DEFAULTS.seed == 2009
+
+
+class TestRunner:
+    def test_run_all_with_subset(self):
+        results = run_all(quick=True, seed=1, only=["F1"])
+        assert set(results) == {"F1"}
+        assert isinstance(results["F1"], ExperimentResult)
+        assert "wall_clock_seconds" in results["F1"].parameters
+
+    def test_run_all_subset_is_case_insensitive(self):
+        results = run_all(quick=True, seed=1, only=["f1"])
+        assert set(results) == {"F1"}
+
+    def test_render_report_contains_tables_and_notes(self):
+        results = run_all(quick=True, seed=1, only=["F1"])
+        text = render_report(results)
+        assert "[F1]" in text
+        assert "note:" in text
+
+    def test_render_markdown_report(self):
+        results = run_all(quick=True, seed=1, only=["F1"])
+        text = render_markdown_report(results)
+        assert text.startswith("### F1")
+        assert "|---|" in text
+
+    def test_verbose_prints(self, capsys):
+        run_all(quick=True, seed=1, only=["F1"], verbose=True)
+        assert "[F1]" in capsys.readouterr().out

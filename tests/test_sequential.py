@@ -1,0 +1,114 @@
+"""Unit tests for the sequential dynamics engines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sequential import (
+    run_sequential_imitation_asymmetric,
+    run_sequential_imitation_symmetric,
+)
+from repro.core.stability import is_imitation_stable
+from repro.games.latency import LinearLatency
+from repro.games.asymmetric import AsymmetricCongestionGame
+from repro.games.singleton import make_linear_singleton
+from repro.games.threshold import geometric_weight_matrix, lift_for_imitation
+
+
+class TestSymmetricSequentialImitation:
+    def test_reaches_imitation_stable_state(self):
+        game = make_linear_singleton(20, [1.0, 1.0])
+        result = run_sequential_imitation_symmetric(game, [18, 2], min_gain=0.0)
+        assert result.converged
+        assert is_imitation_stable(game, result.final, nu=0.0)
+
+    def test_conserves_players(self):
+        game = make_linear_singleton(15, [1.0, 2.0, 4.0])
+        result = run_sequential_imitation_symmetric(game, [13, 1, 1], min_gain=0.0)
+        assert result.final.counts.sum() == 15
+
+    def test_potential_strictly_decreases(self):
+        game = make_linear_singleton(20, [1.0, 1.0])
+        result = run_sequential_imitation_symmetric(
+            game, [18, 2], min_gain=0.0, record_potential=True)
+        potentials = np.array(result.potentials)
+        assert np.all(np.diff(potentials) < 0)
+
+    def test_cannot_move_to_unused_strategy(self):
+        game = make_linear_singleton(10, [1.0, 10.0])
+        # all on the slow link: sequential imitation has nothing to copy
+        result = run_sequential_imitation_symmetric(game, [0, 10], min_gain=0.0)
+        assert result.steps == 0
+        assert list(result.final.counts) == [0, 10]
+
+    def test_min_gain_threshold_stops_earlier(self):
+        game = make_linear_singleton(20, [1.0, 1.0])
+        strict = run_sequential_imitation_symmetric(game, [15, 5], min_gain=5.0)
+        loose = run_sequential_imitation_symmetric(game, [15, 5], min_gain=0.0)
+        assert strict.steps <= loose.steps
+
+    def test_pivot_rules_all_terminate(self):
+        game = make_linear_singleton(12, [1.0, 2.0])
+        for pivot in ("max-gain", "min-gain", "random"):
+            result = run_sequential_imitation_symmetric(
+                game, [11, 1], pivot=pivot, min_gain=0.0, rng=0)
+            assert result.converged
+
+    def test_unknown_pivot_rejected(self):
+        game = make_linear_singleton(12, [1.0, 2.0])
+        with pytest.raises(ValueError):
+            run_sequential_imitation_symmetric(game, [11, 1], pivot="bogus")
+
+    def test_step_budget_respected(self):
+        game = make_linear_singleton(50, [1.0, 1.0])
+        result = run_sequential_imitation_symmetric(game, [49, 1], max_steps=3, min_gain=0.0)
+        assert result.steps == 3
+        assert not result.converged
+
+
+class TestAsymmetricSequentialImitation:
+    def make_shared_space_game(self, players: int = 5) -> AsymmetricCongestionGame:
+        space = [[0], [1]]
+        return AsymmetricCongestionGame(
+            [LinearLatency(1.0, 0.0), LinearLatency(1.0, 0.0)],
+            [space] * players,
+        )
+
+    def test_reaches_imitation_stable_profile(self):
+        game = self.make_shared_space_game(6)
+        result = run_sequential_imitation_asymmetric(game, [0, 0, 0, 0, 0, 1])
+        assert result.converged
+        assert game.is_imitation_stable(result.final)
+
+    def test_potential_strictly_decreases(self):
+        game = self.make_shared_space_game(6)
+        result = run_sequential_imitation_asymmetric(
+            game, [0, 0, 0, 0, 0, 1], record_potential=True)
+        potentials = np.array(result.potentials)
+        assert np.all(np.diff(potentials) < 0)
+
+    def test_lifted_threshold_game_terminates(self):
+        weights = geometric_weight_matrix(3, ratio=2.0)
+        game = lift_for_imitation(weights)
+        profile = game.profile_from_cut_lifted(np.zeros(3, dtype=int))
+        result = run_sequential_imitation_asymmetric(game, profile, max_steps=50_000, rng=0)
+        assert result.converged
+        assert game.is_imitation_stable(result.final)
+
+    def test_sequence_length_grows_with_base_players(self):
+        lengths = []
+        for base_players in (3, 4, 5):
+            weights = geometric_weight_matrix(base_players, ratio=2.0)
+            game = lift_for_imitation(weights)
+            profile = game.profile_from_cut_lifted(np.zeros(base_players, dtype=int))
+            result = run_sequential_imitation_asymmetric(
+                game, profile, pivot="min-gain", max_steps=100_000, rng=0)
+            lengths.append(result.steps)
+        assert lengths[0] <= lengths[-1]
+
+    def test_step_budget_respected(self):
+        game = self.make_shared_space_game(8)
+        result = run_sequential_imitation_asymmetric(
+            game, [0] * 7 + [1], max_steps=1)
+        assert result.steps <= 1

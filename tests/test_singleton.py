@@ -1,0 +1,126 @@
+"""Unit tests for singleton (parallel-links) games."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GameDefinitionError
+from repro.games.latency import LinearLatency, MonomialLatency
+from repro.games.singleton import (
+    SingletonCongestionGame,
+    make_linear_singleton,
+    make_scaled_singleton,
+)
+
+
+class TestConstruction:
+    def test_make_linear_singleton(self):
+        game = make_linear_singleton(10, [1.0, 2.0])
+        assert game.num_players == 10
+        assert game.num_strategies == 2
+        assert game.is_singleton
+        assert game.is_linear
+
+    def test_non_linear_detection(self):
+        game = SingletonCongestionGame(5, [MonomialLatency(1.0, 2.0)])
+        assert not game.is_linear
+
+    def test_linear_coefficients(self):
+        game = make_linear_singleton(10, [1.0, 2.0, 4.0])
+        assert np.allclose(game.linear_coefficients(), [1.0, 2.0, 4.0])
+
+    def test_linear_coefficients_require_linear(self):
+        game = SingletonCongestionGame(5, [MonomialLatency(1.0, 2.0)])
+        with pytest.raises(GameDefinitionError):
+            game.linear_coefficients()
+
+
+class TestLinearAnalytics:
+    def test_a_gamma(self):
+        game = make_linear_singleton(12, [1.0, 2.0, 4.0])
+        assert game.a_gamma() == pytest.approx(1.0 + 0.5 + 0.25)
+
+    def test_fractional_optimum_equalises_latencies(self):
+        game = make_linear_singleton(14, [1.0, 2.0, 4.0])
+        loads = game.fractional_optimum()
+        latencies = np.array([1.0, 2.0, 4.0]) * loads
+        assert np.allclose(latencies, latencies[0])
+        assert loads.sum() == pytest.approx(14.0)
+
+    def test_optimal_fractional_cost(self):
+        game = make_linear_singleton(14, [1.0, 2.0, 4.0])
+        assert game.optimal_fractional_cost() == pytest.approx(14.0 / game.a_gamma())
+
+    def test_fractional_cost_lower_bounds_integral_optimum(self):
+        game = make_linear_singleton(13, [1.0, 2.0, 3.0])
+        assert game.optimal_fractional_cost() <= game.optimum_social_cost() + 1e-9
+
+    def test_useless_resources_detected(self):
+        # one extremely slow link that the fractional optimum loads below 1
+        game = make_linear_singleton(4, [1.0, 1000.0])
+        assert game.has_useless_resources()
+        assert 1 in game.useless_resources()
+
+    def test_no_useless_resources_for_balanced_speeds(self):
+        game = make_linear_singleton(100, [1.0, 2.0, 2.0])
+        assert not game.has_useless_resources()
+
+
+class TestIntegralOptimum:
+    def test_optimum_assignment_identical_links(self):
+        game = make_linear_singleton(9, [1.0, 1.0, 1.0])
+        loads = game.optimum_total_latency_assignment()
+        assert sorted(loads.tolist()) == [3, 3, 3]
+
+    def test_optimum_assignment_total_players(self):
+        game = make_linear_singleton(17, [1.0, 3.0, 5.0])
+        loads = game.optimum_total_latency_assignment()
+        assert loads.sum() == 17
+
+    def test_optimum_beats_or_matches_any_state(self):
+        game = make_linear_singleton(6, [1.0, 2.0])
+        optimum_cost = game.optimum_social_cost()
+        for first in range(7):
+            state = [first, 6 - first]
+            assert optimum_cost <= game.social_cost(state) + 1e-9
+
+    def test_optimum_quadratic_links(self):
+        game = SingletonCongestionGame(
+            4, [MonomialLatency(1.0, 2.0), MonomialLatency(1.0, 2.0)]
+        )
+        loads = game.optimum_total_latency_assignment()
+        assert sorted(loads.tolist()) == [2, 2]
+
+
+class TestDropResources:
+    def test_drop_resources(self):
+        game = make_linear_singleton(10, [1.0, 2.0, 4.0])
+        smaller = game.drop_resources([1])
+        assert smaller.num_strategies == 2
+        assert np.allclose(smaller.linear_coefficients(), [1.0, 4.0])
+
+    def test_drop_all_rejected(self):
+        game = make_linear_singleton(10, [1.0, 2.0])
+        with pytest.raises(GameDefinitionError):
+            game.drop_resources([0, 1])
+
+
+class TestScaledSingleton:
+    def test_scaled_family_has_constant_elasticity(self):
+        base = [LinearLatency(1.0, 0.0), MonomialLatency(1.0, 2.0)]
+        small = make_scaled_singleton(10, base)
+        large = make_scaled_singleton(100, base)
+        assert small.elasticity_bound == pytest.approx(large.elasticity_bound)
+
+    def test_scaled_family_nu_shrinks_with_n(self):
+        base = [LinearLatency(1.0, 0.0), LinearLatency(2.0, 0.0)]
+        small = make_scaled_singleton(10, base)
+        large = make_scaled_singleton(100, base)
+        assert large.nu_bound < small.nu_bound
+
+    def test_scaled_latency_values(self):
+        base = [LinearLatency(2.0, 0.0)]
+        game = make_scaled_singleton(10, base)
+        # l^n(x) = 2 * x / 10
+        assert game.latencies[0](5) == pytest.approx(1.0)

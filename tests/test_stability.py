@@ -1,0 +1,115 @@
+"""Unit tests for the stability / equilibrium predicates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.stability import (
+    deviation_sets,
+    is_approx_equilibrium,
+    is_imitation_stable,
+    max_imitation_gain,
+    unsatisfied_fraction,
+)
+from repro.games.latency import ConstantLatency, LinearLatency
+from repro.games.singleton import SingletonCongestionGame, make_linear_singleton
+
+
+class TestImitationStability:
+    def test_all_on_one_is_imitation_stable(self, linear_singleton):
+        # with everyone on one strategy there is nobody different to imitate
+        assert is_imitation_stable(linear_singleton, linear_singleton.all_on_one_state(2))
+
+    def test_max_gain_zero_when_stable(self, linear_singleton):
+        assert max_imitation_gain(linear_singleton, linear_singleton.all_on_one_state(0)) == 0.0
+
+    def test_unbalanced_state_not_stable_for_zero_nu(self):
+        game = make_linear_singleton(10, [1.0, 1.0])
+        assert not is_imitation_stable(game, [8, 2], nu=0.0)
+        assert max_imitation_gain(game, [8, 2]) == pytest.approx(8 - 3)
+
+    def test_nu_threshold_tolerates_small_gains(self):
+        game = make_linear_singleton(4, [1.0, 1.0])
+        # gain from (3,1) is exactly 1; with nu = 1 this is imitation-stable
+        assert is_imitation_stable(game, [3, 1], nu=1.0)
+        assert not is_imitation_stable(game, [3, 1], nu=0.5)
+
+    def test_default_nu_is_game_bound(self):
+        game = make_linear_singleton(4, [1.0, 1.0])
+        # game nu bound is 1 (max coefficient), so (3, 1) is stable by default
+        assert is_imitation_stable(game, [3, 1])
+
+    def test_gain_only_counts_occupied_destinations(self):
+        game = SingletonCongestionGame(
+            10, [ConstantLatency(10.0), ConstantLatency(1.0)], validate=False
+        )
+        # the cheap link is unused: imitation cannot discover it
+        assert max_imitation_gain(game, [10, 0]) == 0.0
+        assert is_imitation_stable(game, [10, 0], nu=0.0)
+
+
+class TestDeviationSets:
+    def test_balanced_state_has_no_deviating_strategies(self):
+        game = make_linear_singleton(12, [1.0, 1.0, 1.0])
+        sets = deviation_sets(game, [4, 4, 4], epsilon=0.1, nu=0.0)
+        assert not np.any(sets.deviating)
+
+    def test_expensive_strategy_detected(self):
+        game = make_linear_singleton(12, [1.0, 1.0, 1.0])
+        sets = deviation_sets(game, [10, 1, 1], epsilon=0.05, nu=0.0)
+        assert sets.expensive[0]
+        assert not sets.expensive[1]
+
+    def test_cheap_strategy_detected(self):
+        game = make_linear_singleton(12, [1.0, 1.0, 1.0])
+        sets = deviation_sets(game, [10, 1, 1], epsilon=0.05, nu=0.0)
+        assert sets.cheap[1] and sets.cheap[2]
+
+    def test_nu_slack_shrinks_the_sets(self):
+        game = make_linear_singleton(12, [1.0, 1.0, 1.0])
+        tight = deviation_sets(game, [6, 5, 1], epsilon=0.05, nu=0.0)
+        slack = deviation_sets(game, [6, 5, 1], epsilon=0.05, nu=10.0)
+        assert np.sum(slack.deviating) <= np.sum(tight.deviating)
+
+    def test_average_latencies_reported(self):
+        game = make_linear_singleton(10, [1.0, 1.0])
+        sets = deviation_sets(game, [5, 5], epsilon=0.1)
+        assert sets.average_latency == pytest.approx(5.0)
+        assert sets.average_latency_after_join == pytest.approx(6.0)
+
+    def test_negative_epsilon_rejected(self):
+        game = make_linear_singleton(10, [1.0, 1.0])
+        with pytest.raises(ValueError):
+            deviation_sets(game, [5, 5], epsilon=-0.1)
+
+
+class TestApproximateEquilibrium:
+    def test_balanced_state_is_approx_equilibrium(self):
+        game = make_linear_singleton(12, [1.0, 1.0, 1.0])
+        assert is_approx_equilibrium(game, [4, 4, 4], delta=0.0, epsilon=0.05, nu=0.0)
+
+    def test_unsatisfied_fraction_counts_players_not_strategies(self):
+        game = make_linear_singleton(12, [1.0, 1.0, 1.0])
+        fraction = unsatisfied_fraction(game, [10, 1, 1], epsilon=0.05, nu=0.0)
+        assert fraction == pytest.approx(1.0)  # all 12 players deviate (10 expensive + 2 cheap)
+
+    def test_delta_threshold(self):
+        game = make_linear_singleton(12, [1.0, 1.0, 1.0])
+        # state (5, 5, 2): strategy 2 is cheap (latency 2 vs average ~4.33)
+        fraction = unsatisfied_fraction(game, [5, 5, 2], epsilon=0.1, nu=0.0)
+        assert is_approx_equilibrium(game, [5, 5, 2], delta=fraction + 0.01, epsilon=0.1, nu=0.0)
+        assert not is_approx_equilibrium(game, [5, 5, 2], delta=max(fraction - 0.01, 0.0),
+                                         epsilon=0.1, nu=0.0)
+
+    def test_negative_delta_rejected(self):
+        game = make_linear_singleton(10, [1.0, 1.0])
+        with pytest.raises(ValueError):
+            is_approx_equilibrium(game, [5, 5], delta=-0.1, epsilon=0.1)
+
+    def test_larger_epsilon_is_weaker(self):
+        game = make_linear_singleton(12, [1.0, 2.0, 4.0])
+        state = [8, 3, 1]
+        loose = unsatisfied_fraction(game, state, epsilon=0.5, nu=0.0)
+        tight = unsatisfied_fraction(game, state, epsilon=0.01, nu=0.0)
+        assert loose <= tight

@@ -1,0 +1,140 @@
+"""Unit tests for game states and state constructors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import StateError
+from repro.games.state import (
+    GameState,
+    all_on_one_counts,
+    as_counts,
+    assignment_from_counts,
+    balanced_counts,
+    counts_from_assignment,
+    uniform_random_counts,
+)
+
+
+class TestGameState:
+    def test_basic_properties(self):
+        state = GameState(np.array([3, 0, 2]))
+        assert state.num_players == 5
+        assert state.num_strategies == 3
+        assert state.support_size == 2
+        assert list(state.support) == [0, 2]
+
+    def test_counts_are_read_only(self):
+        state = GameState(np.array([1, 2]))
+        with pytest.raises(ValueError):
+            state.counts[0] = 5
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(StateError):
+            GameState(np.array([1, -1]))
+
+    def test_rejects_matrix(self):
+        with pytest.raises(StateError):
+            GameState(np.zeros((2, 2)))
+
+    def test_with_move(self):
+        state = GameState(np.array([3, 1]))
+        moved = state.with_move(0, 1, 2)
+        assert list(moved.counts) == [1, 3]
+        # original unchanged (immutability)
+        assert list(state.counts) == [3, 1]
+
+    def test_with_move_rejects_overdraw(self):
+        state = GameState(np.array([1, 1]))
+        with pytest.raises(StateError):
+            state.with_move(0, 1, 2)
+
+    def test_with_delta(self):
+        state = GameState(np.array([3, 1]))
+        new = state.with_delta(np.array([-2, 2]))
+        assert list(new.counts) == [1, 3]
+
+    def test_with_delta_must_conserve_players(self):
+        state = GameState(np.array([3, 1]))
+        with pytest.raises(StateError):
+            state.with_delta(np.array([-1, 2]))
+
+    def test_with_delta_rejects_negative_result(self):
+        state = GameState(np.array([1, 1]))
+        with pytest.raises(StateError):
+            state.with_delta(np.array([-2, 2]))
+
+    def test_equality_and_hash(self):
+        a = GameState(np.array([1, 2]))
+        b = GameState(np.array([1, 2]))
+        c = GameState(np.array([2, 1]))
+        assert a == b
+        assert a != c
+        assert hash(a) == hash(b)
+
+    def test_to_array_is_writable_copy(self):
+        state = GameState(np.array([1, 2]))
+        array = state.to_array()
+        array[0] = 99
+        assert state.counts[0] == 1
+
+
+class TestAsCounts:
+    def test_accepts_state_and_sequences(self):
+        state = GameState(np.array([2, 3]))
+        assert list(as_counts(state)) == [2, 3]
+        assert list(as_counts([2, 3])) == [2, 3]
+        assert list(as_counts(np.array([2, 3]))) == [2, 3]
+
+    def test_rejects_negative(self):
+        with pytest.raises(StateError):
+            as_counts([1, -1])
+
+
+class TestConstructors:
+    def test_counts_from_assignment(self):
+        counts = counts_from_assignment([0, 0, 2, 1, 2], num_strategies=4)
+        assert list(counts) == [2, 1, 2, 0]
+
+    def test_counts_from_assignment_rejects_unknown_strategy(self):
+        with pytest.raises(StateError):
+            counts_from_assignment([0, 5], num_strategies=3)
+
+    def test_assignment_roundtrip(self):
+        counts = np.array([2, 0, 1])
+        assignment = assignment_from_counts(counts)
+        recovered = counts_from_assignment(assignment, num_strategies=3)
+        assert np.array_equal(recovered, counts)
+
+    def test_uniform_random_counts_sum(self):
+        counts = uniform_random_counts(100, 7, rng=0)
+        assert counts.sum() == 100
+        assert counts.size == 7
+
+    def test_uniform_random_counts_reproducible(self):
+        a = uniform_random_counts(50, 5, rng=42)
+        b = uniform_random_counts(50, 5, rng=42)
+        assert np.array_equal(a, b)
+
+    def test_uniform_random_counts_roughly_uniform(self):
+        counts = uniform_random_counts(100_000, 4, rng=1)
+        assert np.all(np.abs(counts - 25_000) < 2_000)
+
+    def test_all_on_one(self):
+        counts = all_on_one_counts(10, 4, strategy=2)
+        assert counts.sum() == 10
+        assert counts[2] == 10
+
+    def test_all_on_one_rejects_bad_index(self):
+        with pytest.raises(StateError):
+            all_on_one_counts(10, 4, strategy=7)
+
+    def test_balanced_counts(self):
+        counts = balanced_counts(10, 4)
+        assert counts.sum() == 10
+        assert counts.max() - counts.min() <= 1
+
+    def test_balanced_counts_exact_division(self):
+        counts = balanced_counts(12, 4)
+        assert list(counts) == [3, 3, 3, 3]

@@ -1,0 +1,75 @@
+"""Unit tests for the symmetric-game factories and social-cost measures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GameDefinitionError
+from repro.games.latency import ConstantLatency, LinearLatency
+from repro.games.social_cost import SocialCostMeasure, evaluate
+from repro.games.symmetric import (
+    SymmetricCongestionGame,
+    game_from_strategy_latencies,
+    make_symmetric_game,
+)
+
+
+class TestMakeSymmetricGame:
+    def test_basic_construction(self):
+        game = make_symmetric_game(
+            10,
+            {"top": LinearLatency(1.0, 0.0), "bottom": ConstantLatency(5.0)},
+            {"use-top": ["top"], "use-bottom": ["bottom"]},
+        )
+        assert isinstance(game, SymmetricCongestionGame)
+        assert game.num_strategies == 2
+        assert game.strategy_names == ["use-top", "use-bottom"]
+
+    def test_unknown_resource_rejected(self):
+        with pytest.raises(GameDefinitionError):
+            make_symmetric_game(
+                5,
+                {"a": LinearLatency(1.0, 0.0)},
+                {"s": ["a", "missing"]},
+            )
+
+    def test_resource_order_fixes_indices(self):
+        game = make_symmetric_game(
+            4,
+            {"first": LinearLatency(1.0, 0.0), "second": LinearLatency(2.0, 0.0)},
+            {"both": ["first", "second"]},
+        )
+        assert game.resource_names == ["first", "second"]
+        assert game.strategies == ((0, 1),)
+
+    def test_game_from_strategy_latencies(self):
+        game = game_from_strategy_latencies(6, [LinearLatency(1.0, 0.0), ConstantLatency(2.0)])
+        assert game.is_singleton
+        assert game.num_strategies == 2
+
+
+class TestSocialCostMeasures:
+    @pytest.fixture
+    def game(self):
+        return game_from_strategy_latencies(
+            4, [LinearLatency(1.0, 0.0), LinearLatency(1.0, 0.0)]
+        )
+
+    def test_average_latency(self, game):
+        assert evaluate(game, [2, 2], SocialCostMeasure.AVERAGE_LATENCY) == pytest.approx(2.0)
+
+    def test_total_latency(self, game):
+        assert evaluate(game, [2, 2], SocialCostMeasure.TOTAL_LATENCY) == pytest.approx(8.0)
+
+    def test_makespan(self, game):
+        assert evaluate(game, [3, 1], SocialCostMeasure.MAKESPAN) == pytest.approx(3.0)
+
+    def test_potential(self, game):
+        assert evaluate(game, [2, 2], SocialCostMeasure.POTENTIAL) == pytest.approx(6.0)
+
+    def test_accepts_string_measure(self, game):
+        assert evaluate(game, [2, 2], "average-latency") == pytest.approx(2.0)
+
+    def test_unknown_measure_raises(self, game):
+        with pytest.raises(ValueError):
+            evaluate(game, [2, 2], "does-not-exist")

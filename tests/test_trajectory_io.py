@@ -1,0 +1,94 @@
+"""Unit tests for trajectory / experiment-result persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.trajectory_io import (
+    load_experiment_result,
+    load_records_json,
+    records_to_dicts,
+    save_experiment_result,
+    save_records_csv,
+    save_records_json,
+    trajectory_summary,
+)
+from repro.core import ImitationProtocol, MetricsCollector, simulate
+from repro.experiments.registry import ExperimentResult
+from repro.games.singleton import make_linear_singleton
+
+
+@pytest.fixture
+def trajectory_and_records():
+    game = make_linear_singleton(40, [1.0, 2.0, 4.0])
+    collector = MetricsCollector(game)
+    protocol = ImitationProtocol(lambda_=1.0, use_nu_threshold=False)
+    result = simulate(game, protocol, rounds=15, rng=3, collector=collector)
+    return result, collector.records
+
+
+class TestRecordPersistence:
+    def test_records_to_dicts_keys(self, trajectory_and_records):
+        _, records = trajectory_and_records
+        rows = records_to_dicts(records)
+        assert rows
+        assert {"round_index", "potential", "average_latency"} <= set(rows[0])
+
+    def test_json_roundtrip(self, trajectory_and_records, tmp_path):
+        _, records = trajectory_and_records
+        path = save_records_json(records, tmp_path / "records.json")
+        loaded = load_records_json(path)
+        assert len(loaded) == len(records)
+        assert loaded[0] == records[0]
+
+    def test_csv_export(self, trajectory_and_records, tmp_path):
+        _, records = trajectory_and_records
+        path = save_records_csv(records, tmp_path / "records.csv")
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == len(records) + 1
+        assert lines[0].startswith("round_index,")
+
+    def test_csv_rejects_empty(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_records_csv([], tmp_path / "empty.csv")
+
+
+class TestTrajectorySummary:
+    def test_summary_fields(self, trajectory_and_records):
+        result, _ = trajectory_and_records
+        summary = trajectory_summary(result)
+        assert summary["rounds"] == result.rounds
+        assert summary["final_counts"] == result.final_state.counts.tolist()
+        assert "initial_potential" in summary
+        assert summary["initial_potential"] >= summary["final_potential"] - 1e-9
+
+    def test_summary_is_json_serialisable(self, trajectory_and_records):
+        result, _ = trajectory_and_records
+        json.dumps(trajectory_summary(result))
+
+
+class TestExperimentResultPersistence:
+    def make_result(self) -> ExperimentResult:
+        return ExperimentResult(
+            experiment_id="EX",
+            title="demo",
+            claim="claim",
+            rows=[{"x": 1, "y": 2.5}, {"x": 2, "y": 5.0}],
+            notes=["note"],
+            parameters={"quick": True, "seed": 1},
+        )
+
+    def test_roundtrip(self, tmp_path):
+        original = self.make_result()
+        path = save_experiment_result(original, tmp_path / "result.json")
+        loaded = load_experiment_result(path)
+        assert loaded.experiment_id == original.experiment_id
+        assert loaded.rows == original.rows
+        assert loaded.notes == original.notes
+
+    def test_file_is_valid_json(self, tmp_path):
+        path = save_experiment_result(self.make_result(), tmp_path / "result.json")
+        payload = json.loads(path.read_text())
+        assert payload["experiment_id"] == "EX"

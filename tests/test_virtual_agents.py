@@ -1,0 +1,77 @@
+"""Unit tests for the virtual-agent imitation protocol (Section 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dynamics import StopReason
+from repro.core.imitation import ImitationProtocol
+from repro.core.run import run_until_nash
+from repro.core.virtual_agents import VirtualAgentImitationProtocol
+from repro.games.nash import is_nash
+from repro.games.singleton import make_linear_singleton
+
+
+class TestSamplingDistribution:
+    def test_includes_unused_strategies(self):
+        game = make_linear_singleton(10, [1.0, 1.0])
+        protocol = VirtualAgentImitationProtocol()
+        distribution = protocol.sampling_distribution(game, np.array([10, 0]))
+        assert distribution[1] > 0.0
+        assert distribution.sum() == pytest.approx(1.0)
+
+    def test_weights_are_counts_plus_virtual(self):
+        game = make_linear_singleton(10, [1.0, 1.0])
+        protocol = VirtualAgentImitationProtocol(virtual_agents_per_strategy=2)
+        distribution = protocol.sampling_distribution(game, np.array([8, 2]))
+        assert distribution[0] == pytest.approx((8 + 2) / 14)
+        assert distribution[1] == pytest.approx((2 + 2) / 14)
+
+    def test_requires_positive_virtual_agents(self):
+        with pytest.raises(ValueError):
+            VirtualAgentImitationProtocol(virtual_agents_per_strategy=0)
+
+
+class TestSwitchProbabilities:
+    def test_can_reach_unused_strategy(self):
+        game = make_linear_singleton(10, [1.0, 10.0])
+        protocol = VirtualAgentImitationProtocol(lambda_=1.0)
+        # everyone on the slow link; the fast link is empty but now sampleable
+        probabilities = protocol.switch_probabilities(game, np.array([0, 10]))
+        assert probabilities.matrix[1, 0] > 0.0
+
+    def test_plain_imitation_cannot(self):
+        game = make_linear_singleton(10, [1.0, 10.0])
+        plain = ImitationProtocol(lambda_=1.0, use_nu_threshold=False)
+        assert np.all(plain.switch_probabilities(game, np.array([0, 10])).matrix == 0.0)
+
+    def test_matrix_is_valid(self):
+        game = make_linear_singleton(30, [1.0, 2.0, 4.0])
+        protocol = VirtualAgentImitationProtocol(lambda_=1.0)
+        probabilities = protocol.switch_probabilities(game, game.uniform_random_state(0))
+        matrix = probabilities.matrix
+        assert np.all(matrix >= 0)
+        assert np.all(matrix.sum(axis=1) <= 1.0 + 1e-9)
+        assert np.all(np.diagonal(matrix) == 0)
+
+    def test_describe_mentions_virtual_agents(self):
+        assert "virtual" in VirtualAgentImitationProtocol().describe()
+
+
+class TestDynamics:
+    def test_recovers_lost_strategy_and_reaches_nash(self):
+        game = make_linear_singleton(20, [1.0, 4.0])
+        protocol = VirtualAgentImitationProtocol()
+        result = run_until_nash(game, protocol, initial_state=[0, 20],
+                                max_rounds=100_000, rng=0)
+        assert result.converged
+        assert is_nash(game, result.final_state)
+
+    def test_plain_imitation_stays_stuck_for_reference(self):
+        game = make_linear_singleton(20, [1.0, 4.0])
+        protocol = ImitationProtocol(use_nu_threshold=False)
+        result = run_until_nash(game, protocol, initial_state=[0, 20],
+                                max_rounds=1_000, rng=0)
+        assert result.stop_reason is StopReason.QUIESCENT
+        assert not is_nash(game, result.final_state)
