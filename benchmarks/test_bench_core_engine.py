@@ -1,18 +1,25 @@
-"""Micro-benchmarks of the core primitives (round engine, potential, matrices).
+"""Micro-benchmarks of the core primitives (round engines, potential, matrices).
 
 These are not paper experiments but performance guards: the experiment suite
 executes millions of rounds, so regressions in the per-round cost matter.
+The ensemble benchmarks also act as the acceptance guard for the batched
+engine — at 64 replicas it must beat the sequential replica loop by at least
+3x on the same game sizes.
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
-from repro.core.dynamics import sample_migration_matrix, step
+from repro.core.dynamics import ConcurrentDynamics, sample_migration_matrix, step
+from repro.core.ensemble import EnsembleDynamics, sample_migration_matrices
 from repro.core.imitation import ImitationProtocol
 from repro.games.generators import random_linear_singleton, random_monomial_singleton
 from repro.games.network import grid_network_game
+from repro.rng import spawn_rngs
 
 
 @pytest.fixture(scope="module")
@@ -82,3 +89,50 @@ def test_bench_100_rounds_polynomial_singleton(benchmark):
 
     total = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
     assert total == 1000
+
+
+def test_bench_batched_switch_and_sampling_r64(benchmark, singleton_game):
+    protocol = ImitationProtocol(use_nu_threshold=False)
+    batch = singleton_game.uniform_random_batch_state(64, rng=6).counts
+
+    def round_once() -> int:
+        gen = np.random.default_rng(2)
+        matrices = protocol.switch_probabilities_batch(singleton_game, batch)
+        migration = sample_migration_matrices(batch, matrices, gen)
+        return int(migration.sum())
+
+    moves = benchmark(round_once)
+    assert moves >= 0
+
+
+def test_bench_ensemble_vs_replica_loop_r64(benchmark, singleton_game):
+    """Acceptance guard: the batch engine must be >= 3x faster than looping
+    the replicas sequentially (same game, same round budget, R = 64)."""
+    protocol = ImitationProtocol()
+    replicas, rounds = 64, 60
+
+    def run_loop() -> None:
+        for gen in spawn_rngs(99, replicas):
+            ConcurrentDynamics(singleton_game, protocol, rng=gen).run(
+                singleton_game.uniform_random_state(gen),
+                max_rounds=rounds, stop_when_quiescent=False,
+            )
+
+    def run_batch() -> None:
+        EnsembleDynamics(singleton_game, protocol, rng=99).run(
+            replicas=replicas, max_rounds=rounds, stop_when_quiescent=False,
+        )
+
+    started = time.perf_counter()
+    run_loop()
+    loop_seconds = time.perf_counter() - started
+
+    benchmark.pedantic(run_batch, rounds=3, iterations=1, warmup_rounds=1)
+    batch_seconds = benchmark.stats.stats.mean
+    speedup = loop_seconds / batch_seconds
+    benchmark.extra_info["loop_seconds"] = round(loop_seconds, 4)
+    benchmark.extra_info["speedup_vs_loop"] = round(speedup, 2)
+    assert speedup >= 3.0, (
+        f"batch engine only {speedup:.1f}x faster than the replica loop "
+        f"({batch_seconds:.3f}s vs {loop_seconds:.3f}s at R={replicas})"
+    )

@@ -6,8 +6,8 @@ The package is organised in five layers:
   symmetric / singleton / network / threshold games, states, Nash equilibria,
   social optima, instance generators);
 * :mod:`repro.core` — the paper's contribution: the IMITATION PROTOCOL, the
-  EXPLORATION PROTOCOL, protocol mixtures, the exact concurrent round engine,
-  sequential dynamics, stability predicates and potential bookkeeping;
+  EXPLORATION PROTOCOL, protocol mixtures, the round engines, sequential
+  dynamics, stability predicates and potential bookkeeping;
 * :mod:`repro.baselines` — comparator dynamics (best response,
   epsilon-greedy, Goldberg-style local search, undamped proportional
   imitation, pure exploration);
@@ -15,6 +15,29 @@ The package is organised in five layers:
   extinction diagnostics, Price-of-Imitation estimation;
 * :mod:`repro.experiments` — the experiment registry that regenerates every
   quantitative claim of the paper (see ``EXPERIMENTS.md``).
+
+Round engines
+-------------
+Two engines implement the same exact finite-population dynamics (one
+multinomial per occupied origin, never a mean-field approximation):
+
+* the **loop engine** (:class:`~repro.core.dynamics.ConcurrentDynamics`)
+  advances a single trajectory and offers the richest per-round
+  instrumentation (full :class:`~repro.core.metrics.RoundRecord` snapshots,
+  state histories, arbitrary Python stop conditions);
+* the **ensemble engine** (:class:`~repro.core.ensemble.EnsembleDynamics`)
+  advances ``R`` independent replicas as one vectorized ``(R, S)`` system —
+  batched switch matrices, one stacked multinomial sweep per round, and
+  early retirement of finished replicas.  It is the default for everything
+  statistical (hitting-time, survival and price estimation run many replicas
+  of the same game) and is several times to orders of magnitude faster at
+  realistic replica counts.
+
+For one replica the two engines consume the random stream identically; for
+``R > 1`` the ensemble interleaves replicas round by round and is therefore a
+*different* (equally exact, equally reproducible) sampling of the same
+process than ``R`` sequential loop runs.  ``docs/ENGINE.md`` explains the
+``(R, S)`` layout, the exactness argument and when to pick which engine.
 
 Quickstart
 ----------
@@ -25,11 +48,22 @@ Quickstart
 ...     game, ImitationProtocol(), delta=0.1, epsilon=0.2, rng=0)
 >>> result.rounds >= 0
 True
+
+Batched (many replicas at once):
+
+>>> from repro.core import EnsembleDynamics
+>>> ensemble = EnsembleDynamics(game, ImitationProtocol(), rng=0)
+>>> result = ensemble.run(replicas=32, max_rounds=2_000)
+>>> int(result.num_replicas)
+32
 """
 
 from . import analysis, baselines, core, games
 from .core import (
     ConcurrentDynamics,
+    EnsembleCollector,
+    EnsembleDynamics,
+    EnsembleResult,
     ExplorationProtocol,
     ImitationProtocol,
     MixtureProtocol,
@@ -39,8 +73,10 @@ from .core import (
     run_until_imitation_stable,
     run_until_nash,
     simulate,
+    simulate_ensemble,
 )
 from .games import (
+    BatchGameState,
     CongestionGame,
     GameState,
     NetworkCongestionGame,
@@ -58,6 +94,9 @@ __all__ = [
     "core",
     "games",
     "ConcurrentDynamics",
+    "EnsembleCollector",
+    "EnsembleDynamics",
+    "EnsembleResult",
     "ExplorationProtocol",
     "ImitationProtocol",
     "MixtureProtocol",
@@ -67,6 +106,8 @@ __all__ = [
     "run_until_imitation_stable",
     "run_until_nash",
     "simulate",
+    "simulate_ensemble",
+    "BatchGameState",
     "CongestionGame",
     "GameState",
     "NetworkCongestionGame",

@@ -4,10 +4,22 @@ Theorem 7 predicts that the expected number of rounds to the first
 (delta, eps, nu)-equilibrium scales like ``d / (eps^2 delta) * log(Phi(x0)/Phi*)``
 — in particular only logarithmically in the number of players once the other
 parameters are fixed.  The experiments estimate hitting times over seeded
-trials (``measure_hitting_times``) and then check the *shape* of the scaling
-by fitting logarithmic / power-law models to the measured curve and comparing
-their quality (``fit_logarithmic``, ``fit_power_law``,
-``compare_scaling_models``).
+trials and then check the *shape* of the scaling by fitting logarithmic /
+power-law models to the measured curve and comparing their quality
+(``fit_logarithmic``, ``fit_power_law``, ``compare_scaling_models``).
+
+Two measurement engines are available:
+
+* ``engine="batch"`` (default) runs all trials as one vectorized ensemble
+  (:class:`~repro.core.ensemble.EnsembleDynamics`) — the game factory is
+  called **once** and the replicas share the instance;
+* ``engine="loop"`` preserves the historical behaviour: one sequential
+  :class:`~repro.core.dynamics.ConcurrentDynamics` run per trial with a
+  freshly built game and an independently spawned generator.
+
+Both engines are reproducible from their seed but consume the randomness
+differently, so their sampled hitting times are *statistically* (not
+sample-path-wise) equivalent.
 """
 
 from __future__ import annotations
@@ -18,15 +30,23 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from ..core.dynamics import StopReason, TrajectoryResult
+from ..core.ensemble import (
+    BatchStopCondition,
+    EnsembleDynamics,
+    batch_stop_at_approx_equilibrium,
+    batch_stop_at_imitation_stable,
+)
 from ..core.protocols import Protocol
 from ..core.run import run_until_approx_equilibrium, run_until_imitation_stable
 from ..games.base import CongestionGame
+from ..games.state import BatchStateLike
 from ..rng import RngLike, spawn_rngs
 from .statistics import TrialSummary, summarize
 
 __all__ = [
     "HittingTimeResult",
     "measure_hitting_times",
+    "measure_hitting_times_ensemble",
     "measure_approx_equilibrium_times",
     "measure_imitation_stable_times",
     "ScalingFit",
@@ -75,6 +95,36 @@ def measure_hitting_times(
     return HittingTimeResult(times=times, censored=censored, summary=summarize(times))
 
 
+def measure_hitting_times_ensemble(
+    game: CongestionGame,
+    protocol: Protocol,
+    stop_condition: BatchStopCondition,
+    *,
+    trials: int,
+    max_rounds: int = 100_000,
+    rng: RngLike = 0,
+    initial_states: Optional[BatchStateLike] = None,
+) -> HittingTimeResult:
+    """Batched trial loop: all trials advance together as one ensemble.
+
+    ``initial_states`` defaults to ``trials`` independent uniform-random
+    initialisations.  Replicas that end with
+    :attr:`~repro.core.dynamics.StopReason.MAX_ROUNDS` are counted as
+    censored, exactly like the sequential loop.
+    """
+    dynamics = EnsembleDynamics(game, protocol, rng=rng)
+    result = dynamics.run(
+        initial_states,
+        replicas=trials,
+        max_rounds=max_rounds,
+        stop_condition=stop_condition,
+    )
+    times = [int(r) for r in result.rounds]
+    censored = sum(1 for reason in result.stop_reasons
+                   if reason is StopReason.MAX_ROUNDS)
+    return HittingTimeResult(times=times, censored=censored, summary=summarize(times))
+
+
 def measure_approx_equilibrium_times(
     game_factory: Callable[[], CongestionGame],
     protocol: Protocol,
@@ -85,12 +135,30 @@ def measure_approx_equilibrium_times(
     trials: int = 10,
     max_rounds: int = 100_000,
     rng: RngLike = 0,
+    engine: str = "batch",
 ) -> HittingTimeResult:
     """Hitting times of the first (delta, eps, nu)-equilibrium.
 
-    ``game_factory`` is called once per trial so that game-level caches do
-    not leak state between trials and randomised instances can resample.
+    With ``engine="batch"`` the factory is called once and all trials run as
+    one ensemble on the shared instance; with ``engine="loop"`` it is called
+    once per trial so that game-level caches do not leak state between trials
+    and randomised instances can resample.
+
+    .. warning::
+       If ``game_factory`` draws a *random* instance per call, the two
+       engines estimate different quantities: the loop averages over
+       instance randomness *and* path randomness, the batch conditions on a
+       single drawn instance.  Use ``engine="loop"`` for randomised
+       factories; all deterministic factories are engine-agnostic.
     """
+    if engine == "batch":
+        return measure_hitting_times_ensemble(
+            game_factory(), protocol,
+            batch_stop_at_approx_equilibrium(delta, epsilon, nu),
+            trials=trials, max_rounds=max_rounds, rng=rng,
+        )
+    if engine != "loop":
+        raise ValueError(f"unknown engine {engine!r}; use 'loop' or 'batch'")
 
     def run_one(generator: np.random.Generator) -> TrajectoryResult:
         game = game_factory()
@@ -110,8 +178,21 @@ def measure_imitation_stable_times(
     trials: int = 10,
     max_rounds: int = 100_000,
     rng: RngLike = 0,
+    engine: str = "batch",
 ) -> HittingTimeResult:
-    """Hitting times of the first imitation-stable state (Theorem 4)."""
+    """Hitting times of the first imitation-stable state (Theorem 4).
+
+    Engine semantics (including the randomised-factory caveat) are the same
+    as for :func:`measure_approx_equilibrium_times`.
+    """
+    if engine == "batch":
+        return measure_hitting_times_ensemble(
+            game_factory(), protocol,
+            batch_stop_at_imitation_stable(nu),
+            trials=trials, max_rounds=max_rounds, rng=rng,
+        )
+    if engine != "loop":
+        raise ValueError(f"unknown engine {engine!r}; use 'loop' or 'batch'")
 
     def run_one(generator: np.random.Generator) -> TrajectoryResult:
         game = game_factory()

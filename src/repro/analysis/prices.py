@@ -21,6 +21,8 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from ..core.dynamics import StopReason
+from ..core.ensemble import EnsembleDynamics, batch_stop_at_imitation_stable
 from ..core.protocols import Protocol
 from ..core.run import run_until_imitation_stable
 from ..games.base import CongestionGame
@@ -53,24 +55,42 @@ def estimate_price_of_imitation(
     trials: int = 20,
     max_rounds: int = 100_000,
     rng: RngLike = 0,
+    engine: str = "batch",
 ) -> PriceOfImitationResult:
     """Estimate ``I_Gamma / OPT`` by running the protocol to an
-    imitation-stable state from independent random initialisations."""
+    imitation-stable state from independent random initialisations.
+
+    ``engine="batch"`` (default) runs all trials as one vectorized ensemble;
+    ``engine="loop"`` runs them sequentially with spawned generators.
+    """
     optimum = compute_social_optimum(game)
     fractional_cost: Optional[float] = None
     if isinstance(game, SingletonCongestionGame) and game.is_linear:
         fractional_cost = game.optimal_fractional_cost()
 
-    generators = spawn_rngs(rng, trials)
     costs: list[float] = []
     unconverged = 0
-    for generator in generators:
-        result = run_until_imitation_stable(
-            game, protocol, max_rounds=max_rounds, rng=generator,
+    if engine == "batch":
+        dynamics = EnsembleDynamics(game, protocol, rng=rng)
+        result = dynamics.run(
+            replicas=trials,
+            max_rounds=max_rounds,
+            stop_condition=batch_stop_at_imitation_stable(),
         )
-        if not result.converged:
-            unconverged += 1
-        costs.append(float(game.social_cost(result.final_state)))
+        unconverged = sum(1 for reason in result.stop_reasons
+                          if reason is StopReason.MAX_ROUNDS)
+        costs = [float(c) for c in game.social_cost_batch(result.final_states)]
+    elif engine == "loop":
+        generators = spawn_rngs(rng, trials)
+        for generator in generators:
+            result = run_until_imitation_stable(
+                game, protocol, max_rounds=max_rounds, rng=generator,
+            )
+            if not result.converged:
+                unconverged += 1
+            costs.append(float(game.social_cost(result.final_state)))
+    else:
+        raise ValueError(f"unknown engine {engine!r}; use 'loop' or 'batch'")
     summary = summarize(costs)
     expected_cost = summary.mean
     return PriceOfImitationResult(

@@ -19,6 +19,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from ..core.dynamics import ConcurrentDynamics
+from ..core.ensemble import EnsembleDynamics
 from ..core.protocols import Protocol
 from ..games.base import CongestionGame
 from ..games.state import StateLike
@@ -102,6 +103,52 @@ def run_with_extinction_tracking(
     )
 
 
+def _estimate_extinction_probability_batch(
+    game: CongestionGame,
+    protocol: Protocol,
+    *,
+    rounds: int,
+    trials: int,
+    rng: RngLike = 0,
+) -> dict[str, float]:
+    """Batched extinction estimate: all trials advance as one ensemble and a
+    per-round observer watches the congestion of initially-used resources."""
+    gen = ensure_rng(rng)
+    dynamics = EnsembleDynamics(game, protocol, rng=gen)
+    initial = game.uniform_random_batch_state(trials, gen)
+    initial_loads = game.congestion_batch(initial)  # (R, m)
+    watched = initial_loads > 0
+
+    min_congestion = np.where(
+        np.any(watched, axis=1),
+        np.where(watched, initial_loads, np.inf).min(axis=1),
+        0.0,
+    )
+    extinction_round = np.full(trials, -1, dtype=np.int64)
+
+    def observer(game_: CongestionGame, counts: np.ndarray,
+                 indices: np.ndarray, round_index: int) -> None:
+        loads = game_.congestion_batch(counts[indices])
+        masked = np.where(watched[indices], loads, np.inf)
+        lows = masked.min(axis=1)
+        lows = np.where(np.isfinite(lows), lows, 0.0)
+        min_congestion[indices] = np.minimum(min_congestion[indices], lows)
+        emptied = (lows <= 0.0) & np.any(watched[indices], axis=1)
+        fresh = emptied & (extinction_round[indices] < 0)
+        extinction_round[indices[fresh]] = round_index
+
+    dynamics.run(initial, max_rounds=rounds, observer=observer)
+    extinctions = int(np.count_nonzero(extinction_round >= 0))
+    estimate, upper = probability_estimate(extinctions, trials)
+    return {
+        "trials": float(trials),
+        "extinctions": float(extinctions),
+        "probability": estimate,
+        "probability_upper_bound": upper,
+        "min_congestion": float(min_congestion.min()) if trials else 0.0,
+    }
+
+
 def estimate_extinction_probability(
     game_factory: Callable[[], CongestionGame],
     protocol: Protocol,
@@ -109,13 +156,23 @@ def estimate_extinction_probability(
     rounds: int,
     trials: int,
     rng: RngLike = 0,
+    engine: str = "batch",
 ) -> dict[str, float]:
     """Empirical probability that any initially-used resource empties within
     ``rounds`` rounds, over ``trials`` independent runs.
 
     Returns the point estimate, an upper confidence bound (rule of three when
     no extinction is ever observed), and the worst (smallest) congestion seen.
+    With ``engine="batch"`` (default) the factory is called once and all
+    trials run as a vectorized ensemble; ``engine="loop"`` preserves the
+    one-trajectory-per-trial behaviour.
     """
+    if engine == "batch":
+        return _estimate_extinction_probability_batch(
+            game_factory(), protocol, rounds=rounds, trials=trials, rng=rng,
+        )
+    if engine != "loop":
+        raise ValueError(f"unknown engine {engine!r}; use 'loop' or 'batch'")
     generators = spawn_rngs(rng, trials)
     extinctions = 0
     min_congestion = float("inf")

@@ -10,7 +10,7 @@
 
 from .best_response import BaselineResult, run_best_response_baseline
 from .epsilon_greedy import run_epsilon_greedy_baseline
-from .exploration_only import run_exploration_only
+from .exploration_only import run_exploration_only, run_exploration_only_ensemble
 from .goldberg import run_goldberg_baseline
 from .proportional_sampling import (
     ProportionalImitationProtocol,
@@ -22,6 +22,7 @@ __all__ = [
     "run_best_response_baseline",
     "run_epsilon_greedy_baseline",
     "run_exploration_only",
+    "run_exploration_only_ensemble",
     "run_goldberg_baseline",
     "ProportionalImitationProtocol",
     "make_aggressive_proportional_protocol",

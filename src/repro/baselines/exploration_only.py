@@ -13,14 +13,15 @@ from __future__ import annotations
 from typing import Optional
 
 from ..core.dynamics import TrajectoryResult
+from ..core.ensemble import EnsembleDynamics, EnsembleResult, batch_stop_at_nash
 from ..core.exploration import ExplorationProtocol
 from ..core.imitation import DEFAULT_LAMBDA
 from ..core.run import run_until_nash
 from ..games.base import CongestionGame
-from ..games.state import StateLike
+from ..games.state import BatchStateLike, StateLike
 from ..rng import RngLike
 
-__all__ = ["run_exploration_only"]
+__all__ = ["run_exploration_only", "run_exploration_only_ensemble"]
 
 
 def run_exploration_only(
@@ -41,4 +42,26 @@ def run_exploration_only(
         initial_state=initial_state,
         max_rounds=max_rounds,
         rng=rng,
+    )
+
+
+def run_exploration_only_ensemble(
+    game: CongestionGame,
+    *,
+    replicas: int,
+    lambda_: float = DEFAULT_LAMBDA,
+    initial_states: Optional[BatchStateLike] = None,
+    max_rounds: int = 1_000_000,
+    tolerance: float = 1e-9,
+    rng: RngLike = None,
+) -> EnsembleResult:
+    """Run ``replicas`` replicas of the pure EXPLORATION PROTOCOL to Nash
+    equilibria through the batched ensemble engine (exploration is by far the
+    slowest baseline, so batching pays off the most here)."""
+    dynamics = EnsembleDynamics(game, ExplorationProtocol(lambda_), rng=rng)
+    return dynamics.run(
+        initial_states,
+        replicas=replicas,
+        max_rounds=max_rounds,
+        stop_condition=batch_stop_at_nash(tolerance),
     )

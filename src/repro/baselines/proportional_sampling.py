@@ -28,7 +28,10 @@ class ProportionalImitationProtocol(UndampedImitationProtocol):
     """Alias of :class:`~repro.core.imitation.UndampedImitationProtocol`.
 
     Kept as a distinct name so experiment tables can talk about the baseline
-    without referencing the internals of the core package.
+    without referencing the internals of the core package.  The vectorised
+    :meth:`~repro.core.protocols.Protocol.switch_probabilities_batch` comes
+    with the inheritance (only the elasticity damping differs), so the
+    baseline runs under the ensemble engine at full speed.
     """
 
     name = "proportional-imitation"

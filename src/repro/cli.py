@@ -17,6 +17,10 @@ Run the full suite and write a markdown report::
 Simulate a protocol on a generated instance::
 
     python -m repro simulate --game linear-singleton --players 200 --rounds 500
+
+Simulate 64 replicas at once through the batched ensemble engine::
+
+    python -m repro simulate --replicas 64 --rounds 500
 """
 
 from __future__ import annotations
@@ -25,12 +29,16 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+import numpy as np
+
 from .core import (
+    EnsembleCollector,
     ExplorationProtocol,
     ImitationProtocol,
     MetricsCollector,
     make_hybrid_protocol,
     simulate,
+    simulate_ensemble,
 )
 from .experiments import (
     list_experiments,
@@ -50,6 +58,7 @@ __all__ = ["main", "build_parser"]
 
 _GAME_CHOICES = ("linear-singleton", "quadratic-singleton", "braess", "grid", "two-link")
 _PROTOCOL_CHOICES = ("imitation", "exploration", "hybrid")
+_ENGINE_CHOICES = ("loop", "batch")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -67,6 +76,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--quick", action="store_true", help="scaled-down configuration")
     run_parser.add_argument("--seed", type=int, default=2009)
     run_parser.add_argument("--markdown", action="store_true", help="emit a markdown table")
+    run_parser.add_argument("--engine", choices=_ENGINE_CHOICES, default="batch",
+                            help="round engine: batched ensemble (default) or per-trial loop")
 
     all_parser = subparsers.add_parser("run-all", help="run the full experiment suite")
     all_parser.add_argument("--quick", action="store_true", help="scaled-down configuration")
@@ -75,6 +86,8 @@ def build_parser() -> argparse.ArgumentParser:
                             help="restrict to the given experiment identifiers")
     all_parser.add_argument("--markdown", action="store_true", help="emit markdown")
     all_parser.add_argument("--output", default=None, help="write the report to a file")
+    all_parser.add_argument("--engine", choices=_ENGINE_CHOICES, default="batch",
+                            help="round engine: batched ensemble (default) or per-trial loop")
 
     sim_parser = subparsers.add_parser("simulate", help="simulate a protocol on a generated game")
     sim_parser.add_argument("--game", choices=_GAME_CHOICES, default="linear-singleton")
@@ -85,6 +98,11 @@ def build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument("--seed", type=int, default=0)
     sim_parser.add_argument("--every", type=int, default=10,
                             help="record metrics every N rounds")
+    sim_parser.add_argument("--replicas", type=int, default=1,
+                            help="number of independent replicas to simulate")
+    sim_parser.add_argument("--engine", choices=_ENGINE_CHOICES, default=None,
+                            help="round engine; defaults to batch for --replicas > 1 "
+                                 "and to the loop engine for a single trajectory")
     return parser
 
 
@@ -120,13 +138,15 @@ def _command_list() -> int:
 
 
 def _command_run(args: argparse.Namespace) -> int:
-    result = run_experiment(args.experiment, quick=args.quick, seed=args.seed)
+    result = run_experiment(args.experiment, quick=args.quick, seed=args.seed,
+                            engine=args.engine)
     print(result.render_markdown() if args.markdown else result.render())
     return 0
 
 
 def _command_run_all(args: argparse.Namespace) -> int:
-    results = run_all(quick=args.quick, seed=args.seed, only=args.only, verbose=False)
+    results = run_all(quick=args.quick, seed=args.seed, only=args.only, verbose=False,
+                      engine=args.engine)
     report = render_markdown_report(results) if args.markdown else render_report(results)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -138,8 +158,16 @@ def _command_run_all(args: argparse.Namespace) -> int:
 
 
 def _command_simulate(args: argparse.Namespace) -> int:
+    if args.replicas < 1:
+        raise ValueError("--replicas must be at least 1")
+    engine = args.engine or ("batch" if args.replicas > 1 else "loop")
+    if engine == "loop" and args.replicas > 1:
+        raise ValueError("--engine loop simulates a single trajectory; "
+                         "use --engine batch for --replicas > 1")
     game = _build_game(args.game, args.players, args.links, args.seed)
     protocol = _build_protocol(args.protocol)
+    if engine == "batch":
+        return _simulate_ensemble(args, game, protocol)
     collector = MetricsCollector(game, every=max(1, args.every))
     result = simulate(game, protocol, rounds=args.rounds, rng=args.seed, collector=collector)
     print(f"game: {game.describe()}")
@@ -151,6 +179,33 @@ def _command_simulate(args: argparse.Namespace) -> int:
         print(f"{record.round_index:>8} {record.potential:>14.4f} "
               f"{record.average_latency:>12.4f} {record.unsatisfied_fraction:>12.3f} "
               f"{record.support_size:>8}")
+    return 0
+
+
+def _simulate_ensemble(args: argparse.Namespace, game, protocol) -> int:
+    collector = EnsembleCollector(game, every=max(1, args.every))
+    result = simulate_ensemble(
+        game, protocol, replicas=args.replicas, rounds=args.rounds,
+        rng=args.seed, collector=collector,
+    )
+    print(f"game: {game.describe()}")
+    print(f"protocol: {protocol.describe()}")
+    replica_word = "replica" if result.num_replicas == 1 else "replicas"
+    print(f"engine: batch ({result.num_replicas} {replica_word})")
+    rounds = result.rounds
+    print(f"rounds executed: min={int(rounds.min())} mean={float(rounds.mean()):.1f} "
+          f"max={int(rounds.max())}")
+    quiescent = sum(1 for reason in result.stop_reasons if reason.value == "quiescent")
+    print(f"quiescent replicas: {quiescent}/{result.num_replicas}")
+    print(f"total migrations: {int(result.total_migrations.sum())}")
+    potential = result.metric("potential")
+    latency = result.metric("average_latency")
+    support = result.metric("support_size")
+    print(f"{'round':>8} {'mean potential':>15} {'mean latency':>13} {'mean support':>13}")
+    for row, round_index in enumerate(result.trace_rounds):
+        print(f"{round_index:>8} {float(np.mean(potential[row])):>15.4f} "
+              f"{float(np.mean(latency[row])):>13.4f} "
+              f"{float(np.mean(support[row])):>13.2f}")
     return 0
 
 

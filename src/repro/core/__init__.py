@@ -2,8 +2,9 @@
 
 This subpackage implements the IMITATION PROTOCOL (Protocol 1), the
 EXPLORATION PROTOCOL (Protocol 2), protocol mixtures, the exact concurrent
-round engine, the sequential dynamics used by the lower-bound constructions,
-the stability/equilibrium predicates and the potential bookkeeping of the
+round engines (the single-trajectory loop engine and the batched ensemble
+engine), the sequential dynamics used by the lower-bound constructions, the
+stability/equilibrium predicates and the potential bookkeeping of the
 convergence proofs.
 """
 
@@ -14,6 +15,17 @@ from .dynamics import (
     TrajectoryResult,
     sample_migration_matrix,
     step,
+)
+from .ensemble import (
+    EnsembleCollector,
+    EnsembleDynamics,
+    EnsembleResult,
+    batch_stop_at_approx_equilibrium,
+    batch_stop_at_imitation_stable,
+    batch_stop_at_nash,
+    batch_stop_from_scalar,
+    sample_migration_matrices,
+    simulate_ensemble,
 )
 from .exploration import ExplorationProtocol
 from .hybrid import MixtureProtocol, make_hybrid_protocol
@@ -61,6 +73,15 @@ __all__ = [
     "TrajectoryResult",
     "sample_migration_matrix",
     "step",
+    "EnsembleCollector",
+    "EnsembleDynamics",
+    "EnsembleResult",
+    "batch_stop_at_approx_equilibrium",
+    "batch_stop_at_imitation_stable",
+    "batch_stop_at_nash",
+    "batch_stop_from_scalar",
+    "sample_migration_matrices",
+    "simulate_ensemble",
     "ExplorationProtocol",
     "MixtureProtocol",
     "make_hybrid_protocol",

@@ -20,7 +20,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from ..errors import ConvergenceError
+from ..errors import ConvergenceError, MetricError
 from ..games.base import CongestionGame
 from ..games.state import GameState, StateLike
 from ..rng import RngLike, ensure_rng
@@ -36,6 +36,7 @@ __all__ = [
     "StepOutcome",
     "TrajectoryResult",
     "sample_migration_matrix",
+    "sample_migration_matrices",
     "step",
     "ConcurrentDynamics",
 ]
@@ -88,7 +89,19 @@ class TrajectoryResult:
     states: Optional[list[GameState]] = None
 
     def metric(self, name: str) -> np.ndarray:
-        """One recorded metric as an array over recorded rounds."""
+        """One recorded metric as an array over recorded rounds.
+
+        Raises :class:`~repro.errors.MetricError` (listing the valid names)
+        when ``name`` is not a :class:`~repro.core.metrics.RoundRecord`
+        field.
+        """
+        from .metrics import RoundRecord  # local import, avoids cycle
+
+        valid = RoundRecord.__dataclass_fields__
+        if name not in valid:
+            raise MetricError(
+                f"unknown metric {name!r}; valid metric names: {sorted(valid)}"
+            )
         return np.array([getattr(record, name) for record in self.records], dtype=float)
 
     @property
@@ -97,35 +110,65 @@ class TrajectoryResult:
         return self.stop_reason is not StopReason.MAX_ROUNDS
 
 
+def sample_migration_matrices(
+    counts: np.ndarray,
+    switch_matrices: np.ndarray,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Draw the random migration matrices of one round for a batch of states.
+
+    ``counts`` has shape ``(R, S)`` and ``switch_matrices`` shape
+    ``(R, S, S)``; the result ``M`` has shape ``(R, S, S)`` with
+    ``M[r, P, Q]`` the number of players of replica ``r`` moving from ``P``
+    to ``Q``.  For every occupied (replica, origin) row with positive leave
+    probability the row ``(switch_matrices[r, P, :], stay)`` defines a
+    multinomial over destinations; all such rows are drawn through **one**
+    stacked :meth:`numpy.random.Generator.multinomial` call.  NumPy fills the
+    stacked draw row by row (replica-major, origin-minor) from the same bit
+    stream per-row calls would consume, so the draws are bit-for-bit
+    identical to a per-origin loop for any fixed generator state — the
+    invariant behind the loop/ensemble ``R = 1`` equivalence.
+    """
+    gen = ensure_rng(rng)
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.ndim != 2:
+        raise ValueError("batched sampling expects an (R, S) counts matrix")
+    replicas, num_strategies = counts.shape
+    migration = np.zeros((replicas, num_strategies, num_strategies), dtype=np.int64)
+
+    leave = switch_matrices.sum(axis=2)  # (R, S) total leave probability
+    rows_r, rows_p = np.nonzero((counts > 0) & (leave > 0.0))
+    if rows_r.size == 0:
+        return migration
+
+    probabilities = np.empty((rows_r.size, num_strategies + 1))
+    probabilities[:, :num_strategies] = switch_matrices[rows_r, rows_p]
+    probabilities[:, num_strategies] = np.maximum(0.0, 1.0 - leave[rows_r, rows_p])
+    # Guard against tiny negative values / rounding drift.
+    np.clip(probabilities, 0.0, None, out=probabilities)
+    probabilities /= probabilities.sum(axis=1, keepdims=True)
+
+    draws = gen.multinomial(counts[rows_r, rows_p], probabilities)
+    draws[np.arange(rows_r.size), rows_p] = 0  # a player "moving" P -> P stays
+    migration[rows_r, rows_p, :] = draws[:, :num_strategies]
+    return migration
+
+
 def sample_migration_matrix(
     counts: np.ndarray,
     switch_matrix: np.ndarray,
     rng: RngLike = None,
 ) -> np.ndarray:
-    """Draw the random migration matrix for one round.
+    """Draw the random migration matrix for one round (single state).
 
-    For every origin ``P`` with ``counts[P] > 0`` the row
-    ``(switch_matrix[P, :], stay)`` defines a multinomial over destinations;
-    the draw gives the number of players moving ``P -> Q`` for every ``Q``.
+    The single-state view of :func:`sample_migration_matrices` — one shared
+    implementation keeps the two engines' random streams identical by
+    construction.
     """
-    gen = ensure_rng(rng)
     counts = np.asarray(counts, dtype=np.int64)
-    num_strategies = counts.size
-    migration = np.zeros((num_strategies, num_strategies), dtype=np.int64)
-    for origin in np.nonzero(counts > 0)[0]:
-        row = switch_matrix[origin]
-        total_leave_probability = float(row.sum())
-        if total_leave_probability <= 0.0:
-            continue
-        stay = max(0.0, 1.0 - total_leave_probability)
-        probabilities = np.append(row, stay)
-        # Guard against tiny negative values / rounding drift.
-        probabilities = np.clip(probabilities, 0.0, None)
-        probabilities /= probabilities.sum()
-        draws = gen.multinomial(int(counts[origin]), probabilities)
-        migration[origin, :] = draws[:-1]
-        migration[origin, origin] = 0
-    return migration
+    return sample_migration_matrices(
+        counts[np.newaxis, :], np.asarray(switch_matrix)[np.newaxis, :, :], rng,
+    )[0]
 
 
 def step(

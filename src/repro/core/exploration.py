@@ -27,9 +27,15 @@ import numpy as np
 
 from ..errors import ProtocolError
 from ..games.base import CongestionGame
-from ..games.state import StateLike
+from ..games.state import BatchStateLike, StateLike
 from .imitation import DEFAULT_LAMBDA
-from .protocols import Protocol, SwitchProbabilities, relative_gain_matrix
+from .protocols import (
+    Protocol,
+    SwitchProbabilities,
+    relative_gain_matrix,
+    relative_gain_matrix_batch,
+    zero_diagonal,
+)
 
 __all__ = ["ExplorationProtocol"]
 
@@ -106,6 +112,27 @@ class ExplorationProtocol(Protocol):
         matrix = mu / game.num_strategies  # uniform strategy sampling
         np.fill_diagonal(matrix, 0.0)
         return SwitchProbabilities(matrix=matrix, gains=gains)
+
+    # ------------------------------------------------------------------
+    # Batched evaluation (ensemble engine)
+    # ------------------------------------------------------------------
+    def migration_probabilities_batch(self, game: CongestionGame,
+                                      batch: BatchStateLike) -> np.ndarray:
+        """Batched ``mu_PQ`` matrices, shape ``(R, S, S)``."""
+        counts = game.validate_batch_state(batch)
+        latencies = game.strategy_latencies_batch(counts)
+        post = game.post_migration_latency_matrix_batch(counts)
+        gains = latencies[:, :, np.newaxis] - post
+        relative = relative_gain_matrix_batch(latencies, post)
+        mu = np.where(gains > self.min_gain, self.damping_factor(game) * relative, 0.0)
+        zero_diagonal(mu)
+        return np.clip(mu, 0.0, 1.0)
+
+    def switch_probabilities_batch(self, game: CongestionGame,
+                                   batch: BatchStateLike) -> np.ndarray:
+        counts = game.validate_batch_state(batch)
+        matrices = self.migration_probabilities_batch(game, counts) / game.num_strategies
+        return zero_diagonal(matrices)
 
     def describe(self) -> str:
         return f"exploration(lambda={self.lambda_:g})"

@@ -21,7 +21,7 @@ import numpy as np
 
 from ..errors import ProtocolError
 from ..games.base import CongestionGame
-from ..games.state import StateLike
+from ..games.state import BatchStateLike, StateLike
 from .exploration import ExplorationProtocol
 from .imitation import DEFAULT_LAMBDA, ImitationProtocol
 from .protocols import Protocol, SwitchProbabilities
@@ -69,6 +69,20 @@ class MixtureProtocol(Protocol):
                 gains = probabilities.gains
         assert gains is not None
         return SwitchProbabilities(matrix=matrix, gains=gains)
+
+    def switch_probabilities_batch(self, game: CongestionGame,
+                                   batch: BatchStateLike) -> np.ndarray:
+        """The mixture of batched switch matrices is the weighted sum of the
+        components' batched matrices (same argument as the scalar case)."""
+        counts = game.validate_batch_state(batch)
+        matrices = np.zeros(
+            (counts.shape[0], game.num_strategies, game.num_strategies)
+        )
+        for weight, component in zip(self.weights, self.components):
+            if weight == 0.0:
+                continue
+            matrices += weight * component.switch_probabilities_batch(game, counts)
+        return matrices
 
     def describe(self) -> str:
         parts = ", ".join(

@@ -29,8 +29,14 @@ import numpy as np
 
 from ..errors import ProtocolError
 from ..games.base import CongestionGame
-from ..games.state import StateLike
-from .protocols import Protocol, SwitchProbabilities, relative_gain_matrix
+from ..games.state import BatchStateLike, StateLike
+from .protocols import (
+    Protocol,
+    SwitchProbabilities,
+    relative_gain_matrix,
+    relative_gain_matrix_batch,
+    zero_diagonal,
+)
 
 __all__ = ["ImitationProtocol", "UndampedImitationProtocol", "DEFAULT_LAMBDA"]
 
@@ -126,6 +132,36 @@ class ImitationProtocol(Protocol):
         matrix = mu * sampling[np.newaxis, :]
         np.fill_diagonal(matrix, 0.0)
         return SwitchProbabilities(matrix=matrix, gains=gains)
+
+    # ------------------------------------------------------------------
+    # Batched evaluation (ensemble engine)
+    # ------------------------------------------------------------------
+    def migration_probabilities_batch(self, game: CongestionGame,
+                                      batch: BatchStateLike) -> np.ndarray:
+        """Batched ``mu_PQ`` matrices, shape ``(R, S, S)``."""
+        counts = game.validate_batch_state(batch)
+        latencies = game.strategy_latencies_batch(counts)
+        post = game.post_migration_latency_matrix_batch(counts)
+        gains = latencies[:, :, np.newaxis] - post
+        relative = relative_gain_matrix_batch(latencies, post)
+        nu = self.effective_nu(game)
+        d = self.effective_elasticity(game)
+        mu = np.where(gains > nu, (self.lambda_ / d) * relative, 0.0)
+        zero_diagonal(mu)
+        return np.clip(mu, 0.0, 1.0)
+
+    def sampling_distribution_batch(self, game: CongestionGame,
+                                    counts: np.ndarray) -> np.ndarray:
+        """Per-replica probability of sampling each strategy, shape ``(R, S)``."""
+        return counts.astype(float) / game.num_players
+
+    def switch_probabilities_batch(self, game: CongestionGame,
+                                   batch: BatchStateLike) -> np.ndarray:
+        counts = game.validate_batch_state(batch)
+        mu = self.migration_probabilities_batch(game, counts)
+        sampling = self.sampling_distribution_batch(game, counts)
+        matrices = mu * sampling[:, np.newaxis, :]
+        return zero_diagonal(matrices)
 
     def describe(self) -> str:
         threshold = "nu-threshold" if self.use_nu_threshold else "no-threshold"

@@ -14,6 +14,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..errors import MetricError
 from ..games.base import CongestionGame
 from ..games.state import StateLike
 from .stability import max_imitation_gain, unsatisfied_fraction
@@ -110,7 +111,16 @@ class MetricsCollector:
         return list(self._records)
 
     def column(self, name: str) -> np.ndarray:
-        """Return one metric as an array over the recorded rounds."""
+        """Return one metric as an array over the recorded rounds.
+
+        Unknown names raise :class:`~repro.errors.MetricError` listing the
+        valid :class:`RoundRecord` fields.
+        """
+        valid = RoundRecord.__dataclass_fields__
+        if name not in valid:
+            raise MetricError(
+                f"unknown metric {name!r}; valid metric names: {sorted(valid)}"
+            )
         return np.array([getattr(record, name) for record in self._records], dtype=float)
 
     def potentials(self) -> np.ndarray:

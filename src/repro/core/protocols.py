@@ -14,6 +14,13 @@ which already folds together the sampling step (who/what is sampled) and the
 migration step (the coin flip with probability ``mu_PQ``).  Because players
 are exchangeable and revise independently, the number of players moving from
 ``P`` to each ``Q`` is then multinomial with these probabilities.
+
+The batched ensemble engine (:mod:`repro.core.ensemble`) asks the same
+question for ``R`` replicas at once: :meth:`Protocol.switch_probabilities_batch`
+maps an ``(R, S)`` counts matrix to an ``(R, S, S)`` stack of switch
+matrices.  The base class provides a correct (row-by-row) fallback so every
+protocol works with the ensemble engine out of the box; the paper's
+protocols override it with fully vectorised implementations.
 """
 
 from __future__ import annotations
@@ -26,9 +33,9 @@ import numpy as np
 
 from ..errors import ProtocolError
 from ..games.base import CongestionGame
-from ..games.state import StateLike
+from ..games.state import BatchStateLike, StateLike
 
-__all__ = ["Protocol", "SwitchProbabilities"]
+__all__ = ["Protocol", "SwitchProbabilities", "quiescent_mask"]
 
 
 @dataclass(frozen=True)
@@ -92,6 +99,21 @@ class Protocol(ABC):
     def switch_probabilities(self, game: CongestionGame, state: StateLike) -> SwitchProbabilities:
         """Compute the per-origin switch probabilities in ``state``."""
 
+    def switch_probabilities_batch(self, game: CongestionGame,
+                                   batch: BatchStateLike) -> np.ndarray:
+        """Switch matrices for a whole batch of states, shape ``(R, S, S)``.
+
+        ``result[r]`` must equal ``switch_probabilities(game, batch[r]).matrix``
+        for every replica ``r``.  The default implementation guarantees that
+        by calling the scalar method row by row; protocols with vectorised
+        formulas override it for speed (one broadcasted evaluation instead of
+        ``R`` Python calls).
+        """
+        counts = game.validate_batch_state(batch)
+        return np.stack([
+            self.switch_probabilities(game, row).matrix for row in counts
+        ])
+
     def expected_migration(self, game: CongestionGame, state: StateLike) -> np.ndarray:
         """Expected migration matrix ``E[Delta x_{PQ}] = x_P * R[P, Q]``."""
         counts = game.validate_state(state)
@@ -118,3 +140,29 @@ def relative_gain_matrix(latencies: np.ndarray, post_migration: np.ndarray) -> n
         relative = np.where(latencies[:, np.newaxis] > 0,
                             gains / latencies[:, np.newaxis], 0.0)
     return relative
+
+
+def relative_gain_matrix_batch(latencies: np.ndarray, post_migration: np.ndarray) -> np.ndarray:
+    """Batched :func:`relative_gain_matrix`: ``(R, S)`` latencies and
+    ``(R, S, S)`` post-migration latencies give ``(R, S, S)`` relative gains."""
+    origin = latencies[:, :, np.newaxis]
+    gains = origin - post_migration
+    with np.errstate(divide="ignore", invalid="ignore"):
+        relative = np.where(origin > 0, gains / origin, 0.0)
+    return relative
+
+
+def zero_diagonal(matrices: np.ndarray) -> np.ndarray:
+    """Zero the diagonal of every matrix in an ``(R, S, S)`` stack, in place."""
+    diag = np.arange(matrices.shape[-1])
+    matrices[..., diag, diag] = 0.0
+    return matrices
+
+
+def quiescent_mask(matrices: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Per-replica quiescence: True where no occupied strategy of replica
+    ``r`` has a positive switch probability (the batched analogue of
+    :meth:`SwitchProbabilities.is_quiescent`)."""
+    occupied = np.asarray(counts) > 0  # (R, S)
+    row_max = np.max(matrices, axis=2)  # (R, S): best switch prob per origin
+    return ~np.any(occupied & (row_max > 0.0), axis=1)

@@ -72,6 +72,14 @@ class VirtualAgentImitationProtocol(ImitationProtocol):
         weights = counts.astype(float) + virtual
         return weights / weights.sum()
 
+    def sampling_distribution_batch(self, game: CongestionGame,
+                                    counts: np.ndarray) -> np.ndarray:
+        """Per-replica sampling distribution with the virtual agents included
+        (keeps the inherited batched switch computation correct)."""
+        virtual = float(self.virtual_agents_per_strategy)
+        weights = counts.astype(float) + virtual
+        return weights / weights.sum(axis=1, keepdims=True)
+
     def switch_probabilities(self, game: CongestionGame, state: StateLike
                              ) -> SwitchProbabilities:
         counts = game.validate_state(state)

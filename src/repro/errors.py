@@ -38,6 +38,16 @@ class ProtocolError(ReproError):
     """
 
 
+class MetricError(ReproError):
+    """Raised when a trajectory/ensemble metric is requested under a name
+    that was never recorded.
+
+    The message lists the valid metric names, so a typo in e.g.
+    ``TrajectoryResult.metric("potental")`` fails with an actionable error
+    instead of an opaque ``AttributeError``.
+    """
+
+
 class ConvergenceError(ReproError):
     """Raised when a dynamics run exhausts its round budget without
     satisfying the requested stopping condition and the caller asked for

@@ -33,7 +33,7 @@ __all__ = ["run_elasticity_sweep_experiment"]
 )
 def run_elasticity_sweep_experiment(
     *, quick: bool = True, seed: int = DEFAULTS.seed, trials: int | None = None,
-    num_players: int | None = None, delta: float = 0.25, epsilon: float = 0.25,
+    num_players: int | None = None, engine: str = "batch", delta: float = 0.25, epsilon: float = 0.25,
 ) -> ExperimentResult:
     """Run experiment E4 and return its result table."""
     trials = trials if trials is not None else pick(quick, 5, 20)
@@ -52,6 +52,7 @@ def run_elasticity_sweep_experiment(
         hitting = measure_approx_equilibrium_times(
             factory, protocol, delta, epsilon,
             trials=trials, max_rounds=max_rounds, rng=derive_rng(seed, "elasticity", degree),
+            engine=engine,
         )
         game = factory()
         # Estimate the potential-ratio factor of the Theorem 7 bound: the
@@ -102,5 +103,5 @@ def run_elasticity_sweep_experiment(
         notes=notes,
         parameters={"quick": quick, "seed": seed, "trials": trials,
                     "num_players": num_players, "delta": delta, "epsilon": epsilon,
-                    "degrees": degrees, "max_rounds": max_rounds},
+                    "degrees": degrees, "max_rounds": max_rounds, "engine": engine},
     )

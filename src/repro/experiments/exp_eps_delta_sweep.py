@@ -30,7 +30,7 @@ __all__ = ["run_eps_delta_sweep_experiment"]
 )
 def run_eps_delta_sweep_experiment(
     *, quick: bool = True, seed: int = DEFAULTS.seed, trials: int | None = None,
-    num_players: int | None = None,
+    num_players: int | None = None, engine: str = "batch",
 ) -> ExperimentResult:
     """Run experiment E3 and return its result table."""
     trials = trials if trials is not None else pick(quick, 5, 20)
@@ -51,7 +51,7 @@ def run_eps_delta_sweep_experiment(
         hitting = measure_approx_equilibrium_times(
             factory, protocol, fixed_delta, epsilon,
             trials=trials, max_rounds=max_rounds,
-            rng=derive_rng(seed, "eps-sweep", int(epsilon * 1000)),
+            rng=derive_rng(seed, "eps-sweep", int(epsilon * 1000)), engine=engine,
         )
         rows.append({
             "sweep": "epsilon",
@@ -66,7 +66,7 @@ def run_eps_delta_sweep_experiment(
         hitting = measure_approx_equilibrium_times(
             factory, protocol, delta, fixed_epsilon,
             trials=trials, max_rounds=max_rounds,
-            rng=derive_rng(seed, "delta-sweep", int(delta * 1000)),
+            rng=derive_rng(seed, "delta-sweep", int(delta * 1000)), engine=engine,
         )
         rows.append({
             "sweep": "delta",
@@ -103,5 +103,6 @@ def run_eps_delta_sweep_experiment(
         rows=rows,
         notes=notes,
         parameters={"quick": quick, "seed": seed, "trials": trials,
-                    "num_players": num_players, "max_rounds": max_rounds},
+                    "num_players": num_players, "max_rounds": max_rounds,
+                    "engine": engine},
     )

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.ensemble import EnsembleDynamics, batch_stop_at_nash
 from ..core.exploration import ExplorationProtocol
 from ..core.hybrid import make_hybrid_protocol
 from ..core.imitation import ImitationProtocol
@@ -24,7 +25,7 @@ from ..core.run import run_until_nash
 from ..games.nash import is_nash
 from ..games.optimum import compute_social_optimum
 from ..games.singleton import make_linear_singleton
-from ..games.state import GameState
+from ..games.state import GameState, batch_broadcast
 from ..rng import derive_rng, spawn_rngs
 from .config import DEFAULTS, pick
 from .registry import ExperimentResult, register
@@ -42,7 +43,7 @@ __all__ = ["run_exploration_nash_experiment"]
 )
 def run_exploration_nash_experiment(
     *, quick: bool = True, seed: int = DEFAULTS.seed, trials: int | None = None,
-    num_players: int | None = None,
+    num_players: int | None = None, engine: str = "batch",
 ) -> ExperimentResult:
     """Run experiment E9 and return its result table."""
     trials = trials if trials is not None else pick(quick, 3, 10)
@@ -66,17 +67,29 @@ def run_exploration_nash_experiment(
 
     rows: list[dict] = []
     for protocol_name, protocol in protocols.items():
-        generators = spawn_rngs(derive_rng(seed, "e9", protocol_name), trials)
         rounds_used: list[float] = []
         reached_nash: list[bool] = []
         final_costs: list[float] = []
-        for generator in generators:
-            result = run_until_nash(
-                game, protocol, initial_state=start, max_rounds=max_rounds, rng=generator,
+        if engine == "batch":
+            dynamics = EnsembleDynamics(
+                game, protocol, rng=derive_rng(seed, "e9", protocol_name))
+            ensemble = dynamics.run(
+                batch_broadcast(start, trials),
+                max_rounds=max_rounds,
+                stop_condition=batch_stop_at_nash(),
             )
-            rounds_used.append(float(result.rounds))
-            reached_nash.append(bool(is_nash(game, result.final_state)))
-            final_costs.append(float(game.social_cost(result.final_state)))
+            rounds_used = [float(r) for r in ensemble.rounds]
+            reached_nash = [bool(is_nash(game, state)) for state in ensemble.final_states]
+            final_costs = [float(c) for c in game.social_cost_batch(ensemble.final_states)]
+        else:
+            generators = spawn_rngs(derive_rng(seed, "e9", protocol_name), trials)
+            for generator in generators:
+                result = run_until_nash(
+                    game, protocol, initial_state=start, max_rounds=max_rounds, rng=generator,
+                )
+                rounds_used.append(float(result.rounds))
+                reached_nash.append(bool(is_nash(game, result.final_state)))
+                final_costs.append(float(game.social_cost(result.final_state)))
         rows.append({
             "protocol": protocol_name,
             "trials": trials,
@@ -111,5 +124,5 @@ def run_exploration_nash_experiment(
         notes=notes,
         parameters={"quick": quick, "seed": seed, "trials": trials,
                     "num_players": num_players, "coefficients": coefficients,
-                    "max_rounds": max_rounds},
+                    "max_rounds": max_rounds, "engine": engine},
     )

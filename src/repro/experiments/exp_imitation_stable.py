@@ -48,6 +48,7 @@ def _game_families(num_players: int, seed: int):
 )
 def run_imitation_stable_experiment(
     *, quick: bool = True, seed: int = DEFAULTS.seed, trials: int | None = None,
+    engine: str = "batch",
 ) -> ExperimentResult:
     """Run experiment E1 and return its result table."""
     trials = trials if trials is not None else pick(quick, 3, 10)
@@ -61,7 +62,7 @@ def run_imitation_stable_experiment(
         for family_name, factory in _game_families(num_players, seed).items():
             hitting = measure_imitation_stable_times(
                 factory, protocol, trials=trials, max_rounds=max_rounds,
-                rng=derive_rng(seed, num_players, family_name),
+                rng=derive_rng(seed, num_players, family_name), engine=engine,
             )
             game = factory()
             drift = potential_increase_rate(
@@ -100,5 +101,6 @@ def run_imitation_stable_experiment(
         rows=rows,
         notes=notes,
         parameters={"quick": quick, "seed": seed, "trials": trials,
-                    "player_counts": player_counts, "max_rounds": max_rounds},
+                    "player_counts": player_counts, "max_rounds": max_rounds,
+                    "engine": engine},
     )

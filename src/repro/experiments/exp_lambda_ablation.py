@@ -60,6 +60,7 @@ def _error_ratio(game, protocol, *, samples: int, rng) -> float:
 def run_lambda_ablation_experiment(
     *, quick: bool = True, seed: int = DEFAULTS.seed, trials: int | None = None,
     num_players: int | None = None, delta: float = 0.2, epsilon: float = 0.2,
+    engine: str = "batch",
 ) -> ExperimentResult:
     """Run experiment E12 and return its result table."""
     trials = trials if trials is not None else pick(quick, 4, 15)
@@ -77,7 +78,7 @@ def run_lambda_ablation_experiment(
         hitting = measure_approx_equilibrium_times(
             factory, protocol, delta, epsilon,
             trials=trials, max_rounds=max_rounds,
-            rng=derive_rng(seed, "e12-time", int(lambda_ * 10_000)),
+            rng=derive_rng(seed, "e12-time", int(lambda_ * 10_000)), engine=engine,
         )
         game = factory()
         drift = potential_increase_rate(
@@ -118,7 +119,7 @@ def run_lambda_ablation_experiment(
         claim="Design-choice ablation (extension; relates to Lemma 2's constant)",
         rows=rows,
         notes=notes,
-        parameters={"quick": quick, "seed": seed, "trials": trials,
+        parameters={"engine": engine, "quick": quick, "seed": seed, "trials": trials,
                     "num_players": num_players, "delta": delta, "epsilon": epsilon,
                     "lambdas": lambdas, "max_rounds": max_rounds},
     )

@@ -21,11 +21,17 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..analysis.convergence import fit_linear, fit_power_law, measure_hitting_times
+from ..analysis.convergence import (
+    fit_linear,
+    fit_power_law,
+    measure_hitting_times,
+    measure_hitting_times_ensemble,
+)
+from ..core.ensemble import batch_stop_at_nash
 from ..core.imitation import ImitationProtocol
 from ..core.run import run_until_nash
 from ..games.generators import identical_links_game
-from ..games.state import GameState
+from ..games.state import GameState, batch_broadcast
 from ..rng import derive_rng
 from .config import DEFAULTS, pick, pick_list
 from .registry import ExperimentResult, register
@@ -49,6 +55,7 @@ def _section4_start(num_links: int) -> GameState:
 )
 def run_last_agent_lower_bound_experiment(
     *, quick: bool = True, seed: int = DEFAULTS.seed, trials: int | None = None,
+    engine: str = "batch",
 ) -> ExperimentResult:
     """Run experiment E10 and return its result table."""
     trials = trials if trials is not None else pick(quick, 10, 40)
@@ -64,14 +71,22 @@ def run_last_agent_lower_bound_experiment(
         start = _section4_start(num_links)
         max_rounds = 200 * num_players
 
-        def run_one(generator, game=game, start=start, max_rounds=max_rounds):
-            return run_until_nash(
-                game, protocol, initial_state=start, max_rounds=max_rounds, rng=generator,
+        if engine == "batch":
+            hitting = measure_hitting_times_ensemble(
+                game, protocol, batch_stop_at_nash(),
+                trials=trials, max_rounds=max_rounds,
+                rng=derive_rng(seed, "e10", num_links),
+                initial_states=batch_broadcast(start, trials),
             )
+        else:
+            def run_one(generator, game=game, start=start, max_rounds=max_rounds):
+                return run_until_nash(
+                    game, protocol, initial_state=start, max_rounds=max_rounds, rng=generator,
+                )
 
-        hitting = measure_hitting_times(
-            run_one, trials=trials, rng=derive_rng(seed, "e10", num_links),
-        )
+            hitting = measure_hitting_times(
+                run_one, trials=trials, rng=derive_rng(seed, "e10", num_links),
+            )
         ns.append(num_players)
         mean_times.append(hitting.summary.mean)
         rows.append({
@@ -102,5 +117,5 @@ def run_last_agent_lower_bound_experiment(
         rows=rows,
         notes=notes,
         parameters={"quick": quick, "seed": seed, "trials": trials,
-                    "link_counts": link_counts},
+                    "link_counts": link_counts, "engine": engine},
     )

@@ -36,7 +36,7 @@ LINK_COEFFICIENTS = [0.5, 0.75, 1.0, 1.0, 1.5, 2.0, 3.0, 4.0]
 )
 def run_logn_scaling_experiment(
     *, quick: bool = True, seed: int = DEFAULTS.seed, trials: int | None = None,
-    delta: float = 0.25, epsilon: float = 0.25,
+    delta: float = 0.25, epsilon: float = 0.25, engine: str = "batch",
 ) -> ExperimentResult:
     """Run experiment E2 and return its result table."""
     trials = trials if trials is not None else pick(quick, 5, 20)
@@ -53,6 +53,7 @@ def run_logn_scaling_experiment(
         hitting = measure_approx_equilibrium_times(
             factory, protocol, delta, epsilon,
             trials=trials, max_rounds=max_rounds, rng=derive_rng(seed, num_players),
+            engine=engine,
         )
         mean_times.append(hitting.summary.mean)
         rows.append({
@@ -91,5 +92,5 @@ def run_logn_scaling_experiment(
         parameters={"quick": quick, "seed": seed, "trials": trials,
                     "delta": delta, "epsilon": epsilon,
                     "player_counts": player_counts, "max_rounds": max_rounds,
-                    "link_coefficients": LINK_COEFFICIENTS},
+                    "link_coefficients": LINK_COEFFICIENTS, "engine": engine},
     )

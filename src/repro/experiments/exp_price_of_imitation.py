@@ -48,7 +48,7 @@ def _draw_instance_without_useless_links(num_players: int, num_links: int, seed:
 )
 def run_price_of_imitation_experiment(
     *, quick: bool = True, seed: int = DEFAULTS.seed, trials: int | None = None,
-    num_links: int = 8,
+    num_links: int = 8, engine: str = "batch",
 ) -> ExperimentResult:
     """Run experiment E8 and return its result table."""
     trials = trials if trials is not None else pick(quick, 8, 30)
@@ -61,7 +61,7 @@ def run_price_of_imitation_experiment(
         game = _draw_instance_without_useless_links(num_players, num_links, seed)
         price = estimate_price_of_imitation(
             game, protocol, trials=trials, max_rounds=max_rounds,
-            rng=derive_rng(seed, "e8-price", num_players),
+            rng=derive_rng(seed, "e8-price", num_players), engine=engine,
         )
         nash_context = nash_cost_range(
             game, restarts=pick(quick, 3, 8), rng=derive_rng(seed, "e8-nash", num_players),
@@ -97,5 +97,5 @@ def run_price_of_imitation_experiment(
         notes=notes,
         parameters={"quick": quick, "seed": seed, "trials": trials,
                     "num_links": num_links, "player_counts": player_counts,
-                    "max_rounds": max_rounds},
+                    "max_rounds": max_rounds, "engine": engine},
     )

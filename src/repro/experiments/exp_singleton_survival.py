@@ -45,7 +45,7 @@ BASE_LATENCIES = (
 )
 def run_singleton_survival_experiment(
     *, quick: bool = True, seed: int = DEFAULTS.seed, trials: int | None = None,
-    rounds_per_player: int = 5,
+    rounds_per_player: int = 5, engine: str = "batch",
 ) -> ExperimentResult:
     """Run experiment E7 and return its result table."""
     trials = trials if trials is not None else pick(quick, 30, 200)
@@ -63,7 +63,7 @@ def run_singleton_survival_experiment(
 
         estimate = estimate_extinction_probability(
             factory, protocol, rounds=rounds, trials=trials,
-            rng=derive_rng(seed, "survival", num_players),
+            rng=derive_rng(seed, "survival", num_players), engine=engine,
         )
         rows.append({
             "n": num_players,
@@ -97,5 +97,5 @@ def run_singleton_survival_experiment(
         notes=notes,
         parameters={"quick": quick, "seed": seed, "trials": trials,
                     "rounds_per_player": rounds_per_player,
-                    "player_counts": player_counts},
+                    "player_counts": player_counts, "engine": engine},
     )

@@ -8,6 +8,7 @@ quantitative claim of the paper has exactly one executable entry point.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
 
@@ -113,9 +114,26 @@ def list_experiments() -> list[ExperimentSpec]:
 
 
 def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
-    """Run one experiment by identifier."""
+    """Run one experiment by identifier.
+
+    The ``engine`` keyword ("loop" or "batch") selects the round engine and
+    is forwarded only to experiments that take it — sequential and
+    closed-form experiments (E6, F1, ...) have no engine choice, so a
+    suite-wide engine setting must not break them.
+    """
     spec = get_experiment(experiment_id)
+    if "engine" in kwargs and not _accepts_keyword(spec.func, "engine"):
+        kwargs = {key: value for key, value in kwargs.items() if key != "engine"}
     return spec.func(**kwargs)
+
+
+def _accepts_keyword(func: Callable[..., ExperimentResult], name: str) -> bool:
+    """True if ``func`` takes ``name`` as a keyword (directly or via **kwargs)."""
+    parameters = inspect.signature(func).parameters
+    if name in parameters:
+        return True
+    return any(parameter.kind is inspect.Parameter.VAR_KEYWORD
+               for parameter in parameters.values())
 
 
 def _ensure_loaded() -> None:

@@ -21,11 +21,14 @@ def run_all(
     seed: int = 2009,
     only: Optional[Iterable[str]] = None,
     verbose: bool = False,
+    engine: str = "batch",
 ) -> dict[str, ExperimentResult]:
     """Run every registered experiment (or the subset in ``only``).
 
-    Returns a mapping from experiment identifier to its result, in registry
-    order.
+    ``engine`` selects the round engine ("batch" runs each experiment's
+    replicas as one vectorized ensemble, "loop" one trajectory at a time) for
+    every experiment that simulates concurrent rounds.  Returns a mapping
+    from experiment identifier to its result, in registry order.
     """
     wanted = {identifier.upper() for identifier in only} if only is not None else None
     results: dict[str, ExperimentResult] = {}
@@ -33,7 +36,7 @@ def run_all(
         if wanted is not None and spec.experiment_id not in wanted:
             continue
         started = time.perf_counter()
-        result = run_experiment(spec.experiment_id, quick=quick, seed=seed)
+        result = run_experiment(spec.experiment_id, quick=quick, seed=seed, engine=engine)
         elapsed = time.perf_counter() - started
         result.parameters.setdefault("wall_clock_seconds", round(elapsed, 2))
         results[spec.experiment_id] = result

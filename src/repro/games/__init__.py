@@ -48,13 +48,18 @@ from .singleton import (
     make_linear_singleton,
     make_scaled_singleton,
 )
-from .social_cost import SocialCostMeasure, evaluate
+from .social_cost import SocialCostMeasure, evaluate, evaluate_batch
 from .state import (
+    BatchGameState,
     GameState,
     all_on_one_counts,
+    as_batch_counts,
     as_counts,
     assignment_from_counts,
     balanced_counts,
+    batch_broadcast,
+    batch_from_states,
+    batch_uniform_random_counts,
     counts_from_assignment,
     uniform_random_counts,
 )
@@ -104,11 +109,17 @@ __all__ = [
     "make_scaled_singleton",
     "SocialCostMeasure",
     "evaluate",
+    "evaluate_batch",
+    "BatchGameState",
     "GameState",
     "all_on_one_counts",
+    "as_batch_counts",
     "as_counts",
     "assignment_from_counts",
     "balanced_counts",
+    "batch_broadcast",
+    "batch_from_states",
+    "batch_uniform_random_counts",
     "counts_from_assignment",
     "uniform_random_counts",
     "SymmetricCongestionGame",

@@ -31,11 +31,15 @@ from ..errors import GameDefinitionError, StateError
 from ..rng import RngLike
 from .latency import LatencyFunction, validate_latency
 from .state import (
+    BatchGameState,
+    BatchStateLike,
     GameState,
     StateLike,
     all_on_one_counts,
+    as_batch_counts,
     as_counts,
     balanced_counts,
+    batch_uniform_random_counts,
     uniform_random_counts,
 )
 
@@ -196,9 +200,33 @@ class CongestionGame:
             )
         return counts
 
+    def validate_batch_state(self, batch: BatchStateLike) -> np.ndarray:
+        """Check that every row of ``batch`` is a valid state of this game and
+        return the batch as an ``(R, S)`` array."""
+        counts = as_batch_counts(batch)
+        if counts.shape[1] != self.num_strategies:
+            raise StateError(
+                f"batch states have {counts.shape[1]} entries, "
+                f"game has {self.num_strategies} strategies"
+            )
+        totals = counts.sum(axis=1)
+        bad = np.nonzero(totals != self.num_players)[0]
+        if bad.size:
+            raise StateError(
+                f"replica {int(bad[0])} assigns {int(totals[bad[0]])} players, "
+                f"game has {self.num_players}"
+            )
+        return counts
+
     def uniform_random_state(self, rng: RngLike = None) -> GameState:
         """Random initialisation: each player independently picks a uniform strategy."""
         return GameState(uniform_random_counts(self.num_players, self.num_strategies, rng))
+
+    def uniform_random_batch_state(self, replicas: int, rng: RngLike = None) -> BatchGameState:
+        """``replicas`` independent uniform-random initial states."""
+        return BatchGameState(
+            batch_uniform_random_counts(self.num_players, self.num_strategies, replicas, rng)
+        )
 
     def all_on_one_state(self, strategy: int = 0) -> GameState:
         """All players on a single strategy."""
@@ -257,6 +285,52 @@ class CongestionGame:
         return float(self.strategy_latencies(state)[strategy])
 
     # ------------------------------------------------------------------
+    # Batched latency evaluation (ensemble engine)
+    # ------------------------------------------------------------------
+    def congestion_batch(self, batch: BatchStateLike) -> np.ndarray:
+        """Per-replica resource congestion, shape ``(R, m)``."""
+        counts = as_batch_counts(batch)
+        return counts.astype(float) @ self._incidence
+
+    def resource_latencies_batch(self, loads: np.ndarray) -> np.ndarray:
+        """Evaluate every resource's latency on an ``(R, m)`` load matrix.
+
+        Each latency function is evaluated once on its whole column, so the
+        cost is one vectorised call per resource regardless of ``R``.
+        """
+        loads = np.asarray(loads, dtype=float)
+        columns = [np.asarray(lat.value(loads[:, e]), dtype=float)
+                   for e, lat in enumerate(self._latencies)]
+        return np.stack(columns, axis=1)
+
+    def strategy_latencies_batch(self, batch: BatchStateLike) -> np.ndarray:
+        """``l_P(x_r)`` for every replica and strategy, shape ``(R, S)``."""
+        loads = self.congestion_batch(batch)
+        return self.resource_latencies_batch(loads) @ self._incidence.T
+
+    def strategy_latencies_after_join_batch(self, batch: BatchStateLike) -> np.ndarray:
+        """``l_P(x_r + 1_P)`` per replica and strategy, shape ``(R, S)``."""
+        loads = self.congestion_batch(batch)
+        return self.resource_latencies_batch(loads + 1.0) @ self._incidence.T
+
+    def post_migration_latency_matrix_batch(self, batch: BatchStateLike) -> np.ndarray:
+        """``M[r, P, Q] = l_Q(x_r + 1_Q - 1_P)``, shape ``(R, S, S)``.
+
+        The broadcasted analogue of :meth:`post_migration_latency_matrix`:
+        the marginal latency increase is evaluated once per replica and the
+        overlap correction is a batched matrix product.
+        """
+        loads = self.congestion_batch(batch)
+        latency_now = self.resource_latencies_batch(loads)
+        latency_plus = self.resource_latencies_batch(loads + 1.0)
+        marginal = latency_plus - latency_now  # (R, m)
+        joined = latency_plus @ self._incidence.T  # (R, S): l_Q^+ per replica
+        overlap_correction = (
+            self._incidence[np.newaxis, :, :] * marginal[:, np.newaxis, :]
+        ) @ self._incidence.T  # (R, S, S)
+        return joined[:, np.newaxis, :] - overlap_correction
+
+    # ------------------------------------------------------------------
     # Aggregates
     # ------------------------------------------------------------------
     def average_latency(self, state: StateLike) -> float:
@@ -289,6 +363,49 @@ class CongestionGame:
         if not np.any(used):
             return 0.0
         return float(np.max(latencies[used]))
+
+    # ------------------------------------------------------------------
+    # Batched aggregates (ensemble engine)
+    # ------------------------------------------------------------------
+    def average_latency_batch(self, batch: BatchStateLike) -> np.ndarray:
+        """``L_av(x_r)`` per replica, shape ``(R,)``."""
+        counts = as_batch_counts(batch)
+        latencies = self.strategy_latencies_batch(counts)
+        return np.einsum("rs,rs->r", counts.astype(float), latencies) / self.num_players
+
+    def average_latency_after_join_batch(self, batch: BatchStateLike) -> np.ndarray:
+        """``L_av^+(x_r)`` per replica, shape ``(R,)``."""
+        counts = as_batch_counts(batch)
+        latencies_plus = self.strategy_latencies_after_join_batch(counts)
+        return np.einsum("rs,rs->r", counts.astype(float), latencies_plus) / self.num_players
+
+    def total_latency_batch(self, batch: BatchStateLike) -> np.ndarray:
+        """``n * L_av(x_r)`` per replica, shape ``(R,)``."""
+        return self.average_latency_batch(batch) * self.num_players
+
+    def social_cost_batch(self, batch: BatchStateLike) -> np.ndarray:
+        """Per-replica social cost (average latency), shape ``(R,)``."""
+        return self.average_latency_batch(batch)
+
+    def makespan_batch(self, batch: BatchStateLike) -> np.ndarray:
+        """Per-replica maximum latency over occupied strategies, shape ``(R,)``."""
+        counts = as_batch_counts(batch)
+        latencies = self.strategy_latencies_batch(counts)
+        masked = np.where(counts > 0, latencies, -np.inf)
+        result = masked.max(axis=1)
+        return np.where(np.isfinite(result), result, 0.0)
+
+    def potential_batch(self, batch: BatchStateLike) -> np.ndarray:
+        """Rosenthal potential per replica, shape ``(R,)``.
+
+        One table lookup per (replica, resource) pair against the shared
+        latency prefix table — no per-replica Python work.
+        """
+        counts = as_batch_counts(batch)
+        loads = np.rint(self.congestion_batch(counts)).astype(int)
+        loads = np.clip(loads, 0, self.num_players)
+        table = self._latency_prefix_table()
+        return table[np.arange(self.num_resources)[np.newaxis, :], loads].sum(axis=1)
 
     # ------------------------------------------------------------------
     # Rosenthal potential

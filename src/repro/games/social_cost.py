@@ -13,10 +13,12 @@ from __future__ import annotations
 from enum import Enum
 from typing import Callable
 
-from .base import CongestionGame
-from .state import StateLike
+import numpy as np
 
-__all__ = ["SocialCostMeasure", "evaluate", "MEASURES"]
+from .base import CongestionGame
+from .state import BatchStateLike, StateLike
+
+__all__ = ["SocialCostMeasure", "evaluate", "evaluate_batch", "MEASURES", "BATCH_MEASURES"]
 
 
 class SocialCostMeasure(str, Enum):
@@ -57,3 +59,20 @@ def evaluate(game: CongestionGame, state: StateLike,
     """Evaluate ``state`` under the requested social-cost measure."""
     measure = SocialCostMeasure(measure)
     return MEASURES[measure](game, state)
+
+
+BATCH_MEASURES: dict[SocialCostMeasure, Callable[[CongestionGame, BatchStateLike], np.ndarray]] = {
+    SocialCostMeasure.AVERAGE_LATENCY: CongestionGame.average_latency_batch,
+    SocialCostMeasure.TOTAL_LATENCY: CongestionGame.total_latency_batch,
+    SocialCostMeasure.MAKESPAN: CongestionGame.makespan_batch,
+    SocialCostMeasure.POTENTIAL: CongestionGame.potential_batch,
+}
+
+
+def evaluate_batch(game: CongestionGame, batch: BatchStateLike,
+                   measure: SocialCostMeasure | str = SocialCostMeasure.AVERAGE_LATENCY
+                   ) -> np.ndarray:
+    """Evaluate every replica of ``batch`` under the requested measure,
+    returning one value per replica (shape ``(R,)``)."""
+    measure = SocialCostMeasure(measure)
+    return np.asarray(BATCH_MEASURES[measure](game, batch), dtype=float)

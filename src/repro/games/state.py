@@ -6,6 +6,12 @@ notation, Section 2.1).  Because the dynamics studied in the paper treat
 players as exchangeable, the count vector is a sufficient description; this
 module provides a light-weight :class:`GameState` wrapper plus helpers for
 constructing and manipulating such vectors.
+
+For ensemble simulation (:mod:`repro.core.ensemble`) the same idea extends to
+*batches*: an :class:`(R, S)` matrix whose ``r``-th row is the count vector of
+replica ``r``.  :class:`BatchGameState` wraps such a matrix with per-replica
+invariants, and :func:`as_batch_counts` coerces states, stacks of states and
+raw matrices into that layout.
 """
 
 from __future__ import annotations
@@ -19,16 +25,23 @@ from ..errors import StateError
 from ..rng import RngLike, ensure_rng
 
 StateLike = Union["GameState", np.ndarray, Sequence[int]]
+BatchStateLike = Union["BatchGameState", "GameState", np.ndarray, Sequence[StateLike]]
 
 __all__ = [
     "GameState",
     "StateLike",
+    "BatchGameState",
+    "BatchStateLike",
     "as_counts",
+    "as_batch_counts",
     "counts_from_assignment",
     "assignment_from_counts",
     "uniform_random_counts",
     "all_on_one_counts",
     "balanced_counts",
+    "batch_uniform_random_counts",
+    "batch_from_states",
+    "batch_broadcast",
 ]
 
 
@@ -119,6 +132,79 @@ class GameState:
         return f"GameState({self.counts.tolist()})"
 
 
+@dataclass(frozen=True)
+class BatchGameState:
+    """Immutable ``(R, S)`` matrix of strategy counts, one row per replica.
+
+    Every row satisfies the same invariants as a :class:`GameState` count
+    vector (non-negative integers); whether all rows assign the same number
+    of players is checked against a concrete game by
+    :meth:`~repro.games.base.CongestionGame.validate_batch_state`.
+    """
+
+    counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        counts = np.asarray(self.counts, dtype=np.int64)
+        if counts.ndim != 2:
+            raise StateError("batch state counts must be a 2-D (replicas, strategies) matrix")
+        if counts.shape[0] < 1:
+            raise StateError("a batch state needs at least one replica")
+        if np.any(counts < 0):
+            raise StateError("state counts must be non-negative")
+        object.__setattr__(self, "counts", counts)
+        self.counts.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_replicas(self) -> int:
+        """Number of replicas ``R`` (rows)."""
+        return int(self.counts.shape[0])
+
+    @property
+    def num_strategies(self) -> int:
+        """Number of strategies ``S`` (columns)."""
+        return int(self.counts.shape[1])
+
+    @property
+    def players_per_replica(self) -> np.ndarray:
+        """Total number of players in each replica (shape ``(R,)``)."""
+        return self.counts.sum(axis=1)
+
+    @property
+    def support_sizes(self) -> np.ndarray:
+        """Number of occupied strategies per replica (shape ``(R,)``)."""
+        return np.count_nonzero(self.counts, axis=1)
+
+    # ------------------------------------------------------------------
+    def replica(self, index: int) -> GameState:
+        """The single-replica :class:`GameState` at ``index``."""
+        return GameState(self.counts[index].copy())
+
+    def to_array(self) -> np.ndarray:
+        """Return a writable copy of the count matrix."""
+        return self.counts.copy()
+
+    def __len__(self) -> int:
+        return self.num_replicas
+
+    def __iter__(self):
+        for index in range(self.num_replicas):
+            yield self.replica(index)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, BatchGameState):
+            return bool(np.array_equal(self.counts, other.counts))
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.counts.shape, self.counts.tobytes()))
+
+    def __repr__(self) -> str:
+        return (f"BatchGameState(replicas={self.num_replicas}, "
+                f"strategies={self.num_strategies})")
+
+
 # ----------------------------------------------------------------------
 # Coercion and constructors
 # ----------------------------------------------------------------------
@@ -193,3 +279,73 @@ def balanced_counts(num_players: int, num_strategies: int) -> np.ndarray:
     counts = np.full(num_strategies, base, dtype=np.int64)
     counts[:remainder] += 1
     return counts
+
+
+# ----------------------------------------------------------------------
+# Batch coercion and constructors
+# ----------------------------------------------------------------------
+
+def as_batch_counts(batch: BatchStateLike) -> np.ndarray:
+    """Coerce a batch-state-like object into a read-only ``(R, S)`` matrix.
+
+    Accepts a :class:`BatchGameState`, a single :class:`GameState` or 1-D
+    vector (promoted to one replica), a 2-D array, or a sequence of
+    state-like rows (stacked; all rows must have the same length).
+    """
+    if isinstance(batch, BatchGameState):
+        return batch.counts
+    if isinstance(batch, GameState):
+        return batch.counts[np.newaxis, :]
+    if isinstance(batch, np.ndarray):
+        if batch.ndim == 1:
+            return as_counts(batch)[np.newaxis, :]
+        counts = np.asarray(batch, dtype=np.int64)
+    else:
+        rows = [as_counts(row) for row in batch]
+        if not rows:
+            raise StateError("a batch state needs at least one replica")
+        if len({row.size for row in rows}) != 1:
+            raise StateError("all replicas of a batch must have the same number of strategies")
+        counts = np.stack(rows).astype(np.int64)
+    if counts.ndim != 2:
+        raise StateError("batch state counts must be a 2-D (replicas, strategies) matrix")
+    if np.any(counts < 0):
+        raise StateError("state counts must be non-negative")
+    return counts
+
+
+def batch_from_states(states: Iterable[StateLike]) -> BatchGameState:
+    """Stack single states into a :class:`BatchGameState` (one row each)."""
+    return BatchGameState(as_batch_counts(list(states)))
+
+
+def batch_broadcast(state: StateLike, replicas: int) -> BatchGameState:
+    """Repeat one state ``replicas`` times (identical rows)."""
+    if replicas <= 0:
+        raise StateError("need at least one replica")
+    counts = as_counts(state)
+    return BatchGameState(np.tile(counts, (replicas, 1)))
+
+
+def batch_uniform_random_counts(
+    num_players: int,
+    num_strategies: int,
+    replicas: int,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """``replicas`` independent uniform-random initialisations, shape (R, S).
+
+    Row ``r`` is distributed exactly like :func:`uniform_random_counts`; all
+    rows are drawn from the *same* generator in row order, so a batch drawn
+    from seed ``s`` matches a loop drawing ``replicas`` single states from
+    seed ``s`` one after the other.
+    """
+    if num_players < 0:
+        raise StateError("number of players must be non-negative")
+    if num_strategies <= 0:
+        raise StateError("need at least one strategy")
+    if replicas <= 0:
+        raise StateError("need at least one replica")
+    gen = ensure_rng(rng)
+    probabilities = np.full(num_strategies, 1.0 / num_strategies)
+    return gen.multinomial(num_players, probabilities, size=replicas).astype(np.int64)

@@ -5,6 +5,27 @@ Every stochastic component of the library accepts either a seed, an existing
 centralises the coercion logic so that the whole stack is reproducible from a
 single integer seed and so that independent child streams can be spawned for
 parallel trials without statistical overlap.
+
+Looped versus batched streams
+-----------------------------
+The two round engines consume randomness differently, and both are fully
+reproducible from the same seed — but they are **different** streams:
+
+* the loop engine runs each replica on its *own* child generator, spawned
+  via :func:`spawn_rngs` (``SeedSequence.spawn`` underneath, so the child
+  streams never overlap no matter how long a trajectory runs);
+* the ensemble engine (:mod:`repro.core.ensemble`) advances all replicas
+  from **one** generator, drawing the round's stacked multinomial in
+  replica-major order; retiring a replica changes which draws the remaining
+  replicas see.
+
+Consequently a batched run of seed ``s`` does not reproduce the sample paths
+of a looped run of seed ``s`` (except for ``R = 1``, where the ensemble
+consumes the stream exactly like the loop engine).  Both sample the same
+process exactly, so all *distributions* agree; only pathwise comparisons
+must hold the engine fixed.  Use :func:`spawn_rngs` (generators) or
+:func:`spawn_seed_sequences` (spawnable seeds, e.g. for worker processes)
+whenever independent per-replica streams are needed.
 """
 
 from __future__ import annotations
@@ -15,7 +36,8 @@ import numpy as np
 
 RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
 
-__all__ = ["RngLike", "ensure_rng", "spawn_rngs", "derive_rng", "SeedSequencePool"]
+__all__ = ["RngLike", "ensure_rng", "spawn_rngs", "spawn_seed_sequences",
+           "derive_rng", "SeedSequencePool"]
 
 
 def ensure_rng(rng: RngLike = None) -> np.random.Generator:
@@ -56,6 +78,24 @@ def spawn_rngs(rng: RngLike, count: int) -> list[np.random.Generator]:
     gen = ensure_rng(rng)
     seeds = gen.integers(0, 2**63 - 1, size=count, dtype=np.int64)
     return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def spawn_seed_sequences(rng: RngLike, count: int) -> list[np.random.SeedSequence]:
+    """Return ``count`` independent :class:`~numpy.random.SeedSequence` children.
+
+    Like :func:`spawn_rngs` but without constructing the generators — useful
+    when the children must cross a process boundary or be re-spawned further
+    down (a ``SeedSequence`` is picklable and itself spawnable).
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if isinstance(rng, np.random.SeedSequence):
+        return rng.spawn(count)
+    if isinstance(rng, (int, np.integer)):
+        return np.random.SeedSequence(int(rng)).spawn(count)
+    gen = ensure_rng(rng)
+    seeds = gen.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.SeedSequence(int(s)) for s in seeds]
 
 
 def derive_rng(rng: RngLike, *keys: Union[int, str]) -> np.random.Generator:

@@ -28,6 +28,20 @@ class TestParser:
         args = build_parser().parse_args(["simulate"])
         assert args.game == "linear-singleton"
         assert args.protocol == "imitation"
+        assert args.replicas == 1
+        assert args.engine is None
+
+    def test_engine_flags_parse(self):
+        args = build_parser().parse_args(["run", "E2", "--engine", "loop"])
+        assert args.engine == "loop"
+        args = build_parser().parse_args(["run-all", "--engine", "batch"])
+        assert args.engine == "batch"
+        args = build_parser().parse_args(["simulate", "--replicas", "16"])
+        assert args.replicas == 16
+
+    def test_engine_rejects_unknown_value(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "E2", "--engine", "warp"])
 
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
@@ -59,6 +73,25 @@ class TestMain:
         output = capsys.readouterr().out
         assert "rounds executed" in output
         assert "potential" in output
+
+    def test_simulate_batch_engine_prints_ensemble_summary(self, capsys):
+        assert main([
+            "simulate", "--game", "linear-singleton", "--players", "50",
+            "--rounds", "20", "--seed", "3", "--every", "5", "--replicas", "8",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "engine: batch (8 replicas)" in output
+        assert "mean potential" in output
+        assert "quiescent replicas" in output
+
+    def test_simulate_loop_engine_rejects_multiple_replicas(self):
+        with pytest.raises(ValueError):
+            main(["simulate", "--replicas", "4", "--engine", "loop"])
+
+    def test_run_experiment_with_loop_engine(self, capsys):
+        assert main(["run", "E2", "--quick", "--engine", "loop"]) == 0
+        output = capsys.readouterr().out
+        assert "engine=loop" in output
 
     def test_simulate_all_games_and_protocols(self, capsys):
         for game in ("braess", "two-link"):

@@ -1,0 +1,256 @@
+"""Tests of the batched ensemble engine and the batch state layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import measure_imitation_stable_times
+from repro.core.dynamics import ConcurrentDynamics, StopReason, sample_migration_matrix
+from repro.core.ensemble import (
+    EnsembleCollector,
+    EnsembleDynamics,
+    batch_stop_at_approx_equilibrium,
+    batch_stop_at_imitation_stable,
+    batch_stop_at_nash,
+    batch_stop_from_scalar,
+    sample_migration_matrices,
+    simulate_ensemble,
+)
+from repro.core.exploration import ExplorationProtocol
+from repro.core.imitation import ImitationProtocol
+from repro.core.stability import is_approx_equilibrium, is_imitation_stable
+from repro.errors import ConvergenceError, MetricError, StateError
+from repro.games.generators import random_linear_singleton, random_monomial_singleton
+from repro.games.nash import is_nash
+from repro.games.state import (
+    BatchGameState,
+    GameState,
+    as_batch_counts,
+    batch_broadcast,
+    batch_from_states,
+    batch_uniform_random_counts,
+)
+
+
+class TestBatchGameState:
+    def test_basic_properties(self):
+        batch = BatchGameState([[3, 1, 0], [0, 2, 2]])
+        assert batch.num_replicas == 2
+        assert batch.num_strategies == 3
+        assert batch.players_per_replica.tolist() == [4, 4]
+        assert batch.support_sizes.tolist() == [2, 2]
+        assert batch.replica(0) == GameState([3, 1, 0])
+        assert [state.counts.tolist() for state in batch] == [[3, 1, 0], [0, 2, 2]]
+
+    def test_rejects_bad_shapes_and_values(self):
+        with pytest.raises(StateError):
+            BatchGameState([1, 2, 3])
+        with pytest.raises(StateError):
+            BatchGameState([[1, -2]])
+        with pytest.raises(StateError):
+            BatchGameState(np.zeros((0, 3), dtype=np.int64))
+
+    def test_counts_are_read_only(self):
+        batch = BatchGameState([[1, 2]])
+        with pytest.raises(ValueError):
+            batch.counts[0, 0] = 5
+
+    def test_equality_and_hash(self):
+        a = BatchGameState([[1, 2], [2, 1]])
+        b = BatchGameState(np.array([[1, 2], [2, 1]]))
+        assert a == b and hash(a) == hash(b)
+        assert a != BatchGameState([[2, 1], [1, 2]])
+
+
+class TestBatchCoercion:
+    def test_as_batch_counts_accepts_all_layouts(self):
+        assert as_batch_counts(GameState([1, 2])).shape == (1, 2)
+        assert as_batch_counts(np.array([1, 2])).shape == (1, 2)
+        assert as_batch_counts([[1, 2], [0, 3]]).shape == (2, 2)
+        assert as_batch_counts([GameState([1, 2]), [3, 0]]).shape == (2, 2)
+
+    def test_as_batch_counts_rejects_mixed_lengths(self):
+        with pytest.raises(StateError):
+            as_batch_counts([GameState([1, 2]), [1, 2, 3]])
+        with pytest.raises(StateError):
+            as_batch_counts([])
+
+    def test_batch_from_states_and_broadcast(self):
+        batch = batch_from_states([GameState([2, 0]), GameState([1, 1])])
+        assert batch.counts.tolist() == [[2, 0], [1, 1]]
+        tiled = batch_broadcast([4, 1], 3)
+        assert tiled.counts.tolist() == [[4, 1]] * 3
+
+    def test_validate_batch_state_checks_every_row(self, linear_singleton):
+        good = linear_singleton.uniform_random_batch_state(4, rng=0)
+        assert linear_singleton.validate_batch_state(good).shape == (4, 3)
+        bad = good.to_array()
+        bad[2, 0] += 1
+        with pytest.raises(StateError, match="replica 2"):
+            linear_singleton.validate_batch_state(bad)
+
+    def test_batch_uniform_random_matches_sequential_draws(self):
+        batch = batch_uniform_random_counts(50, 4, 5, rng=7)
+        gen = np.random.default_rng(7)
+        rows = [gen.multinomial(50, np.full(4, 0.25)) for _ in range(5)]
+        assert np.array_equal(batch, np.stack(rows))
+
+
+class TestBatchedSampling:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_conserves_players_per_replica(self, seed):
+        game = random_monomial_singleton(120, 6, 2.0, rng=seed)
+        protocol = ImitationProtocol(use_nu_threshold=False)
+        batch = game.uniform_random_batch_state(8, rng=seed)
+        counts = batch.to_array()
+        matrices = protocol.switch_probabilities_batch(game, counts)
+        migration = sample_migration_matrices(counts, matrices, np.random.default_rng(seed))
+        delta = migration.sum(axis=1) - migration.sum(axis=2)
+        new_counts = counts + delta
+        assert np.all(new_counts >= 0)
+        assert np.all(new_counts.sum(axis=1) == game.num_players)
+        assert np.all(migration.sum(axis=2) <= counts)
+
+    def test_single_replica_matches_scalar_sampler(self):
+        game = random_linear_singleton(300, 10, rng=3)
+        protocol = ImitationProtocol(use_nu_threshold=False)
+        state = game.uniform_random_state(1)
+        matrix = protocol.switch_probabilities(game, state).matrix
+        batched = sample_migration_matrices(
+            state.counts[np.newaxis, :], matrix[np.newaxis, :, :],
+            np.random.default_rng(11),
+        )
+        scalar = sample_migration_matrix(state.counts, matrix, np.random.default_rng(11))
+        assert np.array_equal(batched[0], scalar)
+
+
+class TestEnsembleDynamics:
+    def test_r1_matches_loop_engine_over_50_seeds(self):
+        game = random_linear_singleton(150, 5, rng=0)
+        for seed in range(50):
+            start = game.uniform_random_state(np.random.default_rng(seed))
+            loop = ConcurrentDynamics(game, ImitationProtocol(), rng=seed).run(
+                start, max_rounds=3_000)
+            batched = EnsembleDynamics(game, ImitationProtocol(), rng=seed).run_single(
+                start, max_rounds=3_000)
+            assert batched.stop_reason == loop.stop_reason
+            assert batched.rounds == loop.rounds
+            assert np.array_equal(batched.final_state.counts, loop.final_state.counts)
+            assert batched.total_migrations == loop.total_migrations
+
+    def test_batch_and_loop_hitting_times_statistically_equivalent(self):
+        """Acceptance check: the two engines sample the same hitting-time
+        distribution (means within a few combined standard errors)."""
+        def factory():
+            return random_linear_singleton(200, 6, rng=42)
+
+        protocol = ImitationProtocol()
+        batch = measure_imitation_stable_times(
+            factory, protocol, trials=48, max_rounds=10_000, rng=5, engine="batch")
+        loop = measure_imitation_stable_times(
+            factory, protocol, trials=48, max_rounds=10_000, rng=5, engine="loop")
+        assert batch.censored == 0 and loop.censored == 0
+        stderr = np.hypot(batch.summary.std / np.sqrt(48), loop.summary.std / np.sqrt(48))
+        assert abs(batch.summary.mean - loop.summary.mean) <= 4.0 * max(stderr, 1e-9)
+
+    def test_every_replica_conserves_players(self):
+        game = random_monomial_singleton(90, 5, 3.0, rng=2)
+        result = simulate_ensemble(
+            game, ImitationProtocol(use_nu_threshold=False), replicas=12, rounds=200, rng=8)
+        assert np.all(result.final_states.players_per_replica == game.num_players)
+        assert result.rounds.shape == (12,)
+        assert len(result.stop_reasons) == 12
+
+    def test_stop_condition_retires_replicas_independently(self):
+        game = random_linear_singleton(100, 4, rng=9)
+        result = EnsembleDynamics(game, ImitationProtocol(), rng=9).run(
+            replicas=16, max_rounds=10_000,
+            stop_condition=batch_stop_at_approx_equilibrium(0.25, 0.25),
+        )
+        stopped = [reason is StopReason.STOP_CONDITION for reason in result.stop_reasons]
+        assert any(stopped)
+        for index, was_stopped in enumerate(stopped):
+            if was_stopped:
+                assert is_approx_equilibrium(
+                    game, result.final_states.replica(index), 0.25, 0.25)
+
+    def test_batch_stops_agree_with_scalar_predicates(self):
+        game = random_linear_singleton(80, 5, rng=12)
+        counts = game.uniform_random_batch_state(20, rng=13).counts
+        approx = batch_stop_at_approx_equilibrium(0.2, 0.2)(game, counts, 0)
+        stable = batch_stop_at_imitation_stable()(game, counts, 0)
+        nash = batch_stop_at_nash()(game, counts, 0)
+        scalar = batch_stop_from_scalar(
+            lambda g, row, i: is_imitation_stable(g, row))(game, counts, 0)
+        for row in range(20):
+            assert approx[row] == is_approx_equilibrium(game, counts[row], 0.2, 0.2)
+            assert stable[row] == is_imitation_stable(game, counts[row])
+            assert nash[row] == is_nash(game, counts[row])
+            assert scalar[row] == stable[row]
+
+    def test_quiescent_all_on_one_start(self, linear_singleton):
+        start = batch_broadcast(linear_singleton.all_on_one_state(0), 4)
+        result = EnsembleDynamics(linear_singleton, ImitationProtocol(), rng=0).run(
+            start, max_rounds=100)
+        assert all(reason is StopReason.QUIESCENT for reason in result.stop_reasons)
+        assert np.all(result.rounds == 0)
+
+    def test_strict_raises_on_budget_exhaustion(self):
+        game = random_linear_singleton(60, 4, rng=14)
+        dynamics = EnsembleDynamics(game, ExplorationProtocol(), rng=14)
+        with pytest.raises(ConvergenceError):
+            dynamics.run(replicas=4, max_rounds=1,
+                         stop_condition=batch_stop_at_nash(), strict=True)
+
+    def test_replica_count_validation(self, linear_singleton):
+        dynamics = EnsembleDynamics(linear_singleton, ImitationProtocol(), rng=0)
+        with pytest.raises(ValueError):
+            dynamics.run(replicas=0, max_rounds=5)
+        start = linear_singleton.uniform_random_batch_state(3, rng=0)
+        with pytest.raises(ValueError):
+            dynamics.run(start, replicas=5, max_rounds=5)
+
+    def test_observer_sees_every_executed_round(self):
+        game = random_linear_singleton(120, 5, rng=15)
+        seen: list[int] = []
+
+        def observer(game_, counts, indices, round_index):
+            seen.append(round_index)
+            assert counts.shape == (6, game.num_strategies)
+            assert indices.size >= 1
+
+        result = EnsembleDynamics(game, ImitationProtocol(), rng=15).run(
+            replicas=6, max_rounds=50, observer=observer)
+        assert len(seen) == int(result.rounds.max())
+        assert seen == sorted(seen)
+
+
+class TestEnsembleCollectorAndResult:
+    def test_traces_have_batch_shape(self):
+        game = random_linear_singleton(100, 4, rng=16)
+        collector = EnsembleCollector(game, metrics=("potential", "makespan"), every=2)
+        result = simulate_ensemble(
+            game, ImitationProtocol(), replicas=5, rounds=40, rng=16, collector=collector)
+        trace = result.metric("potential")
+        assert trace.shape == (len(result.trace_rounds), 5)
+        assert result.metric("makespan").shape == trace.shape
+        assert result.metric("migrations").shape == trace.shape
+        # the potential trace starts at round 0 for every replica
+        assert result.trace_rounds[0] == 0
+
+    def test_unknown_metric_raises_metric_error(self):
+        game = random_linear_singleton(50, 3, rng=17)
+        with pytest.raises(MetricError, match="valid"):
+            EnsembleCollector(game, metrics=("potental",))
+        result = simulate_ensemble(game, ImitationProtocol(), replicas=2, rounds=5, rng=17)
+        with pytest.raises(MetricError):
+            result.metric("potential")  # no collector attached -> not recorded
+
+    def test_replica_bridge_returns_trajectory_result(self):
+        game = random_linear_singleton(70, 4, rng=18)
+        result = simulate_ensemble(game, ImitationProtocol(), replicas=3, rounds=100, rng=18)
+        single = result.replica(1)
+        assert single.rounds == int(result.rounds[1])
+        assert single.stop_reason is result.stop_reasons[1]
+        assert single.final_state == result.final_states.replica(1)

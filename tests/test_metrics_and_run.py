@@ -17,6 +17,7 @@ from repro.core.run import (
     stop_at_nash,
 )
 from repro.core.stability import is_approx_equilibrium, is_imitation_stable
+from repro.errors import MetricError
 from repro.core.exploration import ExplorationProtocol
 from repro.games.nash import is_nash
 from repro.games.singleton import make_linear_singleton
@@ -128,3 +129,21 @@ class TestRunUntil:
             game, protocol, delta=0.5, epsilon=0.5, initial_state=[4, 4, 4],
             max_rounds=100, rng=0)
         assert result.rounds == 0
+
+
+class TestMetricNameValidation:
+    def test_trajectory_metric_rejects_unknown_name(self, linear_singleton,
+                                                    aggressive_imitation):
+        collector = MetricsCollector(linear_singleton)
+        result = simulate(linear_singleton, aggressive_imitation, rounds=5, rng=0,
+                          collector=collector)
+        assert result.metric("potential").size == len(result.records)
+        with pytest.raises(MetricError, match="potential"):
+            result.metric("potental")
+
+    def test_collector_column_rejects_unknown_name(self, linear_singleton):
+        collector = MetricsCollector(linear_singleton)
+        collector.record(0, linear_singleton.balanced_state())
+        assert collector.column("makespan").size == 1
+        with pytest.raises(MetricError, match="valid metric names"):
+            collector.column("makespam")

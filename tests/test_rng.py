@@ -5,7 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.rng import SeedSequencePool, derive_rng, ensure_rng, spawn_rngs
+from repro.rng import (SeedSequencePool, derive_rng, ensure_rng, spawn_rngs,
+                       spawn_seed_sequences)
 
 
 class TestEnsureRng:
@@ -89,3 +90,29 @@ class TestSeedSequencePool:
         iterator = iter(pool)
         first = next(iterator)
         assert isinstance(first, np.random.Generator)
+
+
+class TestSpawnSeedSequences:
+    def test_returns_spawnable_children(self):
+        children = spawn_seed_sequences(0, 3)
+        assert len(children) == 3
+        assert all(isinstance(child, np.random.SeedSequence) for child in children)
+        # children themselves spawn further without error
+        assert len(children[0].spawn(2)) == 2
+
+    def test_matches_spawn_rngs_streams(self):
+        sequences = spawn_seed_sequences(123, 4)
+        generators = spawn_rngs(123, 4)
+        for sequence, generator in zip(sequences, generators):
+            rebuilt = np.random.default_rng(sequence)
+            assert np.array_equal(rebuilt.integers(0, 10**9, size=8),
+                                  generator.integers(0, 10**9, size=8))
+
+    def test_accepts_seed_sequence_and_generator(self):
+        base = np.random.SeedSequence(5)
+        assert len(spawn_seed_sequences(base, 2)) == 2
+        assert len(spawn_seed_sequences(np.random.default_rng(5), 2)) == 2
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_seed_sequences(0, -1)
