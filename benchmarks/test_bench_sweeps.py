@@ -1,0 +1,71 @@
+"""Benchmarks and the scaling guard for the sweep scheduler.
+
+The acceptance guard for the sweep subsystem: sharding a 32-point grid over
+4 worker processes must be at least 2x faster than the in-process serial
+run of the same spec.  The guard needs real parallel hardware, so it skips
+on machines with fewer than 4 CPUs (the CI benchmark job runs on 4-vCPU
+runners); the determinism assertion — parallel rows bit-identical to serial
+rows — runs everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.sweeps import SweepSpec, run_sweep
+
+
+def thirty_two_point_grid() -> SweepSpec:
+    """A 32-point grid with ~150-300 ms of ensemble work per point."""
+    return SweepSpec(
+        name="bench-sweep-32",
+        game="linear-singleton",
+        protocol="imitation",
+        measure="approx_equilibrium_time",
+        axes={
+            "n": [1024, 1448, 2048, 2896],
+            "epsilon": [0.01, 0.009, 0.008, 0.007, 0.006, 0.005, 0.004, 0.003],
+        },
+        base={"links": 24, "delta": 0.001},
+        replicas=128,
+        max_rounds=300,
+        seed=3,
+    )
+
+
+def test_bench_sweep_serial_baseline(benchmark):
+    """Timing reference: the same 32-point grid in-process (workers=1)."""
+    spec = thirty_two_point_grid()
+    result = benchmark.pedantic(lambda: run_sweep(spec, workers=1),
+                                rounds=1, iterations=1, warmup_rounds=0)
+    assert result.computed == 32
+    benchmark.extra_info["points"] = len(result.rows)
+
+
+def test_bench_sweep_4_workers_at_least_2x(benchmark):
+    """Acceptance guard: 4 workers >= 2x faster than serial on 32 points,
+    with bit-identical rows."""
+    if (os.cpu_count() or 1) < 4:
+        pytest.skip("needs >= 4 CPUs for a meaningful parallel speedup")
+    spec = thirty_two_point_grid()
+
+    started = time.perf_counter()
+    serial = run_sweep(spec, workers=1)
+    serial_seconds = time.perf_counter() - started
+
+    result = benchmark.pedantic(lambda: run_sweep(spec, workers=4),
+                                rounds=1, iterations=1, warmup_rounds=0)
+    parallel_seconds = benchmark.stats.stats.mean
+    assert result.rows == serial.rows, "sharded rows diverged from serial rows"
+
+    speedup = serial_seconds / parallel_seconds
+    benchmark.extra_info["serial_seconds"] = round(serial_seconds, 3)
+    benchmark.extra_info["speedup_vs_serial"] = round(speedup, 2)
+    assert speedup >= 2.0, (
+        f"4-worker sweep only {speedup:.2f}x faster than serial "
+        f"({parallel_seconds:.2f}s vs {serial_seconds:.2f}s on "
+        f"{len(serial.rows)} points)"
+    )

@@ -21,11 +21,17 @@ Simulate a protocol on a generated instance::
 Simulate 64 replicas at once through the batched ensemble engine::
 
     python -m repro simulate --replicas 64 --rounds 500
+
+Shard a 25-point parameter grid over 4 worker processes with a resumable
+on-disk result store::
+
+    python -m repro sweep --preset eps-delta --workers 4 --store .sweeps
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -40,6 +46,7 @@ from .core import (
     simulate,
     simulate_ensemble,
 )
+from .errors import ReproError
 from .experiments import (
     list_experiments,
     render_markdown_report,
@@ -47,12 +54,23 @@ from .experiments import (
     run_all,
     run_experiment,
 )
+from .experiments.exp_eps_delta_sweep import eps_delta_grid_spec
+from .experiments.exp_logn_scaling import logn_scaling_spec
+from .experiments.reporting import render_markdown_table, render_table
 from .games.generators import (
     random_linear_singleton,
     random_monomial_singleton,
     two_link_overshoot_game,
 )
 from .games.network import braess_network_game, grid_network_game
+from .sweeps import (
+    SweepError,
+    SweepSpec,
+    SweepStore,
+    aggregate_rows,
+    run_sweep,
+    table_rows,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -60,12 +78,23 @@ _GAME_CHOICES = ("linear-singleton", "quadratic-singleton", "braess", "grid", "t
 _PROTOCOL_CHOICES = ("imitation", "exploration", "hybrid")
 _ENGINE_CHOICES = ("loop", "batch")
 
+#: Named sweep presets: the grid experiments expressed as SweepSpecs.
+_SWEEP_PRESETS = {
+    "logn": logn_scaling_spec,
+    "eps-delta": eps_delta_grid_spec,
+}
+
+_EPILOG = ("Parameter sweeps (the `sweep` command) are documented in "
+           "docs/SWEEPS.md: spec format, store layout, resume semantics and "
+           "the determinism guarantees of sharded execution.")
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
         prog="imitation-dynamics",
         description="Concurrent imitation dynamics in congestion games (PODC 2009) reproduction",
+        epilog=_EPILOG,
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -88,6 +117,39 @@ def build_parser() -> argparse.ArgumentParser:
     all_parser.add_argument("--output", default=None, help="write the report to a file")
     all_parser.add_argument("--engine", choices=_ENGINE_CHOICES, default="batch",
                             help="round engine: batched ensemble (default) or per-trial loop")
+    all_parser.add_argument("--jobs", type=int, default=1,
+                            help="run independent experiments over this many "
+                                 "worker processes (same pool as `sweep --workers`)")
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run a sharded parameter sweep (see docs/SWEEPS.md)",
+        epilog=_EPILOG,
+    )
+    source = sweep_parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--preset", choices=sorted(_SWEEP_PRESETS),
+                        help="a named grid (the grid experiments' SweepSpecs)")
+    source.add_argument("--spec", default=None, metavar="FILE",
+                        help="path to a SweepSpec as JSON")
+    sweep_parser.add_argument("--workers", type=int, default=1,
+                              help="worker processes (1 = in-process)")
+    sweep_parser.add_argument("--store", default=None, metavar="DIR",
+                              help="result-store root for resume/caching")
+    sweep_parser.add_argument("--resume", dest="resume", action="store_true",
+                              default=True,
+                              help="skip points already in the store (default)")
+    sweep_parser.add_argument("--no-resume", dest="resume", action="store_false",
+                              help="drop stored rows and recompute every point")
+    sweep_parser.add_argument("--quick", action="store_true",
+                              help="scaled-down preset grid")
+    sweep_parser.add_argument("--seed", type=int, default=None,
+                              help="override the spec's master seed")
+    sweep_parser.add_argument("--group-by", default=None, metavar="COL[,COL]",
+                              help="also print an aggregate table grouped by "
+                                   "these row columns")
+    sweep_parser.add_argument("--value", default="rounds_mean",
+                              help="row column aggregated by --group-by")
+    sweep_parser.add_argument("--markdown", action="store_true",
+                              help="emit markdown tables")
 
     sim_parser = subparsers.add_parser("simulate", help="simulate a protocol on a generated game")
     sim_parser.add_argument("--game", choices=_GAME_CHOICES, default="linear-singleton")
@@ -146,7 +208,7 @@ def _command_run(args: argparse.Namespace) -> int:
 
 def _command_run_all(args: argparse.Namespace) -> int:
     results = run_all(quick=args.quick, seed=args.seed, only=args.only, verbose=False,
-                      engine=args.engine)
+                      engine=args.engine, jobs=args.jobs)
     report = render_markdown_report(results) if args.markdown else render_report(results)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -154,6 +216,42 @@ def _command_run_all(args: argparse.Namespace) -> int:
         print(f"wrote report for {len(results)} experiments to {args.output}")
     else:
         print(report)
+    return 0
+
+
+def _load_sweep_spec(args: argparse.Namespace) -> SweepSpec:
+    if args.preset is not None:
+        spec = _SWEEP_PRESETS[args.preset](
+            quick=args.quick, seed=args.seed if args.seed is not None else 2009,
+        )
+        return spec
+    try:
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as error:
+        raise SweepError(f"cannot read sweep spec {args.spec!r}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise SweepError(f"sweep spec {args.spec!r} is not valid JSON: {error}") from error
+    spec = SweepSpec.from_dict(payload)
+    if args.seed is not None:
+        spec = SweepSpec.from_dict({**spec.to_dict(), "seed": args.seed})
+    return spec
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    spec = _load_sweep_spec(args)
+    store = SweepStore(args.store) if args.store else None
+    result = run_sweep(spec, workers=args.workers, store=store, resume=args.resume)
+    print(f"sweep {spec.name} [{spec.content_hash()}]: {len(result.rows)} points "
+          f"({result.computed} computed, {result.cached} cached) "
+          f"in {result.elapsed_seconds:.2f}s [workers={result.workers}]")
+    render = render_markdown_table if args.markdown else render_table
+    print(render(table_rows(result.rows)))
+    if args.group_by:
+        by = [column.strip() for column in args.group_by.split(",") if column.strip()]
+        aggregated = aggregate_rows(result.rows, by=by, value=args.value)
+        print()
+        print(render(aggregated))
     return 0
 
 
@@ -210,17 +308,28 @@ def _simulate_ensemble(args: argparse.Namespace, game, protocol) -> int:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Library failures (:class:`~repro.errors.ReproError` — e.g. an unknown
+    experiment identifier or an invalid sweep spec) are printed to stderr
+    and reported as exit status 1 instead of a traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "list":
-        return _command_list()
-    if args.command == "run":
-        return _command_run(args)
-    if args.command == "run-all":
-        return _command_run_all(args)
-    if args.command == "simulate":
-        return _command_simulate(args)
+    try:
+        if args.command == "list":
+            return _command_list()
+        if args.command == "run":
+            return _command_run(args)
+        if args.command == "run-all":
+            return _command_run_all(args)
+        if args.command == "simulate":
+            return _command_simulate(args)
+        if args.command == "sweep":
+            return _command_sweep(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -7,6 +7,15 @@ experiment fixes the instance and the player count, sweeps ``eps`` with
 ``delta`` fixed and then ``delta`` with ``eps`` fixed, and reports the mean
 hitting time next to the value of ``1/(eps^2 delta)`` so the two growth
 curves can be compared directly.
+
+Both parameter lines are expressed as
+:class:`~repro.sweeps.spec.SweepSpec`s (:func:`eps_sweep_spec`,
+:func:`delta_sweep_spec`) and executed through the sweep scheduler, so the
+experiment shards across worker processes (``workers=``) and caches point
+results in a :class:`~repro.sweeps.store.SweepStore` (``store=``).
+:func:`eps_delta_grid_spec` additionally exposes the *full* eps × delta
+product grid — the CLI's ``sweep --preset eps-delta`` — which the paper's
+two-line protocol never measured but the sweep engine makes cheap.
 """
 
 from __future__ import annotations
@@ -15,11 +24,83 @@ from ..analysis.convergence import measure_approx_equilibrium_times
 from ..core.imitation import ImitationProtocol
 from ..games.singleton import make_linear_singleton
 from ..rng import derive_rng
+from ..sweeps import SweepSpec, run_sweep
 from .config import DEFAULTS, pick, pick_list
 from .exp_logn_scaling import LINK_COEFFICIENTS
 from .registry import ExperimentResult, register
 
-__all__ = ["run_eps_delta_sweep_experiment"]
+__all__ = ["run_eps_delta_sweep_experiment", "eps_sweep_spec",
+           "delta_sweep_spec", "eps_delta_grid_spec"]
+
+_FIXED_DELTA = 0.25
+_FIXED_EPSILON = 0.25
+
+
+def _epsilons(quick: bool) -> list[float]:
+    return pick_list(quick, [0.4, 0.2, 0.1], [0.4, 0.3, 0.2, 0.1, 0.05])
+
+
+def _deltas(quick: bool) -> list[float]:
+    return pick_list(quick, [0.4, 0.2, 0.1], [0.4, 0.3, 0.2, 0.1, 0.05])
+
+
+def _base_spec(name: str, axes: dict, base: dict, *, quick: bool, seed: int,
+               trials: int | None, num_players: int | None) -> SweepSpec:
+    trials = trials if trials is not None else pick(quick, 5, 20)
+    num_players = num_players if num_players is not None else pick(quick, 256, 1024)
+    return SweepSpec(
+        name=name,
+        game="linear-singleton",
+        protocol="imitation",
+        measure="approx_equilibrium_time",
+        axes=axes,
+        base={"n": num_players, "coeffs": LINK_COEFFICIENTS, **base},
+        replicas=trials,
+        max_rounds=DEFAULTS.max_rounds(quick),
+        seed=seed,
+    )
+
+
+def eps_sweep_spec(*, quick: bool = True, seed: int = DEFAULTS.seed,
+                   trials: int | None = None, num_players: int | None = None
+                   ) -> SweepSpec:
+    """The E3 epsilon line (``delta`` fixed) as a declarative sweep."""
+    return _base_spec("e3-eps-sweep", {"epsilon": _epsilons(quick)},
+                      {"delta": _FIXED_DELTA}, quick=quick, seed=seed,
+                      trials=trials, num_players=num_players)
+
+
+def delta_sweep_spec(*, quick: bool = True, seed: int = DEFAULTS.seed,
+                     trials: int | None = None, num_players: int | None = None
+                     ) -> SweepSpec:
+    """The E3 delta line (``epsilon`` fixed) as a declarative sweep."""
+    return _base_spec("e3-delta-sweep", {"delta": _deltas(quick)},
+                      {"epsilon": _FIXED_EPSILON}, quick=quick, seed=seed,
+                      trials=trials, num_players=num_players)
+
+
+def eps_delta_grid_spec(*, quick: bool = True, seed: int = DEFAULTS.seed,
+                        trials: int | None = None, num_players: int | None = None
+                        ) -> SweepSpec:
+    """The full eps × delta product grid (the CLI ``eps-delta`` preset)."""
+    return _base_spec("eps-delta-grid",
+                      {"epsilon": _epsilons(quick), "delta": _deltas(quick)},
+                      {}, quick=quick, seed=seed, trials=trials,
+                      num_players=num_players)
+
+
+def _legacy_row(sweep_name: str, row: dict) -> dict:
+    """Map a sweep row onto E3's historical column names."""
+    epsilon, delta = row["epsilon"], row["delta"]
+    return {
+        "sweep": sweep_name,
+        "epsilon": epsilon,
+        "delta": delta,
+        "bound_term_1/(eps^2*delta)": 1.0 / (epsilon ** 2 * delta),
+        "mean_rounds": row["rounds_mean"],
+        "max_rounds": row["rounds_max"],
+        "censored_trials": row["censored"],
+    }
 
 
 @register(
@@ -31,52 +112,58 @@ __all__ = ["run_eps_delta_sweep_experiment"]
 def run_eps_delta_sweep_experiment(
     *, quick: bool = True, seed: int = DEFAULTS.seed, trials: int | None = None,
     num_players: int | None = None, engine: str = "batch",
+    workers: int = 1, store=None,
 ) -> ExperimentResult:
     """Run experiment E3 and return its result table."""
-    trials = trials if trials is not None else pick(quick, 5, 20)
-    num_players = num_players if num_players is not None else pick(quick, 256, 1024)
-    max_rounds = DEFAULTS.max_rounds(quick)
-    protocol = ImitationProtocol()
-
-    epsilons = pick_list(quick, [0.4, 0.2, 0.1], [0.4, 0.3, 0.2, 0.1, 0.05])
-    deltas = pick_list(quick, [0.4, 0.2, 0.1], [0.4, 0.3, 0.2, 0.1, 0.05])
-    fixed_delta = 0.25
-    fixed_epsilon = 0.25
-
-    def factory():
-        return make_linear_singleton(num_players, LINK_COEFFICIENTS)
+    specs = [
+        ("epsilon", eps_sweep_spec(quick=quick, seed=seed, trials=trials,
+                                   num_players=num_players)),
+        ("delta", delta_sweep_spec(quick=quick, seed=seed, trials=trials,
+                                   num_players=num_players)),
+    ]
+    resolved_trials = specs[0][1].replicas
+    resolved_players = specs[0][1].base["n"]
+    max_rounds = specs[0][1].max_rounds
 
     rows: list[dict] = []
-    for epsilon in epsilons:
-        hitting = measure_approx_equilibrium_times(
-            factory, protocol, fixed_delta, epsilon,
-            trials=trials, max_rounds=max_rounds,
-            rng=derive_rng(seed, "eps-sweep", int(epsilon * 1000)), engine=engine,
-        )
-        rows.append({
-            "sweep": "epsilon",
-            "epsilon": epsilon,
-            "delta": fixed_delta,
-            "bound_term_1/(eps^2*delta)": 1.0 / (epsilon ** 2 * fixed_delta),
-            "mean_rounds": hitting.summary.mean,
-            "max_rounds": hitting.summary.maximum,
-            "censored_trials": hitting.censored,
-        })
-    for delta in deltas:
-        hitting = measure_approx_equilibrium_times(
-            factory, protocol, delta, fixed_epsilon,
-            trials=trials, max_rounds=max_rounds,
-            rng=derive_rng(seed, "delta-sweep", int(delta * 1000)), engine=engine,
-        )
-        rows.append({
-            "sweep": "delta",
-            "epsilon": fixed_epsilon,
-            "delta": delta,
-            "bound_term_1/(eps^2*delta)": 1.0 / (fixed_epsilon ** 2 * delta),
-            "mean_rounds": hitting.summary.mean,
-            "max_rounds": hitting.summary.maximum,
-            "censored_trials": hitting.censored,
-        })
+    if engine == "batch":
+        for sweep_name, spec in specs:
+            result = run_sweep(spec, workers=workers, store=store)
+            rows.extend(_legacy_row(sweep_name, row) for row in result.rows)
+    else:
+        if engine != "loop":
+            raise ValueError(f"unknown engine {engine!r}; use 'loop' or 'batch'")
+        protocol = ImitationProtocol()
+
+        def factory():
+            return make_linear_singleton(resolved_players, LINK_COEFFICIENTS)
+
+        for epsilon in _epsilons(quick):
+            hitting = measure_approx_equilibrium_times(
+                factory, protocol, _FIXED_DELTA, epsilon,
+                trials=resolved_trials, max_rounds=max_rounds,
+                rng=derive_rng(seed, "eps-sweep", int(epsilon * 1000)),
+                engine="loop",
+            )
+            rows.append(_legacy_row("epsilon", {
+                "epsilon": epsilon, "delta": _FIXED_DELTA,
+                "rounds_mean": hitting.summary.mean,
+                "rounds_max": hitting.summary.maximum,
+                "censored": hitting.censored,
+            }))
+        for delta in _deltas(quick):
+            hitting = measure_approx_equilibrium_times(
+                factory, protocol, delta, _FIXED_EPSILON,
+                trials=resolved_trials, max_rounds=max_rounds,
+                rng=derive_rng(seed, "delta-sweep", int(delta * 1000)),
+                engine="loop",
+            )
+            rows.append(_legacy_row("delta", {
+                "epsilon": _FIXED_EPSILON, "delta": delta,
+                "rounds_mean": hitting.summary.mean,
+                "rounds_max": hitting.summary.maximum,
+                "censored": hitting.censored,
+            }))
 
     eps_rows = [row for row in rows if row["sweep"] == "epsilon"]
     delta_rows = [row for row in rows if row["sweep"] == "delta"]
@@ -102,7 +189,9 @@ def run_eps_delta_sweep_experiment(
         claim="Theorem 7 (polynomial dependence on 1/eps, 1/delta)",
         rows=rows,
         notes=notes,
-        parameters={"quick": quick, "seed": seed, "trials": trials,
-                    "num_players": num_players, "max_rounds": max_rounds,
-                    "engine": engine},
+        parameters={"quick": quick, "seed": seed, "trials": resolved_trials,
+                    "num_players": resolved_players, "max_rounds": max_rounds,
+                    "engine": engine, "workers": workers,
+                    "sweep_spec_hashes": [spec.content_hash()
+                                          for _, spec in specs]},
     )

@@ -9,6 +9,13 @@ over two orders of magnitude, measures the mean hitting time over seeded
 trials and fits logarithmic, linear and power-law models to the curve.  The
 claim is reproduced when the logarithmic (or tiny-exponent power-law) model
 explains the data and the linear model badly over-predicts the growth.
+
+The ``n`` grid is expressed as a :class:`~repro.sweeps.spec.SweepSpec`
+(:func:`logn_scaling_spec`) and executed through the sweep scheduler, so the
+experiment can shard its grid across worker processes (``workers=``) and
+reuse/persist point results through a :class:`~repro.sweeps.store.SweepStore`
+(``store=``).  ``engine="loop"`` preserves the historical one-trajectory-at-
+a-time measurement path.
 """
 
 from __future__ import annotations
@@ -19,13 +26,35 @@ from ..analysis.convergence import compare_scaling_models, measure_approx_equili
 from ..core.imitation import ImitationProtocol
 from ..games.singleton import make_linear_singleton
 from ..rng import derive_rng
+from ..sweeps import SweepSpec, run_sweep
 from .config import DEFAULTS, pick, pick_list
 from .registry import ExperimentResult, register
 
-__all__ = ["run_logn_scaling_experiment"]
+__all__ = ["run_logn_scaling_experiment", "logn_scaling_spec"]
 
 #: The fixed link speeds of the E2 instance family (m = 8 links).
 LINK_COEFFICIENTS = [0.5, 0.75, 1.0, 1.0, 1.5, 2.0, 3.0, 4.0]
+
+
+def logn_scaling_spec(
+    *, quick: bool = True, seed: int = DEFAULTS.seed, trials: int | None = None,
+    delta: float = 0.25, epsilon: float = 0.25,
+) -> SweepSpec:
+    """The E2 grid as a declarative sweep over the player count ``n``."""
+    trials = trials if trials is not None else pick(quick, 5, 20)
+    player_counts = pick_list(quick, [64, 256, 1024],
+                              [64, 128, 256, 512, 1024, 2048, 4096])
+    return SweepSpec(
+        name="e2-logn-scaling",
+        game="linear-singleton",
+        protocol="imitation",
+        measure="approx_equilibrium_time",
+        axes={"n": player_counts},
+        base={"coeffs": LINK_COEFFICIENTS, "delta": delta, "epsilon": epsilon},
+        replicas=trials,
+        max_rounds=DEFAULTS.max_rounds(quick),
+        seed=seed,
+    )
 
 
 @register(
@@ -37,35 +66,49 @@ LINK_COEFFICIENTS = [0.5, 0.75, 1.0, 1.0, 1.5, 2.0, 3.0, 4.0]
 def run_logn_scaling_experiment(
     *, quick: bool = True, seed: int = DEFAULTS.seed, trials: int | None = None,
     delta: float = 0.25, epsilon: float = 0.25, engine: str = "batch",
+    workers: int = 1, store=None,
 ) -> ExperimentResult:
     """Run experiment E2 and return its result table."""
-    trials = trials if trials is not None else pick(quick, 5, 20)
-    player_counts = pick_list(quick, [64, 256, 1024], [64, 128, 256, 512, 1024, 2048, 4096])
-    max_rounds = DEFAULTS.max_rounds(quick)
-    protocol = ImitationProtocol()
+    spec = logn_scaling_spec(quick=quick, seed=seed, trials=trials,
+                             delta=delta, epsilon=epsilon)
+    player_counts = list(spec.axes["n"])
 
-    rows: list[dict] = []
-    mean_times: list[float] = []
-    for num_players in player_counts:
-        def factory(n=num_players):
-            return make_linear_singleton(n, LINK_COEFFICIENTS)
+    if engine == "batch":
+        sweep = run_sweep(spec, workers=workers, store=store)
+        rows = [{
+            "n": row["n"],
+            "mean_rounds": row["rounds_mean"],
+            "median_rounds": row["rounds_median"],
+            "max_rounds": row["rounds_max"],
+            "ci_low": row["rounds_ci_low"],
+            "ci_high": row["rounds_ci_high"],
+            "censored_trials": row["censored"],
+        } for row in sweep.rows]
+    else:
+        if engine != "loop":
+            raise ValueError(f"unknown engine {engine!r}; use 'loop' or 'batch'")
+        protocol = ImitationProtocol()
+        rows = []
+        for num_players in player_counts:
+            def factory(n=num_players):
+                return make_linear_singleton(n, LINK_COEFFICIENTS)
 
-        hitting = measure_approx_equilibrium_times(
-            factory, protocol, delta, epsilon,
-            trials=trials, max_rounds=max_rounds, rng=derive_rng(seed, num_players),
-            engine=engine,
-        )
-        mean_times.append(hitting.summary.mean)
-        rows.append({
-            "n": num_players,
-            "mean_rounds": hitting.summary.mean,
-            "median_rounds": hitting.summary.median,
-            "max_rounds": hitting.summary.maximum,
-            "ci_low": hitting.summary.ci_low,
-            "ci_high": hitting.summary.ci_high,
-            "censored_trials": hitting.censored,
-        })
+            hitting = measure_approx_equilibrium_times(
+                factory, protocol, delta, epsilon,
+                trials=spec.replicas, max_rounds=spec.max_rounds,
+                rng=derive_rng(seed, num_players), engine="loop",
+            )
+            rows.append({
+                "n": num_players,
+                "mean_rounds": hitting.summary.mean,
+                "median_rounds": hitting.summary.median,
+                "max_rounds": hitting.summary.maximum,
+                "ci_low": hitting.summary.ci_low,
+                "ci_high": hitting.summary.ci_high,
+                "censored_trials": hitting.censored,
+            })
 
+    mean_times = [row["mean_rounds"] for row in rows]
     notes: list[str] = []
     fits = compare_scaling_models(player_counts, mean_times)
     for model_name, fit in fits.items():
@@ -89,8 +132,9 @@ def run_logn_scaling_experiment(
         claim="Theorem 7 / Corollary 8",
         rows=rows,
         notes=notes,
-        parameters={"quick": quick, "seed": seed, "trials": trials,
+        parameters={"quick": quick, "seed": seed, "trials": spec.replicas,
                     "delta": delta, "epsilon": epsilon,
-                    "player_counts": player_counts, "max_rounds": max_rounds,
-                    "link_coefficients": LINK_COEFFICIENTS, "engine": engine},
+                    "player_counts": player_counts, "max_rounds": spec.max_rounds,
+                    "link_coefficients": LINK_COEFFICIENTS, "engine": engine,
+                    "workers": workers, "sweep_spec_hash": spec.content_hash()},
     )

@@ -2,7 +2,10 @@
 
 Used by the command-line interface (``python -m repro run-all``) and by the
 documentation workflow that regenerates the measured tables in
-``EXPERIMENTS.md``.
+``EXPERIMENTS.md``.  With ``jobs > 1`` the independent experiments are
+distributed over the sweep scheduler's worker pool
+(:func:`repro.sweeps.parallel_map`), so the suite parallelises the same way
+a sharded parameter sweep does.
 """
 
 from __future__ import annotations
@@ -10,9 +13,21 @@ from __future__ import annotations
 import time
 from typing import Iterable, Optional
 
+from ..errors import ExperimentError
+from ..sweeps.scheduler import parallel_map
 from .registry import ExperimentResult, list_experiments, run_experiment
 
 __all__ = ["run_all", "render_report", "render_markdown_report"]
+
+
+def _run_one(payload: tuple[str, dict]) -> ExperimentResult:
+    """Pool worker: run one experiment and record its wall clock."""
+    experiment_id, kwargs = payload
+    started = time.perf_counter()
+    result = run_experiment(experiment_id, **kwargs)
+    elapsed = time.perf_counter() - started
+    result.parameters.setdefault("wall_clock_seconds", round(elapsed, 2))
+    return result
 
 
 def run_all(
@@ -22,25 +37,43 @@ def run_all(
     only: Optional[Iterable[str]] = None,
     verbose: bool = False,
     engine: str = "batch",
+    jobs: int = 1,
 ) -> dict[str, ExperimentResult]:
     """Run every registered experiment (or the subset in ``only``).
 
     ``engine`` selects the round engine ("batch" runs each experiment's
     replicas as one vectorized ensemble, "loop" one trajectory at a time) for
-    every experiment that simulates concurrent rounds.  Returns a mapping
-    from experiment identifier to its result, in registry order.
+    every experiment that simulates concurrent rounds; ``jobs`` distributes
+    independent experiments over that many worker processes.  Unknown
+    identifiers in ``only`` raise :class:`~repro.errors.ExperimentError`
+    listing the valid ones.  Returns a mapping from experiment identifier to
+    its result, in registry order.
     """
+    specs = list_experiments()
+    known = {spec.experiment_id for spec in specs}
     wanted = {identifier.upper() for identifier in only} if only is not None else None
-    results: dict[str, ExperimentResult] = {}
-    for spec in list_experiments():
-        if wanted is not None and spec.experiment_id not in wanted:
-            continue
-        started = time.perf_counter()
-        result = run_experiment(spec.experiment_id, quick=quick, seed=seed, engine=engine)
-        elapsed = time.perf_counter() - started
-        result.parameters.setdefault("wall_clock_seconds", round(elapsed, 2))
-        results[spec.experiment_id] = result
-        if verbose:
+    if wanted is not None:
+        unknown = sorted(wanted - known)
+        if unknown:
+            raise ExperimentError(
+                f"unknown experiment id(s) {unknown}; "
+                f"known: {', '.join(sorted(known, key=lambda k: (len(k), k)))}"
+            )
+    selected = [spec.experiment_id for spec in specs
+                if wanted is None or spec.experiment_id in wanted]
+
+    kwargs = {"quick": quick, "seed": seed, "engine": engine}
+    payloads = [(experiment_id, kwargs) for experiment_id in selected]
+    ordered: list[Optional[ExperimentResult]] = [None] * len(payloads)
+    for index, result in parallel_map(_run_one, payloads, workers=jobs):
+        ordered[index] = result
+        if verbose and jobs <= 1:
+            print(result.render())
+            print()
+    results = {result.experiment_id: result for result in ordered
+               if result is not None}
+    if verbose and jobs > 1:
+        for result in results.values():
             print(result.render())
             print()
     return results

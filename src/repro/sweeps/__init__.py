@@ -1,0 +1,48 @@
+"""Sweep orchestration: sharded parallel parameter sweeps with a resumable
+on-disk result store.
+
+The paper's claims are statements over parameter grids; this package turns
+"run a grid" into a first-class, declarative operation on top of the batched
+ensemble engine:
+
+* :mod:`~repro.sweeps.spec` — :class:`SweepSpec`/:class:`SweepPoint`,
+  deterministic grid expansion and per-point seed derivation;
+* :mod:`~repro.sweeps.kernels` — the measurement executed at each point
+  (game/protocol builders + batched hitting-time kernels);
+* :mod:`~repro.sweeps.scheduler` — shard scheduling over a multiprocessing
+  pool (:func:`run_sweep`, :func:`parallel_map`);
+* :mod:`~repro.sweeps.store` — the JSONL + manifest result store with
+  resume/cache semantics (:class:`SweepStore`);
+* :mod:`~repro.sweeps.aggregate` — group-by summary reducers feeding the
+  analysis layer.
+
+See ``docs/SWEEPS.md`` for the spec format, store layout and determinism
+guarantees.
+"""
+
+from .aggregate import aggregate_rows, explode_column, group_rows, table_rows
+from .kernels import GAME_BUILDERS, MEASURES, PROTOCOL_BUILDERS, run_point
+from .scheduler import SweepRunResult, parallel_map, partition, run_sweep
+from .spec import CODE_VERSION, SweepError, SweepPoint, SweepSpec, point_key
+from .store import SweepStore
+
+__all__ = [
+    "CODE_VERSION",
+    "GAME_BUILDERS",
+    "MEASURES",
+    "PROTOCOL_BUILDERS",
+    "SweepError",
+    "SweepPoint",
+    "SweepRunResult",
+    "SweepSpec",
+    "SweepStore",
+    "aggregate_rows",
+    "explode_column",
+    "group_rows",
+    "parallel_map",
+    "partition",
+    "point_key",
+    "run_point",
+    "run_sweep",
+    "table_rows",
+]

@@ -1,0 +1,211 @@
+"""Measurement kernels executed at each sweep point.
+
+A kernel turns one :class:`~repro.sweeps.spec.SweepPoint` into one result
+row.  Every kernel drives the batched ensemble engine
+(:class:`~repro.core.ensemble.EnsembleDynamics`): the point's ``replicas``
+Monte-Carlo trials advance together as one vectorized ``(R, S)`` system.
+
+Determinism contract
+--------------------
+:func:`run_point` receives the point's own
+:class:`~numpy.random.SeedSequence` (derived from ``(spec.seed,
+point.index)`` by the spec) and spawns exactly two children from it — one
+for instance randomness (random game families), one for the ensemble run.
+No other randomness enters, so a row depends only on ``(spec, point.index)``
+and never on the executing shard, worker count, or execution order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from ..analysis.convergence import HittingTimeResult, measure_hitting_times_ensemble
+from ..core.ensemble import (
+    batch_stop_at_approx_equilibrium,
+    batch_stop_at_imitation_stable,
+    batch_stop_at_nash,
+)
+from ..core.exploration import ExplorationProtocol
+from ..core.hybrid import make_hybrid_protocol
+from ..core.imitation import ImitationProtocol
+from ..core.protocols import Protocol
+from ..games.base import CongestionGame
+from ..games.generators import (
+    random_linear_singleton,
+    random_monomial_singleton,
+)
+from ..games.network import grid_network_game
+from ..games.singleton import make_linear_singleton
+from .spec import SweepError, SweepPoint, SweepSpec
+
+__all__ = ["GAME_BUILDERS", "PROTOCOL_BUILDERS", "MEASURES",
+           "build_game", "build_protocol", "run_point"]
+
+
+# ----------------------------------------------------------------------
+# Game builders: params + instance seed sequence -> CongestionGame
+# ----------------------------------------------------------------------
+
+def _build_linear_singleton(params: Mapping[str, Any],
+                            instance_rng: np.random.SeedSequence) -> CongestionGame:
+    n = int(params["n"])
+    coeffs = params.get("coeffs")
+    if coeffs is not None:
+        return make_linear_singleton(n, [float(c) for c in coeffs])
+    return random_linear_singleton(n, int(params.get("links", 8)), rng=instance_rng)
+
+
+def _build_monomial_singleton(params: Mapping[str, Any],
+                              instance_rng: np.random.SeedSequence) -> CongestionGame:
+    return random_monomial_singleton(
+        int(params["n"]), int(params.get("links", 8)),
+        float(params.get("exponent", 2.0)), rng=instance_rng,
+    )
+
+
+def _build_grid_network(params: Mapping[str, Any],
+                        instance_rng: np.random.SeedSequence) -> CongestionGame:
+    return grid_network_game(
+        int(params["n"]), rows=int(params.get("rows", 2)),
+        cols=int(params.get("cols", 3)), rng=instance_rng,
+    )
+
+
+GAME_BUILDERS: dict[str, Callable[..., CongestionGame]] = {
+    "linear-singleton": _build_linear_singleton,
+    "monomial-singleton": _build_monomial_singleton,
+    "grid-network": _build_grid_network,
+}
+
+
+def build_game(game: str, params: Mapping[str, Any],
+               instance_rng: np.random.SeedSequence) -> CongestionGame:
+    """Instantiate the point's game (`n` is required for every family)."""
+    if game not in GAME_BUILDERS:
+        raise SweepError(f"unknown game {game!r}; known: {sorted(GAME_BUILDERS)}")
+    if "n" not in params:
+        raise SweepError(f"game {game!r} needs an 'n' (players) parameter, "
+                         f"got {sorted(params)}")
+    return GAME_BUILDERS[game](params, instance_rng)
+
+
+# ----------------------------------------------------------------------
+# Protocol builders: params -> Protocol
+# ----------------------------------------------------------------------
+
+def _build_imitation(params: Mapping[str, Any]) -> Protocol:
+    if "lambda_" in params:
+        return ImitationProtocol(float(params["lambda_"]))
+    return ImitationProtocol()
+
+
+def _build_exploration(params: Mapping[str, Any]) -> Protocol:
+    if "lambda_" in params:
+        return ExplorationProtocol(float(params["lambda_"]))
+    return ExplorationProtocol()
+
+
+def _build_hybrid(params: Mapping[str, Any]) -> Protocol:
+    kwargs: dict[str, Any] = {}
+    if "imitation_weight" in params:
+        kwargs["imitation_weight"] = float(params["imitation_weight"])
+    if "lambda_" in params:
+        return make_hybrid_protocol(float(params["lambda_"]), **kwargs)
+    return make_hybrid_protocol(**kwargs)
+
+
+PROTOCOL_BUILDERS: dict[str, Callable[[Mapping[str, Any]], Protocol]] = {
+    "imitation": _build_imitation,
+    "exploration": _build_exploration,
+    "hybrid": _build_hybrid,
+}
+
+
+def build_protocol(protocol: str, params: Mapping[str, Any]) -> Protocol:
+    """Instantiate the point's revision protocol."""
+    if protocol not in PROTOCOL_BUILDERS:
+        raise SweepError(f"unknown protocol {protocol!r}; "
+                         f"known: {sorted(PROTOCOL_BUILDERS)}")
+    return PROTOCOL_BUILDERS[protocol](params)
+
+
+# ----------------------------------------------------------------------
+# Measures: hitting times of batched stop conditions
+# ----------------------------------------------------------------------
+
+def _measure_approx_equilibrium(spec: SweepSpec, params: Mapping[str, Any],
+                                game: CongestionGame, protocol: Protocol,
+                                run_rng: np.random.SeedSequence) -> HittingTimeResult:
+    stop = batch_stop_at_approx_equilibrium(
+        float(params.get("delta", 0.25)),
+        float(params.get("epsilon", 0.25)),
+        params.get("nu"),
+    )
+    return measure_hitting_times_ensemble(
+        game, protocol, stop, trials=spec.replicas,
+        max_rounds=int(params.get("max_rounds", spec.max_rounds)), rng=run_rng,
+    )
+
+
+def _measure_imitation_stable(spec: SweepSpec, params: Mapping[str, Any],
+                              game: CongestionGame, protocol: Protocol,
+                              run_rng: np.random.SeedSequence) -> HittingTimeResult:
+    stop = batch_stop_at_imitation_stable(params.get("nu"))
+    return measure_hitting_times_ensemble(
+        game, protocol, stop, trials=spec.replicas,
+        max_rounds=int(params.get("max_rounds", spec.max_rounds)), rng=run_rng,
+    )
+
+
+def _measure_nash(spec: SweepSpec, params: Mapping[str, Any],
+                  game: CongestionGame, protocol: Protocol,
+                  run_rng: np.random.SeedSequence) -> HittingTimeResult:
+    stop = batch_stop_at_nash(float(params.get("tolerance", 1e-9)))
+    return measure_hitting_times_ensemble(
+        game, protocol, stop, trials=spec.replicas,
+        max_rounds=int(params.get("max_rounds", spec.max_rounds)), rng=run_rng,
+    )
+
+
+MEASURES: dict[str, Callable[..., HittingTimeResult]] = {
+    "approx_equilibrium_time": _measure_approx_equilibrium,
+    "imitation_stable_time": _measure_imitation_stable,
+    "nash_time": _measure_nash,
+}
+
+
+# ----------------------------------------------------------------------
+# The point runner
+# ----------------------------------------------------------------------
+
+def run_point(spec: SweepSpec, point: SweepPoint,
+              seed_sequence: np.random.SeedSequence) -> dict[str, Any]:
+    """Execute one sweep point and return its result row.
+
+    The row carries the point identity (``point_index``, ``point_key``), the
+    point's parameters, the per-trial hitting times and their summary
+    statistics — everything JSON-serialisable so the store can persist it
+    verbatim.
+    """
+    instance_rng, run_rng = seed_sequence.spawn(2)
+    game = build_game(spec.game, point.params, instance_rng)
+    protocol = build_protocol(spec.protocol, point.params)
+    hitting = MEASURES[spec.measure](spec, point.params, game, protocol, run_rng)
+    summary = hitting.summary
+    return {
+        "point_index": point.index,
+        "point_key": point.key,
+        **point.params,
+        "trials": summary.count,
+        "rounds_mean": summary.mean,
+        "rounds_median": summary.median,
+        "rounds_std": summary.std,
+        "rounds_min": summary.minimum,
+        "rounds_max": summary.maximum,
+        "rounds_ci_low": summary.ci_low,
+        "rounds_ci_high": summary.ci_high,
+        "censored": hitting.censored,
+        "times": [int(t) for t in hitting.times],
+    }

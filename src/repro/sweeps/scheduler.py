@@ -1,0 +1,204 @@
+"""The shard scheduler: grid points over a multiprocessing worker pool.
+
+:func:`run_sweep` expands a :class:`~repro.sweeps.spec.SweepSpec`, drops the
+points already present in the store (resume), partitions the remainder into
+contiguous shards and executes the shards over a ``multiprocessing`` pool —
+or in-process when ``workers=1``, so single-worker runs stay debuggable and
+import-cycle-free.  Each worker re-builds the spec from its plain-dict form,
+re-derives the per-point seed sequences and runs the points through
+:func:`~repro.sweeps.kernels.run_point`; results are therefore bit-identical
+for any worker count or shard size.
+
+The generic :func:`parallel_map` is also what ``python -m repro run-all
+--jobs N`` uses to run independent experiments concurrently — one pool
+implementation for the whole package.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional, Sequence, TypeVar
+
+from .kernels import run_point
+from .spec import SweepError, SweepSpec
+from .store import SweepStore
+
+__all__ = ["SweepRunResult", "parallel_map", "partition", "run_sweep"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+@dataclass
+class SweepRunResult:
+    """Outcome of one :func:`run_sweep` invocation.
+
+    Attributes
+    ----------
+    spec:
+        The executed specification.
+    rows:
+        One row per grid point, sorted by ``point_index`` (cached and
+        freshly computed rows are indistinguishable here).
+    computed:
+        Number of points actually executed this invocation.
+    cached:
+        Number of points served from the store without recomputation.
+    workers:
+        Worker processes used (1 means in-process).
+    elapsed_seconds:
+        Wall-clock duration of the invocation.
+    """
+
+    spec: SweepSpec
+    rows: list[dict]
+    computed: int
+    cached: int
+    workers: int
+    elapsed_seconds: float
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of grid points served from the store."""
+        total = self.computed + self.cached
+        return self.cached / total if total else 0.0
+
+
+def partition(items: Sequence[T], chunk_size: int) -> list[list[T]]:
+    """Split ``items`` into contiguous chunks of at most ``chunk_size``."""
+    if chunk_size <= 0:
+        raise SweepError("chunk_size must be positive")
+    return [list(items[start:start + chunk_size])
+            for start in range(0, len(items), chunk_size)]
+
+
+class _IndexedCall:
+    """Picklable wrapper tagging each result with its payload index."""
+
+    def __init__(self, func: Callable[[T], R]):
+        self.func = func
+
+    def __call__(self, item: tuple[int, T]) -> tuple[int, R]:
+        index, payload = item
+        return index, self.func(payload)
+
+
+def parallel_map(
+    func: Callable[[T], R],
+    payloads: Sequence[T],
+    *,
+    workers: int = 1,
+) -> Iterator[tuple[int, R]]:
+    """Yield ``(index, func(payload))`` pairs as they complete.
+
+    With ``workers <= 1`` (or a single payload) everything runs in-process
+    in order; otherwise the payloads are distributed over a
+    ``multiprocessing`` pool and results arrive in completion order.
+    ``func`` must be a module-level (picklable) callable for the pooled
+    path.
+    """
+    if workers < 0:
+        raise SweepError("workers must be non-negative")
+    count = len(payloads)
+    if workers <= 1 or count <= 1:
+        for index, payload in enumerate(payloads):
+            yield index, func(payload)
+        return
+    context = multiprocessing.get_context()
+    with context.Pool(processes=min(workers, count)) as pool:
+        yield from pool.imap_unordered(_IndexedCall(func), list(enumerate(payloads)))
+
+
+def _run_shard(payload: tuple[dict, list[int]]) -> list[dict]:
+    """Worker entry point: run the shard's points of the reconstructed spec.
+
+    The spec crosses the process boundary as a plain dict; points and seed
+    sequences are re-derived inside the worker, so a shard's rows depend
+    only on the spec and the point indices — never on the pool layout.
+    """
+    spec_dict, indices = payload
+    spec = SweepSpec.from_dict(spec_dict)
+    points = spec.expand()
+    sequences = spec.point_seed_sequences()
+    return [run_point(spec, points[index], sequences[index]) for index in indices]
+
+
+def default_chunk_size(pending: int, workers: int) -> int:
+    """Shard granularity: ~4 shards per worker for load balancing, >= 1."""
+    if pending <= 0:
+        return 1
+    effective = max(1, workers)
+    return max(1, -(-pending // (effective * 4)))
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    workers: int = 1,
+    store: Optional[SweepStore | str] = None,
+    resume: bool = True,
+    chunk_size: Optional[int] = None,
+    progress: Optional[Callable[[int, int], Any]] = None,
+) -> SweepRunResult:
+    """Execute ``spec`` and return all rows (cached + computed).
+
+    Parameters
+    ----------
+    spec:
+        The sweep to run (validated first).
+    workers:
+        Worker processes; ``1`` runs in-process.
+    store:
+        Optional :class:`~repro.sweeps.store.SweepStore` (or a root path)
+        for resumable, cached execution.  Completed shards are committed as
+        they arrive, so an interrupted sweep resumes from its last commit.
+    resume:
+        With a store, skip points whose ``point_key`` is already committed.
+        ``resume=False`` drops the stored rows first and recomputes all.
+    chunk_size:
+        Points per shard; defaults to :func:`default_chunk_size`.
+    progress:
+        Optional callback ``(completed_points, pending_points)`` invoked
+        after every shard commit.
+    """
+    started = time.perf_counter()
+    spec.validate()
+    if isinstance(store, (str, bytes)) or hasattr(store, "__fspath__"):
+        store = SweepStore(store)
+
+    points = spec.expand()
+    cached_rows: list[dict] = []
+    if store is not None:
+        if resume:
+            current_keys = {point.key for point in points}
+            cached_rows = [row for row in store.load_rows(spec)
+                           if row.get("point_key") in current_keys]
+        else:
+            store.reset(spec)
+    done = {row["point_key"] for row in cached_rows}
+    pending = [point for point in points if point.key not in done]
+
+    shards = partition([point.index for point in pending],
+                       chunk_size or default_chunk_size(len(pending), workers))
+    spec_dict = spec.to_dict()
+    payloads = [(spec_dict, shard) for shard in shards]
+
+    computed_rows: list[dict] = []
+    for _, shard_rows in parallel_map(_run_shard, payloads, workers=workers):
+        if store is not None:
+            store.commit(spec, shard_rows)
+        computed_rows.extend(shard_rows)
+        if progress is not None:
+            progress(len(computed_rows), len(pending))
+
+    rows = sorted(cached_rows + computed_rows, key=lambda row: row["point_index"])
+    return SweepRunResult(
+        spec=spec,
+        rows=rows,
+        computed=len(computed_rows),
+        cached=len(cached_rows),
+        workers=max(1, workers),
+        elapsed_seconds=time.perf_counter() - started,
+    )

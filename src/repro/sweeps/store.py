@@ -1,0 +1,161 @@
+"""On-disk result store for sweeps: JSONL rows plus a JSON manifest.
+
+Layout
+------
+Each spec gets its own directory under the store root, keyed by the spec's
+slug — ``<name>-<content_hash>`` where the hash covers the full spec *and*
+:data:`~repro.sweeps.spec.CODE_VERSION`::
+
+    <root>/
+      eps-delta-3f2a9c01d4b8e6f7/
+        manifest.json    # the spec, its hash, code version, creation time
+        rows.jsonl       # one completed point per line
+
+Any change to the spec (axes, seeds, replicas, ...) or to the kernel code
+version changes the hash and therefore the directory, so stale results are
+never silently reused across incompatible runs.
+
+Crash safety
+------------
+Only the scheduler's parent process ever writes to a store directory, and it
+appends each completed shard as one buffered write followed by ``fsync`` (an
+*atomic shard commit* in the single-writer setting).  If the process dies
+mid-write, the interrupted final line fails to parse and
+:meth:`SweepStore.load_rows` simply skips it — the affected points are
+recomputed on resume, everything before them is reused.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Iterable, Optional
+
+from .spec import CODE_VERSION, SweepSpec
+
+__all__ = ["SweepStore"]
+
+
+class SweepStore:
+    """Resumable sweep-result store rooted at ``root``."""
+
+    MANIFEST = "manifest.json"
+    ROWS = "rows.jsonl"
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    def directory(self, spec: SweepSpec) -> Path:
+        """The store directory of ``spec`` (not necessarily existing yet)."""
+        return self.root / spec.slug()
+
+    def manifest_path(self, spec: SweepSpec) -> Path:
+        """Path of the spec's manifest file."""
+        return self.directory(spec) / self.MANIFEST
+
+    def rows_path(self, spec: SweepSpec) -> Path:
+        """Path of the spec's JSONL row file."""
+        return self.directory(spec) / self.ROWS
+
+    # ------------------------------------------------------------------
+    def manifest(self, spec: SweepSpec) -> Optional[dict]:
+        """The stored manifest of ``spec``, or ``None`` if never committed."""
+        path = self.manifest_path(spec)
+        if not path.exists():
+            return None
+        with path.open("r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def _ensure_manifest(self, spec: SweepSpec) -> None:
+        path = self.manifest_path(spec)
+        if path.exists():
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "name": spec.name,
+            "spec": spec.to_dict(),
+            "spec_hash": spec.content_hash(),
+            "code_version": CODE_VERSION,
+            "num_points": spec.num_points,
+            "created_at": time.time(),
+        }
+        tmp = path.with_suffix(".json.tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    def commit(self, spec: SweepSpec, rows: Iterable[dict[str, Any]]) -> int:
+        """Append one shard's completed rows (an atomic shard commit).
+
+        Returns the number of rows written.  The whole shard is serialised
+        first and written with a single call + ``fsync``, so a crash leaves
+        at most one torn (and therefore ignorable) trailing line.
+        """
+        rows = list(rows)
+        if not rows:
+            return 0
+        self._ensure_manifest(spec)
+        # Key order is preserved (no sort_keys) so a cache-hit run yields
+        # rows — and therefore rendered tables — identical to a fresh run.
+        blob = "".join(json.dumps(row) + "\n" for row in rows)
+        with self.rows_path(spec).open("a", encoding="utf-8") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        return len(rows)
+
+    def load_rows(self, spec: SweepSpec) -> list[dict[str, Any]]:
+        """All committed rows of ``spec``, de-duplicated by ``point_key``.
+
+        Unparseable lines (torn writes from an interrupted commit) are
+        skipped; duplicated points keep their first committed row so a
+        re-commit after a racy resume cannot change already-stored results.
+        """
+        path = self.rows_path(spec)
+        if not path.exists():
+            return []
+        rows: list[dict[str, Any]] = []
+        seen: set[str] = set()
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                key = row.get("point_key")
+                if key is None or key in seen:
+                    continue
+                seen.add(key)
+                rows.append(row)
+        return rows
+
+    def completed_keys(self, spec: SweepSpec) -> set[str]:
+        """The ``point_key`` set of all committed points of ``spec``."""
+        return {row["point_key"] for row in self.load_rows(spec)}
+
+    def reset(self, spec: SweepSpec) -> None:
+        """Drop the committed rows of ``spec`` (the manifest is kept)."""
+        path = self.rows_path(spec)
+        if path.exists():
+            path.unlink()
+
+    # ------------------------------------------------------------------
+    def runs(self) -> list[dict]:
+        """Manifests of every sweep ever committed to this store root."""
+        if not self.root.exists():
+            return []
+        manifests = []
+        for directory in sorted(self.root.iterdir()):
+            path = directory / self.MANIFEST
+            if path.is_file():
+                with path.open("r", encoding="utf-8") as handle:
+                    manifests.append(json.load(handle))
+        return manifests

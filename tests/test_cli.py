@@ -110,7 +110,93 @@ class TestMain:
         assert "### F1" in target.read_text()
         assert "wrote report" in capsys.readouterr().out
 
-    def test_unknown_experiment_raises(self):
-        from repro.errors import ExperimentError
-        with pytest.raises(ExperimentError):
-            main(["run", "E99"])
+    def test_unknown_experiment_exits_nonzero_with_message(self, capsys):
+        assert main(["run", "E99"]) == 1
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_all_unknown_id_exits_nonzero_listing_known(self, capsys):
+        assert main(["run-all", "--only", "E99", "--quick"]) == 1
+        err = capsys.readouterr().err
+        assert "E99" in err and "known: E1" in err
+
+    def test_run_all_jobs_flag(self, capsys):
+        assert main(["run-all", "--quick", "--only", "F1", "--jobs", "2"]) == 0
+        assert "[F1]" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_sweep_flags_parse(self):
+        args = build_parser().parse_args([
+            "sweep", "--preset", "logn", "--workers", "4",
+            "--store", "/tmp/s", "--no-resume", "--quick",
+            "--group-by", "n", "--value", "rounds_median",
+        ])
+        assert args.command == "sweep"
+        assert args.preset == "logn"
+        assert args.workers == 4
+        assert not args.resume
+        assert args.group_by == "n"
+
+    def test_sweep_requires_a_spec_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep"])
+
+    def test_sweep_preset_and_spec_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--preset", "logn",
+                                       "--spec", "spec.json"])
+
+    def test_sweep_preset_runs_and_caches(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["sweep", "--preset", "logn", "--quick",
+                     "--workers", "2", "--store", store]) == 0
+        first = capsys.readouterr().out
+        assert "(3 computed, 0 cached)" in first
+        assert "rounds_mean" in first
+        assert main(["sweep", "--preset", "logn", "--quick",
+                     "--workers", "2", "--store", store]) == 0
+        second = capsys.readouterr().out
+        assert "(0 computed, 3 cached)" in second
+        # the rendered tables are identical across the cache-hit rerun
+        assert first.splitlines()[1:] == second.splitlines()[1:]
+
+    def test_sweep_group_by_prints_aggregate(self, capsys):
+        assert main(["sweep", "--preset", "logn", "--quick",
+                     "--group-by", "n", "--value", "rounds_mean"]) == 0
+        output = capsys.readouterr().out
+        assert "rounds_mean_mean" in output
+
+    def test_sweep_spec_file_with_seed_override(self, tmp_path, capsys):
+        import json
+
+        from repro.sweeps import SweepSpec
+
+        spec = SweepSpec(name="from-file", axes={"n": [16, 32]},
+                         base={"coeffs": [1.0, 2.0], "epsilon": 0.4},
+                         replicas=2, max_rounds=100, seed=1)
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        assert main(["sweep", "--spec", str(path), "--seed", "7"]) == 0
+        assert "sweep from-file" in capsys.readouterr().out
+
+    def test_sweep_invalid_spec_exits_nonzero(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"name": "bad", "axes": {},
+                                    "game": "linear-singleton"}))
+        assert main(["sweep", "--spec", str(path)]) == 1
+        assert "at least one axis" in capsys.readouterr().err
+
+    def test_sweep_missing_or_malformed_spec_file_exits_nonzero(self, tmp_path, capsys):
+        assert main(["sweep", "--spec", str(tmp_path / "nope.json")]) == 1
+        assert "cannot read sweep spec" in capsys.readouterr().err
+        path = tmp_path / "mangled.json"
+        path.write_text("{not json")
+        assert main(["sweep", "--spec", str(path)]) == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_sweep_unknown_aggregate_value_exits_nonzero(self, capsys):
+        assert main(["sweep", "--preset", "logn", "--quick",
+                     "--group-by", "n", "--value", "bogus_col"]) == 1
+        assert "lacks value column" in capsys.readouterr().err

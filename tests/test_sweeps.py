@@ -1,0 +1,373 @@
+"""Tests for the sweep orchestration subsystem (:mod:`repro.sweeps`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import run_all
+from repro.sweeps import (
+    SweepError,
+    SweepSpec,
+    SweepStore,
+    aggregate_rows,
+    explode_column,
+    group_rows,
+    partition,
+    run_point,
+    run_sweep,
+    table_rows,
+)
+from repro.sweeps.scheduler import default_chunk_size
+
+
+def tiny_spec(**overrides) -> SweepSpec:
+    """A fast 6-point grid over a deterministic linear singleton family."""
+    config = dict(
+        name="tiny",
+        game="linear-singleton",
+        protocol="imitation",
+        measure="approx_equilibrium_time",
+        axes={"n": [24, 48, 96], "epsilon": [0.4, 0.2]},
+        base={"coeffs": [0.5, 1.0, 2.0, 4.0], "delta": 0.25},
+        replicas=4,
+        max_rounds=200,
+        seed=11,
+    )
+    config.update(overrides)
+    return SweepSpec(**config)
+
+
+# ----------------------------------------------------------------------
+# Spec expansion, hashing, serialisation
+# ----------------------------------------------------------------------
+
+class TestSweepSpec:
+    def test_expansion_is_last_axis_fastest(self):
+        points = tiny_spec().expand()
+        assert len(points) == 6
+        assert [(p.params["n"], p.params["epsilon"]) for p in points] == [
+            (24, 0.4), (24, 0.2), (48, 0.4), (48, 0.2), (96, 0.4), (96, 0.2),
+        ]
+        assert [p.index for p in points] == list(range(6))
+
+    def test_base_params_merged_and_overridden_by_axes(self):
+        spec = tiny_spec(axes={"delta": [0.1, 0.5]},
+                         base={"coeffs": [1.0, 2.0], "delta": 0.25})
+        values = [p.params["delta"] for p in spec.expand()]
+        assert values == [0.1, 0.5]
+
+    def test_point_keys_are_stable_and_distinct(self):
+        first, second = tiny_spec().expand(), tiny_spec().expand()
+        assert [p.key for p in first] == [p.key for p in second]
+        assert len({p.key for p in first}) == len(first)
+
+    def test_round_trip_preserves_hash(self):
+        spec = tiny_spec()
+        clone = SweepSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+        assert clone.content_hash() == spec.content_hash()
+
+    def test_hash_sensitive_to_grid_and_seed(self):
+        spec = tiny_spec()
+        assert tiny_spec(seed=12).content_hash() != spec.content_hash()
+        assert tiny_spec(axes={"n": [24]}).content_hash() != spec.content_hash()
+        assert tiny_spec(replicas=5).content_hash() != spec.content_hash()
+
+    def test_hash_sensitive_to_axis_declaration_order(self):
+        # Axis order fixes the point-index -> seed assignment, so a spec
+        # with reordered axes must not hit the old run's cache.
+        forward = tiny_spec(axes={"n": [24, 48], "epsilon": [0.4, 0.2]})
+        reordered = tiny_spec(axes={"epsilon": [0.4, 0.2], "n": [24, 48]})
+        assert forward.content_hash() != reordered.content_hash()
+
+    def test_validate_rejects_duplicate_axis_values(self):
+        with pytest.raises(SweepError, match="duplicate values"):
+            tiny_spec(axes={"n": [24, 24]}).validate()
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(SweepError, match="unknown SweepSpec field"):
+            SweepSpec.from_dict({"name": "x", "axes": {"n": [2]}, "bogus": 1})
+
+    @pytest.mark.parametrize("overrides, message", [
+        (dict(game="tetris"), "unknown game"),
+        (dict(protocol="telepathy"), "unknown protocol"),
+        (dict(measure="vibes"), "unknown measure"),
+        (dict(axes={}), "at least one axis"),
+        (dict(axes={"n": []}), "has no values"),
+        (dict(replicas=0), "replicas"),
+        (dict(max_rounds=0), "max_rounds"),
+    ])
+    def test_validate_rejects_bad_specs(self, overrides, message):
+        with pytest.raises(SweepError, match=message):
+            tiny_spec(**overrides).validate()
+
+    def test_seed_sequences_are_deterministic_per_index(self):
+        spec = tiny_spec()
+        first = [s.generate_state(2).tolist() for s in spec.point_seed_sequences()]
+        second = [s.generate_state(2).tolist() for s in spec.point_seed_sequences()]
+        assert first == second
+        assert len({tuple(state) for state in first}) == len(first)
+
+    def test_slug_is_filesystem_friendly(self):
+        slug = tiny_spec(name="e3 / eps sweep!").slug()
+        assert "/" not in slug and " " not in slug
+        assert slug.endswith(tiny_spec(name="e3 / eps sweep!").content_hash())
+
+
+# ----------------------------------------------------------------------
+# Kernels
+# ----------------------------------------------------------------------
+
+class TestKernels:
+    def test_run_point_row_shape_and_determinism(self):
+        spec = tiny_spec()
+        point = spec.expand()[2]
+        seq = spec.point_seed_sequences()[2]
+        row = run_point(spec, point, seq)
+        again = run_point(spec, point, spec.point_seed_sequences()[2])
+        assert row == again
+        assert row["point_index"] == 2 and row["point_key"] == point.key
+        assert row["n"] == 48 and row["epsilon"] == 0.4
+        assert row["trials"] == spec.replicas == len(row["times"])
+        assert row["rounds_min"] <= row["rounds_mean"] <= row["rounds_max"]
+        json.dumps(row)  # every row must be store-serialisable
+
+    def test_game_builder_requires_player_count(self):
+        spec = tiny_spec(axes={"epsilon": [0.2]}, base={"delta": 0.25})
+        point = spec.expand()[0]
+        with pytest.raises(SweepError, match="'n'"):
+            run_point(spec, point, spec.point_seed_sequences()[0])
+
+
+# ----------------------------------------------------------------------
+# Scheduler: sharding and determinism
+# ----------------------------------------------------------------------
+
+class TestScheduler:
+    def test_partition_and_default_chunk_size(self):
+        assert partition([1, 2, 3, 4, 5], 2) == [[1, 2], [3, 4], [5]]
+        assert default_chunk_size(0, 4) == 1
+        assert default_chunk_size(32, 4) == 2
+        assert default_chunk_size(5, 1) == 2
+        with pytest.raises(SweepError):
+            partition([1], 0)
+
+    def test_parallel_workers_match_serial_bit_for_bit(self):
+        spec = tiny_spec()
+        serial = run_sweep(spec, workers=1)
+        parallel = run_sweep(spec, workers=4)
+        assert serial.rows == parallel.rows
+        assert [row["times"] for row in serial.rows] == \
+               [row["times"] for row in parallel.rows]
+        agg_serial = aggregate_rows(serial.rows, by=["n"], value="rounds_mean")
+        agg_parallel = aggregate_rows(parallel.rows, by=["n"], value="rounds_mean")
+        assert agg_serial == agg_parallel
+
+    def test_shard_size_does_not_change_results(self):
+        spec = tiny_spec()
+        one_by_one = run_sweep(spec, workers=2, chunk_size=1)
+        one_shard = run_sweep(spec, workers=2, chunk_size=6)
+        assert one_by_one.rows == one_shard.rows
+
+    def test_rows_sorted_by_point_index(self):
+        result = run_sweep(tiny_spec(), workers=4, chunk_size=1)
+        assert [row["point_index"] for row in result.rows] == list(range(6))
+
+    def test_invalid_spec_is_rejected_before_running(self):
+        with pytest.raises(SweepError):
+            run_sweep(tiny_spec(axes={}), workers=1)
+
+
+# ----------------------------------------------------------------------
+# Store: round trips, atomic commits, resume
+# ----------------------------------------------------------------------
+
+class TestStore:
+    def test_manifest_and_rows_round_trip(self, tmp_path):
+        spec = tiny_spec()
+        store = SweepStore(tmp_path)
+        result = run_sweep(spec, workers=1, store=store)
+        manifest = store.manifest(spec)
+        assert manifest["spec"] == spec.to_dict()
+        assert manifest["spec_hash"] == spec.content_hash()
+        assert manifest["num_points"] == spec.num_points
+        assert store.load_rows(spec) == result.rows
+        assert store.completed_keys(spec) == {p.key for p in spec.expand()}
+        assert [m["name"] for m in store.runs()] == [spec.name]
+
+    def test_torn_trailing_line_is_ignored(self, tmp_path):
+        spec = tiny_spec()
+        store = SweepStore(tmp_path)
+        run_sweep(spec, workers=1, store=store)
+        with store.rows_path(spec).open("a", encoding="utf-8") as handle:
+            handle.write('{"point_key": "deadbeef", "trunca')
+        assert len(store.load_rows(spec)) == spec.num_points
+
+    def test_duplicate_points_keep_first_committed_row(self, tmp_path):
+        spec = tiny_spec()
+        store = SweepStore(tmp_path)
+        rows = run_sweep(spec, workers=1).rows
+        store.commit(spec, rows[:2])
+        tampered = dict(rows[0], rounds_mean=-1.0)
+        store.commit(spec, [tampered])
+        assert store.load_rows(spec) == rows[:2]
+
+    def test_reset_drops_rows_but_keeps_manifest(self, tmp_path):
+        spec = tiny_spec()
+        store = SweepStore(tmp_path)
+        run_sweep(spec, workers=1, store=store)
+        store.reset(spec)
+        assert store.load_rows(spec) == []
+        assert store.manifest(spec) is not None
+
+    def test_store_accepts_plain_path(self, tmp_path):
+        result = run_sweep(tiny_spec(), workers=1, store=str(tmp_path / "s"))
+        assert result.computed == 6
+        assert SweepStore(tmp_path / "s").load_rows(tiny_spec())
+
+
+class TestResume:
+    def test_resume_recomputes_only_missing_points(self, tmp_path):
+        spec = tiny_spec()
+        reference = run_sweep(spec, workers=1).rows
+        store = SweepStore(tmp_path)
+        # Simulate an interrupted sweep: only the first two shards committed.
+        store.commit(spec, reference[:2])
+        resumed = run_sweep(spec, workers=2, store=store)
+        assert resumed.cached == 2
+        assert resumed.computed == spec.num_points - 2
+        assert resumed.rows == reference
+
+    def test_second_run_is_all_cache_hits(self, tmp_path):
+        spec = tiny_spec()
+        store = SweepStore(tmp_path)
+        first = run_sweep(spec, workers=2, store=store)
+        second = run_sweep(spec, workers=2, store=store)
+        assert first.computed == spec.num_points
+        assert second.computed == 0
+        assert second.cached == spec.num_points
+        assert second.cache_hit_rate == 1.0
+        assert second.rows == first.rows
+
+    def test_no_resume_recomputes_everything(self, tmp_path):
+        spec = tiny_spec()
+        store = SweepStore(tmp_path)
+        run_sweep(spec, workers=1, store=store)
+        fresh = run_sweep(spec, workers=1, store=store, resume=False)
+        assert fresh.computed == spec.num_points and fresh.cached == 0
+
+    def test_changed_spec_does_not_reuse_stale_rows(self, tmp_path):
+        store = SweepStore(tmp_path)
+        run_sweep(tiny_spec(), workers=1, store=store)
+        changed = tiny_spec(seed=99)
+        result = run_sweep(changed, workers=1, store=store)
+        assert result.cached == 0 and result.computed == changed.num_points
+
+    def test_progress_callback_sees_every_shard(self, tmp_path):
+        spec = tiny_spec()
+        ticks: list[tuple[int, int]] = []
+        run_sweep(spec, workers=1, chunk_size=2,
+                  progress=lambda done, pending: ticks.append((done, pending)))
+        assert ticks == [(2, 6), (4, 6), (6, 6)]
+
+
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
+
+class TestAggregate:
+    ROWS = [
+        {"n": 8, "epsilon": 0.4, "rounds_mean": 2.0, "times": [1, 3]},
+        {"n": 8, "epsilon": 0.2, "rounds_mean": 4.0, "times": [4, 4]},
+        {"n": 16, "epsilon": 0.4, "rounds_mean": 6.0, "times": [5, 7]},
+    ]
+
+    def test_group_rows_preserves_first_appearance_order(self):
+        groups = group_rows(self.ROWS, ["n"])
+        assert list(groups) == [(8,), (16,)]
+        assert len(groups[(8,)]) == 2
+
+    def test_aggregate_rows_mean_and_quantiles(self):
+        table = aggregate_rows(self.ROWS, by=["n"], value="rounds_mean",
+                               stats=("count", "mean", "q50"))
+        assert table == [
+            {"n": 8, "rounds_mean_count": 2.0, "rounds_mean_mean": 3.0,
+             "rounds_mean_q50": 3.0},
+            {"n": 16, "rounds_mean_count": 1.0, "rounds_mean_mean": 6.0,
+             "rounds_mean_q50": 6.0},
+        ]
+
+    def test_aggregate_rejects_unknown_stat_and_missing_column(self):
+        with pytest.raises(SweepError, match="unknown statistic"):
+            aggregate_rows(self.ROWS, by=["n"], value="rounds_mean",
+                           stats=("sparkle",))
+        with pytest.raises(SweepError, match="group-by column"):
+            aggregate_rows(self.ROWS, by=["lambda_"], value="rounds_mean")
+
+    def test_aggregate_rejects_missing_or_non_numeric_value_column(self):
+        with pytest.raises(SweepError, match="lacks value column"):
+            aggregate_rows(self.ROWS, by=["n"], value="bogus_col")
+        with pytest.raises(SweepError, match="not numeric"):
+            aggregate_rows([{"n": 8, "label": "x"}], by=["n"], value="label")
+
+    def test_explode_column_flattens_trials(self):
+        exploded = explode_column(self.ROWS, "times")
+        assert len(exploded) == 6
+        assert exploded[0]["time"] == 1 and "times" not in exploded[0]
+        pooled = aggregate_rows(exploded, by=["n"], value="time",
+                                stats=("count", "mean"))
+        assert pooled[0] == {"n": 8, "time_count": 4.0, "time_mean": 3.0}
+
+    def test_table_rows_strip_identity_columns(self):
+        stripped = table_rows([{"point_key": "ab", "times": [1], "n": 8}])
+        assert stripped == [{"n": 8}]
+
+
+# ----------------------------------------------------------------------
+# run_all integration (satellites)
+# ----------------------------------------------------------------------
+
+class TestRunAll:
+    def test_unknown_experiment_id_raises_with_known_ids(self):
+        with pytest.raises(ExperimentError, match=r"E99.*known: E1, E2"):
+            run_all(only=["E99"], quick=True)
+
+    def test_known_and_unknown_mix_still_raises(self):
+        with pytest.raises(ExperimentError, match="E77"):
+            run_all(only=["F1", "e77"], quick=True)
+
+    def test_jobs_pool_matches_serial_results(self):
+        serial = run_all(only=["F1", "E6"], quick=True, seed=5)
+        pooled = run_all(only=["F1", "E6"], quick=True, seed=5, jobs=2)
+        assert list(serial) == list(pooled) == ["E6", "F1"]
+        for key in serial:
+            assert serial[key].rows == pooled[key].rows
+
+
+# ----------------------------------------------------------------------
+# Experiments expressed as sweeps
+# ----------------------------------------------------------------------
+
+class TestExperimentSpecs:
+    def test_e2_runs_through_the_scheduler_with_store(self, tmp_path):
+        from repro.experiments.exp_logn_scaling import run_logn_scaling_experiment
+
+        store = SweepStore(tmp_path)
+        first = run_logn_scaling_experiment(quick=True, trials=3, seed=2,
+                                            workers=2, store=store)
+        second = run_logn_scaling_experiment(quick=True, trials=3, seed=2,
+                                             workers=1, store=store)
+        assert first.rows == second.rows  # second run served from cache
+        assert [row["n"] for row in first.rows] == [64, 256, 1024]
+
+    def test_e3_parallel_matches_serial(self):
+        from repro.experiments.exp_eps_delta_sweep import run_eps_delta_sweep_experiment
+
+        serial = run_eps_delta_sweep_experiment(quick=True, trials=3, seed=3,
+                                                num_players=64, workers=1)
+        parallel = run_eps_delta_sweep_experiment(quick=True, trials=3, seed=3,
+                                                  num_players=64, workers=3)
+        assert serial.rows == parallel.rows
