@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import time
+
 from conftest import run_experiment_benchmark
 
 from repro.experiments.exp_overshooting import run_overshooting_experiment
@@ -23,3 +25,34 @@ def test_bench_e5_overshooting(benchmark):
     # ... while the undamped rule overshoots by a growing factor at high d
     assert undamped[largest]["mean_overshoot_ratio"] > damped[largest]["mean_overshoot_ratio"]
     assert undamped[largest]["mean_overshoot_ratio"] > 1.0
+
+
+def test_bench_e5_batch_engine_speedup(benchmark):
+    """Acceptance guard: batch E5 quick mode must be >= 3x the loop engine.
+
+    Both engines run the identical per-replica random streams (their tables
+    are bit-identical — see tests/test_engine_parity.py); the batch path's
+    advantage is one stacked migration draw for the single-round trials and
+    the ensemble engine for the drift trajectories.
+    """
+    kwargs = dict(quick=True, trials=30, seed=2009, num_players=1000,
+                  drift_trials=10)
+    run_overshooting_experiment(engine="batch", **kwargs)  # warm caches
+
+    started = time.perf_counter()
+    loop_result = run_overshooting_experiment(engine="loop", **kwargs)
+    loop_seconds = time.perf_counter() - started
+
+    batch_result = benchmark.pedantic(
+        lambda: run_overshooting_experiment(engine="batch", **kwargs),
+        rounds=3, iterations=1, warmup_rounds=0,
+    )
+    batch_seconds = benchmark.stats.stats.mean
+    speedup = loop_seconds / batch_seconds
+    benchmark.extra_info["loop_seconds"] = round(loop_seconds, 4)
+    benchmark.extra_info["speedup_vs_loop"] = round(speedup, 2)
+    assert batch_result.rows == loop_result.rows  # parity, not just speed
+    assert speedup >= 3.0, (
+        f"batch E5 only {speedup:.1f}x faster than the loop engine "
+        f"({batch_seconds:.3f}s vs {loop_seconds:.3f}s)"
+    )

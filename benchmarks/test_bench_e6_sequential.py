@@ -10,14 +10,19 @@ from repro.experiments.exp_sequential_lower_bound import (
 
 
 def test_bench_e6_sequential_lower_bound(benchmark):
+    # workers=2 exercises the replica-parallel sequential driver
+    # (run_sequential_ensemble): the candidate start cuts fan out over the
+    # sweep scheduler's pool while each inner move loop stays serial.
     result = run_experiment_benchmark(
         benchmark,
         lambda: run_sequential_lower_bound_experiment(quick=True, seed=2009,
-                                                      max_steps=50_000),
+                                                      max_steps=50_000,
+                                                      workers=2),
     )
     rows = result.rows
     # the dynamics always terminate at an imitation-stable state ...
     assert all(row["final_imitation_stable"] for row in rows)
+    assert all(row["truncated_runs"] == 0 for row in rows)
     # ... but the worst-case number of improving moves grows super-linearly
     # with the instance size (moves per player increase)
     assert rows[-1]["longest_improvement_sequence"] >= rows[0]["longest_improvement_sequence"]

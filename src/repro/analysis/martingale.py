@@ -24,7 +24,8 @@ from ..games.base import CongestionGame
 from ..games.state import StateLike
 from ..rng import RngLike, ensure_rng
 
-__all__ = ["DriftReport", "trajectory_drift_report", "empirical_drift", "potential_increase_rate"]
+__all__ = ["DriftReport", "trajectory_drift_report", "empirical_drift",
+           "aggregate_potential_increases", "potential_increase_rate"]
 
 
 @dataclass(frozen=True)
@@ -74,6 +75,38 @@ def empirical_drift(
     return estimate_expected_drift(game, protocol, state, samples=samples, rng=rng)
 
 
+def aggregate_potential_increases(
+    potential_trajectories: Sequence[np.ndarray],
+) -> dict[str, float]:
+    """Up-move statistics over per-trajectory potential recordings.
+
+    The single aggregation behind :func:`potential_increase_rate` and the
+    E5 sweep kernel's drift column: the fraction of realised rounds in
+    which the potential increased, the largest single up-move, and the mean
+    start-to-end drop.
+    """
+    total_rounds = 0
+    total_increases = 0
+    worst_increase = 0.0
+    net_drop = 0.0
+    for potentials in potential_trajectories:
+        potentials = np.asarray(potentials, dtype=float)
+        if potentials.size < 2:
+            continue
+        steps = np.diff(potentials)
+        total_rounds += steps.size
+        total_increases += int(np.sum(steps > 1e-9))
+        worst_increase = max(worst_increase, float(np.max(steps)))
+        net_drop += float(potentials[0] - potentials[-1])
+    trials = len(potential_trajectories)
+    return {
+        "rounds": float(total_rounds),
+        "increase_rate": (total_increases / total_rounds) if total_rounds else 0.0,
+        "max_increase": worst_increase,
+        "mean_net_drop": net_drop / trials if trials else 0.0,
+    }
+
+
 def potential_increase_rate(
     game: CongestionGame,
     protocol: Protocol,
@@ -91,26 +124,11 @@ def potential_increase_rate(
     compares this rate between the damped and undamped protocols.
     """
     gen = ensure_rng(rng)
-    total_rounds = 0
-    total_increases = 0
-    worst_increase = 0.0
-    net_drop = 0.0
+    trajectories: list[np.ndarray] = []
     for _ in range(trials):
         start = initial_state if initial_state is not None else game.uniform_random_state(gen)
         collector = MetricsCollector(game, track_gain=False)
         dynamics = ConcurrentDynamics(game, protocol, rng=gen)
         dynamics.run(start, max_rounds=rounds, collector=collector)
-        potentials = collector.potentials()
-        if potentials.size < 2:
-            continue
-        steps = np.diff(potentials)
-        total_rounds += steps.size
-        total_increases += int(np.sum(steps > 1e-9))
-        worst_increase = max(worst_increase, float(np.max(steps)))
-        net_drop += float(potentials[0] - potentials[-1])
-    return {
-        "rounds": float(total_rounds),
-        "increase_rate": (total_increases / total_rounds) if total_rounds else 0.0,
-        "max_increase": worst_increase,
-        "mean_net_drop": net_drop / trials if trials else 0.0,
-    }
+        trajectories.append(collector.potentials())
+    return aggregate_potential_increases(trajectories)

@@ -54,8 +54,13 @@ from .experiments import (
     run_all,
     run_experiment,
 )
+from .experiments.registry import experiment_accepts
 from .experiments.exp_eps_delta_sweep import eps_delta_grid_spec
+from .experiments.exp_error_terms import error_terms_spec
 from .experiments.exp_logn_scaling import logn_scaling_spec
+from .experiments.exp_overshooting import overshoot_spec
+from .experiments.exp_protocol_comparison import protocol_comparison_spec
+from .experiments.exp_virtual_agents import virtual_agents_spec
 from .experiments.reporting import render_markdown_table, render_table
 from .games.generators import (
     random_linear_singleton,
@@ -82,11 +87,19 @@ _ENGINE_CHOICES = ("loop", "batch")
 _SWEEP_PRESETS = {
     "logn": logn_scaling_spec,
     "eps-delta": eps_delta_grid_spec,
+    "overshoot": overshoot_spec,
+    "protocol-work": protocol_comparison_spec,
+    "virtual-agents": virtual_agents_spec,
+    "error-terms": error_terms_spec,
 }
 
 _EPILOG = ("Parameter sweeps (the `sweep` command) are documented in "
            "docs/SWEEPS.md: spec format, store layout, resume semantics and "
-           "the determinism guarantees of sharded execution.")
+           "the determinism guarantees of sharded execution.  Presets: "
+           "logn/eps-delta (E2/E3 hitting-time grids), overshoot (E5 "
+           "one-round overshoot ratios), protocol-work (E11 concurrent-vs-"
+           "sequential work), virtual-agents (E13 innovativeness recovery), "
+           "error-terms (F1 Lemma 1/2 error-term ratios).")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -107,6 +120,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--markdown", action="store_true", help="emit a markdown table")
     run_parser.add_argument("--engine", choices=_ENGINE_CHOICES, default="batch",
                             help="round engine: batched ensemble (default) or per-trial loop")
+    run_parser.add_argument("--trials", type=int, default=None,
+                            help="Monte-Carlo trials per configuration (experiments "
+                                 "that take a trial count only)")
+    run_parser.add_argument("--workers", type=int, default=1,
+                            help="worker processes for grid-backed experiments "
+                                 "(same pool as `sweep --workers`)")
 
     all_parser = subparsers.add_parser("run-all", help="run the full experiment suite")
     all_parser.add_argument("--quick", action="store_true", help="scaled-down configuration")
@@ -192,6 +211,17 @@ def _build_protocol(name: str):
     raise ValueError(f"unknown protocol {name!r}")
 
 
+def _require_positive(name: str, value: Optional[int], *, minimum: int = 1) -> None:
+    """Reject non-sensical integer options with a one-line CLI error.
+
+    Raises :class:`~repro.errors.ReproError`, which ``main`` turns into exit
+    status 1 — instead of letting e.g. ``--replicas 0`` die with a numpy
+    traceback deep inside the engine.
+    """
+    if value is not None and value < minimum:
+        raise ReproError(f"{name} must be at least {minimum}, got {value}")
+
+
 def _command_list() -> int:
     for spec in list_experiments():
         print(f"{spec.experiment_id:>4}  {spec.title}")
@@ -200,13 +230,25 @@ def _command_list() -> int:
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    _require_positive("--trials", args.trials)
+    _require_positive("--workers", args.workers)
+    kwargs = {}
+    if args.trials is not None:
+        kwargs["trials"] = args.trials
+        if not experiment_accepts(args.experiment, "trials"):
+            print(f"note: experiment {args.experiment} takes no --trials; "
+                  "the option is ignored", file=sys.stderr)
+    if args.workers != 1 and not experiment_accepts(args.experiment, "workers"):
+        print(f"note: experiment {args.experiment} takes no --workers; "
+              "the option is ignored", file=sys.stderr)
     result = run_experiment(args.experiment, quick=args.quick, seed=args.seed,
-                            engine=args.engine)
+                            engine=args.engine, workers=args.workers, **kwargs)
     print(result.render_markdown() if args.markdown else result.render())
     return 0
 
 
 def _command_run_all(args: argparse.Namespace) -> int:
+    _require_positive("--jobs", args.jobs)
     results = run_all(quick=args.quick, seed=args.seed, only=args.only, verbose=False,
                       engine=args.engine, jobs=args.jobs)
     report = render_markdown_report(results) if args.markdown else render_report(results)
@@ -239,6 +281,7 @@ def _load_sweep_spec(args: argparse.Namespace) -> SweepSpec:
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
+    _require_positive("--workers", args.workers)
     spec = _load_sweep_spec(args)
     store = SweepStore(args.store) if args.store else None
     result = run_sweep(spec, workers=args.workers, store=store, resume=args.resume)
@@ -256,17 +299,20 @@ def _command_sweep(args: argparse.Namespace) -> int:
 
 
 def _command_simulate(args: argparse.Namespace) -> int:
-    if args.replicas < 1:
-        raise ValueError("--replicas must be at least 1")
+    _require_positive("--replicas", args.replicas)
+    _require_positive("--players", args.players)
+    _require_positive("--links", args.links)
+    _require_positive("--rounds", args.rounds)
+    _require_positive("--every", args.every)
     engine = args.engine or ("batch" if args.replicas > 1 else "loop")
     if engine == "loop" and args.replicas > 1:
-        raise ValueError("--engine loop simulates a single trajectory; "
+        raise ReproError("--engine loop simulates a single trajectory; "
                          "use --engine batch for --replicas > 1")
     game = _build_game(args.game, args.players, args.links, args.seed)
     protocol = _build_protocol(args.protocol)
     if engine == "batch":
         return _simulate_ensemble(args, game, protocol)
-    collector = MetricsCollector(game, every=max(1, args.every))
+    collector = MetricsCollector(game, every=args.every)
     result = simulate(game, protocol, rounds=args.rounds, rng=args.seed, collector=collector)
     print(f"game: {game.describe()}")
     print(f"protocol: {protocol.describe()}")
@@ -281,7 +327,7 @@ def _command_simulate(args: argparse.Namespace) -> int:
 
 
 def _simulate_ensemble(args: argparse.Namespace, game, protocol) -> int:
-    collector = EnsembleCollector(game, every=max(1, args.every))
+    collector = EnsembleCollector(game, every=args.every)
     result = simulate_ensemble(
         game, protocol, replicas=args.replicas, rounds=args.rounds,
         rng=args.seed, collector=collector,

@@ -53,7 +53,9 @@ from .run import (
     stop_at_nash,
 )
 from .sequential import (
+    SequentialEnsembleResult,
     SequentialResult,
+    run_sequential_ensemble,
     run_sequential_imitation_asymmetric,
     run_sequential_imitation_symmetric,
 )
@@ -108,7 +110,9 @@ __all__ = [
     "stop_at_approx_equilibrium",
     "stop_at_imitation_stable",
     "stop_at_nash",
+    "SequentialEnsembleResult",
     "SequentialResult",
+    "run_sequential_ensemble",
     "run_sequential_imitation_asymmetric",
     "run_sequential_imitation_symmetric",
     "DeviationSets",

@@ -25,6 +25,14 @@ interleaves replicas round by round and therefore differs from ``R``
 sequential runs of the loop engine — both are reproducible from their seed,
 but they are *different* random processes sample-path-wise (see
 ``docs/ENGINE.md`` and :mod:`repro.rng`).
+
+When pathwise loop/batch equality *is* required (the engine-parity tests of
+the ported experiments), :meth:`EnsembleDynamics.run` accepts
+``rng_streams`` — one generator per replica.  Each replica then draws its
+migrations from its own stream, exactly as ``R`` independent
+:class:`~repro.core.dynamics.ConcurrentDynamics` runs on the same
+generators would, so the two engines produce bit-identical trajectories
+while the protocol evaluation stays batched.
 """
 
 from __future__ import annotations
@@ -43,6 +51,7 @@ from .dynamics import (
     StopReason,
     TrajectoryResult,
     sample_migration_matrices,
+    sample_migration_matrix,
 )
 from .protocols import Protocol, quiescent_mask
 
@@ -344,6 +353,7 @@ class EnsembleDynamics:
         collector: Optional[EnsembleCollector] = None,
         observer: Optional[EnsembleObserver] = None,
         strict: bool = False,
+        rng_streams: Optional[Sequence[np.random.Generator]] = None,
     ) -> EnsembleResult:
         """Advance all live replicas round by round.
 
@@ -375,8 +385,21 @@ class EnsembleDynamics:
         strict:
             Raise :class:`ConvergenceError` if any replica exhausts the
             budget without meeting a stop condition.
+        rng_streams:
+            One generator per replica.  Each replica draws its migrations
+            exclusively from its own stream (retiring a replica does not
+            shift the draws its siblings see), so a replica's trajectory is
+            bit-identical to a :class:`~repro.core.dynamics.ConcurrentDynamics`
+            run on the same generator — the parity mode used by the ported
+            experiments' ``engine="loop"``/``engine="batch"`` contract.
+            Requires explicit ``initial_states``; the engine's own ``rng``
+            is not consumed.  Without it the ensemble draws one stacked
+            multinomial per round from its single generator (the fast
+            default).
         """
         if initial_states is None:
+            if rng_streams is not None:
+                raise ValueError("rng_streams requires explicit initial_states")
             if replicas is None or replicas <= 0:
                 raise ValueError("need replicas > 0 when no initial states are given")
             counts = self.game.uniform_random_batch_state(replicas, self.rng).to_array()
@@ -388,6 +411,11 @@ class EnsembleDynamics:
                     f"but replicas={replicas} was requested"
                 )
         num_replicas = counts.shape[0]
+        if rng_streams is not None and len(rng_streams) != num_replicas:
+            raise ValueError(
+                f"rng_streams has {len(rng_streams)} generators for "
+                f"{num_replicas} replicas"
+            )
 
         rounds = np.zeros(num_replicas, dtype=np.int64)
         total_migrations = np.zeros(num_replicas, dtype=np.int64)
@@ -425,7 +453,14 @@ class EnsembleDynamics:
                     if indices.size == 0:
                         continue
 
-            migration = sample_migration_matrices(counts[indices], matrices, self.rng)
+            if rng_streams is None:
+                migration = sample_migration_matrices(counts[indices], matrices, self.rng)
+            else:
+                migration = np.stack([
+                    sample_migration_matrix(counts[replica], matrices[position],
+                                            rng_streams[replica])
+                    for position, replica in enumerate(indices)
+                ])
             delta = migration.sum(axis=1) - migration.sum(axis=2)
             counts[indices] += delta
             rounds[indices] = round_index + 1

@@ -47,11 +47,13 @@ class MixtureProtocol(Protocol):
         if len(components) != len(weights) or not components:
             raise ProtocolError("need matching, non-empty components and weights")
         weight_array = np.asarray(list(weights), dtype=float)
+        if not np.all(np.isfinite(weight_array)):
+            raise ProtocolError(f"mixture weights must be finite, got {list(weights)}")
         if np.any(weight_array < 0):
-            raise ProtocolError("mixture weights must be non-negative")
+            raise ProtocolError(f"mixture weights must be non-negative, got {list(weights)}")
         total = float(weight_array.sum())
-        if not np.isclose(total, 1.0):
-            raise ProtocolError("mixture weights must sum to 1")
+        if abs(total - 1.0) > 1e-9:
+            raise ProtocolError(f"mixture weights must sum to 1, got sum {total!r}")
         self.components = list(components)
         self.weights = weight_array
 

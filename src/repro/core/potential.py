@@ -32,10 +32,12 @@ from .protocols import Protocol
 
 __all__ = [
     "PotentialBreakdown",
+    "BatchPotentialBreakdown",
     "virtual_potential_gain",
     "error_terms",
     "true_potential_gain",
     "potential_breakdown",
+    "potential_breakdown_batch",
     "expected_virtual_potential_gain",
     "estimate_expected_drift",
 ]
@@ -149,6 +151,88 @@ def potential_breakdown(game: CongestionGame, state: StateLike, migration: np.nd
         virtual_gain=virtual_potential_gain(game, state, migration),
         error_term=float(np.sum(error_terms(game, state, migration))),
         true_gain=true_potential_gain(game, state, migration),
+    )
+
+
+@dataclass(frozen=True)
+class BatchPotentialBreakdown:
+    """Per-sample Lemma 1 decompositions for a stack of migration matrices.
+
+    All attributes are arrays of shape ``(N,)`` — one entry per sampled
+    round against the *same* base state.
+    """
+
+    virtual_gains: np.ndarray
+    error_sums: np.ndarray
+    true_gains: np.ndarray
+
+    @property
+    def lemma1_holds(self) -> np.ndarray:
+        """Per-sample Lemma 1 check (same tolerance as the scalar version)."""
+        scale = (1.0 + np.abs(self.virtual_gains) + np.abs(self.error_sums)
+                 + np.abs(self.true_gains))
+        return self.true_gains <= self.virtual_gains + self.error_sums + 1e-9 * scale
+
+
+def potential_breakdown_batch(game: CongestionGame, state: StateLike,
+                              migrations: np.ndarray) -> BatchPotentialBreakdown:
+    """Lemma 1 decomposition for ``N`` migration matrices at once.
+
+    ``migrations`` has shape ``(N, S, S)``; every matrix is a migration of
+    the same base ``state``.  The per-move gains are evaluated once, the
+    error terms come from table lookups against per-resource latency value
+    and prefix tables, and the true gains reuse the game's batched
+    potential — no per-sample Python work.
+    """
+    counts = game.validate_state(state)
+    migrations = np.asarray(migrations, dtype=np.int64)
+    expected_shape = (game.num_strategies, game.num_strategies)
+    if migrations.ndim != 3 or migrations.shape[1:] != expected_shape:
+        raise StateError(f"migration stack must have shape (N, {expected_shape[0]}, "
+                         f"{expected_shape[1]})")
+    if np.any(migrations < 0):
+        raise StateError("migration counts must be non-negative")
+    diag = np.arange(game.num_strategies)
+    if np.any(migrations[:, diag, diag] != 0):
+        raise StateError("the diagonal of a migration matrix must be zero")
+    if np.any(migrations.sum(axis=2) > counts[np.newaxis, :]):
+        raise StateError("more players leave a strategy than are present")
+
+    latencies = game.strategy_latencies(counts)
+    post = game.post_migration_latency_matrix(counts)
+    per_move_gain = post - latencies[:, np.newaxis]
+    virtual = np.einsum("npq,pq->n", migrations.astype(float), per_move_gain)
+
+    deltas = migrations.sum(axis=1) - migrations.sum(axis=2)  # (N, S)
+    loads = np.rint(game.congestion(counts)).astype(int)  # (m,)
+    delta_loads = np.rint(deltas.astype(float) @ game.incidence).astype(int)  # (N, m)
+    new_loads = loads[np.newaxis, :] + delta_loads
+
+    # Value/prefix tables: V[e, k] = l_e(k), C[e, k] = sum_{i<=k} l_e(i).
+    arguments = np.arange(0, game.num_players + 1, dtype=float)
+    values = np.stack([np.asarray(lat.value(arguments), dtype=float)
+                       for lat in game.latencies])
+    prefix = np.concatenate(
+        [np.zeros((game.num_resources, 1)), np.cumsum(values[:, 1:], axis=1)], axis=1,
+    )
+    resource = np.arange(game.num_resources)[np.newaxis, :]
+    base = np.broadcast_to(loads[np.newaxis, :], new_loads.shape)
+    # delta > 0: sum_{u=load+1..load+delta} l(u) - delta * l(load+1)
+    up = (prefix[resource, new_loads] - prefix[resource, base]
+          - delta_loads * values[resource, np.minimum(base + 1, game.num_players)])
+    # delta < 0: (-delta) * l(load) - sum_{u=load+delta+1..load} l(u)
+    down = (-delta_loads * values[resource, base]
+            - (prefix[resource, base] - prefix[resource, new_loads]))
+    errors = np.where(delta_loads > 0, up, np.where(delta_loads < 0, down, 0.0))
+
+    base_potential = game.potential(counts)
+    new_counts = counts[np.newaxis, :] + deltas
+    true = game.potential_batch(new_counts) - base_potential
+
+    return BatchPotentialBreakdown(
+        virtual_gains=virtual,
+        error_sums=errors.sum(axis=1),
+        true_gains=true,
     )
 
 

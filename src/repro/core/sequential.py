@@ -19,12 +19,20 @@ This module provides sequential engines for both game representations:
 Both support three pivot rules: ``"max-gain"`` (largest improvement),
 ``"min-gain"`` (smallest improvement — the adversarial scheduler that makes
 sequences long), and ``"random"`` (uniform over improving moves).
+
+The inner move loop is inherently serial (each move conditions on the state
+all previous moves produced), so parallelism comes from *replicas*:
+:func:`run_sequential_ensemble` fans independent trajectories — different
+start profiles and/or different random pivots — across the sweep
+scheduler's worker pool, with per-replica seed sequences spawned up front
+so the results are independent of the worker count.
 """
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -32,13 +40,17 @@ from ..errors import ConvergenceError
 from ..games.asymmetric import AsymmetricCongestionGame
 from ..games.base import CongestionGame
 from ..games.state import GameState, StateLike
-from ..rng import RngLike, ensure_rng
+from ..rng import RngLike, ensure_rng, spawn_seed_sequences
 
 __all__ = [
     "SequentialResult",
+    "SequentialEnsembleResult",
     "run_sequential_imitation_symmetric",
     "run_sequential_imitation_asymmetric",
+    "run_sequential_ensemble",
 ]
+
+logger = logging.getLogger(__name__)
 
 _PIVOTS = ("max-gain", "min-gain", "random")
 
@@ -119,6 +131,11 @@ def run_sequential_imitation_symmetric(
             potentials.append(game.potential(counts))
     if strict:
         raise ConvergenceError(f"sequential imitation did not stop within {max_steps} steps")
+    logger.warning(
+        "sequential imitation (symmetric) truncated after %d steps without "
+        "reaching an imitation-stable state; the returned state is NOT "
+        "converged (check SequentialResult.converged)", max_steps,
+    )
     return SequentialResult(GameState(counts), max_steps, False, potentials)
 
 
@@ -158,4 +175,111 @@ def run_sequential_imitation_asymmetric(
             potentials.append(game.potential(current))
     if strict:
         raise ConvergenceError(f"sequential imitation did not stop within {max_steps} steps")
+    logger.warning(
+        "sequential imitation (asymmetric) truncated after %d steps without "
+        "reaching an imitation-stable state; the returned profile is NOT "
+        "converged (check SequentialResult.converged)", max_steps,
+    )
     return SequentialResult(current, max_steps, False, potentials)
+
+
+# ----------------------------------------------------------------------
+# Replica-parallel driver
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SequentialEnsembleResult:
+    """Outcome of a fan-out of independent sequential trajectories.
+
+    Attributes
+    ----------
+    results:
+        One :class:`SequentialResult` per replica, in replica order
+        (independent of the worker count that executed them).
+    """
+
+    results: list[SequentialResult]
+
+    @property
+    def num_replicas(self) -> int:
+        """Number of trajectories in the ensemble."""
+        return len(self.results)
+
+    @property
+    def steps(self) -> np.ndarray:
+        """Per-replica move counts, shape ``(R,)``."""
+        return np.array([result.steps for result in self.results], dtype=np.int64)
+
+    @property
+    def converged(self) -> np.ndarray:
+        """Per-replica convergence mask, shape ``(R,)``."""
+        return np.array([result.converged for result in self.results], dtype=bool)
+
+    @property
+    def num_truncated(self) -> int:
+        """Replicas that exhausted their step budget without converging."""
+        return int(np.sum(~self.converged))
+
+    def converged_steps(self) -> np.ndarray:
+        """Move counts of the converged replicas only (possibly empty)."""
+        return self.steps[self.converged]
+
+
+def _sequential_replica_worker(
+    payload: tuple[object, StateLike, dict, np.random.SeedSequence],
+) -> SequentialResult:
+    """Worker entry point: run one self-contained sequential trajectory.
+
+    The payload carries everything the replica needs (game, start, options,
+    its own seed sequence), so the produced result depends only on the
+    replica — never on which worker process ran it.
+    """
+    game, initial, options, seed_sequence = payload
+    if isinstance(game, AsymmetricCongestionGame):
+        return run_sequential_imitation_asymmetric(game, initial, rng=seed_sequence,
+                                                   **options)
+    return run_sequential_imitation_symmetric(game, initial, rng=seed_sequence,
+                                              **options)
+
+
+def run_sequential_ensemble(
+    game: Union[CongestionGame, AsymmetricCongestionGame],
+    initial_states: Sequence[StateLike],
+    *,
+    pivot: str = "min-gain",
+    min_gain: float = 0.0,
+    max_steps: int = 1_000_000,
+    rng: RngLike = 0,
+    workers: int = 1,
+    record_potential: bool = False,
+    strict: bool = False,
+) -> SequentialEnsembleResult:
+    """Run ``R`` independent sequential trajectories across a worker pool.
+
+    The inner move loop of a sequential dynamics is serial by definition, so
+    this driver parallelises over *replicas*: each entry of
+    ``initial_states`` (a profile for asymmetric games, a count vector for
+    symmetric ones) becomes one self-contained trajectory.  Per-replica seed
+    sequences are spawned from ``rng`` via
+    :func:`repro.rng.spawn_seed_sequences` *before* dispatch, and results
+    are returned in replica order — the rows are therefore bit-identical
+    for any ``workers`` value (the same guarantee the sweep scheduler
+    gives sharded grids).
+    """
+    if pivot not in _PIVOTS:
+        raise ValueError(f"unknown pivot rule {pivot!r}; expected one of {_PIVOTS}")
+    from ..sweeps.scheduler import parallel_map  # local import, avoids cycle
+
+    options = dict(pivot=pivot, min_gain=min_gain, max_steps=max_steps,
+                   record_potential=record_potential, strict=strict)
+    sequences = spawn_seed_sequences(rng, len(initial_states))
+    payloads = [(game, initial, options, sequence)
+                for initial, sequence in zip(initial_states, sequences)]
+    results: list[Optional[SequentialResult]] = [None] * len(payloads)
+    for index, result in parallel_map(_sequential_replica_worker, payloads,
+                                      workers=workers):
+        results[index] = result
+    missing = [index for index, result in enumerate(results) if result is None]
+    if missing:  # parallel_map yields every index exactly once
+        raise RuntimeError(f"sequential ensemble lost replica(s) {missing}")
+    return SequentialEnsembleResult(results=list(results))  # type: ignore[arg-type]

@@ -15,25 +15,53 @@ statement), the average ratio ``sum F_e / |sum V_PQ|`` (Lemma 2 predicts the
 *expected* ratio stays at or below 1/2), and the comparison of the empirical
 mean potential change against the Lemma 2 bound of half the expected virtual
 gain.
+
+The family axis is a :class:`~repro.sweeps.spec.SweepSpec`
+(:func:`error_terms_spec`, CLI ``--preset error-terms``) driving the
+``error_term_ratio`` kernel, which evaluates all sampled rounds through the
+batched Lemma 1 decomposition
+(:func:`repro.core.potential.potential_breakdown_batch`).
+``engine="batch"`` (default) draws all migration samples in one stacked
+multinomial; ``engine="loop"`` draws them one at a time from the same
+generator — bit-identical stacks, bit-identical tables.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..core.dynamics import sample_migration_matrix
-from ..core.imitation import ImitationProtocol
-from ..core.potential import (
-    expected_virtual_potential_gain,
-    potential_breakdown,
-)
-from ..games.generators import random_linear_singleton, random_monomial_singleton
-from ..games.network import grid_network_game
-from ..rng import derive_rng
+from ..sweeps import SweepSpec, run_sweep
 from .config import DEFAULTS, pick
 from .registry import ExperimentResult, register
+from .sweep_bridge import run_spec_points
 
-__all__ = ["run_error_terms_experiment"]
+__all__ = ["run_error_terms_experiment", "error_terms_spec"]
+
+#: Sweep-axis game identifiers -> experiment-table family labels.
+FAMILY_LABELS = {
+    "linear-singleton": "linear-singleton(m=6)",
+    "monomial-singleton": "cubic-singleton(m=6)",
+    "grid-network": "grid-network(2x3)",
+}
+
+
+def error_terms_spec(
+    *, quick: bool = True, seed: int = DEFAULTS.seed, samples: int | None = None,
+    num_players: int | None = None,
+) -> SweepSpec:
+    """The F1 family comparison as a declarative sweep."""
+    samples = samples if samples is not None else pick(quick, 100, 500)
+    num_players = num_players if num_players is not None else pick(quick, 200, 1000)
+    return SweepSpec(
+        name="f1-error-terms",
+        game="linear-singleton",
+        protocol="imitation",
+        measure="error_term_ratio",
+        axes={"game": list(FAMILY_LABELS)},
+        base={"n": num_players, "links": 6, "exponent": 3.0, "rows": 2, "cols": 3,
+              "lambda_": 1.0, "use_nu_threshold": False},
+        replicas=samples,
+        max_rounds=DEFAULTS.max_rounds(quick),
+        seed=seed,
+    )
 
 
 @register(
@@ -44,48 +72,28 @@ __all__ = ["run_error_terms_experiment"]
 )
 def run_error_terms_experiment(
     *, quick: bool = True, seed: int = DEFAULTS.seed, samples: int | None = None,
-    num_players: int | None = None,
+    num_players: int | None = None, engine: str = "batch",
+    workers: int = 1, store=None,
 ) -> ExperimentResult:
     """Run experiment F1 and return its result table."""
-    samples = samples if samples is not None else pick(quick, 100, 500)
-    num_players = num_players if num_players is not None else pick(quick, 200, 1000)
-    protocol = ImitationProtocol(lambda_=1.0, use_nu_threshold=False)
+    spec = error_terms_spec(quick=quick, seed=seed, samples=samples,
+                            num_players=num_players)
 
-    families = {
-        "linear-singleton(m=6)": lambda: random_linear_singleton(num_players, 6, rng=seed),
-        "cubic-singleton(m=6)": lambda: random_monomial_singleton(num_players, 6, 3.0, rng=seed),
-        "grid-network(2x3)": lambda: grid_network_game(num_players, rows=2, cols=3, rng=seed),
-    }
+    if engine == "batch":
+        sweep_rows = run_sweep(spec, workers=workers, store=store).rows
+    else:
+        sweep_rows = run_spec_points(spec, engine=engine)
 
-    rows: list[dict] = []
-    for family_name, factory in families.items():
-        game = factory()
-        gen = derive_rng(seed, "f1", family_name)
-        state = game.uniform_random_state(gen)
-        probabilities = protocol.switch_probabilities(game, state)
-        lemma1_holds = 0
-        error_ratios: list[float] = []
-        true_gains: list[float] = []
-        for _ in range(samples):
-            migration = sample_migration_matrix(state.counts, probabilities.matrix, gen)
-            breakdown = potential_breakdown(game, state, migration)
-            if breakdown.lemma1_holds:
-                lemma1_holds += 1
-            if breakdown.virtual_gain < -1e-12:
-                error_ratios.append(breakdown.error_term / abs(breakdown.virtual_gain))
-            true_gains.append(breakdown.true_gain)
-        expected_virtual = expected_virtual_potential_gain(game, protocol, state)
-        mean_true = float(np.mean(true_gains))
-        rows.append({
-            "game": family_name,
-            "samples": samples,
-            "lemma1_holds_fraction": lemma1_holds / samples,
-            "mean_error_over_virtual": float(np.mean(error_ratios)) if error_ratios else 0.0,
-            "expected_virtual_gain": expected_virtual,
-            "lemma2_bound_half_virtual": 0.5 * expected_virtual,
-            "mean_true_potential_gain": mean_true,
-            "lemma2_satisfied": mean_true <= 0.5 * expected_virtual + 1e-6 * abs(expected_virtual) + 1e-9,
-        })
+    rows = [{
+        "game": FAMILY_LABELS[row["game"]],
+        "samples": row["samples"],
+        "lemma1_holds_fraction": row["lemma1_holds_fraction"],
+        "mean_error_over_virtual": row["mean_error_over_virtual"],
+        "expected_virtual_gain": row["expected_virtual_gain"],
+        "lemma2_bound_half_virtual": row["lemma2_bound_half_virtual"],
+        "mean_true_potential_gain": row["mean_true_potential_gain"],
+        "lemma2_satisfied": row["lemma2_satisfied"],
+    } for row in sweep_rows]
 
     notes: list[str] = []
     notes.append("Lemma 1 held on every sampled round (it is a deterministic inequality)"
@@ -102,6 +110,8 @@ def run_error_terms_experiment(
         claim="Lemmas 1 and 2",
         rows=rows,
         notes=notes,
-        parameters={"quick": quick, "seed": seed, "samples": samples,
-                    "num_players": num_players},
+        parameters={"quick": quick, "seed": seed, "samples": spec.replicas,
+                    "num_players": spec.base["n"],
+                    "engine": engine, "workers": workers,
+                    "sweep_spec_hash": spec.content_hash()},
     )

@@ -19,38 +19,58 @@ measures over many independent single rounds
 * whether the post-round latency of link 2 exceeds ``c`` (migrants worse off),
 * the realised one-round potential change,
 * the rate of potential increases along a longer trajectory.
+
+The (degree, protocol) grid is a :class:`~repro.sweeps.spec.SweepSpec`
+(:func:`overshoot_spec`, CLI ``--preset overshoot``) driving the
+``overshoot_ratio`` kernel.  ``engine="batch"`` (default) draws all trial
+rounds as one stacked multinomial and runs the drift trajectories through
+the ensemble engine; ``engine="loop"`` replays the same per-replica random
+streams through the scalar engine — the two tables are bit-identical (the
+engine-parity tests assert this).
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..analysis.martingale import potential_increase_rate
-from ..baselines.proportional_sampling import ProportionalImitationProtocol
-from ..core.dynamics import step
-from ..core.imitation import ImitationProtocol
-from ..games.generators import two_link_overshoot_game
-from ..games.state import GameState
-from ..rng import derive_rng, spawn_rngs
+from ..sweeps import SweepSpec, run_sweep
 from .config import DEFAULTS, pick, pick_list
 from .registry import ExperimentResult, register
+from .reporting import find_row
+from .sweep_bridge import run_spec_points
 
-__all__ = ["run_overshooting_experiment"]
+__all__ = ["run_overshooting_experiment", "overshoot_spec"]
 
 #: Fraction of the constant latency that link 2 offers in the prepared start
 #: state (the latency gap is therefore 30% of c).
 START_LATENCY_FRACTION = 0.7
 
+#: Sweep-axis protocol identifiers -> experiment-table display labels.
+PROTOCOL_LABELS = {
+    "imitation": "imitation (1/d damped)",
+    "proportional": "proportional (undamped)",
+}
 
-def _prepared_start(game, degree: float) -> GameState:
-    """State in which link 2's latency is ``START_LATENCY_FRACTION * c``."""
-    constant_latency = float(game.latencies[0].value(np.asarray(0.0)))
-    target_latency = START_LATENCY_FRACTION * constant_latency
-    # l_2(x) = x**degree  =>  x = target**(1/degree)
-    power_load = int(round(target_latency ** (1.0 / degree)))
-    power_load = min(max(power_load, 1), game.num_players - 1)
-    counts = np.array([game.num_players - power_load, power_load], dtype=np.int64)
-    return GameState(counts)
+
+def overshoot_spec(
+    *, quick: bool = True, seed: int = DEFAULTS.seed, trials: int | None = None,
+    num_players: int | None = None, drift_trials: int = 3,
+) -> SweepSpec:
+    """The E5 grid as a declarative sweep over (degree, protocol)."""
+    trials = trials if trials is not None else pick(quick, 20, 100)
+    num_players = num_players if num_players is not None else pick(quick, 1000, 4000)
+    degrees = pick_list(quick, [1, 2, 4], [1, 2, 4, 6, 8])
+    return SweepSpec(
+        name="e5-overshoot",
+        game="two-link",
+        protocol="imitation",
+        measure="overshoot_ratio",
+        axes={"degree": degrees, "protocol": ["imitation", "proportional"]},
+        base={"n": num_players, "lambda_": 1.0, "use_nu_threshold": False,
+              "start_latency_fraction": START_LATENCY_FRACTION,
+              "drift_rounds": pick(quick, 30, 100), "drift_trials": drift_trials},
+        replicas=trials,
+        max_rounds=pick(quick, 30, 100),
+        seed=seed,
+    )
 
 
 @register(
@@ -62,62 +82,35 @@ def _prepared_start(game, degree: float) -> GameState:
 )
 def run_overshooting_experiment(
     *, quick: bool = True, seed: int = DEFAULTS.seed, trials: int | None = None,
-    num_players: int | None = None,
+    num_players: int | None = None, drift_trials: int = 3, engine: str = "batch",
+    workers: int = 1, store=None,
 ) -> ExperimentResult:
     """Run experiment E5 and return its result table."""
-    trials = trials if trials is not None else pick(quick, 20, 100)
-    num_players = num_players if num_players is not None else pick(quick, 1000, 4000)
-    degrees = pick_list(quick, [1, 2, 4], [1, 2, 4, 6, 8])
+    spec = overshoot_spec(quick=quick, seed=seed, trials=trials,
+                          num_players=num_players, drift_trials=drift_trials)
+    degrees = list(spec.axes["degree"])
 
-    protocols = {
-        "imitation (1/d damped)": lambda: ImitationProtocol(lambda_=1.0, use_nu_threshold=False),
-        "proportional (undamped)": lambda: ProportionalImitationProtocol(
-            lambda_=1.0, use_nu_threshold=False),
-    }
+    if engine == "batch":
+        sweep_rows = run_sweep(spec, workers=workers, store=store).rows
+    else:
+        sweep_rows = run_spec_points(spec, engine=engine)
 
-    rows: list[dict] = []
-    for degree in degrees:
-        game = two_link_overshoot_game(num_players, float(degree))
-        start = _prepared_start(game, float(degree))
-        start_loads = game.congestion(start)
-        constant_latency = float(game.latencies[0].value(np.asarray(0.0)))
-        power_latency_before = float(game.latencies[1].value(np.asarray(start_loads[1])))
-        gap = constant_latency - power_latency_before
-        start_potential = game.potential(start)
-        for protocol_name, protocol_factory in protocols.items():
-            protocol = protocol_factory()
-            generators = spawn_rngs(derive_rng(seed, "overshoot", degree, protocol_name), trials)
-            overshoot_ratios: list[float] = []
-            migrants_worse_off: list[bool] = []
-            potential_changes: list[float] = []
-            for generator in generators:
-                outcome = step(game, protocol, start, rng=generator)
-                loads = game.congestion(outcome.state)
-                power_latency_after = float(game.latencies[1].value(np.asarray(loads[1])))
-                overshoot_ratios.append((power_latency_after - power_latency_before) / gap)
-                migrants_worse_off.append(power_latency_after > constant_latency)
-                potential_changes.append(game.potential(outcome.state) - start_potential)
-            drift = potential_increase_rate(
-                game, protocol, rounds=pick(quick, 30, 100), trials=3,
-                initial_state=start,
-                rng=derive_rng(seed, "overshoot-run", degree, protocol_name),
-            )
-            rows.append({
-                "degree_d": degree,
-                "protocol": protocol_name,
-                "latency_gap_b": gap,
-                "mean_overshoot_ratio": float(np.mean(overshoot_ratios)),
-                "migrants_worse_off_fraction": float(np.mean(migrants_worse_off)),
-                "mean_potential_change_1_round": float(np.mean(potential_changes)),
-                "potential_increase_rate_long_run": drift["increase_rate"],
-            })
+    rows = [{
+        "degree_d": row["degree"],
+        "protocol": PROTOCOL_LABELS[row["protocol"]],
+        "latency_gap_b": row["latency_gap_b"],
+        "mean_overshoot_ratio": row["mean_overshoot_ratio"],
+        "migrants_worse_off_fraction": row["migrants_worse_off_fraction"],
+        "mean_potential_change_1_round": row["mean_potential_change_1_round"],
+        "potential_increase_rate_long_run": row["potential_increase_rate_long_run"],
+    } for row in sweep_rows]
 
     notes: list[str] = []
     for degree in degrees:
-        damped = next(r for r in rows if r["degree_d"] == degree
-                      and r["protocol"].startswith("imitation"))
-        undamped = next(r for r in rows if r["degree_d"] == degree
-                        and r["protocol"].startswith("proportional"))
+        damped = find_row(rows, degree_d=degree,
+                          protocol=PROTOCOL_LABELS["imitation"])
+        undamped = find_row(rows, degree_d=degree,
+                            protocol=PROTOCOL_LABELS["proportional"])
         notes.append(
             f"d={degree}: latency increase / anticipated gain = "
             f"{undamped['mean_overshoot_ratio']:.2f} (undamped) vs "
@@ -136,7 +129,9 @@ def run_overshooting_experiment(
         claim="Section 2.3 overshooting example",
         rows=rows,
         notes=notes,
-        parameters={"quick": quick, "seed": seed, "trials": trials,
-                    "num_players": num_players, "degrees": degrees,
-                    "start_latency_fraction": START_LATENCY_FRACTION},
+        parameters={"quick": quick, "seed": seed, "trials": spec.replicas,
+                    "num_players": spec.base["n"], "degrees": degrees,
+                    "start_latency_fraction": START_LATENCY_FRACTION,
+                    "engine": engine, "workers": workers,
+                    "sweep_spec_hash": spec.content_hash()},
     )

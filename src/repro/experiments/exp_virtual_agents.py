@@ -12,25 +12,57 @@ as E9) and compares
 
 reporting whether a Nash equilibrium is reached, how many rounds it takes and
 the final social cost.
+
+The protocol axis is a :class:`~repro.sweeps.spec.SweepSpec`
+(:func:`virtual_agents_spec`, CLI ``--preset virtual-agents``) driving the
+``virtual_agent_nash`` kernel.  ``engine="batch"`` (default) advances all
+trials through the ensemble engine with per-replica random streams;
+``engine="loop"`` replays the same streams through the scalar engine —
+bit-identical tables.  ``mean_rounds`` averages over *converged* trials
+only; trials that exhausted the round budget are counted in
+``non_converged_trials``.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..core.hybrid import make_hybrid_protocol
-from ..core.imitation import ImitationProtocol
-from ..core.run import run_until_nash
-from ..core.virtual_agents import VirtualAgentImitationProtocol
-from ..games.nash import is_nash
-from ..games.optimum import compute_social_optimum
-from ..games.singleton import make_linear_singleton
-from ..games.state import GameState
-from ..rng import derive_rng, spawn_rngs
+from ..sweeps import SweepSpec, run_sweep
 from .config import DEFAULTS, pick
 from .registry import ExperimentResult, register
+from .reporting import find_row
+from .sweep_bridge import run_spec_points
 
-__all__ = ["run_virtual_agents_experiment"]
+__all__ = ["run_virtual_agents_experiment", "virtual_agents_spec"]
+
+#: The fixed slowest-to-fastest link speeds of the E13 instance.
+LINK_COEFFICIENTS = [1.0, 2.0, 4.0, 8.0]
+
+#: Sweep-axis protocol identifiers -> experiment-table display labels.
+PROTOCOL_LABELS = {
+    "imitation": "imitation (plain)",
+    "virtual-agents": "imitation + virtual agents",
+    "hybrid": "hybrid (imitation/exploration)",
+}
+
+
+def virtual_agents_spec(
+    *, quick: bool = True, seed: int = DEFAULTS.seed, trials: int | None = None,
+    num_players: int | None = None,
+) -> SweepSpec:
+    """The E13 protocol comparison as a declarative sweep."""
+    trials = trials if trials is not None else pick(quick, 3, 10)
+    num_players = num_players if num_players is not None else pick(quick, 40, 120)
+    return SweepSpec(
+        name="e13-virtual-agents",
+        game="linear-singleton",
+        protocol="imitation",
+        measure="virtual_agent_nash",
+        axes={"protocol": list(PROTOCOL_LABELS)},
+        base={"n": num_players, "coeffs": LINK_COEFFICIENTS,
+              "use_nu_threshold": False},
+        replicas=trials,
+        max_rounds=pick(quick, 50_000, 500_000),
+        seed=seed,
+    )
 
 
 @register(
@@ -42,67 +74,55 @@ __all__ = ["run_virtual_agents_experiment"]
 )
 def run_virtual_agents_experiment(
     *, quick: bool = True, seed: int = DEFAULTS.seed, trials: int | None = None,
-    num_players: int | None = None,
+    num_players: int | None = None, engine: str = "batch",
+    workers: int = 1, store=None,
 ) -> ExperimentResult:
     """Run experiment E13 and return its result table."""
-    trials = trials if trials is not None else pick(quick, 3, 10)
-    num_players = num_players if num_players is not None else pick(quick, 40, 120)
-    max_rounds = pick(quick, 50_000, 500_000)
-    coefficients = [1.0, 2.0, 4.0, 8.0]
-    game = make_linear_singleton(num_players, coefficients)
-    optimum = compute_social_optimum(game)
+    spec = virtual_agents_spec(quick=quick, seed=seed, trials=trials,
+                               num_players=num_players)
 
-    slowest = int(np.argmax(coefficients))
-    start_counts = np.zeros(len(coefficients), dtype=np.int64)
-    start_counts[slowest] = num_players
-    start = GameState(start_counts)
+    if engine == "batch":
+        sweep_rows = run_sweep(spec, workers=workers, store=store).rows
+    else:
+        sweep_rows = run_spec_points(spec, engine=engine)
 
-    protocols = {
-        "imitation (plain)": ImitationProtocol(use_nu_threshold=False),
-        "imitation + virtual agents": VirtualAgentImitationProtocol(),
-        "hybrid (imitation/exploration)": make_hybrid_protocol(use_nu_threshold=False),
-    }
+    rows = [{
+        "protocol": PROTOCOL_LABELS[row["protocol"]],
+        "trials": row["trials"],
+        "nash_reached_fraction": row["nash_reached_fraction"],
+        "mean_rounds": row["mean_rounds_converged"],
+        "non_converged_trials": row["non_converged_trials"],
+        "mean_final_cost": row["mean_final_cost"],
+        "cost_over_optimum": row["cost_over_optimum"],
+    } for row in sweep_rows]
 
-    rows: list[dict] = []
-    for protocol_name, protocol in protocols.items():
-        generators = spawn_rngs(derive_rng(seed, "e13", protocol_name), trials)
-        reached: list[bool] = []
-        rounds_used: list[float] = []
-        final_costs: list[float] = []
-        for generator in generators:
-            result = run_until_nash(game, protocol, initial_state=start,
-                                    max_rounds=max_rounds, rng=generator)
-            reached.append(bool(is_nash(game, result.final_state)))
-            rounds_used.append(float(result.rounds))
-            final_costs.append(float(game.social_cost(result.final_state)))
-        rows.append({
-            "protocol": protocol_name,
-            "trials": trials,
-            "nash_reached_fraction": float(np.mean(reached)),
-            "mean_rounds": float(np.mean(rounds_used)),
-            "mean_final_cost": float(np.mean(final_costs)),
-            "cost_over_optimum": float(np.mean(final_costs)) / optimum.social_cost,
-        })
-
-    by_name = {row["protocol"]: row for row in rows}
+    plain = find_row(rows, protocol=PROTOCOL_LABELS["imitation"])
+    virtual = find_row(rows, protocol=PROTOCOL_LABELS["virtual-agents"])
     notes: list[str] = []
     notes.append(
         "plain imitation never escapes the all-on-one-strategy start "
-        f"(Nash fraction {by_name['imitation (plain)']['nash_reached_fraction']:.2f})"
+        f"(Nash fraction {plain['nash_reached_fraction']:.2f})"
     )
     notes.append(
         "virtual-agent imitation reaches a Nash equilibrium in "
-        f"{by_name['imitation + virtual agents']['nash_reached_fraction']:.2f} of trials after "
-        f"{by_name['imitation + virtual agents']['mean_rounds']:.0f} rounds on average — the "
+        f"{virtual['nash_reached_fraction']:.2f} of trials after "
+        f"{virtual['mean_rounds'] or 0:.0f} rounds on average — the "
         "Section 6 claim that a single virtual agent per strategy restores innovativeness"
     )
+    truncated = sum(row["non_converged_trials"] for row in rows)
+    if truncated:
+        notes.append(f"{truncated} trial(s) exhausted the round budget without "
+                     "converging and are excluded from the mean_rounds column")
     return ExperimentResult(
         experiment_id="E13",
         title="Virtual agents restore innovativeness",
         claim="Section 6, second alternative (extension)",
         rows=rows,
         notes=notes,
-        parameters={"quick": quick, "seed": seed, "trials": trials,
-                    "num_players": num_players, "coefficients": coefficients,
-                    "max_rounds": max_rounds},
+        parameters={"quick": quick, "seed": seed, "trials": spec.replicas,
+                    "num_players": spec.base["n"],
+                    "coefficients": LINK_COEFFICIENTS,
+                    "max_rounds": spec.max_rounds,
+                    "engine": engine, "workers": workers,
+                    "sweep_spec_hash": spec.content_hash()},
     )

@@ -16,7 +16,7 @@ from ..errors import ExperimentError
 from .reporting import render_markdown_table, render_table
 
 __all__ = ["ExperimentResult", "ExperimentSpec", "register", "get_experiment",
-           "list_experiments", "run_experiment"]
+           "experiment_accepts", "list_experiments", "run_experiment"]
 
 
 @dataclass
@@ -113,17 +113,25 @@ def list_experiments() -> list[ExperimentSpec]:
     ]
 
 
+#: Harness-level keywords forwarded only to experiments that accept them:
+#: a suite-wide setting (engine, worker pool, trial count) must not break
+#: experiments without that knob (e.g. E6 has no concurrent-round engine).
+_OPTIONAL_KEYWORDS = ("engine", "workers", "trials", "store")
+
+
 def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
     """Run one experiment by identifier.
 
-    The ``engine`` keyword ("loop" or "batch") selects the round engine and
-    is forwarded only to experiments that take it — sequential and
-    closed-form experiments (E6, F1, ...) have no engine choice, so a
-    suite-wide engine setting must not break them.
+    The ``engine`` keyword ("loop" or "batch") selects the round engine,
+    ``workers``/``store`` drive the sweep scheduler of the grid-backed
+    experiments and ``trials`` scales the Monte-Carlo replication.  Each is
+    forwarded only to experiments that take it.
     """
     spec = get_experiment(experiment_id)
-    if "engine" in kwargs and not _accepts_keyword(spec.func, "engine"):
-        kwargs = {key: value for key, value in kwargs.items() if key != "engine"}
+    dropped = [key for key in _OPTIONAL_KEYWORDS
+               if key in kwargs and not _accepts_keyword(spec.func, key)]
+    if dropped:
+        kwargs = {key: value for key, value in kwargs.items() if key not in dropped}
     return spec.func(**kwargs)
 
 
@@ -134,6 +142,16 @@ def _accepts_keyword(func: Callable[..., ExperimentResult], name: str) -> bool:
         return True
     return any(parameter.kind is inspect.Parameter.VAR_KEYWORD
                for parameter in parameters.values())
+
+
+def experiment_accepts(experiment_id: str, keyword: str) -> bool:
+    """True if the experiment's runner takes ``keyword``.
+
+    Lets callers that forward a user-typed option (the CLI's ``run
+    --trials``) warn when the experiment has no such knob, instead of the
+    option being dropped silently.
+    """
+    return _accepts_keyword(get_experiment(experiment_id).func, keyword)
 
 
 def _ensure_loaded() -> None:

@@ -2,14 +2,49 @@
 
 Every experiment produces a list of row dictionaries; this module turns them
 into aligned plain-text tables (printed by the CLI and the benchmark harness)
-and into markdown tables (pasted into ``EXPERIMENTS.md``).
+and into markdown tables (pasted into ``EXPERIMENTS.md``).  It also hosts
+:func:`find_row`, the checked row lookup experiments use when they build
+their summary notes (a missing row names the missing key instead of raising
+an opaque ``StopIteration``).
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Mapping, Optional, Sequence
 
-__all__ = ["format_value", "render_table", "render_markdown_table"]
+from ..errors import ExperimentError
+
+__all__ = ["find_row", "format_value", "render_table", "render_markdown_table"]
+
+
+def find_row(rows: Sequence[Mapping[str, object]], **criteria: object
+             ) -> Mapping[str, object]:
+    """Return the first row whose columns match all ``criteria``.
+
+    Replaces the bare ``next(r for r in rows if ...)`` pattern: when no row
+    matches, the raised :class:`~repro.errors.ExperimentError` names the
+    missing key and the values the table actually contains, instead of an
+    opaque ``StopIteration``/``RuntimeError``.
+    """
+    for row in rows:
+        if all(column in row and row[column] == wanted
+               for column, wanted in criteria.items()):
+            return row
+    wanted_text = ", ".join(f"{column}={value!r}"
+                            for column, value in sorted(criteria.items()))
+    available: dict[str, list] = {}
+    for column in criteria:
+        seen: list = []
+        for row in rows:
+            if column in row and row[column] not in seen:
+                seen.append(row[column])
+        available[column] = seen
+    available_text = "; ".join(f"{column} in {values!r}"
+                               for column, values in sorted(available.items()))
+    raise ExperimentError(
+        f"no result row matches ({wanted_text}); "
+        f"available values: {available_text or 'none (empty table)'}"
+    )
 
 
 def format_value(value: object, *, precision: int = 4) -> str:

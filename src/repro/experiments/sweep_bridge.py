@@ -1,0 +1,37 @@
+"""Bridge between experiments and the sweep kernels' loop engine.
+
+The ported experiments (E5, E11, E13, F1) express their grids as
+:class:`~repro.sweeps.spec.SweepSpec` objects.  Their default
+``engine="batch"`` path goes through :func:`repro.sweeps.run_sweep` (sharded
+workers, resumable store); the ``engine="loop"`` parity path runs the *same*
+points through the *same* kernels in-process, but with the kernels' scalar
+loop engine.  Because both engines derive identical per-replica random
+streams from the point seeds and share the migration-sampling code, the two
+paths return bit-identical rows — the contract the engine-parity tests
+pin down.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..sweeps.kernels import run_point
+from ..sweeps.spec import SweepError, SweepSpec
+
+__all__ = ["run_spec_points"]
+
+
+def run_spec_points(spec: SweepSpec, *, engine: str = "loop") -> list[dict[str, Any]]:
+    """Run every point of ``spec`` in-process under the given engine.
+
+    Returns the rows in point-expansion order (the order ``run_sweep``
+    returns after sorting), without sharding, worker pools, or a store —
+    the debuggable single-process twin of the batch path.
+    """
+    if engine not in ("loop", "batch"):
+        raise SweepError(f"unknown engine {engine!r}; use 'loop' or 'batch'")
+    spec.validate()
+    points = spec.expand()
+    sequences = spec.point_seed_sequences()
+    return [run_point(spec, point, sequence, engine=engine)
+            for point, sequence in zip(points, sequences)]

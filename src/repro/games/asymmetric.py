@@ -10,6 +10,16 @@ player has exactly two strategies of its own.
 Because the players are no longer exchangeable, the state of an asymmetric
 game is a *profile*: an integer array ``profile[i]`` holding the index of the
 strategy chosen by player ``i`` within its own strategy list.
+
+The sequential dynamics (:mod:`repro.core.sequential`) evaluate
+``imitation_moves`` / ``apply_move`` once per single-player move, so these
+are hot paths: the implementation flattens every (player, strategy) pair
+into one row of a shared incidence matrix and evaluates congestions,
+latencies and candidate gains with broadcasted array operations instead of
+scanning Python lists.  Games whose latencies are all
+:class:`~repro.games.latency.LinearLatency` (the threshold games of the
+Theorem 6 construction) additionally evaluate all resource latencies with a
+single fused multiply-add.
 """
 
 from __future__ import annotations
@@ -20,7 +30,7 @@ import numpy as np
 
 from ..errors import GameDefinitionError, StateError
 from ..rng import RngLike, ensure_rng
-from .latency import LatencyFunction
+from .latency import LatencyFunction, LinearLatency
 
 Strategy = tuple[int, ...]
 
@@ -82,6 +92,61 @@ class AsymmetricCongestionGame:
             else [f"e{idx}" for idx in range(len(self._latencies))]
         )
         self.name = name
+        self._build_tables()
+
+    def _build_tables(self) -> None:
+        """Precompute the flattened (player, strategy) machinery.
+
+        Every strategy of every player becomes one row of a shared incidence
+        matrix; the hot paths gather/scatter against these rows instead of
+        iterating strategy lists.
+        """
+        num_players = len(self._strategy_spaces)
+        num_resources = len(self._latencies)
+        self._num_strategies_arr = np.array(
+            [len(space) for space in self._strategy_spaces], dtype=np.int64
+        )
+        self._row_offsets = np.concatenate(
+            ([0], np.cumsum(self._num_strategies_arr[:-1]))
+        ).astype(np.int64)
+        total_rows = int(self._num_strategies_arr.sum())
+        incidence = np.zeros((total_rows, num_resources), dtype=float)
+        row_player = np.empty(total_rows, dtype=np.int64)
+        row_strategy = np.empty(total_rows, dtype=np.int64)
+        row = 0
+        for player, space in enumerate(self._strategy_spaces):
+            for index, strategy in enumerate(space):
+                incidence[row, list(strategy)] = 1.0
+                row_player[row] = player
+                row_strategy[row] = index
+                row += 1
+        incidence.setflags(write=False)
+        self._strategy_incidence = incidence
+        self._row_player = row_player
+        self._row_strategy = row_strategy
+
+        # Group id per player (groups = identical strategy spaces, in order
+        # of first appearance — the strategy_space_groups() ordering).
+        group_index: dict[tuple[Strategy, ...], int] = {}
+        group_ids = np.empty(num_players, dtype=np.int64)
+        for player, space in enumerate(self._strategy_spaces):
+            group_ids[player] = group_index.setdefault(space, len(group_index))
+        self._group_ids = group_ids
+        self._num_groups = len(group_index)
+        self._max_strategies = int(self._num_strategies_arr.max())
+
+        # Fused evaluation of all resource latencies when every latency is
+        # affine (the threshold-game case): l(x) = slope * x + offset.
+        if all(type(lat) is LinearLatency for lat in self._latencies):
+            self._linear_slopes: Optional[np.ndarray] = np.array(
+                [lat.a for lat in self._latencies], dtype=float
+            )
+            self._linear_offsets: Optional[np.ndarray] = np.array(
+                [lat.b for lat in self._latencies], dtype=float
+            )
+        else:
+            self._linear_slopes = None
+            self._linear_offsets = None
 
     # ------------------------------------------------------------------
     @property
@@ -134,11 +199,12 @@ class AsymmetricCongestionGame:
             raise StateError(
                 f"profile must have one entry per player ({self.num_players})"
             )
-        for player, choice in enumerate(arr):
-            if not 0 <= choice < self.num_strategies(player):
-                raise StateError(
-                    f"player {player} has no strategy index {int(choice)}"
-                )
+        bad = np.nonzero((arr < 0) | (arr >= self._num_strategies_arr))[0]
+        if bad.size:
+            player = int(bad[0])
+            raise StateError(
+                f"player {player} has no strategy index {int(arr[player])}"
+            )
         return arr
 
     def random_profile(self, rng: RngLike = None) -> np.ndarray:
@@ -152,14 +218,13 @@ class AsymmetricCongestionGame:
     def congestion(self, profile: Sequence[int]) -> np.ndarray:
         """Per-resource congestion induced by ``profile``."""
         arr = self.validate_profile(profile)
-        loads = np.zeros(self.num_resources, dtype=np.int64)
-        for player, choice in enumerate(arr):
-            for resource in self._strategy_spaces[player][choice]:
-                loads[resource] += 1
-        return loads
+        rows = self._row_offsets + arr
+        return np.rint(self._strategy_incidence[rows].sum(axis=0)).astype(np.int64)
 
     def resource_latencies(self, loads: np.ndarray) -> np.ndarray:
         """Per-resource latency at the given loads."""
+        if self._linear_slopes is not None:
+            return self._linear_slopes * np.asarray(loads, dtype=float) + self._linear_offsets
         return np.array(
             [lat.value(np.asarray(float(load))) for lat, load in zip(self._latencies, loads)],
             dtype=float,
@@ -199,6 +264,11 @@ class AsymmetricCongestionGame:
     def potential(self, profile: Sequence[int]) -> float:
         """Rosenthal potential of the profile."""
         loads = self.congestion(profile)
+        if self._linear_slopes is not None:
+            # sum_{i=1..L} (a*i + b) = a * L(L+1)/2 + b * L, fused over resources.
+            loads_f = loads.astype(float)
+            return float(np.sum(self._linear_slopes * loads_f * (loads_f + 1.0) / 2.0
+                                + self._linear_offsets * loads_f))
         total = 0.0
         for latency, load in zip(self._latencies, loads):
             if load > 0:
@@ -247,32 +317,47 @@ class AsymmetricCongestionGame:
         """All moves in which a player adopts the strategy of another player
         with the same strategy space.
 
-        Returns tuples ``(imitator, new_strategy_index, gain)``.  When
-        ``require_gain`` is True only strictly improving imitations are
-        returned (the sequential dynamics of Section 3.2).
+        Returns tuples ``(imitator, new_strategy_index, gain)``, ordered by
+        ``(imitator, new_strategy_index)``.  When ``require_gain`` is True
+        only strictly improving imitations are returned (the sequential
+        dynamics of Section 3.2).
+
+        The candidate set is evaluated in one broadcasted pass over the
+        flattened (player, strategy) rows: per-resource latencies at the
+        current and one-higher loads, the after-switch latency of every row
+        via the shared incidence matrix, and the same-group occupancy test
+        via a (group, strategy) count table.
         """
         arr = self.validate_profile(profile)
-        loads = self.congestion(arr)
-        groups = self.strategy_space_groups()
-        moves: list[tuple[int, int, float]] = []
-        for members in groups.values():
-            if len(members) < 2:
-                continue
-            for imitator in members:
-                current_latency = self.player_latency(arr, imitator, loads=loads)
-                seen: set[int] = set()
-                for role_model in members:
-                    if role_model == imitator:
-                        continue
-                    target = int(arr[role_model])
-                    if target == int(arr[imitator]) or target in seen:
-                        continue
-                    seen.add(target)
-                    new_latency = self.latency_after_switch(arr, imitator, target, loads=loads)
-                    gain = current_latency - new_latency
-                    if not require_gain or gain > tolerance:
-                        moves.append((imitator, target, gain))
-        return moves
+        chosen_rows = self._row_offsets + arr
+        incidence = self._strategy_incidence
+        loads = np.rint(incidence[chosen_rows].sum(axis=0)).astype(np.int64)
+
+        latency_now = self.resource_latencies(loads)
+        latency_plus = self.resource_latencies(loads + 1)
+        marginal = latency_plus - latency_now
+
+        current_incidence = incidence[chosen_rows]  # (n, m)
+        current_latency = current_incidence @ latency_now  # (n,)
+        # After-switch latency of every (player, strategy) row: resources the
+        # target shares with the player's current strategy keep their load.
+        overlap = incidence * current_incidence[self._row_player]
+        after = incidence @ latency_plus - overlap @ marginal  # (rows,)
+        gains = current_latency[self._row_player] - after
+
+        # A strategy is imitable iff some *other* same-group player uses it;
+        # since the player's own strategy is excluded anyway, "group count on
+        # the target > 0" is exactly that condition.
+        group_counts = np.zeros((self._num_groups, self._max_strategies), dtype=np.int64)
+        np.add.at(group_counts, (self._group_ids, arr), 1)
+        occupied = group_counts[self._group_ids[self._row_player], self._row_strategy] > 0
+
+        eligible = occupied & (self._row_strategy != arr[self._row_player])
+        if require_gain:
+            eligible &= gains > tolerance
+        rows = np.nonzero(eligible)[0]
+        return [(int(self._row_player[row]), int(self._row_strategy[row]),
+                 float(gains[row])) for row in rows]
 
     def is_imitation_stable(self, profile: Sequence[int], *, tolerance: float = 1e-12) -> bool:
         """True if no player can strictly improve by copying a same-space player."""

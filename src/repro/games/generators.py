@@ -30,6 +30,7 @@ __all__ = [
     "random_polynomial_singleton",
     "random_monomial_singleton",
     "two_link_overshoot_game",
+    "two_link_overshoot_start",
     "identical_links_game",
     "dominant_strategy_game",
     "random_symmetric_game",
@@ -120,6 +121,25 @@ def two_link_overshoot_game(
     return SingletonCongestionGame(num_players, latencies,
                                    resource_names=["constant-link", "power-link"],
                                    name=f"{name}-d{degree:g}")
+
+
+def two_link_overshoot_start(game, degree: float, *,
+                             latency_fraction: float = 0.7):
+    """The prepared start state of the overshooting measurement (E5).
+
+    Loads the power link of a :func:`two_link_overshoot_game` so that its
+    latency is ``latency_fraction`` of the constant link's latency ``c``
+    (the anticipated gain is therefore ``(1 - latency_fraction) * c``).
+    """
+    from .state import GameState  # local import, avoids cycle at module load
+
+    constant_latency = float(game.latencies[0].value(np.asarray(0.0)))
+    target_latency = latency_fraction * constant_latency
+    # l_2(x) = x**degree  =>  x = target**(1/degree)
+    power_load = int(round(target_latency ** (1.0 / degree)))
+    power_load = min(max(power_load, 1), game.num_players - 1)
+    counts = np.array([game.num_players - power_load, power_load], dtype=np.int64)
+    return GameState(counts)
 
 
 def identical_links_game(

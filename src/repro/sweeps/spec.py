@@ -163,6 +163,20 @@ class SweepSpec:
         if self.measure not in MEASURES:
             raise SweepError(f"unknown measure {self.measure!r}; "
                              f"known: {sorted(MEASURES)}")
+        # "game"/"protocol" axis or base entries override the spec-level
+        # defaults per point (see kernels.run_point) — validate them here so
+        # a typo fails before any point executes.
+        for field_name, registry in (("game", GAME_BUILDERS),
+                                     ("protocol", PROTOCOL_BUILDERS)):
+            overrides = list(self.axes.get(field_name, []))
+            if field_name in self.base:
+                overrides.append(self.base[field_name])
+            for value in overrides:
+                if value not in registry:
+                    raise SweepError(
+                        f"unknown {field_name} override {value!r}; "
+                        f"known: {sorted(registry)}"
+                    )
         if not self.axes:
             raise SweepError("a sweep needs at least one axis")
         for axis, values in self.axes.items():

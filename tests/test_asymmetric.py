@@ -173,3 +173,96 @@ class TestImitation:
         game = make_symmetric_like_game()
         moves = game.imitation_moves([0, 0, 1], require_gain=False)
         assert len(moves) >= 1
+
+
+class TestVectorizedHotPaths:
+    """The flattened-incidence fast paths must agree with a direct
+    per-player reference implementation (the pre-vectorization semantics)."""
+
+    def _reference_congestion(self, game, profile):
+        arr = game.validate_profile(profile)
+        loads = np.zeros(game.num_resources, dtype=np.int64)
+        for player, choice in enumerate(arr):
+            for resource in game.strategy_space(player)[choice]:
+                loads[resource] += 1
+        return loads
+
+    def _reference_imitation_moves(self, game, profile, tolerance=1e-12):
+        arr = game.validate_profile(profile)
+        loads = game.congestion(arr)
+        moves = []
+        for members in game.strategy_space_groups().values():
+            if len(members) < 2:
+                continue
+            for imitator in members:
+                current = game.player_latency(arr, imitator, loads=loads)
+                seen = set()
+                for role_model in members:
+                    if role_model == imitator:
+                        continue
+                    target = int(arr[role_model])
+                    if target == int(arr[imitator]) or target in seen:
+                        continue
+                    seen.add(target)
+                    after = game.latency_after_switch(arr, imitator, target, loads=loads)
+                    if current - after > tolerance:
+                        moves.append((imitator, target, current - after))
+        return moves
+
+    def _lifted_game(self, base_players=5):
+        from repro.games.threshold import geometric_weight_matrix, lift_for_imitation
+
+        return lift_for_imitation(geometric_weight_matrix(base_players, ratio=2.0))
+
+    def test_congestion_matches_reference(self):
+        game = self._lifted_game()
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            profile = game.random_profile(rng)
+            assert np.array_equal(game.congestion(profile),
+                                  self._reference_congestion(game, profile))
+
+    def test_imitation_moves_match_reference(self):
+        game = self._lifted_game()
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            profile = game.random_profile(rng)
+            fast = sorted((p, s) for p, s, _ in game.imitation_moves(profile))
+            slow = sorted((p, s) for p, s, _ in
+                          self._reference_imitation_moves(game, profile))
+            assert fast == slow
+            gains_fast = {(p, s): g for p, s, g in game.imitation_moves(profile)}
+            gains_slow = {(p, s): g for p, s, g in
+                          self._reference_imitation_moves(game, profile)}
+            for key in gains_fast:
+                assert gains_fast[key] == pytest.approx(gains_slow[key], rel=1e-9)
+
+    def test_imitation_moves_sorted_by_player_then_strategy(self):
+        game = self._lifted_game()
+        profile = game.random_profile(np.random.default_rng(2))
+        moves = [(p, s) for p, s, _ in game.imitation_moves(profile)]
+        assert moves == sorted(moves)
+
+    def test_imitation_moves_without_gain_requirement(self):
+        game = make_symmetric_like_game()
+        moves = game.imitation_moves([0, 0, 1], require_gain=False)
+        # every player may copy the strategy of the other side, gain or not
+        assert {(p, s) for p, s, _ in moves} == {(0, 1), (1, 1), (2, 0)}
+
+    def test_potential_linear_fast_path_matches_direct_sum(self):
+        game = self._lifted_game(4)
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            profile = game.random_profile(rng)
+            loads = game.congestion(profile)
+            direct = sum(
+                float(np.sum(lat.value(np.arange(1, int(load) + 1, dtype=float))))
+                for lat, load in zip(game.latencies, loads) if load > 0
+            )
+            assert game.potential(profile) == pytest.approx(direct, rel=1e-9)
+
+    def test_mixed_latency_game_keeps_generic_paths(self):
+        game = make_game()  # contains a ConstantLatency resource
+        loads = game.congestion([1, 0])
+        assert list(game.resource_latencies(loads)) == [0.0, 4.0, 5.0]
+        assert game.potential([1, 0]) == pytest.approx(2.0 + 4.0)

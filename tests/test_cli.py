@@ -84,9 +84,9 @@ class TestMain:
         assert "mean potential" in output
         assert "quiescent replicas" in output
 
-    def test_simulate_loop_engine_rejects_multiple_replicas(self):
-        with pytest.raises(ValueError):
-            main(["simulate", "--replicas", "4", "--engine", "loop"])
+    def test_simulate_loop_engine_rejects_multiple_replicas(self, capsys):
+        assert main(["simulate", "--replicas", "4", "--engine", "loop"]) == 1
+        assert "--engine batch" in capsys.readouterr().err
 
     def test_run_experiment_with_loop_engine(self, capsys):
         assert main(["run", "E2", "--quick", "--engine", "loop"]) == 0
@@ -200,3 +200,68 @@ class TestSweepCommand:
         assert main(["sweep", "--preset", "logn", "--quick",
                      "--group-by", "n", "--value", "bogus_col"]) == 1
         assert "lacks value column" in capsys.readouterr().err
+
+
+class TestArgumentValidation:
+    """Invalid numeric options exit 1 with a one-line message, not a traceback."""
+
+    @pytest.mark.parametrize("argv", [
+        ["simulate", "--replicas", "0"],
+        ["simulate", "--replicas", "-4"],
+        ["simulate", "--players", "0"],
+        ["simulate", "--rounds", "-1"],
+        ["run", "E5", "--quick", "--trials", "0"],
+        ["run", "E5", "--quick", "--trials", "-3"],
+        ["run", "E2", "--quick", "--workers", "0"],
+        ["run-all", "--quick", "--only", "F1", "--jobs", "0"],
+        ["sweep", "--preset", "logn", "--quick", "--workers", "-2"],
+    ])
+    def test_non_positive_counts_exit_one(self, argv, capsys):
+        assert main(argv) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "must be at least" in err
+
+    def test_run_forwards_trials_to_experiments(self, capsys):
+        assert main(["run", "F1", "--quick", "--trials", "5"]) == 0
+        # F1 takes `samples`, not `trials`: the registry drops the knob
+        assert "[F1]" in capsys.readouterr().out
+
+
+class TestNewSweepPresets:
+    def test_new_presets_are_registered(self):
+        parser = build_parser()
+        for preset in ("overshoot", "protocol-work", "virtual-agents", "error-terms"):
+            args = parser.parse_args(["sweep", "--preset", preset])
+            assert args.preset == preset
+
+    def test_overshoot_preset_runs_and_caches(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["sweep", "--preset", "overshoot", "--quick",
+                     "--store", store]) == 0
+        first = capsys.readouterr().out
+        assert "(6 computed, 0 cached)" in first
+        assert main(["sweep", "--preset", "overshoot", "--quick",
+                     "--store", store]) == 0
+        second = capsys.readouterr().out
+        assert "(0 computed, 6 cached)" in second
+        # the cache-hit rerun renders the identical table
+        assert first.splitlines()[1:] == second.splitlines()[1:]
+
+
+class TestUnsupportedOptionWarnings:
+    def test_run_warns_when_experiment_takes_no_trials(self, capsys):
+        # E6 is driven by max_steps/instance pool, not a trial count
+        assert main(["run", "E6", "--quick", "--trials", "5"]) == 0
+        captured = capsys.readouterr()
+        assert "takes no --trials" in captured.err
+        assert "[E6]" in captured.out
+
+    def test_run_warns_when_experiment_takes_no_workers(self, capsys):
+        # E1 has no sweep-backed grid, hence no workers knob
+        assert main(["run", "E1", "--quick", "--workers", "2"]) == 0
+        assert "takes no --workers" in capsys.readouterr().err
+
+    def test_run_supported_options_do_not_warn(self, capsys):
+        assert main(["run", "E5", "--quick", "--trials", "3", "--workers", "2"]) == 0
+        assert capsys.readouterr().err == ""

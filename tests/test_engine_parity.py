@@ -1,0 +1,129 @@
+"""Engine-parity tests for the ported experiments (E5, E6, E11, E13, F1).
+
+The migration contract: ``engine="loop"`` and ``engine="batch"`` derive the
+same per-replica random streams and share the migration-sampling code, so
+the two engines must produce **bit-identical** result tables (the same
+pattern as the sweep scheduler's worker-count determinism), and the E6
+sequential ensemble must be independent of its worker count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sequential import run_sequential_ensemble
+from repro.experiments.exp_error_terms import run_error_terms_experiment
+from repro.experiments.exp_overshooting import run_overshooting_experiment
+from repro.experiments.exp_protocol_comparison import run_protocol_comparison_experiment
+from repro.experiments.exp_sequential_lower_bound import (
+    run_sequential_lower_bound_experiment,
+)
+from repro.experiments.exp_virtual_agents import run_virtual_agents_experiment
+from repro.games.threshold import geometric_weight_matrix, lift_for_imitation
+from repro.sweeps import run_sweep
+from repro.experiments.exp_overshooting import overshoot_spec
+
+
+def _rows(result):
+    return result.rows
+
+
+@pytest.mark.parametrize("runner, kwargs", [
+    (run_overshooting_experiment,
+     dict(quick=True, trials=4, seed=105, num_players=200)),
+    (run_protocol_comparison_experiment,
+     dict(quick=True, trials=2, seed=111)),
+    (run_virtual_agents_experiment,
+     dict(quick=True, trials=2, seed=113, num_players=30)),
+    (run_error_terms_experiment,
+     dict(quick=True, samples=30, seed=101, num_players=80)),
+], ids=["e5", "e11", "e13", "f1"])
+def test_loop_and_batch_tables_are_bit_identical(runner, kwargs):
+    batch = runner(engine="batch", **kwargs)
+    loop = runner(engine="loop", **kwargs)
+    assert _rows(batch) == _rows(loop)
+    # identical rows render identical tables and identical notes
+    assert batch.notes == loop.notes
+
+
+def test_default_engine_is_batch():
+    result = run_overshooting_experiment(quick=True, trials=2, seed=1,
+                                         num_players=100)
+    assert result.parameters["engine"] == "batch"
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(Exception, match="engine"):
+        run_error_terms_experiment(quick=True, samples=5, seed=1,
+                                   num_players=40, engine="warp")
+
+
+def test_sequential_ensemble_independent_of_worker_count():
+    weights = geometric_weight_matrix(5, ratio=2.0)
+    game = lift_for_imitation(weights)
+    rng = np.random.default_rng(7)
+    profiles = [game.profile_from_cut_lifted(rng.integers(0, 2, size=5))
+                for _ in range(6)]
+    serial = run_sequential_ensemble(game, profiles, max_steps=50_000,
+                                     rng=19, workers=1)
+    pooled = run_sequential_ensemble(game, profiles, max_steps=50_000,
+                                     rng=19, workers=4)
+    assert np.array_equal(serial.steps, pooled.steps)
+    assert np.array_equal(serial.converged, pooled.converged)
+    for first, second in zip(serial.results, pooled.results):
+        assert np.array_equal(np.asarray(first.final), np.asarray(second.final))
+
+
+def test_e6_experiment_independent_of_worker_count():
+    serial = run_sequential_lower_bound_experiment(quick=True, seed=6,
+                                                   max_steps=20_000, workers=1)
+    pooled = run_sequential_lower_bound_experiment(quick=True, seed=6,
+                                                   max_steps=20_000, workers=2)
+    assert serial.rows == pooled.rows
+
+
+def test_new_preset_sweep_independent_of_worker_count():
+    spec = overshoot_spec(quick=True, seed=31, trials=3, num_players=120)
+    serial = run_sweep(spec, workers=1)
+    pooled = run_sweep(spec, workers=2)
+    assert serial.rows == pooled.rows
+
+
+def test_non_converged_replicas_reported_not_averaged():
+    """A budget no replica can meet yields explicit non-converged counts and
+    None means — never a silently censored average (and E11's notes stay
+    graceful)."""
+    from repro.experiments.exp_protocol_comparison import protocol_comparison_spec
+    from repro.experiments.sweep_bridge import run_spec_points
+    from repro.sweeps import SweepSpec
+
+    spec = protocol_comparison_spec(quick=True, trials=2, seed=3)
+    starved = SweepSpec.from_dict({**spec.to_dict(), "max_rounds": 1})
+    rows = run_spec_points(starved, engine="batch")
+    imitation_rows = [row for row in rows if row["dynamics"] == "imitation"]
+    assert imitation_rows
+    for row in imitation_rows:
+        assert row["non_converged_trials"] == row["trials"]
+        assert row["mean_work"] is None
+        assert row["work_per_player"] is None
+
+
+def test_dynamics_work_is_a_paired_comparison():
+    """All dynamics of one E11 configuration share the instance and start
+    states: the paired seed is keyed on the params minus the dynamics axis."""
+    from repro.sweeps.kernels import paired_seed_sequence
+
+    base = {"n": 100, "links": 8, "delta": 0.1, "epsilon": 0.1}
+    seeds = [
+        paired_seed_sequence(7, {**base, "dynamics": name}, exclude=("dynamics",))
+        for name in ("imitation", "best-response", "goldberg")
+    ]
+    states = [seq.generate_state(4).tolist() for seq in seeds]
+    assert states[0] == states[1] == states[2]
+    other_n = paired_seed_sequence(7, {**base, "n": 400, "dynamics": "imitation"},
+                                   exclude=("dynamics",))
+    assert other_n.generate_state(4).tolist() != states[0]
+    other_seed = paired_seed_sequence(8, {**base, "dynamics": "imitation"},
+                                      exclude=("dynamics",))
+    assert other_seed.generate_state(4).tolist() != states[0]

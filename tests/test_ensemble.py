@@ -254,3 +254,51 @@ class TestEnsembleCollectorAndResult:
         assert single.rounds == int(result.rounds[1])
         assert single.stop_reason is result.stop_reasons[1]
         assert single.final_state == result.final_states.replica(1)
+
+
+class TestPerReplicaStreams:
+    """rng_streams mode: every replica's trajectory is bit-identical to a
+    ConcurrentDynamics run on the same generator."""
+
+    def test_streams_reproduce_loop_trajectories(self):
+        from repro.core.run import stop_at_approx_equilibrium
+        from repro.rng import spawn_rngs
+
+        game = random_linear_singleton(80, 5, rng=4)
+        protocol = ImitationProtocol(use_nu_threshold=False)
+        starts = game.uniform_random_batch_state(6, rng=8).to_array()
+        stop = stop_at_approx_equilibrium(0.2, 0.2)
+
+        batch_streams = spawn_rngs(17, 6)
+        dynamics = EnsembleDynamics(game, protocol, rng=0)
+        ensemble = dynamics.run(
+            starts, max_rounds=300,
+            stop_condition=batch_stop_from_scalar(stop),
+            rng_streams=batch_streams,
+        )
+        loop_streams = spawn_rngs(17, 6)
+        for replica, generator in enumerate(loop_streams):
+            loop = ConcurrentDynamics(game, protocol, rng=generator).run(
+                starts[replica], max_rounds=300, stop_condition=stop,
+            )
+            assert loop.rounds == int(ensemble.rounds[replica])
+            assert np.array_equal(loop.final_state.counts,
+                                  ensemble.final_states.to_array()[replica])
+            assert (loop.stop_reason is StopReason.MAX_ROUNDS) != ensemble.converged[replica]
+
+    def test_streams_require_initial_states(self):
+        from repro.rng import spawn_rngs
+
+        game = random_linear_singleton(20, 3, rng=1)
+        dynamics = EnsembleDynamics(game, ImitationProtocol(), rng=0)
+        with pytest.raises(ValueError, match="initial_states"):
+            dynamics.run(replicas=2, rng_streams=spawn_rngs(0, 2))
+
+    def test_streams_length_must_match_replicas(self):
+        from repro.rng import spawn_rngs
+
+        game = random_linear_singleton(20, 3, rng=1)
+        starts = game.uniform_random_batch_state(3, rng=2).to_array()
+        dynamics = EnsembleDynamics(game, ImitationProtocol(), rng=0)
+        with pytest.raises(ValueError, match="rng_streams"):
+            dynamics.run(starts, rng_streams=spawn_rngs(0, 2))

@@ -77,8 +77,23 @@ class TestMixtureProtocol:
             MixtureProtocol([ImitationProtocol(), ExplorationProtocol()], [0.7, 0.7])
 
     def test_weights_must_be_non_negative(self):
-        with pytest.raises(ProtocolError):
+        with pytest.raises(ProtocolError, match="non-negative"):
             MixtureProtocol([ImitationProtocol(), ExplorationProtocol()], [1.5, -0.5])
+
+    def test_weights_sum_error_names_the_offending_sum(self):
+        with pytest.raises(ProtocolError, match="sum to 1"):
+            MixtureProtocol([ImitationProtocol(), ExplorationProtocol()], [0.3, 0.3])
+
+    def test_weights_slightly_off_one_rejected(self):
+        # the old np.isclose tolerance silently accepted sums like 1.00001
+        with pytest.raises(ProtocolError, match="sum to 1"):
+            MixtureProtocol([ImitationProtocol(), ExplorationProtocol()],
+                            [0.5, 0.50001])
+
+    def test_non_finite_weights_rejected(self):
+        for weights in ([float("nan"), 1.0], [float("inf"), 1.0]):
+            with pytest.raises(ProtocolError, match="finite"):
+                MixtureProtocol([ImitationProtocol(), ExplorationProtocol()], weights)
 
     def test_needs_components(self):
         with pytest.raises(ProtocolError):

@@ -157,3 +157,67 @@ class TestExpectedDrift:
         drift = estimate_expected_drift(game, protocol, game.uniform_random_state(0),
                                         samples=10, rng=0)
         assert set(drift) == {"mean_true_gain", "expected_virtual_gain", "lemma2_bound"}
+
+
+class TestBatchBreakdown:
+    def _sampled_migrations(self, game, protocol, state, samples, seed):
+        probabilities = protocol.switch_probabilities(game, state)
+        gen = np.random.default_rng(seed)
+        return np.stack([
+            sample_migration_matrix(state.counts, probabilities.matrix, gen)
+            for _ in range(samples)
+        ])
+
+    @pytest.mark.parametrize("factory", [
+        lambda: make_linear_singleton(60, [1.0, 2.0, 4.0]),
+        lambda: random_linear_singleton(80, 5, rng=3),
+    ])
+    def test_matches_scalar_breakdown_per_sample(self, factory):
+        from repro.core.potential import potential_breakdown_batch
+
+        game = factory()
+        protocol = ImitationProtocol(lambda_=1.0, use_nu_threshold=False)
+        state = game.uniform_random_state(5)
+        migrations = self._sampled_migrations(game, protocol, state, 25, seed=9)
+        batch = potential_breakdown_batch(game, state, migrations)
+        for index in range(migrations.shape[0]):
+            scalar = potential_breakdown(game, state, migrations[index])
+            assert batch.virtual_gains[index] == pytest.approx(scalar.virtual_gain,
+                                                               rel=1e-9, abs=1e-9)
+            assert batch.error_sums[index] == pytest.approx(scalar.error_term,
+                                                            rel=1e-9, abs=1e-9)
+            assert batch.true_gains[index] == pytest.approx(scalar.true_gain,
+                                                            rel=1e-9, abs=1e-9)
+            assert bool(batch.lemma1_holds[index]) == scalar.lemma1_holds
+
+    def test_matches_scalar_on_network_game(self):
+        from repro.core.potential import potential_breakdown_batch
+        from repro.games.network import grid_network_game
+
+        game = grid_network_game(50, rows=2, cols=3, rng=2)
+        protocol = ImitationProtocol(lambda_=1.0, use_nu_threshold=False)
+        state = game.uniform_random_state(4)
+        migrations = self._sampled_migrations(game, protocol, state, 15, seed=13)
+        batch = potential_breakdown_batch(game, state, migrations)
+        for index in range(migrations.shape[0]):
+            scalar = potential_breakdown(game, state, migrations[index])
+            assert batch.error_sums[index] == pytest.approx(scalar.error_term,
+                                                            rel=1e-9, abs=1e-9)
+            assert batch.true_gains[index] == pytest.approx(scalar.true_gain,
+                                                            rel=1e-9, abs=1e-9)
+
+    def test_rejects_invalid_migration_stacks(self):
+        from repro.core.potential import potential_breakdown_batch
+
+        game = make_linear_singleton(10, [1.0, 2.0])
+        state = game.balanced_state()
+        with pytest.raises(StateError, match="shape"):
+            potential_breakdown_batch(game, state, np.zeros((2, 3, 3), dtype=int))
+        bad_diag = np.zeros((1, 2, 2), dtype=int)
+        bad_diag[0, 0, 0] = 1
+        with pytest.raises(StateError, match="diagonal"):
+            potential_breakdown_batch(game, state, bad_diag)
+        overdraw = np.zeros((1, 2, 2), dtype=int)
+        overdraw[0, 0, 1] = game.num_players
+        with pytest.raises(StateError, match="leave"):
+            potential_breakdown_batch(game, state, overdraw)

@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
 import pytest
 
 from repro.core.sequential import (
+    run_sequential_ensemble,
     run_sequential_imitation_asymmetric,
     run_sequential_imitation_symmetric,
 )
@@ -112,3 +115,73 @@ class TestAsymmetricSequentialImitation:
         result = run_sequential_imitation_asymmetric(
             game, [0] * 7 + [1], max_steps=1)
         assert result.steps <= 1
+
+
+class TestTruncationWarning:
+    def test_symmetric_truncation_warns_and_flags_non_convergence(self, caplog):
+        game = make_linear_singleton(50, [1.0, 1.0])
+        with caplog.at_level(logging.WARNING, logger="repro.core.sequential"):
+            result = run_sequential_imitation_symmetric(
+                game, [49, 1], max_steps=2, min_gain=0.0)
+        assert not result.converged
+        assert any("truncated" in record.message for record in caplog.records)
+
+    def test_asymmetric_truncation_warns(self, caplog):
+        space = [[0], [1]]
+        game = AsymmetricCongestionGame(
+            [LinearLatency(1.0, 0.0), LinearLatency(1.0, 0.0)], [space] * 10)
+        with caplog.at_level(logging.WARNING, logger="repro.core.sequential"):
+            result = run_sequential_imitation_asymmetric(
+                game, [0] * 9 + [1], max_steps=1)
+        assert not result.converged
+        assert any("truncated" in record.message for record in caplog.records)
+
+    def test_converged_run_does_not_warn(self, caplog):
+        game = make_linear_singleton(10, [1.0, 1.0])
+        with caplog.at_level(logging.WARNING, logger="repro.core.sequential"):
+            result = run_sequential_imitation_symmetric(game, [9, 1], min_gain=0.0)
+        assert result.converged
+        assert not caplog.records
+
+
+class TestSequentialEnsemble:
+    def make_lifted_game(self, base_players: int = 4):
+        weights = geometric_weight_matrix(base_players, ratio=2.0)
+        return lift_for_imitation(weights), base_players
+
+    def test_runs_every_replica_and_keeps_order(self):
+        game, base = self.make_lifted_game()
+        rng = np.random.default_rng(3)
+        profiles = [game.profile_from_cut_lifted(rng.integers(0, 2, size=base))
+                    for _ in range(5)]
+        ensemble = run_sequential_ensemble(game, profiles, max_steps=50_000, rng=1)
+        assert ensemble.num_replicas == 5
+        assert ensemble.converged.all()
+        for profile, result in zip(profiles, ensemble.results):
+            reference = run_sequential_imitation_asymmetric(
+                game, profile, pivot="min-gain", max_steps=50_000)
+            assert result.steps == reference.steps
+            assert np.array_equal(np.asarray(result.final),
+                                  np.asarray(reference.final))
+
+    def test_supports_symmetric_games(self):
+        game = make_linear_singleton(20, [1.0, 1.0])
+        ensemble = run_sequential_ensemble(
+            game, [[18, 2], [15, 5]], pivot="max-gain", rng=0)
+        assert ensemble.num_replicas == 2
+        assert ensemble.converged.all()
+        for result in ensemble.results:
+            assert is_imitation_stable(game, result.final, nu=0.0)
+
+    def test_counts_truncated_replicas(self):
+        game, base = self.make_lifted_game()
+        profiles = [game.profile_from_cut_lifted(np.zeros(base, dtype=int)),
+                    game.profile_from_cut_lifted(np.ones(base, dtype=int))]
+        ensemble = run_sequential_ensemble(game, profiles, max_steps=1, rng=0)
+        assert ensemble.num_truncated == int(np.sum(~ensemble.converged))
+        assert ensemble.converged_steps().size == int(np.sum(ensemble.converged))
+
+    def test_rejects_unknown_pivot(self):
+        game = make_linear_singleton(10, [1.0, 1.0])
+        with pytest.raises(ValueError, match="pivot"):
+            run_sequential_ensemble(game, [[9, 1]], pivot="bogus")
