@@ -1,0 +1,73 @@
+"""Benchmark E14 — network routing at scale (sampled strategy sets)."""
+
+from __future__ import annotations
+
+import time
+
+from conftest import run_experiment_benchmark
+
+from repro.experiments.exp_network_scaling import run_network_scaling_experiment
+from repro.experiments.reporting import find_row
+from repro.games.network import layered_random_network_game
+
+
+def test_bench_e14_network_scaling(benchmark):
+    result = run_experiment_benchmark(
+        benchmark,
+        lambda: run_network_scaling_experiment(quick=True, trials=5, seed=2009),
+    )
+    # the deepest layered DAG lies beyond the exhaustive-enumeration cap
+    assert max(row["paths_total"] for row in result.rows) > 10_000
+    # ... and the Braess paradox shows: the shortcut raises the average latency
+    with_shortcut = find_row(result.rows, topology="braess + shortcut")
+    without_shortcut = find_row(result.rows, topology="braess (no shortcut)")
+    assert with_shortcut["mean_final_cost"] > without_shortcut["mean_final_cost"]
+
+
+def test_bench_e14_batch_engine_speedup(benchmark):
+    """Acceptance guard: batch E14 quick mode must be >= 3x the loop engine.
+
+    Both engines run the identical per-replica random streams (their tables
+    are bit-identical — see tests/test_engine_parity.py); the batch path's
+    advantage is the ensemble engine plus the natively-vectorised
+    approximate-equilibrium stop condition.
+    """
+    kwargs = dict(quick=True, trials=24, seed=2009, num_players=120, k_paths=24)
+    run_network_scaling_experiment(engine="batch", **kwargs)  # warm caches
+
+    started = time.perf_counter()
+    loop_result = run_network_scaling_experiment(engine="loop", **kwargs)
+    loop_seconds = time.perf_counter() - started
+
+    batch_result = benchmark.pedantic(
+        lambda: run_network_scaling_experiment(engine="batch", **kwargs),
+        rounds=3, iterations=1, warmup_rounds=0,
+    )
+    batch_seconds = benchmark.stats.stats.mean
+    speedup = loop_seconds / batch_seconds
+    benchmark.extra_info["loop_seconds"] = round(loop_seconds, 4)
+    benchmark.extra_info["speedup_vs_loop"] = round(speedup, 2)
+    assert batch_result.rows == loop_result.rows  # parity, not just speed
+    assert speedup >= 3.0, (
+        f"batch E14 only {speedup:.1f}x faster than the loop engine "
+        f"({batch_seconds:.3f}s vs {loop_seconds:.3f}s)"
+    )
+
+
+def test_bench_e14_sampler_constructs_deep_dag_under_one_second(benchmark):
+    """Acceptance guard: the dag-sample strategy sampler must construct a
+    12-layer DAG game (~16.7M simple s-t paths — far past any enumeration
+    cap) in under a second, sparse incidence included."""
+
+    def build():
+        return layered_random_network_game(
+            100, layers=12, width=4, edge_probability=1.0, rng=3,
+            strategy_mode="dag-sample", num_paths=64, path_rng=7,
+            sparse_incidence=True)
+
+    game = benchmark.pedantic(build, rounds=3, iterations=1, warmup_rounds=0)
+    assert game.num_strategies == 64
+    assert game.uses_sparse_incidence
+    assert benchmark.stats.stats.max < 1.0, (
+        f"12-layer DAG construction took {benchmark.stats.stats.max:.3f}s"
+    )

@@ -1,14 +1,19 @@
-"""Selfish routing on networks: Braess paradox and a grid network.
+"""Selfish routing on networks: Braess paradox and layered-DAG scaling.
 
 The paper's motivating scenario is network routing: every player picks an
 s-t path and the latency of a path is the sum of the load-dependent latencies
-of its edges.  This example
+of its edges.  This example drives the network workload through the sweep /
+batched-ensemble layer (experiment E14, CLI ``--preset network-scaling``):
 
-1. runs the IMITATION PROTOCOL on the classic Braess network with and without
-   the "shortcut" edge and shows how the emergent average latency changes
-   (the Braess paradox: adding capacity hurts everybody), and
-2. runs the protocol on a random 3x4 grid network and reports the convergence
-   to an approximate equilibrium together with the final edge loads.
+1. the IMITATION PROTOCOL on complete layered DAGs of growing depth, where
+   the deeper instances hold far more s-t paths than exhaustive enumeration
+   could ever construct — the strategy sets are built by the seeded
+   ``dag-sample`` path sampler instead;
+2. the classic Braess network with and without the "shortcut" edge: adding
+   capacity draws everybody onto one route and *raises* the average latency
+   (the Braess paradox), reproduced by pure imitation;
+3. a single routing trajectory on a sampled-strategy grid network, showing
+   the final edge loads of a run the classical construction could not set up.
 
 Run with::
 
@@ -17,44 +22,35 @@ Run with::
 
 from __future__ import annotations
 
-from repro.core import ImitationProtocol, MetricsCollector, run_until_imitation_stable
-from repro.core.stability import unsatisfied_fraction
-from repro.games.network import braess_network_game, grid_network_game
+from repro.core import ImitationProtocol, run_until_imitation_stable
+from repro.experiments.exp_network_scaling import run_network_scaling_experiment
+from repro.games.network import grid_network_game
 
 
-def braess_paradox() -> None:
+def scaling_and_braess() -> None:
     print("=" * 70)
-    print("Braess paradox under imitation dynamics")
+    print("E14: layered-DAG scaling and the Braess paradox (sweep layer)")
     print("=" * 70)
-    num_players = 60
-    protocol = ImitationProtocol()
-    for with_shortcut in (False, True):
-        game = braess_network_game(num_players, with_shortcut=with_shortcut)
-        result = run_until_imitation_stable(game, protocol, max_rounds=20_000, rng=7)
-        cost = game.social_cost(result.final_state)
-        label = "with shortcut   " if with_shortcut else "without shortcut"
-        print(f"{label}: {game.num_strategies} paths, "
-              f"{result.rounds:>4} rounds, average latency {cost:8.2f}")
-        for name, count in zip(game.strategy_names, result.final_state.counts):
-            if count:
-                print(f"    {count:>3} players on {name}")
-    print("adding the shortcut draws everybody onto the same route and raises "
-          "the average latency — the Braess paradox reproduced by imitation.\n")
+    result = run_network_scaling_experiment(quick=True)
+    print(result.render())
+    print()
 
 
 def grid_routing() -> None:
     print("=" * 70)
-    print("Routing on a 3x4 grid network")
+    print("Routing on a 12x12 grid network (sampled strategy set)")
     print("=" * 70)
-    game = grid_network_game(200, rows=3, cols=4, degree=2, rng=11)
+    # A 12x12 grid has C(22, 11) = 705432 monotone s-t paths — far past the
+    # max_paths enumeration cap; sample a bounded strategy set instead.
+    game = grid_network_game(200, rows=12, cols=12, degree=2, rng=11,
+                             strategy_mode="dag-sample", num_paths=64)
     protocol = ImitationProtocol()
-    collector = MetricsCollector(game, epsilon=0.2, every=5, track_gain=False)
     result = run_until_imitation_stable(game, protocol, max_rounds=3_000, rng=1)
 
-    print("paths available:", game.num_strategies, "| edges:", game.num_resources)
-    print("rounds until imitation-stable:", result.rounds)
-    print("final unsatisfied fraction (eps=0.2):",
-          round(unsatisfied_fraction(game, result.final_state, 0.2), 3))
+    print("paths sampled:", game.num_strategies, "| edges:", game.num_resources,
+          "| sparse incidence:", game.uses_sparse_incidence)
+    print(f"rounds executed: {result.rounds} "
+          f"(stop reason: {result.stop_reason.value})")
     print("\nbusiest edges at the end:")
     congestion = sorted(game.edge_congestion(result.final_state).items(),
                         key=lambda item: -item[1])[:6]
@@ -63,7 +59,7 @@ def grid_routing() -> None:
 
 
 def main() -> None:
-    braess_paradox()
+    scaling_and_braess()
     grid_routing()
 
 

@@ -67,7 +67,9 @@ def ascii_plot(
     """Render a small dot plot of ``y`` against ``x``.
 
     Points are mapped onto a ``height x width`` character grid; the first
-    column of each row carries the y-axis value of that row.
+    column of each row carries the y-axis value of that row.  Points with a
+    non-finite coordinate are skipped (like :func:`sparkline` renders them
+    blank); the axes span the finite points only.
     """
     xs = np.asarray(list(x), dtype=float)
     ys = np.asarray(list(y), dtype=float)
@@ -75,6 +77,10 @@ def ascii_plot(
         raise ValueError("x and y must be non-empty and of equal length")
     if width < 2 or height < 2:
         raise ValueError("width and height must be at least 2")
+    finite = np.isfinite(xs) & np.isfinite(ys)
+    if not np.any(finite):
+        raise ValueError("x and y contain no finite points")
+    xs, ys = xs[finite], ys[finite]
 
     x_low, x_high = float(xs.min()), float(xs.max())
     y_low, y_high = float(ys.min()), float(ys.max())
@@ -92,7 +98,12 @@ def ascii_plot(
         level = y_high - (row_index / (height - 1)) * y_span
         lines.append(f"{level:>12.4g} | " + "".join(row))
     lines.append(" " * 13 + "+" + "-" * width)
-    lines.append(" " * 15 + f"{x_low:<.4g}{' ' * max(1, width - 20)}{x_high:>.4g}  ({x_label})")
+    # Pad between the endpoint labels so x_low starts under the first axis
+    # column and x_high ends under the last one, whatever the label widths.
+    low_text, high_text = f"{x_low:.4g}", f"{x_high:.4g}"
+    padding = max(1, width - len(low_text) - len(high_text))
+    lines.append(" " * 14 + low_text + " " * padding + high_text
+                 + f"  ({x_label})")
     lines.insert(0, f"({y_label})")
     return "\n".join(lines)
 

@@ -58,6 +58,7 @@ from .experiments.registry import experiment_accepts
 from .experiments.exp_eps_delta_sweep import eps_delta_grid_spec
 from .experiments.exp_error_terms import error_terms_spec
 from .experiments.exp_logn_scaling import logn_scaling_spec
+from .experiments.exp_network_scaling import network_scaling_spec
 from .experiments.exp_overshooting import overshoot_spec
 from .experiments.exp_protocol_comparison import protocol_comparison_spec
 from .experiments.exp_virtual_agents import virtual_agents_spec
@@ -67,7 +68,11 @@ from .games.generators import (
     random_monomial_singleton,
     two_link_overshoot_game,
 )
-from .games.network import braess_network_game, grid_network_game
+from .games.network import (
+    braess_network_game,
+    grid_network_game,
+    layered_random_network_game,
+)
 from .sweeps import (
     SweepError,
     SweepSpec,
@@ -79,9 +84,18 @@ from .sweeps import (
 
 __all__ = ["main", "build_parser"]
 
-_GAME_CHOICES = ("linear-singleton", "quadratic-singleton", "braess", "grid", "two-link")
+_GAME_CHOICES = ("linear-singleton", "quadratic-singleton", "braess", "grid",
+                 "layered", "two-link")
 _PROTOCOL_CHOICES = ("imitation", "exploration", "hybrid")
 _ENGINE_CHOICES = ("loop", "batch")
+
+#: Topology knobs of the `simulate` command and the games they apply to.
+_GAME_KNOBS = {
+    "rows": ("grid",),
+    "cols": ("grid",),
+    "layers": ("layered",),
+    "k_paths": ("grid", "layered"),
+}
 
 #: Named sweep presets: the grid experiments expressed as SweepSpecs.
 _SWEEP_PRESETS = {
@@ -91,6 +105,7 @@ _SWEEP_PRESETS = {
     "protocol-work": protocol_comparison_spec,
     "virtual-agents": virtual_agents_spec,
     "error-terms": error_terms_spec,
+    "network-scaling": network_scaling_spec,
 }
 
 _EPILOG = ("Parameter sweeps (the `sweep` command) are documented in "
@@ -99,7 +114,8 @@ _EPILOG = ("Parameter sweeps (the `sweep` command) are documented in "
            "logn/eps-delta (E2/E3 hitting-time grids), overshoot (E5 "
            "one-round overshoot ratios), protocol-work (E11 concurrent-vs-"
            "sequential work), virtual-agents (E13 innovativeness recovery), "
-           "error-terms (F1 Lemma 1/2 error-term ratios).")
+           "error-terms (F1 Lemma 1/2 error-term ratios), network-scaling "
+           "(E14 layered-DAG routing with sampled path strategy sets).")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -184,10 +200,24 @@ def build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument("--engine", choices=_ENGINE_CHOICES, default=None,
                             help="round engine; defaults to batch for --replicas > 1 "
                                  "and to the loop engine for a single trajectory")
+    sim_parser.add_argument("--rows", type=int, default=None,
+                            help="grid rows (--game grid; default 2)")
+    sim_parser.add_argument("--cols", type=int, default=None,
+                            help="grid columns (--game grid; default 3)")
+    sim_parser.add_argument("--layers", type=int, default=None,
+                            help="internal layers (--game layered; default 3)")
+    sim_parser.add_argument("--k-paths", type=int, default=None, dest="k_paths",
+                            help="bound the strategy set to this many sampled "
+                                 "s-t paths instead of enumerating them "
+                                 "(--game grid/layered)")
     return parser
 
 
-def _build_game(name: str, players: int, links: int, seed: int):
+def _build_game(name: str, players: int, links: int, seed: int, *,
+                rows: Optional[int] = None, cols: Optional[int] = None,
+                layers: Optional[int] = None, k_paths: Optional[int] = None):
+    sampler = ({"strategy_mode": "dag-sample", "num_paths": k_paths}
+               if k_paths is not None else {})
     if name == "linear-singleton":
         return random_linear_singleton(players, links, rng=seed)
     if name == "quadratic-singleton":
@@ -195,7 +225,14 @@ def _build_game(name: str, players: int, links: int, seed: int):
     if name == "braess":
         return braess_network_game(players)
     if name == "grid":
-        return grid_network_game(players, rows=2, cols=3, rng=seed)
+        return grid_network_game(players,
+                                 rows=rows if rows is not None else 2,
+                                 cols=cols if cols is not None else 3,
+                                 rng=seed, **sampler)
+    if name == "layered":
+        return layered_random_network_game(
+            players, layers=layers if layers is not None else 3,
+            rng=seed, **sampler)
     if name == "two-link":
         return two_link_overshoot_game(players, 2.0)
     raise ValueError(f"unknown game {name!r}")
@@ -298,17 +335,34 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _warn_inapplicable_game_knobs(args: argparse.Namespace) -> None:
+    """Warn (like `run` does for --trials) when a topology knob was given
+    for a game family that has no such parameter."""
+    for knob, games in _GAME_KNOBS.items():
+        if getattr(args, knob) is not None and args.game not in games:
+            flag = "--" + knob.replace("_", "-")
+            print(f"note: {flag} does not apply to --game {args.game}; "
+                  "the option is ignored", file=sys.stderr)
+
+
 def _command_simulate(args: argparse.Namespace) -> int:
     _require_positive("--replicas", args.replicas)
     _require_positive("--players", args.players)
     _require_positive("--links", args.links)
     _require_positive("--rounds", args.rounds)
     _require_positive("--every", args.every)
+    _require_positive("--rows", args.rows)
+    _require_positive("--cols", args.cols)
+    _require_positive("--layers", args.layers)
+    _require_positive("--k-paths", args.k_paths)
+    _warn_inapplicable_game_knobs(args)
     engine = args.engine or ("batch" if args.replicas > 1 else "loop")
     if engine == "loop" and args.replicas > 1:
         raise ReproError("--engine loop simulates a single trajectory; "
                          "use --engine batch for --replicas > 1")
-    game = _build_game(args.game, args.players, args.links, args.seed)
+    game = _build_game(args.game, args.players, args.links, args.seed,
+                       rows=args.rows, cols=args.cols, layers=args.layers,
+                       k_paths=args.k_paths)
     protocol = _build_protocol(args.protocol)
     if engine == "batch":
         return _simulate_ensemble(args, game, protocol)

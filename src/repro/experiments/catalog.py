@@ -14,6 +14,7 @@ from . import (  # noqa: F401
     exp_lambda_ablation,
     exp_last_agent_lower_bound,
     exp_logn_scaling,
+    exp_network_scaling,
     exp_overshooting,
     exp_price_of_imitation,
     exp_protocol_comparison,
@@ -31,6 +32,7 @@ __all__ = [
     "exp_lambda_ablation",
     "exp_last_agent_lower_bound",
     "exp_logn_scaling",
+    "exp_network_scaling",
     "exp_overshooting",
     "exp_price_of_imitation",
     "exp_protocol_comparison",

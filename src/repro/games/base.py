@@ -30,6 +30,11 @@ import numpy as np
 from ..errors import GameDefinitionError, StateError
 from ..rng import RngLike
 from .latency import LatencyFunction, validate_latency
+
+try:  # scipy is optional: without it the dense incidence path is used
+    from scipy import sparse as _scipy_sparse
+except ImportError:  # pragma: no cover - exercised only on scipy-free installs
+    _scipy_sparse = None
 from .state import (
     BatchGameState,
     BatchStateLike,
@@ -67,7 +72,23 @@ class CongestionGame:
     validate:
         When True (default) the latency functions are checked against the
         model assumptions on the relevant load range.
+    sparse_incidence:
+        ``True`` evaluates the strategy/resource products through a sparse
+        (CSR) incidence matrix (raising :class:`GameDefinitionError` when
+        scipy is unavailable — an explicit request never degrades
+        silently), ``False`` through the dense matrix, ``None`` (default)
+        picks automatically: sparse when scipy is available and the
+        incidence is both large and sparse enough for the CSR products
+        to win.  Both paths are vectorised; the sparse path keeps the
+        per-round cost proportional to the number of (strategy, resource)
+        memberships instead of ``S * m`` — the regime of network games with
+        many edges and bounded path length.
     """
+
+    #: Auto-enable the sparse incidence path above this many S*m entries
+    #: (provided the density is below _SPARSE_DENSITY and scipy is present).
+    _SPARSE_CELLS = 16_384
+    _SPARSE_DENSITY = 0.25
 
     def __init__(
         self,
@@ -79,6 +100,7 @@ class CongestionGame:
         strategy_names: Optional[Sequence[str]] = None,
         name: str = "",
         validate: bool = True,
+        sparse_incidence: Optional[bool] = None,
     ):
         if num_players <= 0:
             raise GameDefinitionError("a congestion game needs at least one player")
@@ -123,6 +145,11 @@ class CongestionGame:
             incidence[idx, list(strategy)] = 1.0
         self._incidence = incidence
         self._incidence.setflags(write=False)
+        self._sparse = self._resolve_sparse(sparse_incidence)
+        if self._sparse:
+            self._inc_csr = _scipy_sparse.csr_matrix(incidence)
+            self._inc_csr_t = _scipy_sparse.csr_matrix(incidence.T)
+        self._overlap_pairs: Optional[object] = None
 
         if validate:
             for latency in self._latencies:
@@ -162,6 +189,66 @@ class CongestionGame:
     def incidence(self) -> np.ndarray:
         """Read-only strategy/resource incidence matrix of shape (S, m)."""
         return self._incidence
+
+    @property
+    def uses_sparse_incidence(self) -> bool:
+        """True when latency/potential evaluation runs on the CSR incidence."""
+        return self._sparse
+
+    def _resolve_sparse(self, requested: Optional[bool]) -> bool:
+        if requested is True:
+            # An explicit request must not degrade silently: a sweep row's
+            # sparse_incidence column is part of the deterministic output,
+            # so it cannot depend on which machine happened to have scipy.
+            if _scipy_sparse is None:
+                raise GameDefinitionError(
+                    "sparse_incidence=True requires scipy; install it or "
+                    "pass sparse_incidence=None/False"
+                )
+            return True
+        if requested is False or _scipy_sparse is None:
+            return False
+        cells = self._incidence.size
+        density = float(self._incidence.sum()) / cells
+        return cells >= self._SPARSE_CELLS and density <= self._SPARSE_DENSITY
+
+    def _overlap_pair_matrix(self):
+        """CSR matrix ``W`` of shape ``(S*S, m)`` with ``W[P*S+Q, e] = 1``
+        iff ``e in P ∩ Q`` — the shared-edge structure behind the
+        post-migration overlap correction.  Both the scalar and the batched
+        sparse paths multiply ``W`` against the marginal-latency matrix, so
+        their per-replica arithmetic is identical.
+        """
+        if self._overlap_pairs is None:
+            num_strategies = self.num_strategies
+            rows: list[np.ndarray] = []
+            cols: list[np.ndarray] = []
+            members = self._inc_csr_t  # row e lists the strategies using e
+            for resource in range(self.num_resources):
+                users = members.indices[
+                    members.indptr[resource]:members.indptr[resource + 1]]
+                if users.size == 0:
+                    continue
+                p_grid, q_grid = np.meshgrid(users, users, indexing="ij")
+                rows.append((p_grid * num_strategies + q_grid).ravel())
+                cols.append(np.full(users.size * users.size, resource,
+                                    dtype=np.int64))
+            row_idx = (np.concatenate(rows) if rows
+                       else np.empty(0, dtype=np.int64))
+            col_idx = (np.concatenate(cols) if cols
+                       else np.empty(0, dtype=np.int64))
+            self._overlap_pairs = _scipy_sparse.csr_matrix(
+                (np.ones(row_idx.size, dtype=float), (row_idx, col_idx)),
+                shape=(num_strategies * num_strategies, self.num_resources),
+            )
+        return self._overlap_pairs
+
+    def _overlap_correction_batch(self, marginal: np.ndarray) -> np.ndarray:
+        """``(R, m)`` marginal latencies -> ``(R, S, S)`` overlap corrections
+        through the shared-edge pair matrix (sparse path only)."""
+        replicas = marginal.shape[0]
+        flat = (self._overlap_pair_matrix() @ marginal.T).T
+        return flat.reshape(replicas, self.num_strategies, self.num_strategies)
 
     @property
     def resource_names(self) -> list[str]:
@@ -242,6 +329,8 @@ class CongestionGame:
     def congestion(self, state: StateLike) -> np.ndarray:
         """Per-resource congestion ``x_e = sum_{P ∋ e} x_P`` (shape (m,))."""
         counts = as_counts(state)
+        if self._sparse:
+            return self._inc_csr_t @ counts.astype(float)
         return self._incidence.T @ counts.astype(float)
 
     def resource_latencies(self, loads: np.ndarray) -> np.ndarray:
@@ -253,13 +342,19 @@ class CongestionGame:
     def strategy_latencies(self, state: StateLike) -> np.ndarray:
         """``l_P(x)`` for every strategy ``P`` (shape (S,))."""
         loads = self.congestion(state)
-        return self._incidence @ self.resource_latencies(loads)
+        latencies = self.resource_latencies(loads)
+        if self._sparse:
+            return self._inc_csr @ latencies
+        return self._incidence @ latencies
 
     def strategy_latencies_after_join(self, state: StateLike) -> np.ndarray:
         """``l_P^+(x) = l_P(x + 1_P)``: the latency of ``P`` if one extra
         player joined every resource of ``P`` (paper, Section 2.1)."""
         loads = self.congestion(state)
-        return self._incidence @ self.resource_latencies(loads + 1.0)
+        latencies = self.resource_latencies(loads + 1.0)
+        if self._sparse:
+            return self._inc_csr @ latencies
+        return self._incidence @ latencies
 
     def post_migration_latency_matrix(self, state: StateLike) -> np.ndarray:
         """Matrix ``M[P, Q] = l_Q(x + 1_Q - 1_P)``.
@@ -276,8 +371,13 @@ class CongestionGame:
         latency_now = self.resource_latencies(loads)
         latency_plus = self.resource_latencies(loads + 1.0)
         marginal = latency_plus - latency_now
-        joined = self._incidence @ latency_plus  # l_Q^+ per strategy
-        overlap_correction = (self._incidence * marginal) @ self._incidence.T
+        if self._sparse:
+            joined = self._inc_csr @ latency_plus
+            overlap_correction = self._overlap_correction_batch(
+                marginal[np.newaxis, :])[0]
+        else:
+            joined = self._incidence @ latency_plus  # l_Q^+ per strategy
+            overlap_correction = (self._incidence * marginal) @ self._incidence.T
         return joined[np.newaxis, :] - overlap_correction
 
     def player_latency(self, state: StateLike, strategy: int) -> float:
@@ -290,6 +390,8 @@ class CongestionGame:
     def congestion_batch(self, batch: BatchStateLike) -> np.ndarray:
         """Per-replica resource congestion, shape ``(R, m)``."""
         counts = as_batch_counts(batch)
+        if self._sparse:
+            return (self._inc_csr_t @ counts.astype(float).T).T
         return counts.astype(float) @ self._incidence
 
     def resource_latencies_batch(self, loads: np.ndarray) -> np.ndarray:
@@ -306,12 +408,18 @@ class CongestionGame:
     def strategy_latencies_batch(self, batch: BatchStateLike) -> np.ndarray:
         """``l_P(x_r)`` for every replica and strategy, shape ``(R, S)``."""
         loads = self.congestion_batch(batch)
-        return self.resource_latencies_batch(loads) @ self._incidence.T
+        latencies = self.resource_latencies_batch(loads)
+        if self._sparse:
+            return (self._inc_csr @ latencies.T).T
+        return latencies @ self._incidence.T
 
     def strategy_latencies_after_join_batch(self, batch: BatchStateLike) -> np.ndarray:
         """``l_P(x_r + 1_P)`` per replica and strategy, shape ``(R, S)``."""
         loads = self.congestion_batch(batch)
-        return self.resource_latencies_batch(loads + 1.0) @ self._incidence.T
+        latencies = self.resource_latencies_batch(loads + 1.0)
+        if self._sparse:
+            return (self._inc_csr @ latencies.T).T
+        return latencies @ self._incidence.T
 
     def post_migration_latency_matrix_batch(self, batch: BatchStateLike) -> np.ndarray:
         """``M[r, P, Q] = l_Q(x_r + 1_Q - 1_P)``, shape ``(R, S, S)``.
@@ -324,10 +432,14 @@ class CongestionGame:
         latency_now = self.resource_latencies_batch(loads)
         latency_plus = self.resource_latencies_batch(loads + 1.0)
         marginal = latency_plus - latency_now  # (R, m)
-        joined = latency_plus @ self._incidence.T  # (R, S): l_Q^+ per replica
-        overlap_correction = (
-            self._incidence[np.newaxis, :, :] * marginal[:, np.newaxis, :]
-        ) @ self._incidence.T  # (R, S, S)
+        if self._sparse:
+            joined = (self._inc_csr @ latency_plus.T).T  # (R, S)
+            overlap_correction = self._overlap_correction_batch(marginal)
+        else:
+            joined = latency_plus @ self._incidence.T  # (R, S): l_Q^+ per replica
+            overlap_correction = (
+                self._incidence[np.newaxis, :, :] * marginal[:, np.newaxis, :]
+            ) @ self._incidence.T  # (R, S, S)
         return joined[:, np.newaxis, :] - overlap_correction
 
     # ------------------------------------------------------------------
@@ -486,8 +598,17 @@ class CongestionGame:
 
     @cached_property
     def min_resource_latency(self) -> float:
-        """``l_min = min_e l_e(1)``: minimum latency of a resource used by one player."""
+        """``l_min = min_e l_e(1)``: minimum latency of a resource used by one player.
+
+        :class:`~repro.games.latency.ZeroLatency` structural helper edges
+        (the connectors of the network generators) are excluded — they are
+        exempt from the positivity assumption, so letting them drag ``l_min``
+        to zero would poison every bound derived from it.
+        """
         single_load = self.resource_latencies(np.ones(self.num_resources))
+        real = np.array([not lat.is_structural_zero for lat in self._latencies])
+        if np.any(real):
+            return float(np.min(single_load[real]))
         return float(np.min(single_load))
 
     @cached_property

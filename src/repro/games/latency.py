@@ -35,6 +35,7 @@ ArrayLike = Union[float, int, np.ndarray]
 __all__ = [
     "LatencyFunction",
     "ConstantLatency",
+    "ZeroLatency",
     "LinearLatency",
     "MonomialLatency",
     "PolynomialLatency",
@@ -64,6 +65,10 @@ class LatencyFunction(ABC):
 
     #: True if ``l(0) == 0`` (required by Theorem 9's game family).
     zero_at_zero: bool = False
+
+    #: True only for :class:`ZeroLatency` — a structural helper edge that is
+    #: exempt from the positivity assumption and excluded from ``l_min``.
+    is_structural_zero: bool = False
 
     @abstractmethod
     def value(self, x: np.ndarray) -> np.ndarray:
@@ -167,6 +172,35 @@ class ConstantLatency(LatencyFunction):
 
     def __repr__(self) -> str:
         return f"ConstantLatency({self.c:g})"
+
+
+class ZeroLatency(ConstantLatency):
+    """The identically-zero latency of a *structural helper edge*.
+
+    Network generators that expand a conceptual link into a multi-edge path
+    (parallel links through a private middle node, series-parallel bundles)
+    need connector edges that are guaranteed to contribute **exactly
+    nothing** to any latency, potential, social-cost, or structural-bound
+    computation — otherwise the expanded game is not strategically identical
+    to the game it mirrors.  A plain ``ConstantLatency(0)`` achieves the
+    arithmetic but violates the model assumption ``l_e(x) > 0`` for
+    ``x > 0`` and drags the game's ``l_min`` down to zero.
+
+    ``ZeroLatency`` is therefore flagged ``is_structural_zero``:
+    :func:`validate_latency` exempts it from the positivity check and
+    :attr:`~repro.games.base.CongestionGame.min_resource_latency` skips it,
+    so helper edges are invisible to every quantity the paper's analysis
+    uses.
+    """
+
+    is_structural_zero = True
+    zero_at_zero = True
+
+    def __init__(self):
+        super().__init__(0.0)
+
+    def __repr__(self) -> str:
+        return "ZeroLatency()"
 
 
 class LinearLatency(LatencyFunction):
@@ -521,7 +555,8 @@ def validate_latency(latency: LatencyFunction, max_load: int, samples: int = 256
     """Check the model assumptions on integer loads ``0..max_load``.
 
     Raises :class:`GameDefinitionError` if the function is negative,
-    decreasing, or zero at a positive load.
+    decreasing, or zero at a positive load.  :class:`ZeroLatency` structural
+    helper edges are exempt from the positivity check (that is their point).
     """
     xs = np.linspace(0.0, float(max_load), num=max(2, samples))
     values = latency.value(xs)
@@ -529,6 +564,8 @@ def validate_latency(latency: LatencyFunction, max_load: int, samples: int = 256
         raise GameDefinitionError(f"{latency!r} takes negative values")
     if np.any(np.diff(values) < -1e-12):
         raise GameDefinitionError(f"{latency!r} is not non-decreasing")
+    if latency.is_structural_zero:
+        return
     positive_loads = xs[xs >= 1.0]
     if positive_loads.size and np.any(latency.value(positive_loads) <= 0):
         raise GameDefinitionError(f"{latency!r} is not strictly positive for loads >= 1")

@@ -17,7 +17,8 @@ and never on the executing shard, worker count, or execution order.
 Engine parity
 -------------
 The experiment-backed measures (``overshoot_ratio``, ``dynamics_work``,
-``virtual_agent_nash``, ``error_term_ratio``) derive *per-replica* random
+``virtual_agent_nash``, ``network_convergence``, ``error_term_ratio``)
+derive *per-replica* random
 streams from the run seed and support ``engine="loop"`` alongside the
 default ``engine="batch"``:
 
@@ -77,7 +78,12 @@ from ..games.generators import (
     two_link_overshoot_start,
 )
 from ..games.nash import is_nash
-from ..games.network import grid_network_game
+from ..games.network import (
+    braess_network_game,
+    grid_network_game,
+    layered_random_network_game,
+    series_parallel_network_game,
+)
 from ..games.optimum import compute_social_optimum
 from ..games.singleton import make_linear_singleton
 from ..rng import spawn_rngs
@@ -115,11 +121,80 @@ def _build_monomial_singleton(params: Mapping[str, Any],
     )
 
 
+def _network_strategy_kwargs(params: Mapping[str, Any],
+                             instance_rng: np.random.SeedSequence,
+                             ) -> tuple[np.random.SeedSequence, dict[str, Any]]:
+    """Split the instance seed for the bounded strategy samplers.
+
+    Returns ``(coefficient_rng, sampler_kwargs)``.  A ``k_paths`` parameter
+    (optionally with an explicit ``strategy_mode``; the default bounded mode
+    is the layered-DAG ``"dag-sample"`` sampler) switches the game from
+    exhaustive enumeration to a bounded strategy set.  The sampler stream is
+    spawned from the point's instance seed, so the strategy set — like
+    everything else — is a pure function of ``(spec, point index)`` and
+    independent of shard layout or worker count.  In enumeration mode
+    (implicit or spelled out) the instance seed is passed through
+    unchanged, so writing ``strategy_mode="enumerate"`` explicitly yields
+    the same rows as omitting it.
+    """
+    mode = params.get("strategy_mode")
+    k_paths = params.get("k_paths")
+    if mode is None and k_paths is not None:
+        mode = "dag-sample"
+    kwargs: dict[str, Any] = {}
+    if "sparse_incidence" in params:
+        kwargs["sparse_incidence"] = bool(params["sparse_incidence"])
+    if mode in (None, "enumerate"):
+        # Spelling out the default mode must not change the rows: only the
+        # bounded modes split the instance seed for their sampler stream.
+        if mode is not None:
+            kwargs["strategy_mode"] = str(mode)
+        return instance_rng, kwargs
+    graph_seq, path_seq = instance_rng.spawn(2)
+    kwargs["strategy_mode"] = str(mode)
+    kwargs["path_rng"] = np.random.default_rng(path_seq)
+    if k_paths is not None:
+        kwargs["num_paths"] = int(k_paths)
+    return graph_seq, kwargs
+
+
 def _build_grid_network(params: Mapping[str, Any],
                         instance_rng: np.random.SeedSequence) -> CongestionGame:
+    rng, sampler_kwargs = _network_strategy_kwargs(params, instance_rng)
     return grid_network_game(
         int(params["n"]), rows=int(params.get("rows", 2)),
-        cols=int(params.get("cols", 3)), rng=instance_rng,
+        cols=int(params.get("cols", 3)),
+        degree=int(params.get("degree", 1)), rng=rng, **sampler_kwargs,
+    )
+
+
+def _build_layered_network(params: Mapping[str, Any],
+                           instance_rng: np.random.SeedSequence) -> CongestionGame:
+    rng, sampler_kwargs = _network_strategy_kwargs(params, instance_rng)
+    return layered_random_network_game(
+        int(params["n"]), layers=int(params.get("layers", 3)),
+        width=int(params.get("width", 3)),
+        edge_probability=float(params.get("edge_probability", 0.7)),
+        degree=int(params.get("degree", 1)), rng=rng, **sampler_kwargs,
+    )
+
+
+def _build_series_parallel(params: Mapping[str, Any],
+                           instance_rng: np.random.SeedSequence) -> CongestionGame:
+    rng, sampler_kwargs = _network_strategy_kwargs(params, instance_rng)
+    return series_parallel_network_game(
+        int(params["n"]), blocks=int(params.get("blocks", 2)),
+        links_per_block=int(params.get("links_per_block", 3)),
+        degree=int(params.get("degree", 1)), rng=rng, **sampler_kwargs,
+    )
+
+
+def _build_braess(params: Mapping[str, Any],
+                  instance_rng: np.random.SeedSequence) -> CongestionGame:
+    return braess_network_game(
+        int(params["n"]),
+        with_shortcut=bool(params.get("with_shortcut", True)),
+        scale=float(params.get("scale", 1.0)),
     )
 
 
@@ -133,6 +208,9 @@ GAME_BUILDERS: dict[str, Callable[..., CongestionGame]] = {
     "linear-singleton": _build_linear_singleton,
     "monomial-singleton": _build_monomial_singleton,
     "grid-network": _build_grid_network,
+    "layered-network": _build_layered_network,
+    "series-parallel": _build_series_parallel,
+    "braess": _build_braess,
     "two-link": _build_two_link,
 }
 
@@ -310,6 +388,7 @@ def _ensemble_trajectories(
     max_rounds: int,
     scalar_stop,
     engine: str,
+    batch_stop=None,
 ) -> tuple[list, np.ndarray, np.ndarray]:
     """Replica trajectories under either engine, bit-identical per stream.
 
@@ -319,14 +398,21 @@ def _ensemble_trajectories(
     through :class:`EnsembleDynamics` with per-replica ``rng_streams``; the
     loop path runs each replica through :class:`ConcurrentDynamics` on the
     same generator — identical draws, identical trajectories.
+
+    ``batch_stop`` optionally supplies a natively-vectorised
+    :class:`~repro.core.ensemble.BatchStopCondition` equivalent to
+    ``scalar_stop``: without it the scalar condition is lifted row by row
+    (``batch_stop_from_scalar``), which evaluates the game once per replica
+    per round and easily dominates the whole batch run.
     """
     if engine == "batch":
+        if batch_stop is None and scalar_stop is not None:
+            batch_stop = batch_stop_from_scalar(scalar_stop)
         dynamics = EnsembleDynamics(game, protocol, rng=0)
         result = dynamics.run(
             initial_states,
             max_rounds=max_rounds,
-            stop_condition=(batch_stop_from_scalar(scalar_stop)
-                            if scalar_stop is not None else None),
+            stop_condition=batch_stop,
             rng_streams=list(streams),
         )
         finals = [result.final_states.to_array()[index]
@@ -585,6 +671,62 @@ def _measure_virtual_agent_nash(spec: SweepSpec, params: Mapping[str, Any],
 
 
 # ----------------------------------------------------------------------
+# Network-routing convergence measure (E14)
+# ----------------------------------------------------------------------
+
+def _measure_network_convergence(spec: SweepSpec, params: Mapping[str, Any],
+                                 game: CongestionGame, protocol: Protocol,
+                                 run_rng: np.random.SeedSequence,
+                                 engine: str = "batch") -> dict[str, Any]:
+    """Routing-dynamics convergence on a network topology (E14).
+
+    Replicas start from independent uniform-random path assignments and run
+    until a ``(delta, epsilon)``-approximate equilibrium (or the round
+    budget).  Besides the convergence statistics the row records the
+    realised strategy-set size and edge count — the quantities the
+    network-scaling study sweeps — and the mean final social cost (average
+    latency), which is what the Braess-paradox comparison reads off.
+    Non-converged replicas are excluded from the round/cost means and
+    reported in ``non_converged_trials`` (the suite-wide convention).  Both
+    engines derive the same per-replica streams, so loop and batch rows are
+    bit-identical.
+    """
+    _check_engine(engine)
+    delta = float(params.get("delta", 0.25))
+    epsilon = float(params.get("epsilon", 0.25))
+    max_rounds = int(params.get("max_rounds", spec.max_rounds))
+
+    starts = []
+    run_streams = []
+    for trial_seq in run_rng.spawn(spec.replicas):
+        start_seq, dynamics_seq = trial_seq.spawn(2)
+        starts.append(game.uniform_random_state(
+            np.random.default_rng(start_seq)).counts)
+        run_streams.append(np.random.default_rng(dynamics_seq))
+
+    finals, rounds, converged = _ensemble_trajectories(
+        game, protocol, np.stack(starts), run_streams,
+        max_rounds=max_rounds,
+        scalar_stop=stop_at_approx_equilibrium(delta, epsilon),
+        batch_stop=batch_stop_at_approx_equilibrium(delta, epsilon),
+        engine=engine,
+    )
+    costs = np.array([game.social_cost(final) for final in finals], dtype=float)
+    converged_rounds = [float(r) for r, ok in zip(rounds, converged) if ok]
+    converged_costs = [float(c) for c, ok in zip(costs, converged) if ok]
+    return {
+        "trials": spec.replicas,
+        "num_paths": game.num_strategies,
+        "num_edges": game.num_resources,
+        "sparse_incidence": bool(game.uses_sparse_incidence),
+        "converged_fraction": float(np.mean(converged)),
+        "mean_rounds_converged": _mean_or_none(converged_rounds),
+        "non_converged_trials": int(np.sum(~converged)),
+        "mean_final_cost": _mean_or_none(converged_costs),
+    }
+
+
+# ----------------------------------------------------------------------
 # Error-term measure (F1)
 # ----------------------------------------------------------------------
 
@@ -637,6 +779,7 @@ MEASURES: dict[str, Callable[..., dict[str, Any]]] = {
     "overshoot_ratio": _measure_overshoot,
     "dynamics_work": _measure_dynamics_work,
     "virtual_agent_nash": _measure_virtual_agent_nash,
+    "network_convergence": _measure_network_convergence,
     "error_term_ratio": _measure_error_terms,
 }
 

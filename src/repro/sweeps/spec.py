@@ -40,7 +40,10 @@ __all__ = ["CODE_VERSION", "SweepError", "SweepPoint", "SweepSpec",
 #: Bump whenever the measurement kernels change semantics: the store keys
 #: results by ``hash(spec + CODE_VERSION)``, so a bump invalidates every
 #: cached row computed by the old code instead of silently reusing it.
-CODE_VERSION = 1
+#: (2: large sparse games auto-switch to CSR incidence evaluation, whose
+#: accumulation order differs from the dense BLAS path in the last bits —
+#: rows computed by version 1 are no longer reproducible bit-for-bit.)
+CODE_VERSION = 2
 
 
 class SweepError(ReproError):

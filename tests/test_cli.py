@@ -228,12 +228,87 @@ class TestArgumentValidation:
         assert "[F1]" in capsys.readouterr().out
 
 
+class TestSimulateTopologyKnobs:
+    """simulate --rows/--cols/--layers/--k-paths: validated, routed to the
+    right game family, warned about when inapplicable."""
+
+    def test_topology_flags_parse(self):
+        args = build_parser().parse_args(
+            ["simulate", "--game", "grid", "--rows", "4", "--cols", "5",
+             "--k-paths", "8"])
+        assert (args.rows, args.cols, args.k_paths) == (4, 5, 8)
+        assert args.layers is None
+
+    def test_grid_dimensions_are_honoured(self, capsys):
+        assert main(["simulate", "--game", "grid", "--rows", "3", "--cols", "3",
+                     "--players", "12", "--rounds", "3"]) == 0
+        # a 3x3 grid has C(4, 2) = 6 monotone s-t paths
+        assert "|P|=6" in capsys.readouterr().out
+
+    def test_k_paths_bounds_a_large_grid(self, capsys):
+        assert main(["simulate", "--game", "grid", "--rows", "8", "--cols", "8",
+                     "--k-paths", "16", "--players", "20", "--rounds", "2"]) == 0
+        assert "|P|=16" in capsys.readouterr().out
+
+    def test_layered_game_with_layers_and_k_paths(self, capsys):
+        assert main(["simulate", "--game", "layered", "--layers", "4",
+                     "--k-paths", "8", "--players", "20", "--rounds", "2"]) == 0
+        assert "|P|=8" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("argv, flag", [
+        (["simulate", "--game", "braess", "--rows", "4",
+          "--players", "10", "--rounds", "2"], "--rows"),
+        (["simulate", "--game", "grid", "--layers", "4",
+          "--players", "10", "--rounds", "2"], "--layers"),
+        (["simulate", "--game", "linear-singleton", "--k-paths", "4",
+          "--players", "10", "--rounds", "2"], "--k-paths"),
+    ])
+    def test_inapplicable_knob_warns_and_still_runs(self, argv, flag, capsys):
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert f"{flag} does not apply" in err
+
+    def test_applicable_knobs_do_not_warn(self, capsys):
+        assert main(["simulate", "--game", "grid", "--rows", "2", "--cols", "2",
+                     "--players", "10", "--rounds", "2"]) == 0
+        assert capsys.readouterr().err == ""
+
+    @pytest.mark.parametrize("argv", [
+        ["simulate", "--game", "grid", "--rows", "0"],
+        ["simulate", "--game", "grid", "--cols", "-2"],
+        ["simulate", "--game", "layered", "--layers", "0"],
+        ["simulate", "--game", "grid", "--k-paths", "0"],
+    ])
+    def test_non_positive_topology_knobs_exit_one(self, argv, capsys):
+        assert main(argv) == 1
+        assert "must be at least" in capsys.readouterr().err
+
+    def test_oversized_enumeration_exits_one_with_sampler_hint(self, capsys):
+        assert main(["simulate", "--game", "grid", "--rows", "12",
+                     "--cols", "12", "--players", "10", "--rounds", "2"]) == 1
+        err = capsys.readouterr().err
+        assert "max_paths" in err and "dag-sample" in err
+
+
 class TestNewSweepPresets:
     def test_new_presets_are_registered(self):
         parser = build_parser()
-        for preset in ("overshoot", "protocol-work", "virtual-agents", "error-terms"):
+        for preset in ("overshoot", "protocol-work", "virtual-agents",
+                       "error-terms", "network-scaling"):
             args = parser.parse_args(["sweep", "--preset", preset])
             assert args.preset == preset
+
+    def test_network_scaling_preset_runs_and_caches(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["sweep", "--preset", "network-scaling", "--quick",
+                     "--store", store]) == 0
+        first = capsys.readouterr().out
+        assert "(2 computed, 0 cached)" in first
+        assert main(["sweep", "--preset", "network-scaling", "--quick",
+                     "--store", store]) == 0
+        second = capsys.readouterr().out
+        assert "(0 computed, 2 cached)" in second
+        assert first.splitlines()[1:] == second.splitlines()[1:]
 
     def test_overshoot_preset_runs_and_caches(self, tmp_path, capsys):
         store = str(tmp_path / "store")

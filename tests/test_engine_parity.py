@@ -14,14 +14,19 @@ import pytest
 
 from repro.core.sequential import run_sequential_ensemble
 from repro.experiments.exp_error_terms import run_error_terms_experiment
+from repro.experiments.exp_network_scaling import (
+    network_scaling_spec,
+    run_network_scaling_experiment,
+)
 from repro.experiments.exp_overshooting import run_overshooting_experiment
 from repro.experiments.exp_protocol_comparison import run_protocol_comparison_experiment
 from repro.experiments.exp_sequential_lower_bound import (
     run_sequential_lower_bound_experiment,
 )
 from repro.experiments.exp_virtual_agents import run_virtual_agents_experiment
+from repro.experiments.sweep_bridge import run_spec_points
 from repro.games.threshold import geometric_weight_matrix, lift_for_imitation
-from repro.sweeps import run_sweep
+from repro.sweeps import SweepSpec, run_sweep
 from repro.experiments.exp_overshooting import overshoot_spec
 
 
@@ -38,7 +43,9 @@ def _rows(result):
      dict(quick=True, trials=2, seed=113, num_players=30)),
     (run_error_terms_experiment,
      dict(quick=True, samples=30, seed=101, num_players=80)),
-], ids=["e5", "e11", "e13", "f1"])
+    (run_network_scaling_experiment,
+     dict(quick=True, trials=2, seed=117, num_players=40, k_paths=8)),
+], ids=["e5", "e11", "e13", "f1", "e14"])
 def test_loop_and_batch_tables_are_bit_identical(runner, kwargs):
     batch = runner(engine="batch", **kwargs)
     loop = runner(engine="loop", **kwargs)
@@ -88,6 +95,57 @@ def test_new_preset_sweep_independent_of_worker_count():
     serial = run_sweep(spec, workers=1)
     pooled = run_sweep(spec, workers=2)
     assert serial.rows == pooled.rows
+
+
+def test_network_scaling_sweep_independent_of_worker_count():
+    """The sampled strategy sets derive from the point seeds, so the whole
+    network sweep — including game construction — is shard-independent."""
+    spec = network_scaling_spec(quick=True, seed=37, trials=2,
+                                num_players=50, k_paths=8)
+    serial = run_sweep(spec, workers=1)
+    pooled = run_sweep(spec, workers=2)
+    assert serial.rows == pooled.rows
+
+
+@pytest.mark.parametrize("game, axes, base", [
+    ("braess", {"with_shortcut": [False, True]}, {"n": 30}),
+    ("grid-network", {"rows": [2, 3]}, {"n": 24, "cols": 3}),
+    ("grid-network", {"k_paths": [6, 10]},
+     {"n": 24, "rows": 5, "cols": 5, "strategy_mode": "dag-sample",
+      "sparse_incidence": True}),
+], ids=["braess", "grid-enumerated", "grid-sampled-sparse"])
+def test_network_measure_loop_and_batch_rows_bit_identical(game, axes, base):
+    """network_convergence under rng_streams: loop and batch replay the
+    same per-replica streams on Braess and grid topologies."""
+    spec = SweepSpec(
+        name="parity-network", game=game, protocol="imitation",
+        measure="network_convergence", axes=axes,
+        base={"delta": 0.05, "epsilon": 0.05, **base},
+        replicas=3, max_rounds=300, seed=123,
+    )
+    assert run_spec_points(spec, engine="loop") == \
+        run_spec_points(spec, engine="batch")
+
+
+def test_spelled_out_enumerate_mode_does_not_change_rows():
+    """strategy_mode='enumerate' written explicitly must seed the game
+    exactly like the implicit default — only the bounded sampler modes
+    split the instance seed."""
+    payload = dict(name="enum-invariance", game="grid-network",
+                   protocol="imitation", measure="network_convergence",
+                   axes={"rows": [2, 3]},
+                   base={"n": 20, "cols": 3, "delta": 0.1, "epsilon": 0.1},
+                   replicas=2, max_rounds=100, seed=9)
+    implicit = SweepSpec(**payload)
+    spelled = SweepSpec(**{**payload,
+                           "base": {**payload["base"],
+                                    "strategy_mode": "enumerate"}})
+    differs_by_construction = {"strategy_mode", "point_key"}
+    def clean(rows):
+        return [{key: value for key, value in row.items()
+                 if key not in differs_by_construction} for row in rows]
+    assert clean(run_spec_points(implicit, engine="batch")) == \
+        clean(run_spec_points(spelled, engine="batch"))
 
 
 def test_non_converged_replicas_reported_not_averaged():

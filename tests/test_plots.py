@@ -52,6 +52,30 @@ class TestAsciiPlot:
         with pytest.raises(ValueError):
             ascii_plot([1, 2], [1, 2], width=1)
 
+    def test_non_finite_points_are_skipped(self):
+        clean = ascii_plot([1, 2, 3], [10, 20, 15])
+        noisy = ascii_plot([1, float("nan"), 2, 3, 4],
+                           [10, 5, 20, 15, float("inf")])
+        assert noisy == clean
+
+    def test_all_non_finite_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            ascii_plot([float("nan")], [float("inf")])
+
+    @pytest.mark.parametrize("width", [2, 5, 10, 19, 20, 60])
+    def test_x_axis_labels_align_with_axis_at_any_width(self, width):
+        text = ascii_plot([0, 1], [0, 1], width=width, x_label="n")
+        axis, labels = text.splitlines()[-2:]
+        # the axis line is 14 leading chars + width dashes
+        assert len(axis) == 14 + width
+        assert labels.endswith("  (n)")
+        body = labels[:-len("  (n)")]
+        # x_low starts under the first axis column, x_high ends under the
+        # last dash (or one space after x_low when the axis is narrower)
+        assert body[14] == "0"
+        assert body.endswith("1")
+        assert len(body) == max(14 + width, 14 + len("0") + 1 + len("1"))
+
 
 class TestHistogram:
     def test_counts_sum_to_sample_size(self):
