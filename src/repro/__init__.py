@@ -1,6 +1,6 @@
 """Concurrent imitation dynamics in congestion games (PODC 2009) — reproduction.
 
-The package is organised in five layers:
+The package is organised in seven layers:
 
 * :mod:`repro.games` — the congestion-game substrate (latency functions,
   symmetric / singleton / network / threshold games, states, Nash equilibria,
@@ -14,7 +14,13 @@ The package is organised in five layers:
 * :mod:`repro.analysis` — hitting times, scaling fits, martingale and
   extinction diagnostics, Price-of-Imitation estimation;
 * :mod:`repro.experiments` — the experiment registry that regenerates every
-  quantitative claim of the paper (see ``EXPERIMENTS.md``).
+  quantitative claim of the paper (see ``EXPERIMENTS.md``);
+* :mod:`repro.sweeps` — declarative parameter grids sharded over worker
+  processes with a resumable content-hash-keyed result store (see
+  ``docs/SWEEPS.md``);
+* :mod:`repro.service` — the sweep service: a long-running daemon (job
+  queue, result cache, HTTP + client API) serving the sweep store (see
+  ``docs/SERVICE.md``).
 
 Round engines
 -------------

@@ -26,6 +26,12 @@ Shard a 25-point parameter grid over 4 worker processes with a resumable
 on-disk result store::
 
     python -m repro sweep --preset eps-delta --workers 4 --store .sweeps
+
+Serve sweep results over HTTP (see docs/SERVICE.md) and query them::
+
+    python -m repro serve --port 8080 --store .sweep-service
+    python -m repro submit --preset logn --quick
+    python -m repro fetch <spec-hash> --group-by n
 """
 
 from __future__ import annotations
@@ -55,14 +61,9 @@ from .experiments import (
     run_experiment,
 )
 from .experiments.registry import experiment_accepts
-from .experiments.exp_eps_delta_sweep import eps_delta_grid_spec
-from .experiments.exp_error_terms import error_terms_spec
-from .experiments.exp_logn_scaling import logn_scaling_spec
-from .experiments.exp_network_scaling import network_scaling_spec
-from .experiments.exp_overshooting import overshoot_spec
-from .experiments.exp_protocol_comparison import protocol_comparison_spec
-from .experiments.exp_virtual_agents import virtual_agents_spec
 from .experiments.reporting import render_markdown_table, render_table
+from .info import render_info
+from .presets import get_sweep_preset, list_sweep_presets
 from .games.generators import (
     random_linear_singleton,
     random_monomial_singleton,
@@ -97,17 +98,6 @@ _GAME_KNOBS = {
     "k_paths": ("grid", "layered"),
 }
 
-#: Named sweep presets: the grid experiments expressed as SweepSpecs.
-_SWEEP_PRESETS = {
-    "logn": logn_scaling_spec,
-    "eps-delta": eps_delta_grid_spec,
-    "overshoot": overshoot_spec,
-    "protocol-work": protocol_comparison_spec,
-    "virtual-agents": virtual_agents_spec,
-    "error-terms": error_terms_spec,
-    "network-scaling": network_scaling_spec,
-}
-
 _EPILOG = ("Parameter sweeps (the `sweep` command) are documented in "
            "docs/SWEEPS.md: spec format, store layout, resume semantics and "
            "the determinism guarantees of sharded execution.  Presets: "
@@ -115,7 +105,12 @@ _EPILOG = ("Parameter sweeps (the `sweep` command) are documented in "
            "one-round overshoot ratios), protocol-work (E11 concurrent-vs-"
            "sequential work), virtual-agents (E13 innovativeness recovery), "
            "error-terms (F1 Lemma 1/2 error-term ratios), network-scaling "
-           "(E14 layered-DAG routing with sampled path strategy sets).")
+           "(E14 layered-DAG routing with sampled path strategy sets).  "
+           "The sweep service (`serve`/`submit`/`status`/`fetch` — a "
+           "long-running daemon with a job queue and a content-hash result "
+           "cache over the same store) is documented in docs/SERVICE.md.")
+
+_DEFAULT_SERVICE_URL = "http://127.0.0.1:8080"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -161,7 +156,7 @@ def build_parser() -> argparse.ArgumentParser:
         epilog=_EPILOG,
     )
     source = sweep_parser.add_mutually_exclusive_group(required=True)
-    source.add_argument("--preset", choices=sorted(_SWEEP_PRESETS),
+    source.add_argument("--preset", choices=list_sweep_presets(),
                         help="a named grid (the grid experiments' SweepSpecs)")
     source.add_argument("--spec", default=None, metavar="FILE",
                         help="path to a SweepSpec as JSON")
@@ -210,6 +205,79 @@ def build_parser() -> argparse.ArgumentParser:
                             help="bound the strategy set to this many sampled "
                                  "s-t paths instead of enumerating them "
                                  "(--game grid/layered)")
+
+    subparsers.add_parser(
+        "info", help="print versions, registered experiments/presets and "
+                     "optional-dependency availability")
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the sweep-service daemon (see docs/SERVICE.md)",
+        epilog=_EPILOG,
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8080,
+                              help="listen port (0 picks a free one)")
+    serve_parser.add_argument("--store", default=".sweep-service", metavar="DIR",
+                              help="result-store root served by the daemon")
+    serve_parser.add_argument("--workers", type=int, default=1,
+                              help="concurrent jobs (service-level parallelism)")
+    serve_parser.add_argument("--sweep-workers", type=int, default=1,
+                              dest="sweep_workers",
+                              help="worker processes per job's sweep "
+                                   "(same pool as `sweep --workers`)")
+    serve_parser.add_argument("--verbose", action="store_true",
+                              help="log every HTTP request to stderr")
+
+    submit_parser = subparsers.add_parser(
+        "submit", help="submit a sweep to a running service and wait for it",
+        epilog=_EPILOG,
+    )
+    submit_source = submit_parser.add_mutually_exclusive_group(required=True)
+    submit_source.add_argument("--preset", choices=list_sweep_presets(),
+                               help="a named grid (the grid experiments' "
+                                    "SweepSpecs)")
+    submit_source.add_argument("--spec", default=None, metavar="FILE",
+                               help="path to a SweepSpec as JSON")
+    submit_parser.add_argument("--url", default=_DEFAULT_SERVICE_URL,
+                               help="service base URL")
+    submit_parser.add_argument("--quick", action="store_true",
+                               help="scaled-down preset grid")
+    submit_parser.add_argument("--seed", type=int, default=None,
+                               help="override the spec's master seed")
+    submit_parser.add_argument("--priority", type=int, default=0,
+                               help="queue priority (higher runs first)")
+    submit_parser.add_argument("--wait", dest="wait", action="store_true",
+                               default=True,
+                               help="poll the job to completion (default)")
+    submit_parser.add_argument("--no-wait", dest="wait", action="store_false",
+                               help="return immediately after enqueueing")
+    submit_parser.add_argument("--timeout", type=float, default=None,
+                               help="give up waiting after this many seconds")
+
+    status_parser = subparsers.add_parser(
+        "status", help="show service health, or one job's state")
+    status_parser.add_argument("job_id", nargs="?", default=None,
+                               help="a job id; omitted: daemon health + "
+                                    "every job")
+    status_parser.add_argument("--url", default=_DEFAULT_SERVICE_URL,
+                               help="service base URL")
+
+    fetch_parser = subparsers.add_parser(
+        "fetch", help="fetch a sweep's rows (or an aggregate) from a service")
+    fetch_parser.add_argument("spec_hash",
+                              help="the sweep's content hash (printed by "
+                                   "`submit`, also in /v1/jobs)")
+    fetch_parser.add_argument("--url", default=_DEFAULT_SERVICE_URL,
+                              help="service base URL")
+    fetch_parser.add_argument("--group-by", default=None, metavar="COL[,COL]",
+                              help="print an aggregate over these columns "
+                                   "instead of the raw rows")
+    fetch_parser.add_argument("--value", default="rounds_mean",
+                              help="row column aggregated by --group-by")
+    fetch_parser.add_argument("--jsonl", action="store_true",
+                              help="print raw JSONL rows instead of a table")
+    fetch_parser.add_argument("--markdown", action="store_true",
+                              help="emit a markdown table")
     return parser
 
 
@@ -300,10 +368,7 @@ def _command_run_all(args: argparse.Namespace) -> int:
 
 def _load_sweep_spec(args: argparse.Namespace) -> SweepSpec:
     if args.preset is not None:
-        spec = _SWEEP_PRESETS[args.preset](
-            quick=args.quick, seed=args.seed if args.seed is not None else 2009,
-        )
-        return spec
+        return get_sweep_preset(args.preset, quick=args.quick, seed=args.seed)
     try:
         with open(args.spec, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
@@ -332,6 +397,113 @@ def _command_sweep(args: argparse.Namespace) -> int:
         aggregated = aggregate_rows(result.rows, by=by, value=args.value)
         print()
         print(render(aggregated))
+    return 0
+
+
+def _command_info() -> int:
+    print(render_info())
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from .service import run_service
+
+    _require_positive("--workers", args.workers)
+    _require_positive("--sweep-workers", args.sweep_workers)
+    _require_positive("--port", args.port, minimum=0)
+    return run_service(args.store, host=args.host, port=args.port,
+                       workers=args.workers, sweep_workers=args.sweep_workers,
+                       quiet=not args.verbose)
+
+
+def _submit_summary(response: dict) -> str:
+    """One line per submit outcome; the CI smoke job greps these."""
+    prefix = f"spec {response['spec_name']} [{response['spec_hash']}]"
+    if response["cached"]:
+        return (f"{prefix}: cache hit — {response['points']} points served "
+                "from store, no job enqueued")
+    job = response["job"]
+    if job["state"] == "done":
+        summary = job["summary"]
+        return (f"{prefix}: job {job['job_id']} done — "
+                f"{summary['points']} points "
+                f"({summary['computed']} computed, {summary['cached']} cached) "
+                f"in {summary['elapsed_seconds']:.2f}s")
+    joined = "" if response["created"] else " (joined in-flight job)"
+    return f"{prefix}: job {job['job_id']} {job['state']}{joined}"
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    from .service import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.spec is not None:
+        kwargs = {"spec": _load_sweep_spec(args)}
+    else:
+        kwargs = {"preset": args.preset, "quick": args.quick,
+                  "seed": args.seed}
+    kwargs["priority"] = args.priority
+    if args.wait:
+        response = client.submit_and_wait(timeout=args.timeout, **kwargs)
+    else:
+        response = client.submit(**kwargs)
+    print(_submit_summary(response))
+    return 0
+
+
+def _format_job_line(job: dict) -> str:
+    tail = ""
+    if job["state"] == "done" and job["summary"]:
+        summary = job["summary"]
+        tail = (f" — {summary['points']} points "
+                f"({summary['computed']} computed, "
+                f"{summary['cached']} cached)")
+    elif job["state"] == "failed":
+        tail = f" — {job['error']}"
+    return (f"{job['job_id']}  {job['state']:>9}  "
+            f"{job['spec_name']} [{job['spec_hash']}]{tail}")
+
+
+def _command_status(args: argparse.Namespace) -> int:
+    from .service import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.job_id is not None:
+        print(_format_job_line(client.job(args.job_id)))
+        return 0
+    health = client.healthz()
+    tally = ", ".join(f"{state}={count}"
+                      for state, count in sorted(health["jobs"].items())
+                      if count)
+    print(f"service {health['status']} at {args.url} "
+          f"(code version {health['code_version']}, "
+          f"store {health['store_root']}, "
+          f"uptime {health['uptime_seconds']:.0f}s)")
+    print(f"jobs: {tally or 'none yet'}")
+    for job in client.jobs():
+        print(_format_job_line(job))
+    return 0
+
+
+def _command_fetch(args: argparse.Namespace) -> int:
+    from .service import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.jsonl:
+        if args.group_by:
+            raise ReproError("--jsonl streams raw rows; it cannot be "
+                             "combined with --group-by")
+        for line in client.iter_row_lines(args.spec_hash):
+            print(line)
+        return 0
+    render = render_markdown_table if args.markdown else render_table
+    if args.group_by:
+        by = [column.strip() for column in args.group_by.split(",")
+              if column.strip()]
+        print(render(client.aggregate(args.spec_hash, by=by,
+                                      value=args.value)))
+        return 0
+    print(render(table_rows(client.rows(args.spec_hash))))
     return 0
 
 
@@ -427,6 +599,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_simulate(args)
         if args.command == "sweep":
             return _command_sweep(args)
+        if args.command == "info":
+            return _command_info()
+        if args.command == "serve":
+            return _command_serve(args)
+        if args.command == "submit":
+            return _command_submit(args)
+        if args.command == "status":
+            return _command_status(args)
+        if args.command == "fetch":
+            return _command_fetch(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -1,0 +1,72 @@
+"""Runtime introspection: versions, registries and optional dependencies.
+
+One structured answer to "what can this installation do?", shared by two
+surfaces:
+
+* ``python -m repro info`` renders it as text for humans;
+* the sweep service's ``GET /v1/healthz`` embeds it as JSON, so a client
+  can check that a daemon's :data:`~repro.sweeps.spec.CODE_VERSION` (and
+  therefore its result-cache keys) matches its own before submitting.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import platform
+from typing import Any
+
+import numpy as np
+
+from .sweeps.spec import CODE_VERSION
+
+__all__ = ["optional_dependencies", "render_info", "runtime_info"]
+
+#: Optional third-party packages some subsystems use when present (scipy
+#: enables sparse path×edge incidence, networkx the richer network
+#: generators).  Everything else degrades gracefully without them.
+OPTIONAL_DEPENDENCIES = ("scipy", "networkx")
+
+
+def optional_dependencies() -> dict[str, bool]:
+    """Availability of each optional dependency (import not required)."""
+    return {name: importlib.util.find_spec(name) is not None
+            for name in OPTIONAL_DEPENDENCIES}
+
+
+def runtime_info() -> dict[str, Any]:
+    """Everything ``info``/``healthz`` report, as one JSON-able dict."""
+    from .experiments import list_experiments
+    from .presets import preset_summaries
+
+    return {
+        "code_version": CODE_VERSION,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "dependencies": optional_dependencies(),
+        "experiments": [{"id": spec.experiment_id, "title": spec.title}
+                        for spec in list_experiments()],
+        "presets": preset_summaries(),
+    }
+
+
+def render_info(info: dict[str, Any] | None = None) -> str:
+    """Human-readable rendering of :func:`runtime_info`."""
+    info = info if info is not None else runtime_info()
+    lines = [
+        f"code version: {info['code_version']}",
+        f"python:       {info['python']}",
+        f"numpy:        {info['numpy']}",
+        "optional dependencies: "
+        + ", ".join(f"{name}={'yes' if present else 'no'}"
+                    for name, present in sorted(info["dependencies"].items())),
+        "",
+        f"experiments ({len(info['experiments'])}):",
+    ]
+    lines += [f"  {item['id']:>4}  {item['title']}"
+              for item in info["experiments"]]
+    lines.append("")
+    lines.append(f"sweep presets ({len(info['presets'])}):")
+    lines += [f"  {item['name']:>16}  {item['description']} "
+              f"[{item['num_points']} points quick]"
+              for item in info["presets"]]
+    return "\n".join(lines)

@@ -1,0 +1,45 @@
+"""Sweep-as-a-service: a daemon + client serving the sweep store.
+
+Until this package existed, every consumer of sweep results paid full
+compute cost per ``python -m repro`` invocation, and the on-disk
+:class:`~repro.sweeps.store.SweepStore` allowed one writer at a time.  The
+service turns the sweep layer into a *serving* layer — equilibrium and
+hitting-time queries become cheap repeated reads against a shared store,
+multiplexed through one long-running process:
+
+* :mod:`~repro.service.jobs` — priority job queue + registry with
+  in-flight dedup by spec content hash and per-spec-directory
+  serialization (:class:`JobQueue`, :class:`Job`, :class:`JobState`);
+* :mod:`~repro.service.workers` — background execution of queued sweeps
+  through :func:`~repro.sweeps.scheduler.run_sweep`
+  (:class:`WorkerPool`);
+* :mod:`~repro.service.server` — the stdlib-only threaded HTTP daemon and
+  the transport-independent :class:`SweepService` application object;
+* :mod:`~repro.service.client` — the typed urllib
+  :class:`ServiceClient`;
+* :mod:`~repro.service.api` — payload resolution and
+  :class:`ServiceError`.
+
+CLI verbs: ``python -m repro serve | submit | status | fetch``.  The full
+API reference (curl examples, cache/dedup semantics, deployment notes)
+lives in ``docs/SERVICE.md``.
+"""
+
+from .api import ServiceError, resolve_spec
+from .client import ServiceClient
+from .jobs import Job, JobQueue, JobState
+from .server import SweepService, make_server, run_service
+from .workers import WorkerPool
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "JobState",
+    "ServiceClient",
+    "ServiceError",
+    "SweepService",
+    "WorkerPool",
+    "make_server",
+    "resolve_spec",
+    "run_service",
+]

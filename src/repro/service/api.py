@@ -1,0 +1,81 @@
+"""Wire-level plumbing shared by the sweep-service server and client.
+
+The submit payload (``POST /v1/sweeps``) takes one of two shapes::
+
+    {"spec": { ...SweepSpec.to_dict()... }, "priority": 5}
+    {"preset": "logn", "quick": true, "seed": 7,
+     "overrides": {"replicas": 16}, "priority": 0}
+
+:func:`resolve_spec` normalises both into a validated
+:class:`~repro.sweeps.spec.SweepSpec`; every malformed input raises a
+:class:`~repro.errors.ReproError` whose message goes verbatim into the
+HTTP 400 body, so the curl user and the :class:`ServiceClient` user see the
+same diagnosis.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from ..errors import ReproError
+from ..presets import get_sweep_preset
+from ..sweeps import SweepSpec
+
+__all__ = ["ServiceError", "resolve_spec"]
+
+#: Fields a submit payload may carry (anything else is rejected by name,
+#: mirroring SweepSpec.from_dict's unknown-field policy).
+_SUBMIT_FIELDS = {"spec", "preset", "quick", "seed", "overrides", "priority"}
+
+
+class ServiceError(ReproError):
+    """A sweep-service failure, tagged with the HTTP status it maps to.
+
+    ``status`` is the HTTP code the server responds with (the client
+    re-raises with the received code); ``None`` means the failure happened
+    before any HTTP exchange (e.g. the daemon is unreachable).
+    """
+
+    def __init__(self, message: str, *, status: Optional[int] = 400):
+        super().__init__(message)
+        self.status = status
+
+
+def resolve_spec(payload: Any) -> tuple[SweepSpec, int]:
+    """Turn a submit payload into a validated ``(spec, priority)`` pair."""
+    if not isinstance(payload, Mapping):
+        raise ServiceError("the submit body must be a JSON object, got "
+                           f"{type(payload).__name__}")
+    unknown = set(payload) - _SUBMIT_FIELDS
+    if unknown:
+        raise ServiceError(f"unknown submit field(s) {sorted(unknown)}; "
+                           f"known: {sorted(_SUBMIT_FIELDS)}")
+    if ("spec" in payload) == ("preset" in payload):
+        raise ServiceError("a submit payload needs exactly one of "
+                           "'spec' or 'preset'")
+
+    if "spec" in payload:
+        for field in ("quick", "seed", "overrides"):
+            if field in payload:
+                raise ServiceError(f"{field!r} applies to preset submissions "
+                                   "only; fold it into 'spec' instead")
+        spec = SweepSpec.from_dict(payload["spec"])
+    else:
+        preset = payload["preset"]
+        if not isinstance(preset, str):
+            raise ServiceError("'preset' must be a string")
+        spec = get_sweep_preset(preset,
+                                quick=bool(payload.get("quick", True)),
+                                seed=payload.get("seed"))
+        overrides = payload.get("overrides") or {}
+        if not isinstance(overrides, Mapping):
+            raise ServiceError("'overrides' must be a JSON object")
+        if overrides:
+            # Unknown override names fail inside from_dict, by name.
+            spec = SweepSpec.from_dict({**spec.to_dict(), **overrides})
+
+    priority = payload.get("priority", 0)
+    if not isinstance(priority, int) or isinstance(priority, bool):
+        raise ServiceError("'priority' must be an integer")
+    spec.validate()
+    return spec, priority

@@ -1,0 +1,181 @@
+"""A typed client for the sweep service (urllib-based, no dependencies).
+
+>>> client = ServiceClient("http://127.0.0.1:8080")   # doctest: +SKIP
+>>> response = client.submit(preset="logn", quick=True)  # doctest: +SKIP
+>>> job = client.wait(response["job"]["job_id"])      # doctest: +SKIP
+>>> rows = client.rows(response["spec_hash"])         # doctest: +SKIP
+
+Every failure is raised as a :class:`~repro.service.api.ServiceError`
+carrying the HTTP status and the server's error message; transport
+failures (daemon not running, connection refused) carry ``status=None``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Iterator, Optional, Sequence, Union
+
+from ..sweeps import SweepSpec
+from .api import ServiceError
+
+__all__ = ["ServiceClient"]
+
+#: Job states that terminate a wait() poll loop.
+_TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+class ServiceClient:
+    """Talks to one sweep-service daemon at ``base_url``."""
+
+    def __init__(self, base_url: str = "http://127.0.0.1:8080", *,
+                 timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ----------------------------------------------------------- transport
+    def _request(self, method: str, path: str,
+                 payload: Optional[dict] = None) -> urllib.request.addinfourl:
+        url = f"{self.base_url}{path}"
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            url, data=body, method=method,
+            headers={"Content-Type": "application/json"} if body else {})
+        try:
+            return urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as error:
+            raise ServiceError(self._error_message(error),
+                               status=error.code) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"cannot reach sweep service at {self.base_url}: "
+                f"{error.reason}", status=None) from None
+
+    @staticmethod
+    def _error_message(error: urllib.error.HTTPError) -> str:
+        try:
+            return json.loads(error.read())["error"]
+        except (json.JSONDecodeError, KeyError, TypeError, OSError):
+            return f"HTTP {error.code}: {error.reason}"
+
+    def _json(self, method: str, path: str,
+              payload: Optional[dict] = None) -> Any:
+        with self._request(method, path, payload) as response:
+            return json.loads(response.read())
+
+    # ------------------------------------------------------------- surface
+    def healthz(self) -> dict[str, Any]:
+        """``GET /v1/healthz``."""
+        return self._json("GET", "/v1/healthz")
+
+    def presets(self) -> list[dict[str, Any]]:
+        """``GET /v1/presets``."""
+        return self._json("GET", "/v1/presets")["presets"]
+
+    def submit(self, spec: Union[SweepSpec, dict, None] = None, *,
+               preset: Optional[str] = None, quick: bool = True,
+               seed: Optional[int] = None,
+               overrides: Optional[dict] = None,
+               priority: int = 0) -> dict[str, Any]:
+        """``POST /v1/sweeps`` with a spec or a preset (+overrides).
+
+        Returns the submit response: ``cached`` (served instantly from the
+        store, ``job`` is ``None``), ``created`` (a new job was enqueued)
+        or neither (an in-flight job for the same spec was joined).
+        """
+        if (spec is None) == (preset is None):
+            raise ServiceError("submit() needs exactly one of spec= or "
+                               "preset=", status=None)
+        if spec is not None:
+            payload: dict[str, Any] = {
+                "spec": spec.to_dict() if isinstance(spec, SweepSpec) else spec,
+            }
+        else:
+            payload = {"preset": preset, "quick": quick}
+            if seed is not None:
+                payload["seed"] = seed
+            if overrides:
+                payload["overrides"] = dict(overrides)
+        if priority:
+            payload["priority"] = priority
+        return self._json("POST", "/v1/sweeps", payload)
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        """``GET /v1/jobs/<id>``."""
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> list[dict[str, Any]]:
+        """``GET /v1/jobs``."""
+        return self._json("GET", "/v1/jobs")["jobs"]
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        """``POST /v1/jobs/<id>/cancel``."""
+        return self._json("POST", f"/v1/jobs/{job_id}/cancel", {})
+
+    def wait(self, job_id: str, *, timeout: Optional[float] = None,
+             poll: float = 0.1) -> dict[str, Any]:
+        """Poll a job until it reaches a terminal state.
+
+        Returns the final job payload for ``done`` jobs; raises
+        :class:`ServiceError` when the job failed, was cancelled, or
+        ``timeout`` elapsed first.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            payload = self.job(job_id)
+            state = payload["state"]
+            if state in _TERMINAL_STATES:
+                if state != "done":
+                    detail = payload.get("error") or "no error recorded"
+                    raise ServiceError(
+                        f"job {job_id} {state}: {detail}", status=None)
+                return payload
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {state} after {timeout:.1f}s",
+                    status=None)
+            time.sleep(poll)
+
+    def submit_and_wait(self, *, timeout: Optional[float] = None,
+                        poll: float = 0.1, **submit_kwargs) -> dict[str, Any]:
+        """Submit, then wait unless the answer came from cache.
+
+        Returns the submit response with ``"job"`` replaced by the final
+        job payload (for cached responses it stays ``None``).
+        """
+        response = self.submit(**submit_kwargs)
+        if not response["cached"]:
+            response["job"] = self.wait(response["job"]["job_id"],
+                                        timeout=timeout, poll=poll)
+        return response
+
+    # ---------------------------------------------------------------- rows
+    def iter_row_lines(self, spec_hash: str) -> Iterator[str]:
+        """``GET /v1/sweeps/<hash>/rows`` as raw JSONL lines.
+
+        The lines are byte-identical to the store's encoding (and to what
+        ``json.dumps`` produces for a direct ``run_sweep``'s rows), so
+        comparing serving paths never trips over formatting.
+        """
+        with self._request("GET", f"/v1/sweeps/{spec_hash}/rows") as response:
+            for raw in response:
+                line = raw.decode("utf-8").rstrip("\n")
+                if line:
+                    yield line
+
+    def rows(self, spec_hash: str) -> list[dict[str, Any]]:
+        """The committed rows of a sweep, parsed."""
+        return [json.loads(line) for line in self.iter_row_lines(spec_hash)]
+
+    def aggregate(self, spec_hash: str, *, by: Sequence[str],
+                  value: str = "rounds_mean",
+                  stats: Optional[Sequence[str]] = None
+                  ) -> list[dict[str, Any]]:
+        """``GET /v1/sweeps/<hash>/aggregate``."""
+        query = f"by={','.join(by)}&value={value}"
+        if stats:
+            query += f"&stats={','.join(stats)}"
+        return self._json("GET",
+                          f"/v1/sweeps/{spec_hash}/aggregate?{query}")["rows"]

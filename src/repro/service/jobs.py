@@ -1,0 +1,251 @@
+"""The service's job queue: a priority queue plus a job registry.
+
+Three invariants turn "a queue of sweeps" into something safe to run behind
+an HTTP daemon:
+
+* **dedup by content hash** — while a job for a spec is queued or running,
+  submitting the same spec (same :meth:`SweepSpec.content_hash`, which
+  covers the grid, seeds *and* :data:`CODE_VERSION`) returns the existing
+  job instead of creating a second one, so concurrent identical submits
+  coalesce into one computation;
+* **per-spec-directory serialization** — :meth:`JobQueue.claim` never hands
+  out a job whose store directory (``spec.slug()``) is currently being
+  executed, so in-process workers cannot race on one directory (the
+  cross-process half of that story is the store's advisory
+  :class:`~repro.sweeps.store.DirectoryLock`).  Today this is implied by
+  the dedup invariant — two active jobs cannot share a slug because the
+  slug embeds the content hash — so the busy-set is defense in depth: it
+  keeps the invariant *local* to the queue instead of resting on the hash
+  scheme, surviving e.g. a future forced-recompute submission path;
+* **priority with FIFO ties** — higher ``priority`` runs first, equal
+  priorities run in submission order.
+
+Jobs are in-memory only: the durable artefact is the
+:class:`~repro.sweeps.store.SweepStore`, which is why a restarted daemon
+answers re-submitted specs from cache instead of replaying a journal.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional
+
+from ..sweeps import SweepSpec
+from .api import ServiceError
+
+__all__ = ["Job", "JobQueue", "JobState"]
+
+
+class JobState(str, Enum):
+    """Lifecycle of a job: queued → running → done/failed, or cancelled."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+#: States in which a spec hash is considered in-flight (dedup targets).
+ACTIVE_STATES = (JobState.QUEUED, JobState.RUNNING)
+
+
+@dataclass
+class Job:
+    """One submitted sweep and its execution record."""
+
+    job_id: str
+    spec: SweepSpec
+    spec_hash: str
+    priority: int = 0
+    state: JobState = JobState.QUEUED
+    created_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    error: Optional[str] = None
+    summary: Optional[dict[str, Any]] = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON payload of the job (what ``GET /v1/jobs/<id>`` returns)."""
+        return {
+            "job_id": self.job_id,
+            "spec_hash": self.spec_hash,
+            "spec_name": self.spec.name,
+            "num_points": self.spec.num_points,
+            "priority": self.priority,
+            "state": self.state.value,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+            "summary": self.summary,
+        }
+
+
+class JobQueue:
+    """Thread-safe priority job queue with in-flight dedup.
+
+    All state transitions happen under one lock; workers block in
+    :meth:`claim` on the associated condition variable and are woken by
+    submissions, finishes (which may unblock a same-directory job) and
+    :meth:`close`.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._heap: list[tuple[int, int, str]] = []
+        self._jobs: dict[str, Job] = {}
+        self._active_by_hash: dict[str, str] = {}
+        self._busy_directories: set[str] = set()
+        self._ids = itertools.count(1)
+        self._ticket = itertools.count(1)
+        self._closed = False
+
+    # ------------------------------------------------------------- submit
+    def submit(self, spec: SweepSpec, *, priority: int = 0
+               ) -> tuple[Job, bool]:
+        """Enqueue ``spec``; returns ``(job, created)``.
+
+        ``created`` is ``False`` when an active (queued/running) job for
+        the same content hash already exists — that job is returned
+        instead, so duplicate submits coalesce.
+        """
+        spec_hash = spec.content_hash()
+        with self._wakeup:
+            if self._closed:
+                raise ServiceError("the job queue is shut down", status=503)
+            active_id = self._active_by_hash.get(spec_hash)
+            if active_id is not None:
+                return self._jobs[active_id], False
+            job = Job(job_id=f"job-{next(self._ids):06d}", spec=spec,
+                      spec_hash=spec_hash, priority=priority)
+            self._jobs[job.job_id] = job
+            self._active_by_hash[spec_hash] = job.job_id
+            heapq.heappush(self._heap,
+                           (-priority, next(self._ticket), job.job_id))
+            self._wakeup.notify()
+            return job, True
+
+    # -------------------------------------------------------------- claim
+    def claim(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Block until a runnable job is available and mark it running.
+
+        Returns ``None`` when the queue is closed or ``timeout`` elapses.
+        A queued job whose store directory is being executed by another
+        worker stays queued until that directory frees up.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._wakeup:
+            while True:
+                if self._closed:
+                    return None
+                job = self._pop_runnable()
+                if job is not None:
+                    job.state = JobState.RUNNING
+                    job.started_at = time.time()
+                    self._busy_directories.add(job.spec.slug())
+                    return job
+                if deadline is None:
+                    self._wakeup.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._wakeup.wait(remaining):
+                        return None
+
+    def _pop_runnable(self) -> Optional[Job]:
+        """Highest-priority queued job whose directory is free (or None)."""
+        deferred: list[tuple[int, int, str]] = []
+        found: Optional[Job] = None
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            job = self._jobs[entry[2]]
+            if job.state is not JobState.QUEUED:
+                continue  # cancelled while queued; drop the entry
+            if job.spec.slug() in self._busy_directories:
+                deferred.append(entry)
+                continue
+            found = job
+            break
+        for entry in deferred:
+            heapq.heappush(self._heap, entry)
+        return found
+
+    # ------------------------------------------------------------- finish
+    def finish(self, job: Job, *, summary: Optional[dict[str, Any]] = None,
+               error: Optional[str] = None) -> None:
+        """Mark a running job done (or failed when ``error`` is given)."""
+        with self._wakeup:
+            job.finished_at = time.time()
+            job.summary = summary
+            job.error = error
+            job.state = JobState.FAILED if error else JobState.DONE
+            self._busy_directories.discard(job.spec.slug())
+            if self._active_by_hash.get(job.spec_hash) == job.job_id:
+                del self._active_by_hash[job.spec_hash]
+            # A queued job for the freed directory may be runnable now.
+            self._wakeup.notify_all()
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a queued job (idempotent; running jobs cannot be)."""
+        with self._wakeup:
+            job = self._get(job_id)
+            if job.state is JobState.CANCELLED:
+                return job
+            if job.state is not JobState.QUEUED:
+                raise ServiceError(
+                    f"job {job_id} is {job.state.value} and cannot be "
+                    "cancelled", status=409)
+            job.state = JobState.CANCELLED
+            job.finished_at = time.time()
+            if self._active_by_hash.get(job.spec_hash) == job.job_id:
+                del self._active_by_hash[job.spec_hash]
+            return job
+
+    # ------------------------------------------------------------ queries
+    def _get(self, job_id: str) -> Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise ServiceError(f"unknown job {job_id!r}", status=404) from None
+
+    def get(self, job_id: str) -> Job:
+        """The job registered under ``job_id`` (404 ServiceError if none)."""
+        with self._lock:
+            return self._get(job_id)
+
+    def describe(self, job_id: str) -> dict[str, Any]:
+        """A consistent JSON snapshot of one job."""
+        with self._lock:
+            return self._get(job_id).to_dict()
+
+    def jobs(self) -> list[Job]:
+        """Every job ever submitted, in submission order."""
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda job: job.job_id)
+
+    def active_job_for(self, spec_hash: str) -> Optional[Job]:
+        """The in-flight job of a spec hash, if any."""
+        with self._lock:
+            job_id = self._active_by_hash.get(spec_hash)
+            return self._jobs[job_id] if job_id is not None else None
+
+    def counts(self) -> dict[str, int]:
+        """Job tally per state (the healthz summary)."""
+        with self._lock:
+            tally = {state.value: 0 for state in JobState}
+            for job in self._jobs.values():
+                tally[job.state.value] += 1
+            return tally
+
+    # ------------------------------------------------------------- close
+    def close(self) -> None:
+        """Stop accepting work and wake every blocked :meth:`claim`."""
+        with self._wakeup:
+            self._closed = True
+            self._wakeup.notify_all()

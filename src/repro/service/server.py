@@ -1,0 +1,430 @@
+"""The sweep service: a stdlib-only threaded HTTP daemon over the store.
+
+Two layers:
+
+* :class:`SweepService` — the transport-independent application object
+  (submit/cached lookup/rows/aggregate/health).  Tests and embedders call
+  it directly; it owns the :class:`~repro.service.jobs.JobQueue`, the
+  :class:`~repro.service.workers.WorkerPool` and the
+  :class:`~repro.sweeps.store.SweepStore`.
+* :func:`make_server` / :func:`run_service` — the
+  :class:`http.server.ThreadingHTTPServer` front end mapping the REST
+  surface onto it.
+
+Routes (all JSON unless noted)::
+
+    GET  /v1/healthz                   daemon liveness + runtime info
+    GET  /v1/presets                   registered sweep presets
+    POST /v1/sweeps                    submit a spec or preset (+overrides)
+    GET  /v1/jobs                      every job, submission order
+    GET  /v1/jobs/<id>                 one job
+    POST /v1/jobs/<id>/cancel          cancel a queued job
+    GET  /v1/sweeps/<hash>/rows        committed rows, streamed JSONL
+    GET  /v1/sweeps/<hash>/aggregate   group-by reduction over the rows
+
+The cache contract: ``POST /v1/sweeps`` whose spec is fully committed in
+the store answers ``{"cached": true, ...}`` *without enqueueing a job* —
+the hot path of a warm service is a disk read, never a recompute.  Partial
+results enqueue a job that resumes from the committed points.
+
+Failures surface as the matching status code with ``{"error": "<message>"}``
+— the message of the underlying :class:`~repro.errors.ReproError`, so curl
+and :class:`~repro.service.client.ServiceClient` report identical causes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Iterable, Iterator, Optional
+from urllib.parse import parse_qs, urlparse
+
+from ..errors import ReproError
+from ..info import runtime_info
+from ..presets import preset_summaries
+from ..sweeps import SweepSpec, SweepStore, aggregate_rows
+from ..sweeps.aggregate import DEFAULT_STATS
+from .api import ServiceError, resolve_spec
+from .jobs import JobQueue
+from .workers import WorkerPool
+
+__all__ = ["SweepService", "make_server", "run_service"]
+
+
+class SweepService:
+    """The application behind the daemon (usable without HTTP).
+
+    Parameters
+    ----------
+    store:
+        A :class:`~repro.sweeps.store.SweepStore` or its root path.
+    workers:
+        Concurrent jobs (service-level parallelism).
+    sweep_workers:
+        Processes per job's :func:`~repro.sweeps.scheduler.run_sweep`.
+    runner:
+        Test seam: replaces ``run_sweep`` in the worker pool.
+    """
+
+    def __init__(self, store: SweepStore | str | os.PathLike, *,
+                 workers: int = 1, sweep_workers: int = 1,
+                 runner: Optional[Callable] = None):
+        self.store = store if isinstance(store, SweepStore) else SweepStore(store)
+        self.queue = JobQueue()
+        self.pool = WorkerPool(self.queue, self.store, workers=workers,
+                               sweep_workers=sweep_workers, runner=runner)
+        #: Every spec this process has resolved, by content hash — lets the
+        #: rows/aggregate endpoints serve cached submissions that never
+        #: created a job.  Store manifests cover everything older.
+        self._specs: dict[str, SweepSpec] = {}
+        self.started_at = time.time()
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> "SweepService":
+        """Start the worker pool."""
+        self.pool.start()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> bool:
+        """Drain and stop the worker pool; True if fully drained."""
+        return self.pool.stop(timeout)
+
+    # --------------------------------------------------------------- submit
+    def submit(self, payload: Any) -> dict[str, Any]:
+        """Handle one submit payload; the response dict is the HTTP body.
+
+        Cached specs (every grid point committed) are answered from the
+        store without touching the queue.  Otherwise the job queue dedups
+        by content hash, so duplicate in-flight submits share one job.
+        """
+        spec, priority = resolve_spec(payload)
+        spec_hash = spec.content_hash()
+        self._specs[spec_hash] = spec
+        cached_points = self._committed_points(spec)
+        if cached_points == spec.num_points:
+            return {
+                "spec_hash": spec_hash,
+                "spec_name": spec.name,
+                "cached": True,
+                "created": False,
+                "points": cached_points,
+                "job": None,
+            }
+        job, created = self.queue.submit(spec, priority=priority)
+        return {
+            "spec_hash": spec_hash,
+            "spec_name": spec.name,
+            "cached": False,
+            "created": created,
+            "points": spec.num_points,
+            "job": job.to_dict(),
+        }
+
+    def _committed_points(self, spec: SweepSpec) -> int:
+        """How many of ``spec``'s points the store already holds."""
+        committed = self.store.completed_keys(spec)
+        return sum(1 for point in spec.expand() if point.key in committed)
+
+    # ----------------------------------------------------------------- rows
+    def spec_for_hash(self, spec_hash: str) -> SweepSpec:
+        """Resolve a content hash to its spec (404 if never seen).
+
+        In-memory specs win (they include cached submissions); store
+        manifests make the lookup survive daemon restarts and cover sweeps
+        written by the CLI directly against the same root.
+        """
+        spec = self._specs.get(spec_hash)
+        if spec is not None:
+            return spec
+        for manifest in self.store.runs():
+            if manifest.get("spec_hash") == spec_hash:
+                spec = SweepSpec.from_dict(manifest["spec"])
+                if spec.content_hash() != spec_hash:
+                    # A manifest whose recorded spec no longer reproduces
+                    # its own hash (e.g. written by a code version with a
+                    # different canonicalisation) would point at the wrong
+                    # directory — treat it as unknown rather than serve
+                    # the wrong rows.
+                    continue
+                self._specs[spec_hash] = spec
+                return spec
+        raise ServiceError(f"unknown sweep {spec_hash!r}; submit it first "
+                           "(or check the hash against /v1/jobs)", status=404)
+
+    def rows(self, spec_hash: str) -> list[dict[str, Any]]:
+        """The committed rows of a sweep, in point-expansion order."""
+        spec = self.spec_for_hash(spec_hash)
+        return sorted(self.store.load_rows(spec),
+                      key=lambda row: row["point_index"])
+
+    def row_lines(self, spec_hash: str) -> Iterator[str]:
+        """The rows as JSONL lines, byte-identical to the store encoding.
+
+        Unknown hashes raise *before* the iterator is returned (not lazily
+        inside it), so the HTTP layer can still answer 404 — once the 200
+        header of a stream is out, there is no way to signal the error.
+        """
+        rows = self.rows(spec_hash)
+        return (json.dumps(row) for row in rows)
+
+    def aggregate(self, spec_hash: str, *, by: list[str],
+                  value: str = "rounds_mean",
+                  stats: Optional[list[str]] = None) -> list[dict[str, Any]]:
+        """Group-by reduction over a sweep's committed rows."""
+        rows = self.rows(spec_hash)
+        if not rows:
+            raise ServiceError(
+                f"sweep {spec_hash} has no committed rows yet", status=409)
+        return aggregate_rows(rows, by=by, value=value,
+                              stats=stats or DEFAULT_STATS)
+
+    # --------------------------------------------------------------- health
+    def healthz(self) -> dict[str, Any]:
+        """Liveness payload: queue tally plus :func:`runtime_info`."""
+        return {
+            "status": "ok",
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "store_root": str(self.store.root),
+            "service_workers": self.pool.workers,
+            "sweep_workers": self.pool.sweep_workers,
+            "jobs": self.queue.counts(),
+            **runtime_info(),
+        }
+
+
+# ----------------------------------------------------------------- HTTP --
+class _Handler(BaseHTTPRequestHandler):
+    """Routes the REST surface onto a bound :class:`SweepService`."""
+
+    # Set on the subclass built by make_server().
+    service: SweepService = None  # type: ignore[assignment]
+    quiet: bool = True
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-sweep-service"
+
+    MAX_BODY = 8 * 1024 * 1024  # spec payloads are small; reject abuse
+
+    # ------------------------------------------------------------ plumbing
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.quiet:
+            sys.stderr.write("%s - %s\n" % (self.address_string(),
+                                            format % args))
+
+    def _send_json(self, payload: Any, status: int = 200) -> None:
+        body = (json.dumps(payload) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_jsonl(self, lines: Iterable[str]) -> None:
+        """Stream lines as chunked ``application/x-ndjson``."""
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        for line in lines:
+            data = (line + "\n").encode("utf-8")
+            self.wfile.write(f"{len(data):x}\r\n".encode("ascii"))
+            self.wfile.write(data)
+            self.wfile.write(b"\r\n")
+        self.wfile.write(b"0\r\n\r\n")
+
+    def _send_error(self, error: Exception) -> None:
+        status = 400
+        if isinstance(error, ServiceError) and error.status is not None:
+            status = error.status
+        self._send_json({"error": str(error)}, status=status)
+
+    def _read_body(self) -> Any:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            self.close_connection = True
+            self._body_consumed = True
+            raise ServiceError("unparseable Content-Length header") from None
+        if length <= 0:
+            raise ServiceError("the request needs a JSON body "
+                               "(Content-Length missing or zero)")
+        if length > self.MAX_BODY:
+            # Refusing to read megabytes of abuse means the connection is
+            # desynced — close it instead of draining.
+            self.close_connection = True
+            self._body_consumed = True
+            raise ServiceError("request body too large", status=413)
+        self._body_consumed = True
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as decode_error:
+            raise ServiceError(
+                f"request body is not valid JSON: {decode_error}") from None
+
+    def _drain_body(self) -> None:
+        """Consume an unread request body so HTTP/1.1 keep-alive stays in
+        sync (routes that ignore their body — cancel, 404s — would
+        otherwise leave its bytes to be parsed as the next request)."""
+        if getattr(self, "_body_consumed", False):
+            return
+        self._body_consumed = True
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            self.close_connection = True
+            return
+        if length > self.MAX_BODY:
+            self.close_connection = True
+            return
+        while length > 0:
+            chunk = self.rfile.read(min(length, 1 << 16))
+            if not chunk:
+                break
+            length -= len(chunk)
+
+    # -------------------------------------------------------------- routes
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        try:
+            self._route_get()
+        except ReproError as error:
+            self._send_error(error)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._body_consumed = False
+        try:
+            self._route_post()
+        except ReproError as error:
+            self._send_error(error)
+        finally:
+            self._drain_body()
+
+    def _route_get(self) -> None:
+        url = urlparse(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        if parts == ["v1", "healthz"]:
+            self._send_json(self.service.healthz())
+        elif parts == ["v1", "presets"]:
+            self._send_json({"presets": preset_summaries()})
+        elif parts == ["v1", "jobs"]:
+            self._send_json({"jobs": [job.to_dict()
+                                      for job in self.service.queue.jobs()]})
+        elif len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+            self._send_json(self.service.queue.describe(parts[2]))
+        elif len(parts) == 4 and parts[:2] == ["v1", "sweeps"] \
+                and parts[3] == "rows":
+            self._send_jsonl(self.service.row_lines(parts[2]))
+        elif len(parts) == 4 and parts[:2] == ["v1", "sweeps"] \
+                and parts[3] == "aggregate":
+            self._send_json({"rows": self._aggregate(parts[2], url.query)})
+        else:
+            raise ServiceError(f"no such resource: GET {url.path}",
+                               status=404)
+
+    def _route_post(self) -> None:
+        url = urlparse(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        if parts == ["v1", "sweeps"]:
+            response = self.service.submit(self._read_body())
+            self._send_json(response, status=202 if response["created"] else 200)
+        elif len(parts) == 4 and parts[:2] == ["v1", "jobs"] \
+                and parts[3] == "cancel":
+            self._send_json(self.service.queue.cancel(parts[2]).to_dict())
+        else:
+            raise ServiceError(f"no such resource: POST {url.path}",
+                               status=404)
+
+    def _aggregate(self, spec_hash: str, query: str) -> list[dict[str, Any]]:
+        params = parse_qs(query)
+        by = [column for chunk in params.get("by", [])
+              for column in chunk.split(",") if column]
+        if not by:
+            raise ServiceError("aggregate needs at least one group-by "
+                               "column: ?by=<col>[,<col>]")
+        value = (params.get("value") or ["rounds_mean"])[0]
+        stats = [stat for chunk in params.get("stats", [])
+                 for stat in chunk.split(",") if stat] or None
+        return self.service.aggregate(spec_hash, by=by, value=value,
+                                      stats=stats)
+
+
+def make_server(service: SweepService, *, host: str = "127.0.0.1",
+                port: int = 0, quiet: bool = True) -> ThreadingHTTPServer:
+    """Bind a threaded HTTP server to ``service`` (``port=0`` picks one).
+
+    The caller owns the lifecycle: ``serve_forever()`` it (usually on a
+    thread), ``shutdown()`` + ``server_close()`` it when done.
+    """
+    handler = type("BoundSweepServiceHandler", (_Handler,),
+                   {"service": service, "quiet": quiet})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server
+
+
+def _install_shutdown_signals() -> None:
+    """Make SIGTERM (and SIGINT, even when inherited ignored) interrupt
+    the serve loop.
+
+    ``kill <pid>`` sends SIGTERM, whose default disposition would skip the
+    clean-shutdown path; and a daemon started as a shell background job
+    inherits SIGINT *ignored* (POSIX job control), so Ctrl-C-style signals
+    would otherwise be dropped entirely.  Both are redirected to
+    :class:`KeyboardInterrupt`.  Signal handlers only work on the main
+    thread — embedders calling :func:`run_service` elsewhere keep their
+    own arrangements.
+    """
+    import signal
+    import threading
+
+    if threading.current_thread() is not threading.main_thread():
+        return
+
+    def _interrupt(signum, frame):  # noqa: ARG001 - signal API
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _interrupt)
+    signal.signal(signal.SIGINT, _interrupt)
+
+
+def run_service(store: SweepStore | str | os.PathLike, *,
+                host: str = "127.0.0.1", port: int = 8080,
+                workers: int = 1, sweep_workers: int = 1,
+                quiet: bool = True,
+                ready: Optional[Callable[[ThreadingHTTPServer], Any]] = None,
+                ) -> int:
+    """Run the daemon until interrupted (the ``serve`` CLI verb).
+
+    ``ready`` is called with the bound server before the serve loop starts
+    (tests use it to learn the ephemeral port).  SIGINT/SIGTERM-as-
+    KeyboardInterrupt triggers a clean shutdown: the HTTP loop stops, the
+    worker pool drains its running jobs, and the store is left consistent
+    (shard commits are atomic, so an interrupted sweep simply resumes on
+    the next submit).
+    """
+    service = SweepService(store, workers=workers,
+                           sweep_workers=sweep_workers).start()
+    server = make_server(service, host=host, port=port, quiet=quiet)
+    _install_shutdown_signals()
+    bound_host, bound_port = server.server_address[:2]
+    print(f"sweep service listening on http://{bound_host}:{bound_port} "
+          f"(store: {service.store.root}, workers: {workers}, "
+          f"sweep workers: {sweep_workers})", flush=True)
+    if ready is not None:
+        ready(server)
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        if service.stop():
+            print("sweep service shut down cleanly", flush=True)
+        else:
+            print("sweep service shut down with jobs still running; "
+                  "interrupted sweeps resume from their last shard commit "
+                  "on re-submit", flush=True)
+    return 0

@@ -1,0 +1,99 @@
+"""Background sweep execution: worker threads draining the job queue.
+
+Two independent parallelism knobs:
+
+* ``workers`` — service-level: how many *jobs* execute concurrently (one
+  thread each, claiming from the :class:`~repro.service.jobs.JobQueue`);
+* ``sweep_workers`` — job-level: how many processes each job's
+  :func:`~repro.sweeps.scheduler.run_sweep` shards its grid over.
+
+A worker thread is a thin loop: claim → ``run_sweep(spec, store=...)`` →
+finish with a summary (or the error message).  Everything durable — rows,
+manifests, resume state — lives in the shared
+:class:`~repro.sweeps.store.SweepStore`; the thread itself holds nothing
+worth persisting, which is what makes daemon restarts trivial.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+from ..sweeps import SweepStore
+from ..sweeps.scheduler import SweepRunResult, run_sweep
+from .jobs import Job, JobQueue
+
+__all__ = ["WorkerPool"]
+
+
+class WorkerPool:
+    """``workers`` threads executing queued sweeps against one store."""
+
+    def __init__(self, queue: JobQueue, store: SweepStore, *,
+                 workers: int = 1, sweep_workers: int = 1,
+                 runner: Optional[Callable[..., SweepRunResult]] = None):
+        if workers < 0:
+            raise ValueError("workers must be non-negative")
+        if sweep_workers < 1:
+            raise ValueError("sweep_workers must be positive")
+        self.queue = queue
+        self.store = store
+        self.workers = workers
+        self.sweep_workers = sweep_workers
+        self._runner = runner if runner is not None else run_sweep
+        self._threads: list[threading.Thread] = []
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the worker threads (idempotent)."""
+        if self._threads:
+            return
+        for index in range(self.workers):
+            thread = threading.Thread(target=self._drain, daemon=True,
+                                      name=f"sweep-worker-{index}")
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, timeout: float = 10.0) -> bool:
+        """Close the queue and join the workers; True if fully drained.
+
+        A worker mid-sweep keeps running its current job and is given
+        ``timeout`` seconds to finish it.  ``False`` means a job outlived
+        the wait and its (daemon) thread will die with the process — safe
+        for the *store* (shard commits are atomic, the job resumes from
+        its last commit on re-submit) but not a clean drain, and callers
+        should say so.
+        """
+        self.queue.close()
+        drained = True
+        for thread in self._threads:
+            thread.join(timeout)
+            if thread.is_alive():
+                drained = False
+        if drained:
+            self._threads = []
+        return drained
+
+    # ------------------------------------------------------------------
+    def _drain(self) -> None:
+        while True:
+            job = self.queue.claim()
+            if job is None:
+                return
+            self._execute(job)
+
+    def _execute(self, job: Job) -> None:
+        try:
+            result = self._runner(job.spec, workers=self.sweep_workers,
+                                  store=self.store, resume=True)
+        except Exception as error:  # noqa: BLE001 - reported on the job
+            self.queue.finish(
+                job, error=f"{type(error).__name__}: {error}")
+        else:
+            self.queue.finish(job, summary={
+                "points": len(result.rows),
+                "computed": result.computed,
+                "cached": result.cached,
+                "workers": result.workers,
+                "elapsed_seconds": round(result.elapsed_seconds, 6),
+            })

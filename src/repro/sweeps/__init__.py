@@ -24,10 +24,12 @@ from .aggregate import aggregate_rows, explode_column, group_rows, table_rows
 from .kernels import GAME_BUILDERS, MEASURES, PROTOCOL_BUILDERS, run_point
 from .scheduler import SweepRunResult, parallel_map, partition, run_sweep
 from .spec import CODE_VERSION, SweepError, SweepPoint, SweepSpec, point_key
-from .store import SweepStore
+from .store import DirectoryLock, StoreLockTimeout, SweepStore
 
 __all__ = [
     "CODE_VERSION",
+    "DirectoryLock",
+    "StoreLockTimeout",
     "GAME_BUILDERS",
     "MEASURES",
     "PROTOCOL_BUILDERS",

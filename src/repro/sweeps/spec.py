@@ -240,6 +240,9 @@ class SweepSpec:
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "SweepSpec":
         """Inverse of :meth:`to_dict` (unknown keys rejected)."""
+        if not isinstance(payload, Mapping):
+            raise SweepError("a sweep spec must be a JSON object / mapping, "
+                             f"got {type(payload).__name__}")
         known = {"name", "game", "protocol", "measure", "axes", "base",
                  "replicas", "max_rounds", "seed"}
         unknown = set(payload) - known
@@ -248,7 +251,35 @@ class SweepSpec:
                              f"known: {sorted(known)}")
         if "name" not in payload:
             raise SweepError("a sweep spec needs a 'name'")
-        return cls(**{key: payload[key] for key in payload})
+        try:
+            return cls(**{key: payload[key] for key in payload})
+        except (TypeError, ValueError) as error:
+            raise SweepError(f"invalid sweep spec: {error}") from error
+
+    def to_json(self) -> str:
+        """JSON form — the wire format of the sweep service.
+
+        ``SweepSpec.from_json(spec.to_json())`` reconstructs an equal spec
+        with the same :meth:`content_hash` (the round-trip the service
+        relies on when specs are submitted over HTTP).
+
+        Deliberately *not* sorted-key canonical JSON: the declaration
+        order of ``axes`` is semantic (it fixes the point-index → seed
+        assignment, see :meth:`content_hash`), and ``json.loads`` preserves
+        object order — so the wire format must too.  Two specs differing
+        only in axis order serialize differently, exactly as they hash
+        differently.
+        """
+        return json.dumps(self.to_dict(), separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str | bytes) -> "SweepSpec":
+        """Inverse of :meth:`to_json` (unknown fields rejected by name)."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise SweepError(f"sweep spec is not valid JSON: {error}") from error
+        return cls.from_dict(payload)
 
     def content_hash(self) -> str:
         """Digest of the spec plus :data:`CODE_VERSION` (the store key).

@@ -17,12 +17,26 @@ never silently reused across incompatible runs.
 
 Crash safety
 ------------
-Only the scheduler's parent process ever writes to a store directory, and it
-appends each completed shard as one buffered write followed by ``fsync`` (an
-*atomic shard commit* in the single-writer setting).  If the process dies
-mid-write, the interrupted final line fails to parse and
-:meth:`SweepStore.load_rows` simply skips it — the affected points are
-recomputed on resume, everything before them is reused.
+Each completed shard is appended as one buffered write followed by ``fsync``
+(an *atomic shard commit*).  If the process dies mid-write, the interrupted
+final line fails to parse and :meth:`SweepStore.load_rows` simply skips it —
+the affected points are recomputed on resume, everything before them is
+reused.
+
+Concurrency — the relaxed single-writer contract
+------------------------------------------------
+Historically only one process (the scheduler's parent) was allowed to write
+to a store directory.  That contract is now *relaxed*: any number of writers
+— a sweep-service worker and a concurrent CLI ``sweep`` invocation on the
+same root, say — may commit to the same spec directory, because every
+manifest + rows mutation happens under the directory's advisory
+:class:`DirectoryLock` (``fcntl.flock`` where available, a stale-detecting
+PID lockfile otherwise).  The lock makes shard commits mutually exclusive,
+so two writers can never interleave partial lines; if both compute the same
+point, :meth:`SweepStore.load_rows` keeps the *first committed* row — and
+since rows are deterministic functions of ``(spec, point.index)``, the
+duplicates are identical anyway.  Readers take no lock: they rely on commit
+atomicity plus torn-trailing-line tolerance, exactly as before.
 """
 
 from __future__ import annotations
@@ -33,19 +47,194 @@ import time
 from pathlib import Path
 from typing import Any, Iterable, Optional
 
-from .spec import CODE_VERSION, SweepSpec
+from .spec import CODE_VERSION, SweepError, SweepSpec
 
-__all__ = ["SweepStore"]
+try:  # POSIX; on platforms without fcntl the PID-lockfile fallback is used
+    import fcntl
+except ImportError:  # pragma: no cover - exercised via monkeypatch in tests
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["DirectoryLock", "StoreLockTimeout", "SweepStore"]
+
+
+class StoreLockTimeout(SweepError):
+    """Raised when a store directory's advisory lock cannot be acquired."""
+
+
+class DirectoryLock:
+    """Advisory inter-process lock on one store directory.
+
+    Two implementations behind one context-manager interface:
+
+    * with :mod:`fcntl` (POSIX): ``flock(LOCK_EX)`` on ``<dir>/.lock``.
+      Kernel locks die with their holder, so a crashed writer can never
+      leave the directory locked — no staleness handling needed.
+    * without :mod:`fcntl`: ``O_CREAT | O_EXCL`` creation of the same file,
+      which persists if the holder crashes.  The file records ``pid
+      timestamp``; a lock whose PID is dead (or unreadable), or whose
+      timestamp is older than ``stale_after`` seconds, is broken and
+      re-acquired.
+
+    The lock is *advisory*: readers never take it, and nothing stops a
+    process that bypasses :class:`SweepStore` from writing anyway.
+    """
+
+    FILENAME = ".lock"
+
+    def __init__(self, directory: str | os.PathLike, *, timeout: float = 30.0,
+                 poll: float = 0.05, stale_after: float = 600.0):
+        self.directory = Path(directory)
+        self.path = self.directory / self.FILENAME
+        self.timeout = timeout
+        self.poll = poll
+        self.stale_after = stale_after
+        self._handle = None      # fcntl path: the open, flocked file object
+        self._owns_file = False  # fallback path: we created the lockfile
+
+    # ------------------------------------------------------------------
+    def acquire(self) -> "DirectoryLock":
+        self.directory.mkdir(parents=True, exist_ok=True)
+        deadline = time.monotonic() + self.timeout
+        while True:
+            if self._try_acquire():
+                return self
+            if time.monotonic() >= deadline:
+                raise StoreLockTimeout(
+                    f"could not lock store directory {self.directory} within "
+                    f"{self.timeout:.1f}s (held by {self._holder()!r}); "
+                    "another writer is committing to this sweep"
+                )
+            time.sleep(self.poll)
+
+    def release(self) -> None:
+        if self._handle is not None:
+            fcntl.flock(self._handle.fileno(), fcntl.LOCK_UN)
+            self._handle.close()
+            self._handle = None
+        elif self._owns_file:
+            try:
+                self.path.unlink()
+            except FileNotFoundError:  # pragma: no cover - broken externally
+                pass
+            self._owns_file = False
+
+    def __enter__(self) -> "DirectoryLock":
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    # ------------------------------------------------------------------
+    def _try_acquire(self) -> bool:
+        if fcntl is not None:
+            handle = self.path.open("a+", encoding="utf-8")
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                handle.close()
+                return False
+            handle.seek(0)
+            handle.truncate()
+            handle.write(f"{os.getpid()} {time.time()}\n")
+            handle.flush()
+            self._handle = handle
+            return True
+        try:
+            descriptor = os.open(self.path,
+                                 os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            self._break_if_stale()
+            return False
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            handle.write(f"{os.getpid()} {time.time()}\n")
+        self._owns_file = True
+        return True
+
+    def _holder(self) -> str:
+        try:
+            return self.path.read_text(encoding="utf-8").strip()
+        except OSError:
+            return "unknown"
+
+    #: Unparseable fallback lockfiles younger than this are left alone: a
+    #: just-created lock is briefly empty (O_EXCL create, then write), and
+    #: breaking it would steal a live holder's lock.
+    GARBAGE_GRACE = 5.0
+
+    def _break_if_stale(self) -> None:
+        """Remove a fallback lockfile whose holder is provably gone."""
+        try:
+            observed = self.path.stat()
+            content = self.path.read_text(encoding="utf-8").strip()
+        except OSError:
+            return  # vanished (or unreadable): just retry the acquire
+        try:
+            pid_text, _, stamp_text = content.partition(" ")
+            pid, stamp = int(pid_text), float(stamp_text)
+        except ValueError:
+            # Torn/empty contents: stale only once old enough that it
+            # cannot be a holder mid-creation.
+            stale = time.time() - observed.st_mtime \
+                > min(self.stale_after, self.GARBAGE_GRACE)
+        else:
+            if time.time() - stamp > self.stale_after:
+                stale = True
+            else:
+                try:
+                    os.kill(pid, 0)
+                    stale = False
+                except ProcessLookupError:
+                    stale = True
+                except OSError:  # pragma: no cover - other user's pid: alive
+                    stale = False
+        if not stale:
+            return
+        # Re-check the inode before unlinking: if another contender already
+        # broke this lock and a new holder created a fresh file under the
+        # same name, deleting it would admit two writers.  (A stat/unlink
+        # window remains — the fallback is advisory best-effort; platforms
+        # with fcntl never get here.)
+        try:
+            current = self.path.stat()
+        except OSError:
+            return
+        if (current.st_ino, current.st_mtime_ns) \
+                != (observed.st_ino, observed.st_mtime_ns):
+            return
+        self._unlink_quietly()
+
+    def _unlink_quietly(self) -> None:
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
 
 
 class SweepStore:
-    """Resumable sweep-result store rooted at ``root``."""
+    """Resumable sweep-result store rooted at ``root``.
+
+    Writes (:meth:`commit`, :meth:`reset`) serialize on the spec
+    directory's advisory :class:`DirectoryLock`, so concurrent writers on
+    the same root are safe (see the module docstring for the relaxed
+    single-writer contract).  Reads are lock-free.
+    """
 
     MANIFEST = "manifest.json"
     ROWS = "rows.jsonl"
 
+    #: Seconds a writer waits for a directory's advisory lock before
+    #: giving up with :class:`StoreLockTimeout`.
+    LOCK_TIMEOUT = 30.0
+
     def __init__(self, root: str | os.PathLike):
         self.root = Path(root)
+
+    def lock(self, spec: SweepSpec, *,
+             timeout: Optional[float] = None) -> DirectoryLock:
+        """The advisory lock of ``spec``'s directory (a context manager)."""
+        return DirectoryLock(self.directory(spec),
+                             timeout=self.LOCK_TIMEOUT if timeout is None
+                             else timeout)
 
     # ------------------------------------------------------------------
     def directory(self, spec: SweepSpec) -> Path:
@@ -84,7 +273,11 @@ class SweepStore:
         }
         tmp = path.with_suffix(".json.tmp")
         with tmp.open("w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
+            # NOT sort_keys: the axis declaration order inside the recorded
+            # spec is semantic (point-index -> seed assignment); sorting it
+            # here would make SweepSpec.from_dict(manifest["spec"]) hash to
+            # a different slug than the directory it sits in.
+            json.dump(payload, handle, indent=2)
             handle.write("\n")
         os.replace(tmp, path)
 
@@ -99,14 +292,15 @@ class SweepStore:
         rows = list(rows)
         if not rows:
             return 0
-        self._ensure_manifest(spec)
         # Key order is preserved (no sort_keys) so a cache-hit run yields
         # rows — and therefore rendered tables — identical to a fresh run.
         blob = "".join(json.dumps(row) + "\n" for row in rows)
-        with self.rows_path(spec).open("a", encoding="utf-8") as handle:
-            handle.write(blob)
-            handle.flush()
-            os.fsync(handle.fileno())
+        with self.lock(spec):
+            self._ensure_manifest(spec)
+            with self.rows_path(spec).open("a", encoding="utf-8") as handle:
+                handle.write(blob)
+                handle.flush()
+                os.fsync(handle.fileno())
         return len(rows)
 
     def load_rows(self, spec: SweepSpec) -> list[dict[str, Any]]:
@@ -145,7 +339,9 @@ class SweepStore:
         """Drop the committed rows of ``spec`` (the manifest is kept)."""
         path = self.rows_path(spec)
         if path.exists():
-            path.unlink()
+            with self.lock(spec):
+                if path.exists():
+                    path.unlink()
 
     # ------------------------------------------------------------------
     def runs(self) -> list[dict]:

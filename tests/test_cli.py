@@ -340,3 +340,105 @@ class TestUnsupportedOptionWarnings:
     def test_run_supported_options_do_not_warn(self, capsys):
         assert main(["run", "E5", "--quick", "--trials", "3", "--workers", "2"]) == 0
         assert capsys.readouterr().err == ""
+
+
+class TestServiceVerbs:
+    """The service-facing CLI surface (serve/submit/status/fetch/info)."""
+
+    def test_info_parses_and_runs(self, capsys):
+        assert build_parser().parse_args(["info"]).command == "info"
+        assert main(["info"]) == 0
+        output = capsys.readouterr().out
+        assert "code version:" in output
+        assert "scipy" in output and "networkx" in output
+        assert "E2" in output
+        assert "logn" in output and "network-scaling" in output
+
+    def test_serve_defaults_parse(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.port == 8080
+        assert args.store == ".sweep-service"
+        assert args.workers == 1 and args.sweep_workers == 1
+
+    def test_submit_requires_a_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit"])
+
+    def test_submit_flags_parse(self):
+        args = build_parser().parse_args(
+            ["submit", "--preset", "logn", "--quick", "--priority", "2",
+             "--no-wait", "--url", "http://localhost:9999"])
+        assert args.preset == "logn"
+        assert args.priority == 2
+        assert args.wait is False
+        assert args.url == "http://localhost:9999"
+
+    def test_fetch_flags_parse(self):
+        args = build_parser().parse_args(
+            ["fetch", "cafebabecafebabe", "--group-by", "n,epsilon",
+             "--markdown"])
+        assert args.spec_hash == "cafebabecafebabe"
+        assert args.group_by == "n,epsilon"
+        assert args.markdown
+
+    def test_status_accepts_optional_job_id(self):
+        assert build_parser().parse_args(["status"]).job_id is None
+        assert build_parser().parse_args(
+            ["status", "job-000001"]).job_id == "job-000001"
+
+    def test_submit_against_unreachable_daemon_exits_1(self, capsys):
+        assert main(["submit", "--preset", "logn", "--quick",
+                     "--url", "http://127.0.0.1:9"]) == 1
+        assert "cannot reach sweep service" in capsys.readouterr().err
+
+    def test_serve_rejects_nonsense_workers(self, capsys):
+        assert main(["serve", "--workers", "0"]) == 1
+        assert "--workers must be at least 1" in capsys.readouterr().err
+
+    def test_fetch_jsonl_conflicts_with_group_by(self, capsys):
+        assert main(["fetch", "cafebabecafebabe", "--jsonl", "--group-by",
+                     "n", "--url", "http://127.0.0.1:9"]) == 1
+        assert "--jsonl" in capsys.readouterr().err
+
+    def test_round_trip_against_a_live_daemon(self, tmp_path, capsys):
+        """serve (in a thread) + submit + status + fetch, end to end."""
+        import json
+        import threading
+
+        from repro.service import ServiceClient, SweepService, make_server
+
+        service = SweepService(tmp_path / "store", workers=1).start()
+        server = make_server(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        url = "http://%s:%s" % server.server_address[:2]
+        try:
+            assert main(["submit", "--preset", "logn", "--quick",
+                         "--url", url]) == 0
+            first = capsys.readouterr().out
+            assert "(3 computed, 0 cached)" in first
+
+            assert main(["submit", "--preset", "logn", "--quick",
+                         "--url", url]) == 0
+            assert "cache hit" in capsys.readouterr().out
+
+            assert main(["status", "--url", url]) == 0
+            status = capsys.readouterr().out
+            assert "done=1" in status and "job-000001" in status
+
+            spec_hash = ServiceClient(url).jobs()[0]["spec_hash"]
+            assert main(["fetch", spec_hash, "--url", url,
+                         "--group-by", "n"]) == 0
+            aggregate = capsys.readouterr().out
+            assert "rounds_mean_mean" in aggregate
+
+            assert main(["fetch", spec_hash, "--url", url, "--jsonl"]) == 0
+            lines = capsys.readouterr().out.strip().splitlines()
+            assert len(lines) == 3
+            assert {json.loads(line)["n"] for line in lines} \
+                == {64, 256, 1024}
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.stop()

@@ -3,12 +3,17 @@
 from __future__ import annotations
 
 import json
+import time
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ExperimentError
 from repro.experiments.runner import run_all
 from repro.sweeps import (
+    DirectoryLock,
+    StoreLockTimeout,
     SweepError,
     SweepSpec,
     SweepStore,
@@ -371,3 +376,203 @@ class TestExperimentSpecs:
         parallel = run_eps_delta_sweep_experiment(quick=True, trials=3, seed=3,
                                                   num_players=64, workers=3)
         assert serial.rows == parallel.rows
+
+
+# ----------------------------------------------------------------------
+# JSON wire round-trip (the sweep service's submit format)
+# ----------------------------------------------------------------------
+
+class TestSpecJsonRoundTrip:
+    @pytest.mark.parametrize("preset", [
+        "logn", "eps-delta", "overshoot", "protocol-work", "virtual-agents",
+        "error-terms", "network-scaling",
+    ])
+    @pytest.mark.parametrize("quick", [True, False])
+    def test_every_registered_preset_round_trips(self, preset, quick):
+        from repro.presets import get_sweep_preset
+
+        spec = get_sweep_preset(preset, quick=quick)
+        restored = SweepSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.content_hash() == spec.content_hash()
+        assert restored.slug() == spec.slug()
+
+    def test_round_trip_is_idempotent_text(self):
+        spec = tiny_spec()
+        assert SweepSpec.from_json(spec.to_json()).to_json() == spec.to_json()
+
+    def test_from_json_rejects_unknown_fields_by_name(self):
+        payload = dict(tiny_spec().to_dict(), warp_factor=9, turbo=True)
+        with pytest.raises(SweepError, match=r"\['turbo', 'warp_factor'\]"):
+            SweepSpec.from_json(json.dumps(payload))
+
+    def test_from_json_rejects_invalid_json(self):
+        with pytest.raises(SweepError, match="not valid JSON"):
+            SweepSpec.from_json("{definitely not json")
+
+    def test_from_json_rejects_non_object(self):
+        with pytest.raises(SweepError, match="JSON object"):
+            SweepSpec.from_json("[1, 2, 3]")
+
+    def test_from_dict_wraps_constructor_type_errors(self):
+        with pytest.raises(SweepError, match="invalid sweep spec"):
+            SweepSpec.from_dict({"name": "x", "axes": "not-a-mapping"})
+
+    def test_axis_declaration_order_survives_the_wire(self):
+        """Axis order is semantic (it fixes the point→seed assignment);
+        the wire format must not normalise it away."""
+        spec = tiny_spec(axes={"epsilon": [0.4, 0.2], "n": [24, 48]})
+        restored = SweepSpec.from_json(spec.to_json())
+        assert list(restored.axes) == ["epsilon", "n"]
+        assert [point.params for point in restored.expand()] \
+            == [point.params for point in spec.expand()]
+
+    @given(
+        name=st.text(
+            alphabet=st.characters(codec="utf-8",
+                                   blacklist_categories=("Cs",)),
+            min_size=1, max_size=24),
+        axes=st.dictionaries(
+            st.text(alphabet="abcdefgh_", min_size=1, max_size=6),
+            st.lists(
+                st.one_of(
+                    st.integers(min_value=-10**6, max_value=10**6),
+                    st.floats(allow_nan=False, allow_infinity=False,
+                              width=32),
+                    st.text(alphabet="xyz01", max_size=4),
+                ),
+                min_size=1, max_size=4, unique_by=lambda v: repr(v)),
+            min_size=1, max_size=3),
+        replicas=st.integers(min_value=1, max_value=64),
+        max_rounds=st.integers(min_value=1, max_value=10**6),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_arbitrary_specs_round_trip_with_equal_hashes(
+            self, name, axes, replicas, max_rounds, seed):
+        spec = SweepSpec(name=name, axes=axes, replicas=replicas,
+                         max_rounds=max_rounds, seed=seed)
+        restored = SweepSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.content_hash() == spec.content_hash()
+
+
+# ----------------------------------------------------------------------
+# Store advisory locking (the relaxed single-writer contract)
+# ----------------------------------------------------------------------
+
+class TestStoreLocking:
+    def test_lock_is_exclusive_until_released(self, tmp_path):
+        store = SweepStore(tmp_path)
+        spec = tiny_spec()
+        with store.lock(spec):
+            with pytest.raises(StoreLockTimeout, match="could not lock"):
+                DirectoryLock(store.directory(spec), timeout=0.15).acquire()
+        # released: a fresh acquire succeeds instantly
+        with store.lock(spec, timeout=0.5):
+            pass
+
+    def test_commit_still_works_under_lock_discipline(self, tmp_path):
+        store = SweepStore(tmp_path)
+        spec = tiny_spec()
+        assert store.commit(spec, [{"point_key": "k", "point_index": 0}]) == 1
+        assert store.load_rows(spec) == [{"point_key": "k",
+                                          "point_index": 0}]
+
+    def test_concurrent_commits_never_tear_lines(self, tmp_path):
+        """Two threads committing through the same store interleave whole
+        shards, never partial lines (the advisory lock at work)."""
+        import threading
+
+        store = SweepStore(tmp_path)
+        spec = tiny_spec()
+        errors = []
+
+        def commit_many(offset):
+            try:
+                for index in range(20):
+                    store.commit(spec, [{
+                        "point_key": f"key-{offset}-{index}",
+                        "point_index": offset * 20 + index,
+                        "payload": "x" * 512,
+                    }])
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=commit_many, args=(offset,))
+                   for offset in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10.0)
+        assert not errors
+        rows = store.load_rows(spec)
+        assert len(rows) == 40
+        # every line parsed (no torn writes swallowed by load_rows)
+        with store.rows_path(spec).open() as handle:
+            assert sum(1 for _ in handle) == 40
+
+    def test_fallback_lockfile_breaks_stale_garbage(self, tmp_path,
+                                                    monkeypatch):
+        import os
+
+        from repro.sweeps import store as store_module
+
+        monkeypatch.setattr(store_module, "fcntl", None)
+        directory = tmp_path / "dir"
+        directory.mkdir()
+        lockfile = directory / DirectoryLock.FILENAME
+        lockfile.write_text("not a pid at all")
+        # a *young* garbage file could be a holder mid-creation: kept
+        with pytest.raises(StoreLockTimeout):
+            DirectoryLock(directory, timeout=0.2).acquire()
+        # backdated beyond the grace window it is provably torn: broken
+        past = time.time() - 60.0
+        os.utime(lockfile, (past, past))
+        with DirectoryLock(directory, timeout=1.0) as lock:
+            assert lock.path.exists()
+        assert not lockfile.exists()
+
+    def test_fallback_lockfile_breaks_dead_pid(self, tmp_path, monkeypatch):
+        import subprocess
+
+        from repro.sweeps import store as store_module
+
+        monkeypatch.setattr(store_module, "fcntl", None)
+        dead = subprocess.Popen(["true"])
+        dead.wait()
+        directory = tmp_path / "dir"
+        directory.mkdir()
+        (directory / DirectoryLock.FILENAME).write_text(
+            f"{dead.pid} {time.time()}\n")
+        with DirectoryLock(directory, timeout=1.0):
+            pass
+
+    def test_fallback_lockfile_respects_live_fresh_holder(self, tmp_path,
+                                                          monkeypatch):
+        import os
+
+        from repro.sweeps import store as store_module
+
+        monkeypatch.setattr(store_module, "fcntl", None)
+        directory = tmp_path / "dir"
+        directory.mkdir()
+        (directory / DirectoryLock.FILENAME).write_text(
+            f"{os.getpid()} {time.time()}\n")
+        with pytest.raises(StoreLockTimeout):
+            DirectoryLock(directory, timeout=0.2).acquire()
+
+    def test_fallback_lockfile_breaks_expired_live_holder(self, tmp_path,
+                                                          monkeypatch):
+        import os
+
+        from repro.sweeps import store as store_module
+
+        monkeypatch.setattr(store_module, "fcntl", None)
+        directory = tmp_path / "dir"
+        directory.mkdir()
+        (directory / DirectoryLock.FILENAME).write_text(
+            f"{os.getpid()} {time.time() - 10_000}\n")
+        with DirectoryLock(directory, timeout=1.0, stale_after=60.0):
+            pass
