@@ -9,11 +9,15 @@ rows alongside the timings.
 
 from __future__ import annotations
 
+import os
+import sys
 from typing import Callable
 
 import pytest
 
 from repro.experiments.registry import ExperimentResult
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 
 def run_experiment_benchmark(benchmark, runner: Callable[[], ExperimentResult]
@@ -25,3 +29,13 @@ def run_experiment_benchmark(benchmark, runner: Callable[[], ExperimentResult]
     benchmark.extra_info["rows"] = len(result.rows)
     benchmark.extra_info["notes"] = result.notes
     return result
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Dump the measured guard numbers to the committed BENCH_<pr>.json
+    (see record.py; empty sessions write nothing)."""
+    from record import write_benchmark_record
+
+    path = write_benchmark_record(session)
+    if path is not None:
+        print(f"\nbenchmark record written: {path}")

@@ -19,7 +19,9 @@ Two measurement engines are available:
 
 Both engines are reproducible from their seed but consume the randomness
 differently, so their sampled hitting times are *statistically* (not
-sample-path-wise) equivalent.
+sample-path-wise) equivalent.  :func:`measure_hitting_times_ensemble`
+additionally accepts ``backend="native"`` to drive the ensemble through the
+fused round kernel (:mod:`repro.core.native`) — same statistical contract.
 """
 
 from __future__ import annotations
@@ -38,6 +40,7 @@ from ..core.ensemble import (
 )
 from ..core.protocols import Protocol
 from ..core.run import run_until_approx_equilibrium, run_until_imitation_stable
+from ..engines import validate_engine
 from ..games.base import CongestionGame
 from ..games.state import BatchStateLike
 from ..rng import RngLike, spawn_rngs
@@ -104,6 +107,7 @@ def measure_hitting_times_ensemble(
     max_rounds: int = 100_000,
     rng: RngLike = 0,
     initial_states: Optional[BatchStateLike] = None,
+    backend: str = "batch",
 ) -> HittingTimeResult:
     """Batched trial loop: all trials advance together as one ensemble.
 
@@ -111,6 +115,11 @@ def measure_hitting_times_ensemble(
     initialisations.  Replicas that end with
     :attr:`~repro.core.dynamics.StopReason.MAX_ROUNDS` are counted as
     censored, exactly like the sequential loop.
+
+    ``backend`` selects the ensemble execution backend (``"batch"`` or the
+    fused ``"native"`` kernel); both consume one generator derived from
+    ``rng`` but draw migrations through different decompositions, so their
+    sampled hitting times agree in distribution, not bit-for-bit.
     """
     dynamics = EnsembleDynamics(game, protocol, rng=rng)
     result = dynamics.run(
@@ -118,6 +127,7 @@ def measure_hitting_times_ensemble(
         replicas=trials,
         max_rounds=max_rounds,
         stop_condition=stop_condition,
+        backend=backend,
     )
     times = [int(r) for r in result.rounds]
     censored = sum(1 for reason in result.stop_reasons
@@ -151,14 +161,13 @@ def measure_approx_equilibrium_times(
        single drawn instance.  Use ``engine="loop"`` for randomised
        factories; all deterministic factories are engine-agnostic.
     """
-    if engine == "batch":
+    validate_engine(engine, context="measure_approx_equilibrium_times")
+    if engine in ("batch", "native"):
         return measure_hitting_times_ensemble(
             game_factory(), protocol,
             batch_stop_at_approx_equilibrium(delta, epsilon, nu),
-            trials=trials, max_rounds=max_rounds, rng=rng,
+            trials=trials, max_rounds=max_rounds, rng=rng, backend=engine,
         )
-    if engine != "loop":
-        raise ValueError(f"unknown engine {engine!r}; use 'loop' or 'batch'")
 
     def run_one(generator: np.random.Generator) -> TrajectoryResult:
         game = game_factory()
@@ -185,14 +194,13 @@ def measure_imitation_stable_times(
     Engine semantics (including the randomised-factory caveat) are the same
     as for :func:`measure_approx_equilibrium_times`.
     """
-    if engine == "batch":
+    validate_engine(engine, context="measure_imitation_stable_times")
+    if engine in ("batch", "native"):
         return measure_hitting_times_ensemble(
             game_factory(), protocol,
             batch_stop_at_imitation_stable(nu),
-            trials=trials, max_rounds=max_rounds, rng=rng,
+            trials=trials, max_rounds=max_rounds, rng=rng, backend=engine,
         )
-    if engine != "loop":
-        raise ValueError(f"unknown engine {engine!r}; use 'loop' or 'batch'")
 
     def run_one(generator: np.random.Generator) -> TrajectoryResult:
         game = game_factory()

@@ -52,6 +52,7 @@ from .core import (
     simulate,
     simulate_ensemble,
 )
+from .engines import ENGINES
 from .errors import ReproError
 from .experiments import (
     list_experiments,
@@ -88,7 +89,7 @@ __all__ = ["main", "build_parser"]
 _GAME_CHOICES = ("linear-singleton", "quadratic-singleton", "braess", "grid",
                  "layered", "two-link")
 _PROTOCOL_CHOICES = ("imitation", "exploration", "hybrid")
-_ENGINE_CHOICES = ("loop", "batch")
+_ENGINE_CHOICES = ENGINES
 
 #: Topology knobs of the `simulate` command and the games they apply to.
 _GAME_KNOBS = {
@@ -130,7 +131,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--seed", type=int, default=2009)
     run_parser.add_argument("--markdown", action="store_true", help="emit a markdown table")
     run_parser.add_argument("--engine", choices=_ENGINE_CHOICES, default="batch",
-                            help="round engine: batched ensemble (default) or per-trial loop")
+                            help="round engine: batched ensemble (default), "
+                                 "per-trial loop, or the fused native kernel")
     run_parser.add_argument("--trials", type=int, default=None,
                             help="Monte-Carlo trials per configuration (experiments "
                                  "that take a trial count only)")
@@ -146,7 +148,8 @@ def build_parser() -> argparse.ArgumentParser:
     all_parser.add_argument("--markdown", action="store_true", help="emit markdown")
     all_parser.add_argument("--output", default=None, help="write the report to a file")
     all_parser.add_argument("--engine", choices=_ENGINE_CHOICES, default="batch",
-                            help="round engine: batched ensemble (default) or per-trial loop")
+                            help="round engine: batched ensemble (default), "
+                                 "per-trial loop, or the fused native kernel")
     all_parser.add_argument("--jobs", type=int, default=1,
                             help="run independent experiments over this many "
                                  "worker processes (same pool as `sweep --workers`)")
@@ -173,6 +176,9 @@ def build_parser() -> argparse.ArgumentParser:
                               help="scaled-down preset grid")
     sweep_parser.add_argument("--seed", type=int, default=None,
                               help="override the spec's master seed")
+    sweep_parser.add_argument("--engine", choices=_ENGINE_CHOICES, default=None,
+                              help="override the spec's engine (folded into "
+                                   "the spec, so it changes the store key)")
     sweep_parser.add_argument("--group-by", default=None, metavar="COL[,COL]",
                               help="also print an aggregate table grouped by "
                                    "these row columns")
@@ -195,6 +201,10 @@ def build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument("--engine", choices=_ENGINE_CHOICES, default=None,
                             help="round engine; defaults to batch for --replicas > 1 "
                                  "and to the loop engine for a single trajectory")
+    sim_parser.add_argument("--dtype", choices=("float64", "float32"),
+                            default="float64",
+                            help="latency arithmetic precision; float32 is a "
+                                 "native-engine feature (see docs/ENGINE.md)")
     sim_parser.add_argument("--rows", type=int, default=None,
                             help="grid rows (--game grid; default 2)")
     sim_parser.add_argument("--cols", type=int, default=None,
@@ -382,9 +392,17 @@ def _load_sweep_spec(args: argparse.Namespace) -> SweepSpec:
     return spec
 
 
+def _apply_engine_override(spec: SweepSpec, args: argparse.Namespace) -> SweepSpec:
+    """Fold a ``--engine`` override into the spec (and thus its store key)."""
+    engine = getattr(args, "engine", None)
+    if engine is not None and engine != spec.engine:
+        spec = SweepSpec.from_dict({**spec.to_dict(), "engine": engine})
+    return spec
+
+
 def _command_sweep(args: argparse.Namespace) -> int:
     _require_positive("--workers", args.workers)
-    spec = _load_sweep_spec(args)
+    spec = _apply_engine_override(_load_sweep_spec(args), args)
     store = SweepStore(args.store) if args.store else None
     result = run_sweep(spec, workers=args.workers, store=store, resume=args.resume)
     print(f"sweep {spec.name} [{spec.content_hash()}]: {len(result.rows)} points "
@@ -532,12 +550,15 @@ def _command_simulate(args: argparse.Namespace) -> int:
     if engine == "loop" and args.replicas > 1:
         raise ReproError("--engine loop simulates a single trajectory; "
                          "use --engine batch for --replicas > 1")
+    if args.dtype != "float64" and engine != "native":
+        raise ReproError("--dtype float32 is a native-engine feature; "
+                         "add --engine native")
     game = _build_game(args.game, args.players, args.links, args.seed,
                        rows=args.rows, cols=args.cols, layers=args.layers,
                        k_paths=args.k_paths)
     protocol = _build_protocol(args.protocol)
-    if engine == "batch":
-        return _simulate_ensemble(args, game, protocol)
+    if engine in ("batch", "native"):
+        return _simulate_ensemble(args, game, protocol, engine)
     collector = MetricsCollector(game, every=args.every)
     result = simulate(game, protocol, rounds=args.rounds, rng=args.seed, collector=collector)
     print(f"game: {game.describe()}")
@@ -552,16 +573,18 @@ def _command_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _simulate_ensemble(args: argparse.Namespace, game, protocol) -> int:
+def _simulate_ensemble(args: argparse.Namespace, game, protocol,
+                       engine: str = "batch") -> int:
     collector = EnsembleCollector(game, every=args.every)
     result = simulate_ensemble(
         game, protocol, replicas=args.replicas, rounds=args.rounds,
-        rng=args.seed, collector=collector,
+        rng=args.seed, collector=collector, backend=engine, dtype=args.dtype,
     )
     print(f"game: {game.describe()}")
     print(f"protocol: {protocol.describe()}")
     replica_word = "replica" if result.num_replicas == 1 else "replicas"
-    print(f"engine: batch ({result.num_replicas} {replica_word})")
+    suffix = "" if args.dtype == "float64" else f", dtype={args.dtype}"
+    print(f"engine: {engine} ({result.num_replicas} {replica_word}{suffix})")
     rounds = result.rounds
     print(f"rounds executed: min={int(rounds.min())} mean={float(rounds.mean()):.1f} "
           f"max={int(rounds.max())}")

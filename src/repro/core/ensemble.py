@@ -276,6 +276,9 @@ def batch_stop_at_approx_equilibrium(delta: float, epsilon: float,
         unsatisfied = np.where(deviating, counts, 0).sum(axis=1) / game.num_players
         return unsatisfied <= delta
 
+    # The native backend fuses this test into its round kernel instead of
+    # calling back into Python (see repro.core.native.lower_stop_condition).
+    batched.native_spec = ("approx_equilibrium", delta, epsilon, nu)
     return batched
 
 
@@ -296,6 +299,7 @@ def batch_stop_at_imitation_stable(nu: Optional[float] = None) -> BatchStopCondi
         best_gain = np.maximum(np.where(np.isfinite(best_gain), best_gain, 0.0), 0.0)
         return best_gain <= bound
 
+    batched.native_spec = ("imitation_stable", nu)
     return batched
 
 
@@ -313,6 +317,7 @@ def batch_stop_at_nash(tolerance: float = 1e-9) -> BatchStopCondition:
         best_gain = np.where(occupied[:, :, np.newaxis], gains, -np.inf).max(axis=(1, 2))
         return ~(best_gain > tolerance)
 
+    batched.native_spec = ("nash", tolerance)
     return batched
 
 
@@ -354,6 +359,8 @@ class EnsembleDynamics:
         observer: Optional[EnsembleObserver] = None,
         strict: bool = False,
         rng_streams: Optional[Sequence[np.random.Generator]] = None,
+        backend: str = "batch",
+        dtype: str = "float64",
     ) -> EnsembleResult:
         """Advance all live replicas round by round.
 
@@ -396,7 +403,54 @@ class EnsembleDynamics:
             is not consumed.  Without it the ensemble draws one stacked
             multinomial per round from its single generator (the fast
             default).
+        backend:
+            ``"batch"`` (this engine, the default) or ``"native"`` — the
+            fused round kernel of :mod:`repro.core.native` (numba-JIT when
+            available, vectorised numpy otherwise).  The native backend is
+            deterministic from its seed but draws through a different
+            decomposition of the multinomial, so it matches this engine in
+            distribution and on all deterministic quantities, not
+            bit-for-bit (docs/ENGINE.md).
+        dtype:
+            Accumulation precision of the native backend's buffers
+            (``"float64"`` default, ``"float32"`` opt-in); the batch
+            backend always computes in float64.
         """
+        from ..errors import EngineError
+
+        if backend not in ("batch", "native"):
+            raise EngineError(
+                f"unknown ensemble backend {backend!r}; "
+                f"valid backends: ['batch', 'native']"
+            )
+        if backend == "native":
+            if rng_streams is not None:
+                raise EngineError(
+                    "the native backend draws from a single stream; "
+                    "rng_streams is a loop/batch bit-parity feature — use "
+                    "backend='batch' for pathwise parity runs"
+                )
+            from .native import run_native_ensemble  # lazy: ensemble ↔ native
+
+            return run_native_ensemble(
+                self.game,
+                self.protocol,
+                initial_states,
+                replicas=replicas,
+                max_rounds=max_rounds,
+                stop_condition=stop_condition,
+                stop_when_quiescent=stop_when_quiescent,
+                collector=collector,
+                observer=observer,
+                strict=strict,
+                rng=self.rng,
+                dtype=dtype,
+            )
+        if dtype != "float64":
+            raise EngineError(
+                "dtype='float32' accumulation is a native-backend feature; "
+                "pass backend='native' (the batch backend is float64-only)"
+            )
         if initial_states is None:
             if rng_streams is not None:
                 raise ValueError("rng_streams requires explicit initial_states")
@@ -547,6 +601,8 @@ def simulate_ensemble(
     rng: RngLike = None,
     collector: Optional[EnsembleCollector] = None,
     stop_condition: Optional[BatchStopCondition] = None,
+    backend: str = "batch",
+    dtype: str = "float64",
 ) -> EnsembleResult:
     """Run ``replicas`` replicas of ``protocol`` on ``game`` for at most
     ``rounds`` rounds each (the batched sibling of :func:`repro.core.run.simulate`)."""
@@ -557,4 +613,6 @@ def simulate_ensemble(
         max_rounds=rounds,
         stop_condition=stop_condition,
         collector=collector,
+        backend=backend,
+        dtype=dtype,
     )

@@ -30,6 +30,7 @@ from ..games.base import CongestionGame
 from ..games.state import BatchStateLike, StateLike
 from .imitation import DEFAULT_LAMBDA
 from .protocols import (
+    KernelComponents,
     Protocol,
     SwitchProbabilities,
     relative_gain_matrix,
@@ -133,6 +134,17 @@ class ExplorationProtocol(Protocol):
         counts = game.validate_batch_state(batch)
         matrices = self.migration_probabilities_batch(game, counts) / game.num_strategies
         return zero_diagonal(matrices)
+
+    def kernel_components(self, game: CongestionGame) -> KernelComponents:
+        """One uniform-strategy-sampling component with the exploration
+        damping factor resolved against ``game``."""
+        return KernelComponents(
+            weights=np.array([1.0]),
+            factors=np.array([self.damping_factor(game)]),
+            thresholds=np.array([self.min_gain]),
+            sampling_kinds=np.array([1], dtype=np.int64),
+            sampling_virtual=np.array([0.0]),
+        )
 
     def describe(self) -> str:
         return f"exploration(lambda={self.lambda_:g})"

@@ -24,7 +24,7 @@ from ..games.base import CongestionGame
 from ..games.state import BatchStateLike, StateLike
 from .exploration import ExplorationProtocol
 from .imitation import DEFAULT_LAMBDA, ImitationProtocol
-from .protocols import Protocol, SwitchProbabilities
+from .protocols import KernelComponents, Protocol, SwitchProbabilities
 
 __all__ = ["MixtureProtocol", "make_hybrid_protocol"]
 
@@ -85,6 +85,26 @@ class MixtureProtocol(Protocol):
                 continue
             matrices += weight * component.switch_probabilities_batch(game, counts)
         return matrices
+
+    def kernel_components(self, game: CongestionGame):
+        """Concatenation of the components' lowered structs with the mixture
+        weights folded in; ``None`` if any (positive-weight) component has
+        no kernel form — a mixture must lower completely or not at all."""
+        parts = []
+        for weight, component in zip(self.weights, self.components):
+            if weight == 0.0:
+                continue
+            lowered = component.kernel_components(game)
+            if lowered is None:
+                return None
+            parts.append((weight, lowered))
+        return KernelComponents(
+            weights=np.concatenate([w * k.weights for w, k in parts]),
+            factors=np.concatenate([k.factors for _, k in parts]),
+            thresholds=np.concatenate([k.thresholds for _, k in parts]),
+            sampling_kinds=np.concatenate([k.sampling_kinds for _, k in parts]),
+            sampling_virtual=np.concatenate([k.sampling_virtual for _, k in parts]),
+        )
 
     def describe(self) -> str:
         parts = ", ".join(

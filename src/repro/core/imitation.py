@@ -31,6 +31,7 @@ from ..errors import ProtocolError
 from ..games.base import CongestionGame
 from ..games.state import BatchStateLike, StateLike
 from .protocols import (
+    KernelComponents,
     Protocol,
     SwitchProbabilities,
     relative_gain_matrix,
@@ -162,6 +163,25 @@ class ImitationProtocol(Protocol):
         sampling = self.sampling_distribution_batch(game, counts)
         matrices = mu * sampling[:, np.newaxis, :]
         return zero_diagonal(matrices)
+
+    def kernel_components(self, game: CongestionGame) -> KernelComponents:
+        """One player-sampling component with the ``lambda/d`` damping and
+        the effective ``nu`` threshold resolved against ``game``.
+
+        :class:`UndampedImitationProtocol` (and the proportional-sampling
+        baseline built on it) and
+        :class:`~repro.core.virtual_agents.VirtualAgentImitationProtocol`
+        inherit this lowering — they only change
+        :meth:`effective_elasticity` respectively the virtual-agent count.
+        """
+        virtual = float(getattr(self, "virtual_agents_per_strategy", 0))
+        return KernelComponents(
+            weights=np.array([1.0]),
+            factors=np.array([self.lambda_ / self.effective_elasticity(game)]),
+            thresholds=np.array([self.effective_nu(game)]),
+            sampling_kinds=np.array([0], dtype=np.int64),
+            sampling_virtual=np.array([virtual]),
+        )
 
     def describe(self) -> str:
         threshold = "nu-threshold" if self.use_nu_threshold else "no-threshold"

@@ -35,7 +35,56 @@ from ..errors import ProtocolError
 from ..games.base import CongestionGame
 from ..games.state import BatchStateLike, StateLike
 
-__all__ = ["Protocol", "SwitchProbabilities", "quiescent_mask"]
+__all__ = ["KernelComponents", "Protocol", "SwitchProbabilities",
+           "quiescent_mask"]
+
+
+@dataclass(frozen=True)
+class KernelComponents:
+    """Flat parameter struct lowering a protocol for the native round kernel.
+
+    Every protocol of the paper computes its switch probabilities as a
+    weighted sum of components of one common shape:
+
+    ``R[P, Q] = sum_c weights[c] * clip(factors[c] * relgain[P, Q], 0, 1)
+                * 1[gain[P, Q] > thresholds[c]] * sampling_c[Q]``
+
+    where ``relgain`` is the relative latency gain, the indicator applies
+    the strict gain threshold, and the sampling distribution is either
+    player-proportional (``sampling_kinds[c] = 0``:
+    ``(x_Q + v_c) / (n + v_c * S)`` with ``v_c = sampling_virtual[c]``,
+    covering plain/undamped/proportional imitation at ``v_c = 0`` and
+    virtual-agent imitation at ``v_c > 0``) or uniform over strategies
+    (``sampling_kinds[c] = 1``: ``1 / S``, the exploration protocol).
+    Mixtures concatenate their components with scaled weights.  All arrays
+    have one entry per component and plain numeric dtypes so nopython code
+    can consume them directly.
+    """
+
+    weights: np.ndarray
+    factors: np.ndarray
+    thresholds: np.ndarray
+    sampling_kinds: np.ndarray
+    sampling_virtual: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "weights", np.asarray(self.weights, dtype=float))
+        object.__setattr__(self, "factors", np.asarray(self.factors, dtype=float))
+        object.__setattr__(self, "thresholds",
+                           np.asarray(self.thresholds, dtype=float))
+        object.__setattr__(self, "sampling_kinds",
+                           np.asarray(self.sampling_kinds, dtype=np.int64))
+        object.__setattr__(self, "sampling_virtual",
+                           np.asarray(self.sampling_virtual, dtype=float))
+        sizes = {arr.size for arr in (self.weights, self.factors,
+                                      self.thresholds, self.sampling_kinds,
+                                      self.sampling_virtual)}
+        if len(sizes) != 1 or 0 in sizes:
+            raise ProtocolError("kernel components need matching, non-empty arrays")
+
+    @property
+    def num_components(self) -> int:
+        return int(self.weights.size)
 
 
 @dataclass(frozen=True)
@@ -123,6 +172,18 @@ class Protocol(ABC):
     def supports_game(self, game: CongestionGame) -> bool:
         """Hook for protocols that only apply to particular game classes."""
         return True
+
+    def kernel_components(self, game: CongestionGame) -> Optional[KernelComponents]:
+        """Lowered parameter struct for the native round kernel, or ``None``.
+
+        Protocols whose switch probabilities fit the
+        :class:`KernelComponents` form return it here (with all
+        game-dependent constants — damping denominators, thresholds —
+        already resolved against ``game``); protocols with bespoke math
+        return ``None`` and the native backend refuses them with an
+        actionable error instead of silently computing something else.
+        """
+        return None
 
     def describe(self) -> str:
         """Human-readable one-line description for experiment tables."""

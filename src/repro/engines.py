@@ -1,0 +1,73 @@
+"""Round-engine registry: names, validation, and runtime capabilities.
+
+Three engines execute the concurrent dynamics:
+
+* ``"loop"`` — :class:`~repro.core.dynamics.ConcurrentDynamics`, one Python
+  round loop per trajectory (the reference implementation);
+* ``"batch"`` — :class:`~repro.core.ensemble.EnsembleDynamics`, all replicas
+  advanced together through broadcasted numpy (bit-identical to ``loop``
+  under per-replica rng streams);
+* ``"native"`` — :mod:`repro.core.native`, a fused per-round kernel
+  (numba-JIT when numba is installed, vectorised numpy otherwise) that never
+  materialises the ``(R, S, S)`` switch tensor.
+
+Every surface accepting an ``engine=`` argument validates it here, so an
+unknown name fails immediately with a :class:`~repro.errors.EngineError`
+listing the valid backends instead of surfacing as a backend-specific error
+deep inside a run.  ``docs/ENGINE.md`` documents the parity contract between
+the engines.
+"""
+
+from __future__ import annotations
+
+from .errors import EngineError
+
+__all__ = ["ENGINES", "DEFAULT_ENGINE", "PARITY_TIERS", "validate_engine",
+           "engine_runtime_info"]
+
+#: All round engines, in documentation order.
+ENGINES = ("loop", "batch", "native")
+
+#: The engine used when a caller does not choose one explicitly.
+DEFAULT_ENGINE = "batch"
+
+#: Reproducibility tier of each engine relative to the reference pair.
+#: ``loop`` and ``batch`` are bit-identical to each other (same stacked
+#: multinomial draws under per-replica rng streams); ``native`` is
+#: deterministic given its seed but draws migrations through a different
+#: (binomial-chain) decomposition, so it agrees with ``batch`` in
+#: distribution and on every deterministic quantity (allclose), not
+#: sample-path-wise.  See docs/ENGINE.md.
+PARITY_TIERS = {
+    "loop": "bit-identical",
+    "batch": "bit-identical",
+    "native": "allclose",
+}
+
+
+def validate_engine(engine: str, *, allowed: tuple[str, ...] = ENGINES,
+                    context: str = "") -> str:
+    """Return ``engine`` unchanged or raise :class:`EngineError` naming the
+    valid backends.  ``context`` (e.g. ``"sweep kernel"``) prefixes the
+    message so the failing surface is obvious."""
+    if engine in allowed:
+        return engine
+    where = f"{context}: " if context else ""
+    raise EngineError(
+        f"{where}unknown engine {engine!r}; valid engines: {list(allowed)}"
+    )
+
+
+def engine_runtime_info() -> dict:
+    """Engine availability/capability snapshot for ``repro info`` and the
+    service health endpoint."""
+    from .core.native import NUMBA_AVAILABLE, numba_version
+
+    return {
+        "engines": list(ENGINES),
+        "default_engine": DEFAULT_ENGINE,
+        "parity_tiers": dict(PARITY_TIERS),
+        "numba_available": NUMBA_AVAILABLE,
+        "numba_version": numba_version(),
+        "native_mode": "numba-jit" if NUMBA_AVAILABLE else "numpy-fallback",
+    }

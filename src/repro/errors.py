@@ -57,3 +57,24 @@ class ConvergenceError(ReproError):
 class ExperimentError(ReproError):
     """Raised by the experiment harness for unknown experiment names or
     invalid experiment configurations."""
+
+
+class EngineError(ReproError):
+    """Raised when an unknown round engine / backend is requested, or when a
+    backend cannot execute the requested configuration.
+
+    Every surface that accepts an ``engine=`` argument (experiments, sweep
+    kernels, the CLI) validates the name up front and raises this error
+    listing the valid backends, instead of letting the typo surface as a
+    backend-specific failure deep inside a run.
+    """
+
+
+class NativeBackendError(EngineError):
+    """Raised when the native (compiled) backend cannot lower a game or
+    protocol to its kernel representation.
+
+    The message names the offending component (an unsupported protocol
+    class, a latency function that can be neither expressed as polynomial
+    coefficients nor tabulated) so the caller can fall back to
+    ``engine="batch"`` deliberately rather than silently."""

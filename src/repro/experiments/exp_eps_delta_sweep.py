@@ -20,8 +20,11 @@ two-line protocol never measured but the sweep engine makes cheap.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from ..analysis.convergence import measure_approx_equilibrium_times
 from ..core.imitation import ImitationProtocol
+from ..engines import validate_engine
 from ..games.singleton import make_linear_singleton
 from ..rng import derive_rng
 from ..sweeps import SweepSpec, run_sweep
@@ -126,13 +129,13 @@ def run_eps_delta_sweep_experiment(
     max_rounds = specs[0][1].max_rounds
 
     rows: list[dict] = []
-    if engine == "batch":
+    validate_engine(engine, context="E3")
+    if engine in ("batch", "native"):
+        specs = [(name, replace(spec, engine=engine)) for name, spec in specs]
         for sweep_name, spec in specs:
             result = run_sweep(spec, workers=workers, store=store)
             rows.extend(_legacy_row(sweep_name, row) for row in result.rows)
     else:
-        if engine != "loop":
-            raise ValueError(f"unknown engine {engine!r}; use 'loop' or 'batch'")
         protocol = ImitationProtocol()
 
         def factory():

@@ -20,10 +20,13 @@ a-time measurement path.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
 from ..analysis.convergence import compare_scaling_models, measure_approx_equilibrium_times
 from ..core.imitation import ImitationProtocol
+from ..engines import validate_engine
 from ..games.singleton import make_linear_singleton
 from ..rng import derive_rng
 from ..sweeps import SweepSpec, run_sweep
@@ -69,11 +72,13 @@ def run_logn_scaling_experiment(
     workers: int = 1, store=None,
 ) -> ExperimentResult:
     """Run experiment E2 and return its result table."""
+    validate_engine(engine, context="E2")
     spec = logn_scaling_spec(quick=quick, seed=seed, trials=trials,
                              delta=delta, epsilon=epsilon)
     player_counts = list(spec.axes["n"])
 
-    if engine == "batch":
+    if engine in ("batch", "native"):
+        spec = replace(spec, engine=engine)
         sweep = run_sweep(spec, workers=workers, store=store)
         rows = [{
             "n": row["n"],
@@ -85,8 +90,6 @@ def run_logn_scaling_experiment(
             "censored_trials": row["censored"],
         } for row in sweep.rows]
     else:
-        if engine != "loop":
-            raise ValueError(f"unknown engine {engine!r}; use 'loop' or 'batch'")
         protocol = ImitationProtocol()
         rows = []
         for num_players in player_counts:

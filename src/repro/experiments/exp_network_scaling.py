@@ -27,12 +27,17 @@ Both tables are :class:`~repro.sweeps.spec.SweepSpec` grids
 per-replica ``rng_streams``; ``engine="loop"`` replays the same streams
 through the scalar engine — the two tables are bit-identical (the
 engine-parity tests assert this on the Braess and grid topologies).
+``engine="native"`` executes the sweep through the fused round kernel
+(allclose parity tier); the engine is folded into the spec, so native rows
+get their own store keys.
 """
 
 from __future__ import annotations
 
 import importlib.util
+from dataclasses import replace
 
+from ..engines import validate_engine
 from ..sweeps import SweepSpec, run_sweep
 from .config import DEFAULTS, pick, pick_list
 from .registry import ExperimentResult, register
@@ -147,12 +152,15 @@ def run_network_scaling_experiment(
     engine: str = "batch", workers: int = 1, store=None,
 ) -> ExperimentResult:
     """Run experiment E14 and return its result table."""
+    validate_engine(engine, context="E14")
     scaling_spec = network_scaling_spec(quick=quick, seed=seed, trials=trials,
                                         num_players=num_players, k_paths=k_paths)
     braess_spec = braess_paradox_spec(quick=quick, seed=seed, trials=trials,
                                       num_players=num_players)
 
-    if engine == "batch":
+    if engine in ("batch", "native"):
+        scaling_spec = replace(scaling_spec, engine=engine)
+        braess_spec = replace(braess_spec, engine=engine)
         scaling_rows = run_sweep(scaling_spec, workers=workers, store=store).rows
         braess_rows = run_sweep(braess_spec, workers=workers, store=store).rows
     else:

@@ -8,15 +8,18 @@ points through the *same* kernels in-process, but with the kernels' scalar
 loop engine.  Because both engines derive identical per-replica random
 streams from the point seeds and share the migration-sampling code, the two
 paths return bit-identical rows — the contract the engine-parity tests
-pin down.
+pin down.  ``engine="native"`` runs the same points through the fused
+round kernel instead (allclose parity tier — same distribution, different
+sample paths; see :mod:`repro.engines`).
 """
 
 from __future__ import annotations
 
 from typing import Any
 
+from ..engines import validate_engine
 from ..sweeps.kernels import run_point
-from ..sweeps.spec import SweepError, SweepSpec
+from ..sweeps.spec import SweepSpec
 
 __all__ = ["run_spec_points"]
 
@@ -28,8 +31,7 @@ def run_spec_points(spec: SweepSpec, *, engine: str = "loop") -> list[dict[str, 
     returns after sorting), without sharding, worker pools, or a store —
     the debuggable single-process twin of the batch path.
     """
-    if engine not in ("loop", "batch"):
-        raise SweepError(f"unknown engine {engine!r}; use 'loop' or 'batch'")
+    validate_engine(engine, context="run_spec_points")
     spec.validate()
     points = spec.expand()
     sequences = spec.point_seed_sequences()

@@ -156,6 +156,8 @@ class CongestionGame:
                 validate_latency(latency, max_load=self._num_players)
 
         self._potential_table: Optional[np.ndarray] = None
+        self._kernel_incidence: Optional[tuple] = None
+        self._kernel_latency: dict[str, tuple] = {}
 
     # ------------------------------------------------------------------
     # Basic structure
@@ -249,6 +251,105 @@ class CongestionGame:
         replicas = marginal.shape[0]
         flat = (self._overlap_pair_matrix() @ marginal.T).T
         return flat.reshape(replicas, self.num_strategies, self.num_strategies)
+
+    # ------------------------------------------------------------------
+    # Native-kernel lowering (consumed by repro.core.native)
+    # ------------------------------------------------------------------
+    def kernel_incidence(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """CSR-style incidence arrays consumable from nopython code (cached).
+
+        Returns ``(strat_indptr, strat_indices, res_indptr, res_indices)``,
+        all ``int64``: the resources of strategy ``P`` are
+        ``strat_indices[strat_indptr[P]:strat_indptr[P+1]]`` and the
+        strategies using resource ``e`` are
+        ``res_indices[res_indptr[e]:res_indptr[e+1]]``.  Built from the
+        strategy tuples directly (no scipy dependency) — the resource →
+        strategies direction is what lets the fused kernel compute the
+        overlap correction ``sum_{e in P ∩ Q} marginal_e`` by scattering
+        over the users of each resource of ``P`` instead of merging all
+        ``S`` candidate strategies.
+        """
+        if self._kernel_incidence is None:
+            strat_indptr = np.zeros(self.num_strategies + 1, dtype=np.int64)
+            for idx, strategy in enumerate(self._strategies):
+                strat_indptr[idx + 1] = strat_indptr[idx] + len(strategy)
+            strat_indices = np.concatenate(
+                [np.asarray(s, dtype=np.int64) for s in self._strategies])
+            users: list[list[int]] = [[] for _ in range(self.num_resources)]
+            for idx, strategy in enumerate(self._strategies):
+                for resource in strategy:
+                    users[resource].append(idx)
+            res_indptr = np.zeros(self.num_resources + 1, dtype=np.int64)
+            for resource, using in enumerate(users):
+                res_indptr[resource + 1] = res_indptr[resource] + len(using)
+            res_indices = (np.concatenate(
+                [np.asarray(u, dtype=np.int64) for u in users if u])
+                if any(users) else np.empty(0, dtype=np.int64))
+            for arr in (strat_indptr, strat_indices, res_indptr, res_indices):
+                arr.setflags(write=False)
+            self._kernel_incidence = (strat_indptr, strat_indices,
+                                      res_indptr, res_indices)
+        return self._kernel_incidence
+
+    #: Refuse to tabulate latencies past this many table cells — a game with
+    #: millions of players must lower its non-polynomial latencies to
+    #: coefficients (kernel_poly_coefficients) instead of value tables.
+    _KERNEL_TABLE_CELLS = 200_000_000
+
+    def kernel_latency_tables(self, dtype=np.float64
+                              ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-resource latency lowering for the native kernel (cached per dtype).
+
+        Returns ``(lat_kind, poly_coeffs, table, table_row)``:
+
+        * ``lat_kind[e]`` is 0 when resource ``e`` evaluates by a Horner
+          pass over ``poly_coeffs[e]`` (highest-degree-first, zero-padded to
+          a common width), 1 when it evaluates by lookup in
+          ``table[table_row[e], load]``;
+        * ``table`` holds exact values at the integer loads ``0..n+1`` for
+          every tabulated resource (loads are integral, so the table form is
+          exact for arbitrary latency functions, not an approximation).
+
+        Raises :class:`~repro.errors.GameDefinitionError` when tabulation
+        would exceed the memory guard (``_KERNEL_TABLE_CELLS`` cells).
+        """
+        key = np.dtype(dtype).name
+        if key not in self._kernel_latency:
+            coeff_lists: list[Optional[np.ndarray]] = [
+                lat.kernel_poly_coefficients() for lat in self._latencies]
+            table_resources = [e for e, c in enumerate(coeff_lists) if c is None]
+            width = max((c.size for c in coeff_lists if c is not None), default=1)
+            lat_kind = np.zeros(self.num_resources, dtype=np.int64)
+            poly_coeffs = np.zeros((self.num_resources, width), dtype=dtype)
+            table_row = np.zeros(self.num_resources, dtype=np.int64)
+            for e, coeffs in enumerate(coeff_lists):
+                if coeffs is None:
+                    lat_kind[e] = 1
+                    continue
+                # Horner wants highest degree first; left-pad with zeros.
+                poly_coeffs[e, width - coeffs.size:] = coeffs[::-1]
+            cells = len(table_resources) * (self.num_players + 2)
+            if cells > self._KERNEL_TABLE_CELLS:
+                names = [repr(self._latencies[e]) for e in table_resources[:3]]
+                raise GameDefinitionError(
+                    f"native-kernel latency tables would need {cells} cells "
+                    f"({len(table_resources)} non-polynomial resources x "
+                    f"{self.num_players + 2} loads); give these latencies a "
+                    f"kernel_poly_coefficients form or use engine='batch' "
+                    f"(first offenders: {', '.join(names)})"
+                )
+            if table_resources:
+                loads = np.arange(self.num_players + 2, dtype=float)
+                table = np.empty((len(table_resources), loads.size), dtype=dtype)
+                for row, e in enumerate(table_resources):
+                    table[row] = self._latencies[e].value(loads)
+                    table_row[e] = row
+            else:
+                table = np.zeros((1, 1), dtype=dtype)
+            for arr in (lat_kind, poly_coeffs, table, table_row):
+                arr.setflags(write=False)
+            self._kernel_latency[key] = (lat_kind, poly_coeffs, table, table_row)
+        return self._kernel_latency[key]
 
     @property
     def resource_names(self) -> list[str]:

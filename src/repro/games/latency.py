@@ -120,6 +120,24 @@ class LatencyFunction(ABC):
         return float(self.value(np.asarray(float(max_load))))
 
     # ------------------------------------------------------------------
+    # Native-kernel lowering
+    # ------------------------------------------------------------------
+    def kernel_poly_coefficients(self) -> "np.ndarray | None":
+        """Ascending polynomial coefficients exactly representing ``l`` or
+        ``None`` when no exact polynomial form exists.
+
+        The native round kernel (:mod:`repro.core.native`) evaluates
+        latencies from nopython code in one of two lowered forms: a Horner
+        pass over polynomial coefficients, or an exact value table at the
+        integer loads ``0..n+1`` (loads of a congestion game are always
+        integers, so tabulation is exact for *any* latency function).
+        Functions with a closed polynomial form should return it here —
+        at ``n = 10^6`` players the coefficient form needs a handful of
+        floats where the table needs megabytes per resource.
+        """
+        return None
+
+    # ------------------------------------------------------------------
     # Combinators
     # ------------------------------------------------------------------
     def scaled_argument(self, factor: float) -> "ScaledLatency":
@@ -169,6 +187,9 @@ class ConstantLatency(LatencyFunction):
 
     def slope_bound(self, d: int) -> float:
         return 0.0
+
+    def kernel_poly_coefficients(self) -> np.ndarray:
+        return np.array([self.c])
 
     def __repr__(self) -> str:
         return f"ConstantLatency({self.c:g})"
@@ -237,6 +258,9 @@ class LinearLatency(LatencyFunction):
     def slope_bound(self, d: int) -> float:
         return self.a
 
+    def kernel_poly_coefficients(self) -> np.ndarray:
+        return np.array([self.b, self.a])
+
     def __repr__(self) -> str:
         return f"LinearLatency(a={self.a:g}, b={self.b:g})"
 
@@ -270,6 +294,15 @@ class MonomialLatency(LatencyFunction):
 
     def elasticity_bound(self, max_load: int) -> float:
         return self.degree
+
+    def kernel_poly_coefficients(self) -> "np.ndarray | None":
+        # Only integer degrees have an exact polynomial form; fractional
+        # monomials fall back to the value table.
+        if self.degree != int(self.degree):
+            return None
+        coeffs = np.zeros(int(self.degree) + 1)
+        coeffs[int(self.degree)] = self.a
+        return coeffs
 
     def __repr__(self) -> str:
         return f"MonomialLatency(a={self.a:g}, d={self.degree:g})"
@@ -318,6 +351,9 @@ class PolynomialLatency(LatencyFunction):
         # degree (each monomial term has elasticity equal to its own degree
         # and the elasticity of a sum of positives is a convex combination).
         return float(self._max_degree)
+
+    def kernel_poly_coefficients(self) -> np.ndarray:
+        return self.coeffs.copy()
 
     def __repr__(self) -> str:
         terms = ", ".join(f"{c:g}" for c in self.coeffs)
@@ -502,6 +538,14 @@ class ScaledLatency(LatencyFunction):
         scaled_range = max(1, int(math.ceil(self.argument_factor * max_load)))
         return self.base.elasticity_bound(scaled_range)
 
+    def kernel_poly_coefficients(self) -> "np.ndarray | None":
+        base = self.base.kernel_poly_coefficients()
+        if base is None:
+            return None
+        # v * sum_k c_k (a*x)^k = sum_k (v * c_k * a^k) x^k
+        powers = self.argument_factor ** np.arange(base.size)
+        return self.value_factor * base * powers
+
     def __repr__(self) -> str:
         return (f"ScaledLatency({self.base!r}, arg={self.argument_factor:g}, "
                 f"val={self.value_factor:g})")
@@ -531,6 +575,14 @@ class ShiftedLatency(LatencyFunction):
         if self.offset == 0.0:
             return self.base.elasticity_bound(max_load)
         return super().elasticity_bound(max_load)
+
+    def kernel_poly_coefficients(self) -> "np.ndarray | None":
+        base = self.base.kernel_poly_coefficients()
+        if base is None:
+            return None
+        shifted = base.copy()
+        shifted[0] += self.offset
+        return shifted
 
     def __repr__(self) -> str:
         return f"ShiftedLatency({self.base!r}, offset={self.offset:g})"

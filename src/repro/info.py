@@ -23,8 +23,9 @@ __all__ = ["optional_dependencies", "render_info", "runtime_info"]
 
 #: Optional third-party packages some subsystems use when present (scipy
 #: enables sparse path×edge incidence, networkx the richer network
-#: generators).  Everything else degrades gracefully without them.
-OPTIONAL_DEPENDENCIES = ("scipy", "networkx")
+#: generators, numba JIT-compiles the native round kernel).  Everything
+#: else degrades gracefully without them.
+OPTIONAL_DEPENDENCIES = ("scipy", "networkx", "numba")
 
 
 def optional_dependencies() -> dict[str, bool]:
@@ -35,6 +36,7 @@ def optional_dependencies() -> dict[str, bool]:
 
 def runtime_info() -> dict[str, Any]:
     """Everything ``info``/``healthz`` report, as one JSON-able dict."""
+    from .engines import engine_runtime_info
     from .experiments import list_experiments
     from .presets import preset_summaries
 
@@ -43,6 +45,7 @@ def runtime_info() -> dict[str, Any]:
         "python": platform.python_version(),
         "numpy": np.__version__,
         "dependencies": optional_dependencies(),
+        "engines": engine_runtime_info(),
         "experiments": [{"id": spec.experiment_id, "title": spec.title}
                         for spec in list_experiments()],
         "presets": preset_summaries(),
@@ -59,6 +62,21 @@ def render_info(info: dict[str, Any] | None = None) -> str:
         "optional dependencies: "
         + ", ".join(f"{name}={'yes' if present else 'no'}"
                     for name, present in sorted(info["dependencies"].items())),
+    ]
+    engines = info.get("engines")
+    if engines:
+        tiers = engines["parity_tiers"]
+        lines += [
+            "",
+            "engines: "
+            + ", ".join(f"{name} [{tiers.get(name, '?')}]"
+                        for name in engines["engines"])
+            + f" (default: {engines['default_engine']})",
+            f"native mode:  {engines['native_mode']}"
+            + (f" (numba {engines['numba_version']})"
+               if engines["numba_available"] else ""),
+        ]
+    lines += [
         "",
         f"experiments ({len(info['experiments'])}):",
     ]

@@ -32,8 +32,19 @@ Because both engines draw every replica's migrations from the same stream
 with the same shared sampling code, the two paths produce **bit-identical**
 rows — the property the engine-parity tests of the ported experiments
 assert.  The hitting-time measures predate this contract and support only
-``engine="batch"`` (their loop paths live in
+``engine="batch"`` and ``engine="native"`` (their loop paths live in
 :mod:`repro.analysis.convergence`).
+
+``engine="native"`` routes the multi-round measures through the fused
+round kernel (:mod:`repro.core.native`).  The native engine consumes a
+*single* random stream per ensemble (the first per-replica stream of the
+run seed) and draws its migrations through a different decomposition, so
+native rows agree with batch rows in distribution — the "allclose" parity
+tier of :data:`repro.engines.PARITY_TIERS` — but not sample-path-wise.
+Sweep specs therefore carry the engine in their content hash.  Engine
+names are validated by :func:`repro.engines.validate_engine`, so typos
+fail immediately with an :class:`~repro.errors.EngineError` naming the
+valid backends.
 """
 
 from __future__ import annotations
@@ -70,6 +81,7 @@ from ..core.potential import expected_virtual_potential_gain, potential_breakdow
 from ..core.protocols import Protocol
 from ..core.run import stop_at_approx_equilibrium, stop_at_nash
 from ..core.virtual_agents import VirtualAgentImitationProtocol
+from ..engines import validate_engine
 from ..games.base import CongestionGame
 from ..games.generators import (
     random_linear_singleton,
@@ -92,12 +104,8 @@ from .spec import SweepError, SweepPoint, SweepSpec, point_key
 __all__ = ["GAME_BUILDERS", "PROTOCOL_BUILDERS", "MEASURES",
            "build_game", "build_protocol", "run_point"]
 
-_ENGINES = ("loop", "batch")
-
-
 def _check_engine(engine: str) -> None:
-    if engine not in _ENGINES:
-        raise SweepError(f"unknown engine {engine!r}; known: {_ENGINES}")
+    validate_engine(engine, context="sweep kernel")
 
 
 # ----------------------------------------------------------------------
@@ -313,7 +321,7 @@ def _measure_approx_equilibrium(spec: SweepSpec, params: Mapping[str, Any],
                                 game: CongestionGame, protocol: Protocol,
                                 run_rng: np.random.SeedSequence,
                                 engine: str = "batch") -> dict[str, Any]:
-    _require_batch("approx_equilibrium_time", engine)
+    backend = _ensemble_backend("approx_equilibrium_time", engine)
     stop = batch_stop_at_approx_equilibrium(
         float(params.get("delta", 0.25)),
         float(params.get("epsilon", 0.25)),
@@ -322,6 +330,7 @@ def _measure_approx_equilibrium(spec: SweepSpec, params: Mapping[str, Any],
     return _hitting_columns(measure_hitting_times_ensemble(
         game, protocol, stop, trials=spec.replicas,
         max_rounds=int(params.get("max_rounds", spec.max_rounds)), rng=run_rng,
+        backend=backend,
     ))
 
 
@@ -329,11 +338,12 @@ def _measure_imitation_stable(spec: SweepSpec, params: Mapping[str, Any],
                               game: CongestionGame, protocol: Protocol,
                               run_rng: np.random.SeedSequence,
                               engine: str = "batch") -> dict[str, Any]:
-    _require_batch("imitation_stable_time", engine)
+    backend = _ensemble_backend("imitation_stable_time", engine)
     stop = batch_stop_at_imitation_stable(params.get("nu"))
     return _hitting_columns(measure_hitting_times_ensemble(
         game, protocol, stop, trials=spec.replicas,
         max_rounds=int(params.get("max_rounds", spec.max_rounds)), rng=run_rng,
+        backend=backend,
     ))
 
 
@@ -341,21 +351,31 @@ def _measure_nash(spec: SweepSpec, params: Mapping[str, Any],
                   game: CongestionGame, protocol: Protocol,
                   run_rng: np.random.SeedSequence,
                   engine: str = "batch") -> dict[str, Any]:
-    _require_batch("nash_time", engine)
+    backend = _ensemble_backend("nash_time", engine)
     stop = batch_stop_at_nash(float(params.get("tolerance", 1e-9)))
     return _hitting_columns(measure_hitting_times_ensemble(
         game, protocol, stop, trials=spec.replicas,
         max_rounds=int(params.get("max_rounds", spec.max_rounds)), rng=run_rng,
+        backend=backend,
     ))
 
 
-def _require_batch(measure: str, engine: str) -> None:
+def _ensemble_backend(measure: str, engine: str) -> str:
+    """Backend for the ensemble-only hitting-time measures.
+
+    These measures run exclusively through
+    :func:`measure_hitting_times_ensemble`, which accepts the ``"batch"``
+    and ``"native"`` backends; the loop path of the grid experiments lives
+    in :mod:`repro.analysis.convergence`.
+    """
     _check_engine(engine)
-    if engine != "batch":
+    if engine == "loop":
         raise SweepError(
-            f"measure {measure!r} supports engine='batch' only; the loop "
-            "path of the grid experiments lives in repro.analysis.convergence"
+            f"measure {measure!r} supports engine='batch' or 'native' only; "
+            "the loop path of the grid experiments lives in "
+            "repro.analysis.convergence"
         )
+    return engine
 
 
 # ----------------------------------------------------------------------
@@ -370,8 +390,11 @@ def _stacked_migrations(counts: np.ndarray, matrix: np.ndarray, samples: int,
     origin) rows; the loop path draws sample by sample.  Both consume the
     generator in the same row order, so the returned stacks are
     bit-identical (the invariant behind the loop/batch R=1 equivalence).
+    ``engine="native"`` shares the batch path: a single-round stacked draw
+    has no fused kernel (there is no round loop to fuse), so the native
+    rows of the single-round measures are bit-identical to batch.
     """
-    if engine == "batch":
+    if engine in ("batch", "native"):
         tiled_counts = np.tile(counts, (samples, 1))
         tiled_matrices = np.tile(matrix, (samples, 1, 1))
         return sample_migration_matrices(tiled_counts, tiled_matrices, gen)
@@ -404,17 +427,31 @@ def _ensemble_trajectories(
     ``scalar_stop``: without it the scalar condition is lifted row by row
     (``batch_stop_from_scalar``), which evaluates the game once per replica
     per round and easily dominates the whole batch run.
+
+    ``engine="native"`` runs the ensemble through the fused round kernel.
+    The native engine has no per-replica stream mode: it consumes the
+    *first* stream as its single generator, so its trajectories agree with
+    the reference pair in distribution (allclose tier), not bit-for-bit.
     """
-    if engine == "batch":
+    if engine in ("batch", "native"):
         if batch_stop is None and scalar_stop is not None:
             batch_stop = batch_stop_from_scalar(scalar_stop)
-        dynamics = EnsembleDynamics(game, protocol, rng=0)
-        result = dynamics.run(
-            initial_states,
-            max_rounds=max_rounds,
-            stop_condition=batch_stop,
-            rng_streams=list(streams),
-        )
+        if engine == "native":
+            dynamics = EnsembleDynamics(game, protocol, rng=streams[0])
+            result = dynamics.run(
+                initial_states,
+                max_rounds=max_rounds,
+                stop_condition=batch_stop,
+                backend="native",
+            )
+        else:
+            dynamics = EnsembleDynamics(game, protocol, rng=0)
+            result = dynamics.run(
+                initial_states,
+                max_rounds=max_rounds,
+                stop_condition=batch_stop,
+                rng_streams=list(streams),
+            )
         finals = [result.final_states.to_array()[index]
                   for index in range(result.num_replicas)]
         return finals, result.rounds.astype(np.int64), result.converged
@@ -462,16 +499,29 @@ def _potential_trajectories(game: CongestionGame, protocol: Protocol,
                             start_counts: np.ndarray,
                             streams: Sequence[np.random.Generator],
                             *, rounds: int, engine: str) -> list[np.ndarray]:
-    """Per-replica potential trajectories from a shared start state."""
-    if engine == "batch":
+    """Per-replica potential trajectories from a shared start state.
+
+    The native path records through the same :class:`EnsembleCollector`,
+    driven by the fused kernel on a single stream (allclose tier).
+    """
+    if engine in ("batch", "native"):
         collector = EnsembleCollector(game, metrics=("potential",), every=1)
-        dynamics = EnsembleDynamics(game, protocol, rng=0)
-        result = dynamics.run(
-            np.tile(start_counts, (len(streams), 1)),
-            max_rounds=rounds,
-            collector=collector,
-            rng_streams=list(streams),
-        )
+        if engine == "native":
+            dynamics = EnsembleDynamics(game, protocol, rng=streams[0])
+            result = dynamics.run(
+                np.tile(start_counts, (len(streams), 1)),
+                max_rounds=rounds,
+                collector=collector,
+                backend="native",
+            )
+        else:
+            dynamics = EnsembleDynamics(game, protocol, rng=0)
+            result = dynamics.run(
+                np.tile(start_counts, (len(streams), 1)),
+                max_rounds=rounds,
+                collector=collector,
+                rng_streams=list(streams),
+            )
         trace = result.metric("potential")  # (T, R)
         return [trace[:int(result.rounds[index]) + 1, index]
                 for index in range(result.num_replicas)]
@@ -790,7 +840,7 @@ MEASURES: dict[str, Callable[..., dict[str, Any]]] = {
 
 def run_point(spec: SweepSpec, point: SweepPoint,
               seed_sequence: np.random.SeedSequence,
-              *, engine: str = "batch") -> dict[str, Any]:
+              *, engine: Optional[str] = None) -> dict[str, Any]:
     """Execute one sweep point and return its result row.
 
     The row carries the point identity (``point_index``, ``point_key``), the
@@ -799,9 +849,13 @@ def run_point(spec: SweepSpec, point: SweepPoint,
     ``"protocol"`` entry in the point's parameters overrides the spec-level
     default, which lets a single sweep compare game families or protocols
     along an axis.  ``engine`` selects the execution engine of the
-    engine-parity measures (the scheduler always runs ``"batch"``; the
-    experiments' ``engine="loop"`` path calls this directly).
+    measures; ``None`` (the scheduler's call) resolves to ``spec.engine``,
+    so the engine choice travels with the spec — and with its content hash.
+    The experiments' ``engine="loop"`` parity path overrides it directly.
     """
+    if engine is None:
+        engine = spec.engine
+    _check_engine(engine)
     instance_rng, run_rng = seed_sequence.spawn(2)
     game_name = str(point.params.get("game", spec.game))
     protocol_name = str(point.params.get("protocol", spec.protocol))

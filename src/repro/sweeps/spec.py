@@ -43,7 +43,11 @@ __all__ = ["CODE_VERSION", "SweepError", "SweepPoint", "SweepSpec",
 #: (2: large sparse games auto-switch to CSR incidence evaluation, whose
 #: accumulation order differs from the dense BLAS path in the last bits —
 #: rows computed by version 1 are no longer reproducible bit-for-bit.)
-CODE_VERSION = 2
+#: (3: specs carry an ``engine`` field and measures may execute on the
+#: native backend, whose migration draws come from a different random
+#: decomposition than the batch engine's — rows computed by version 2 keep
+#: distinct store keys.)
+CODE_VERSION = 3
 
 
 class SweepError(ReproError):
@@ -132,6 +136,12 @@ class SweepSpec:
     seed:
         Master seed; every point derives its own independent seed sequence
         from it by index.
+    engine:
+        Round engine executing the measure (``"loop"``, ``"batch"`` or
+        ``"native"``; see :mod:`repro.engines`).  Part of the spec — and
+        thus of :meth:`content_hash` — because the native engine's random
+        stream differs from the reference pair, so rows computed by
+        different engines must never share a store key.
     """
 
     name: str
@@ -143,6 +153,7 @@ class SweepSpec:
     replicas: int = 5
     max_rounds: int = 5_000
     seed: int = 2009
+    engine: str = "batch"
 
     def __post_init__(self):
         axes = {str(name): [_jsonable(v) for v in values]
@@ -193,6 +204,9 @@ class SweepSpec:
             raise SweepError("replicas must be positive")
         if self.max_rounds <= 0:
             raise SweepError("max_rounds must be positive")
+        from ..engines import validate_engine
+
+        validate_engine(self.engine, context=f"sweep {self.name!r}")
 
     # ------------------------------------------------------------------
     @property
@@ -235,6 +249,7 @@ class SweepSpec:
             "replicas": self.replicas,
             "max_rounds": self.max_rounds,
             "seed": self.seed,
+            "engine": self.engine,
         }
 
     @classmethod
@@ -244,7 +259,7 @@ class SweepSpec:
             raise SweepError("a sweep spec must be a JSON object / mapping, "
                              f"got {type(payload).__name__}")
         known = {"name", "game", "protocol", "measure", "axes", "base",
-                 "replicas", "max_rounds", "seed"}
+                 "replicas", "max_rounds", "seed", "engine"}
         unknown = set(payload) - known
         if unknown:
             raise SweepError(f"unknown SweepSpec field(s) {sorted(unknown)}; "

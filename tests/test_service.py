@@ -349,7 +349,11 @@ class TestEndToEnd:
     def test_healthz_reports_runtime_info(self, harness):
         health = harness.client.healthz()
         assert health["status"] == "ok"
-        assert set(health["dependencies"]) == {"scipy", "networkx"}
+        assert set(health["dependencies"]) == {"scipy", "networkx", "numba"}
+        assert health["engines"]["engines"] == ["loop", "batch", "native"]
+        assert health["engines"]["parity_tiers"]["native"] == "allclose"
+        assert health["engines"]["native_mode"] in ("numba-jit",
+                                                    "numpy-fallback")
         assert {"queued", "running", "done"} <= set(health["jobs"])
         assert any(preset["name"] == "logn" for preset in health["presets"])
         assert any(item["id"] == "E2" for item in health["experiments"])
