@@ -1,0 +1,114 @@
+"""The benchmark trajectory: trend tables over committed ``BENCH_*.json``.
+
+Every PR's benchmark session commits one ``BENCH_<pr>.json`` at the
+repository root (see ``benchmarks/record.py``).  This module — the first
+consumer of those records — loads all of them and renders a per-guard
+trend table: one row per benchmark name, one ``pr<N>`` column per record,
+values in milliseconds, plus the relative change between the oldest and
+newest measurement of each guard.  ``python -m repro bench-history`` is
+the CLI surface; ROADMAP's "perf trajectory visible to future re-anchors"
+is the point.
+
+Numbers from different records are only loosely comparable — each carries
+its own environment stanza (python/numpy versions, numba availability),
+which the report prints so a regression can be told from a machine change.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Optional
+
+from .errors import ReproError
+
+__all__ = ["load_bench_records", "history_rows", "render_bench_history"]
+
+_RECORD_PATTERN = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def load_bench_records(directory: str | Path = ".") -> list[dict[str, Any]]:
+    """All ``BENCH_<pr>.json`` records under ``directory``, sorted by PR.
+
+    Unreadable or malformed files raise :class:`~repro.errors.ReproError`
+    naming the file — a half-written record should fail loudly, not vanish
+    from the trend.
+    """
+    directory = Path(directory)
+    records = []
+    for path in sorted(directory.glob("BENCH_*.json")):
+        match = _RECORD_PATTERN.match(path.name)
+        if not match:
+            continue
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            raise ReproError(
+                f"cannot read benchmark record {path}: {error}") from error
+        payload.setdefault("pr", int(match.group(1)))
+        records.append(payload)
+    records.sort(key=lambda record: record["pr"])
+    return records
+
+
+def history_rows(records: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """One row per benchmark name: ``pr<N>_ms`` mean columns + trend.
+
+    ``trend`` is ``(newest - oldest) / oldest`` over the records in which
+    the benchmark appears (negative = got faster).  Benchmarks present in
+    only one record show a blank trend.
+    """
+    by_name: dict[str, dict[int, float]] = {}
+    for record in records:
+        for bench in record.get("benchmarks", []):
+            by_name.setdefault(bench["name"], {})[record["pr"]] = bench["mean_s"]
+    rows = []
+    for name in sorted(by_name):
+        means = by_name[name]
+        row: dict[str, Any] = {"benchmark": name}
+        for record in records:
+            pr = record["pr"]
+            if pr in means:
+                row[f"pr{pr}_ms"] = round(means[pr] * 1000, 3)
+        observed = [means[record["pr"]] for record in records
+                    if record["pr"] in means]
+        if len(observed) >= 2 and observed[0] > 0:
+            row["trend"] = f"{(observed[-1] - observed[0]) / observed[0]:+.1%}"
+        else:
+            row["trend"] = ""
+        rows.append(row)
+    return rows
+
+
+def render_bench_history(directory: str | Path = ".", *,
+                         markdown: bool = False,
+                         names: Optional[list[str]] = None) -> str:
+    """The full trend report (environment lines + per-guard table)."""
+    from .experiments.reporting import render_markdown_table, render_table
+
+    records = load_bench_records(directory)
+    if not records:
+        raise ReproError(
+            f"no BENCH_<pr>.json records found under {Path(directory).resolve()}"
+        )
+    rows = history_rows(records)
+    if names:
+        wanted = set(names)
+        rows = [row for row in rows if row["benchmark"] in wanted]
+        if not rows:
+            raise ReproError(
+                f"no benchmark matches {sorted(wanted)}; known: "
+                f"{[r['benchmark'] for r in history_rows(records)]}")
+    lines = []
+    for record in records:
+        env = record.get("environment", {})
+        env_text = ", ".join(f"{key}={value}" for key, value in env.items())
+        lines.append(f"BENCH_{record['pr']}.json: "
+                     f"{len(record.get('benchmarks', []))} benchmarks "
+                     f"({env_text})")
+    lines.append("")
+    render = render_markdown_table if markdown else render_table
+    lines.append(render(rows))
+    return "\n".join(lines)

@@ -109,7 +109,11 @@ _EPILOG = ("Parameter sweeps (the `sweep` command) are documented in "
            "(E14 layered-DAG routing with sampled path strategy sets).  "
            "The sweep service (`serve`/`submit`/`status`/`fetch` — a "
            "long-running daemon with a job queue and a content-hash result "
-           "cache over the same store) is documented in docs/SERVICE.md.")
+           "cache over the same store) is documented in docs/SERVICE.md.  "
+           "Telemetry — engine round tracing (`simulate --trace`), sweep "
+           "metrics (`sweep --metrics-out`), the service's /v1/metrics "
+           "Prometheus endpoint and the `bench-history` trend table — is "
+           "documented in docs/OBSERVABILITY.md.")
 
 _DEFAULT_SERVICE_URL = "http://127.0.0.1:8080"
 
@@ -186,6 +190,11 @@ def build_parser() -> argparse.ArgumentParser:
                               help="row column aggregated by --group-by")
     sweep_parser.add_argument("--markdown", action="store_true",
                               help="emit markdown tables")
+    sweep_parser.add_argument("--metrics-out", default=None, metavar="FILE",
+                              dest="metrics_out",
+                              help="write the run's metrics snapshot (point/"
+                                   "shard timings, cache counters, worker "
+                                   "utilization) as JSON; '-' for stdout")
 
     sim_parser = subparsers.add_parser("simulate", help="simulate a protocol on a generated game")
     sim_parser.add_argument("--game", choices=_GAME_CHOICES, default="linear-singleton")
@@ -215,10 +224,30 @@ def build_parser() -> argparse.ArgumentParser:
                             help="bound the strategy set to this many sampled "
                                  "s-t paths instead of enumerating them "
                                  "(--game grid/layered)")
+    sim_parser.add_argument("--trace", default=None, metavar="FILE",
+                            help="write a per-round JSONL trace (migrations, "
+                                 "potential/social-cost deltas, wall time) to "
+                                 "FILE; never changes the simulated "
+                                 "trajectory (docs/OBSERVABILITY.md)")
 
-    subparsers.add_parser(
+    info_parser = subparsers.add_parser(
         "info", help="print versions, registered experiments/presets and "
                      "optional-dependency availability")
+    info_parser.add_argument("--json", action="store_true",
+                             help="machine-readable JSON instead of prose "
+                                  "(for CI and monitoring scrapes)")
+
+    bench_parser = subparsers.add_parser(
+        "bench-history",
+        help="per-guard trend table over the committed BENCH_<pr>.json "
+             "benchmark records")
+    bench_parser.add_argument("--dir", default=".", metavar="DIR",
+                              help="directory holding the BENCH_*.json "
+                                   "records (default: current directory)")
+    bench_parser.add_argument("--only", nargs="*", default=None,
+                              help="restrict to the given benchmark names")
+    bench_parser.add_argument("--markdown", action="store_true",
+                              help="emit a markdown table")
 
     serve_parser = subparsers.add_parser(
         "serve", help="run the sweep-service daemon (see docs/SERVICE.md)",
@@ -236,7 +265,14 @@ def build_parser() -> argparse.ArgumentParser:
                               help="worker processes per job's sweep "
                                    "(same pool as `sweep --workers`)")
     serve_parser.add_argument("--verbose", action="store_true",
-                              help="log every HTTP request to stderr")
+                              help="log every HTTP request to stderr "
+                                   "(http.server's plain one-line format)")
+    serve_parser.add_argument("--access-log", action="store_true",
+                              dest="access_log",
+                              help="emit one structured JSON line per "
+                                   "request to stderr (method, route "
+                                   "template, status, latency); off by "
+                                   "default")
 
     submit_parser = subparsers.add_parser(
         "submit", help="submit a sweep to a running service and wait for it",
@@ -415,11 +451,32 @@ def _command_sweep(args: argparse.Namespace) -> int:
         aggregated = aggregate_rows(result.rows, by=by, value=args.value)
         print()
         print(render(aggregated))
+    if args.metrics_out:
+        payload = result.metrics.to_json() + "\n"
+        if args.metrics_out == "-":
+            sys.stdout.write(payload)
+        else:
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            print(f"wrote metrics snapshot to {args.metrics_out}")
     return 0
 
 
-def _command_info() -> int:
+def _command_info(args: argparse.Namespace) -> int:
+    if args.json:
+        from .info import runtime_info
+
+        print(json.dumps(runtime_info(), indent=2, sort_keys=True))
+        return 0
     print(render_info())
+    return 0
+
+
+def _command_bench_history(args: argparse.Namespace) -> int:
+    from .bench_history import render_bench_history
+
+    print(render_bench_history(args.dir, markdown=args.markdown,
+                               names=args.only))
     return 0
 
 
@@ -431,7 +488,7 @@ def _command_serve(args: argparse.Namespace) -> int:
     _require_positive("--port", args.port, minimum=0)
     return run_service(args.store, host=args.host, port=args.port,
                        workers=args.workers, sweep_workers=args.sweep_workers,
-                       quiet=not args.verbose)
+                       quiet=not args.verbose, access_log=args.access_log)
 
 
 def _submit_summary(response: dict) -> str:
@@ -557,10 +614,18 @@ def _command_simulate(args: argparse.Namespace) -> int:
                        rows=args.rows, cols=args.cols, layers=args.layers,
                        k_paths=args.k_paths)
     protocol = _build_protocol(args.protocol)
-    if engine in ("batch", "native"):
-        return _simulate_ensemble(args, game, protocol, engine)
-    collector = MetricsCollector(game, every=args.every)
-    result = simulate(game, protocol, rounds=args.rounds, rng=args.seed, collector=collector)
+    trace = _build_tracer(args, engine)
+    try:
+        if engine in ("batch", "native"):
+            return _simulate_ensemble(args, game, protocol, engine,
+                                      trace=trace)
+        collector = MetricsCollector(game, every=args.every)
+        result = simulate(game, protocol, rounds=args.rounds, rng=args.seed,
+                          collector=collector, trace=trace)
+    finally:
+        if trace is not None:
+            trace.close()
+            print(f"wrote round trace to {args.trace}", file=sys.stderr)
     print(f"game: {game.describe()}")
     print(f"protocol: {protocol.describe()}")
     print(f"rounds executed: {result.rounds} (stop reason: {result.stop_reason.value})")
@@ -573,12 +638,27 @@ def _command_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_tracer(args: argparse.Namespace, engine: str):
+    """The ``--trace`` tracer: a JSONL sink keyed by the simulate params."""
+    if args.trace is None:
+        return None
+    from .telemetry import JsonlTraceSink, RoundTracer, make_run_id
+
+    run_id = make_run_id({
+        "game": args.game, "protocol": args.protocol, "players": args.players,
+        "links": args.links, "rounds": args.rounds, "seed": args.seed,
+        "replicas": args.replicas, "engine": engine, "dtype": args.dtype,
+    })
+    return RoundTracer(JsonlTraceSink(args.trace), run_id=run_id)
+
+
 def _simulate_ensemble(args: argparse.Namespace, game, protocol,
-                       engine: str = "batch") -> int:
+                       engine: str = "batch", trace=None) -> int:
     collector = EnsembleCollector(game, every=args.every)
     result = simulate_ensemble(
         game, protocol, replicas=args.replicas, rounds=args.rounds,
         rng=args.seed, collector=collector, backend=engine, dtype=args.dtype,
+        trace=trace,
     )
     print(f"game: {game.describe()}")
     print(f"protocol: {protocol.describe()}")
@@ -623,7 +703,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "sweep":
             return _command_sweep(args)
         if args.command == "info":
-            return _command_info()
+            return _command_info(args)
+        if args.command == "bench-history":
+            return _command_bench_history(args)
         if args.command == "serve":
             return _command_serve(args)
         if args.command == "submit":

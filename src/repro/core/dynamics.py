@@ -221,6 +221,7 @@ class ConcurrentDynamics:
         collector: Optional[MetricsCollector] = None,
         record_states: bool = False,
         strict: bool = False,
+        trace=None,
     ) -> TrajectoryResult:
         """Run the dynamics from ``initial_state``.
 
@@ -245,11 +246,18 @@ class ConcurrentDynamics:
         strict:
             Raise :class:`ConvergenceError` when the round budget runs out
             before the stop condition is met.
+        trace:
+            Optional :class:`repro.telemetry.RoundTracer` emitting one JSONL
+            event per round.  Consumes no randomness — traced runs are
+            bit-identical to untraced ones (docs/OBSERVABILITY.md).
         """
         counts = self.game.validate_state(initial_state).copy()
         states: Optional[list[GameState]] = [GameState(counts)] if record_states else None
         if collector is not None:
             collector.record(0, counts, migrations=0)
+        if trace is not None:
+            trace.run_started(self.game, engine="loop", replicas=1,
+                              max_rounds=max_rounds)
 
         total_migrations = 0
         rounds = 0
@@ -268,6 +276,8 @@ class ConcurrentDynamics:
             moves = int(migration.sum())
             total_migrations += moves
             rounds = round_index + 1
+            if trace is not None:
+                trace.round_completed(self.game, counts, None, rounds, moves)
             if collector is not None and collector.should_record(rounds):
                 collector.record(rounds, counts, migrations=moves)
             if record_states and states is not None:
@@ -284,6 +294,10 @@ class ConcurrentDynamics:
         if collector is not None and (not collector.records
                                       or collector.records[-1].round_index != rounds):
             collector.record(rounds, counts, migrations=0)
+        if trace is not None:
+            trace.run_finished(self.game, counts, None, rounds=rounds,
+                               total_migrations=total_migrations,
+                               converged=reason is not StopReason.MAX_ROUNDS)
 
         return TrajectoryResult(
             final_state=GameState(counts),

@@ -361,6 +361,7 @@ class EnsembleDynamics:
         rng_streams: Optional[Sequence[np.random.Generator]] = None,
         backend: str = "batch",
         dtype: str = "float64",
+        trace=None,
     ) -> EnsembleResult:
         """Advance all live replicas round by round.
 
@@ -415,6 +416,15 @@ class EnsembleDynamics:
             Accumulation precision of the native backend's buffers
             (``"float64"`` default, ``"float32"`` opt-in); the batch
             backend always computes in float64.
+        trace:
+            Optional :class:`repro.telemetry.RoundTracer`.  When given, the
+            engine emits one JSONL event per round (migrations, potential /
+            social-cost means and deltas, live-replica count, wall time)
+            bracketed by ``run_started``/``run_finished``.  The tracer
+            consumes no randomness, so a traced run's final states are
+            bit-identical to the untraced run; the native backend reports
+            coarsely at kernel-chunk boundaries instead of per round so the
+            hot loop stays fused (docs/OBSERVABILITY.md).
         """
         from ..errors import EngineError
 
@@ -445,6 +455,7 @@ class EnsembleDynamics:
                 strict=strict,
                 rng=self.rng,
                 dtype=dtype,
+                trace=trace,
             )
         if dtype != "float64":
             raise EngineError(
@@ -478,6 +489,9 @@ class EnsembleDynamics:
 
         if collector is not None:
             collector.record(0, counts)
+        if trace is not None:
+            trace.run_started(self.game, engine="batch",
+                              replicas=num_replicas, max_rounds=max_rounds)
 
         last_recorded = 0
         for round_index in range(max_rounds):
@@ -523,6 +537,9 @@ class EnsembleDynamics:
 
             if observer is not None:
                 observer(self.game, counts, indices, round_index + 1)
+            if trace is not None:
+                trace.round_completed(self.game, counts, indices,
+                                      round_index + 1, int(moves.sum()))
             if collector is not None and collector.should_record(round_index + 1):
                 all_moves = np.zeros(num_replicas, dtype=np.int64)
                 all_moves[indices] = moves
@@ -546,6 +563,13 @@ class EnsembleDynamics:
         max_executed = int(rounds.max()) if num_replicas else 0
         if collector is not None and last_recorded != max_executed:
             collector.record(max_executed, counts)
+        if trace is not None:
+            trace.run_finished(
+                self.game, counts, None, rounds=max_executed,
+                total_migrations=int(total_migrations.sum()),
+                converged=all(reason is not StopReason.MAX_ROUNDS
+                              for reason in reasons),
+            )
 
         return EnsembleResult(
             final_states=BatchGameState(counts),
@@ -603,6 +627,7 @@ def simulate_ensemble(
     stop_condition: Optional[BatchStopCondition] = None,
     backend: str = "batch",
     dtype: str = "float64",
+    trace=None,
 ) -> EnsembleResult:
     """Run ``replicas`` replicas of ``protocol`` on ``game`` for at most
     ``rounds`` rounds each (the batched sibling of :func:`repro.core.run.simulate`)."""
@@ -615,4 +640,5 @@ def simulate_ensemble(
         collector=collector,
         backend=backend,
         dtype=dtype,
+        trace=trace,
     )

@@ -578,6 +578,7 @@ def run_native_ensemble(
     rng: RngLike = None,
     dtype="float64",
     use_numba: Optional[bool] = None,
+    trace=None,
 ):
     """Run the fused native engine; returns an
     :class:`~repro.core.ensemble.EnsembleResult` interchangeable with the
@@ -589,6 +590,14 @@ def run_native_ensemble(
     (``"float32"`` halves memory traffic at ~1e-5 relative accuracy) and
     ``use_numba`` forces the compiled (True) or vectorised-numpy (False)
     chunk implementation instead of auto-detection.
+
+    ``trace`` (optional :class:`repro.telemetry.RoundTracer`) reports
+    **coarsely, at kernel-chunk boundaries only** — per-round events would
+    force ``sync = 1`` and deoptimize the fused hot loop, so the tracer
+    samples the counters the kernel already maintains (``moves_out``,
+    ``rounds_out``) outside the jitted region and never changes the
+    synchronisation granularity.  Traced native runs therefore consume the
+    identical random stream and produce identical results.
     """
     from .ensemble import EnsembleResult  # local import: ensemble ↔ native
     from ..games.state import BatchGameState
@@ -687,6 +696,9 @@ def run_native_ensemble(
     last_recorded = 0
     if collector is not None:
         collector.record(0, snapshot())
+    if trace is not None:
+        trace.run_started(game, engine="native", replicas=num_replicas,
+                          max_rounds=max_rounds)
 
     while active > 0 and cursor < max_rounds:
         span = min(sync, max_rounds - cursor)
@@ -703,10 +715,14 @@ def run_native_ensemble(
                 active = keep.size
                 if active == 0:
                     break
+        moves_before = int(moves_out.sum()) if trace is not None else 0
         active, entered = run_chunk(active, cursor, span)
         if entered == 0:
             break
         cursor += entered
+        if trace is not None:
+            trace.chunk_completed(game, snapshot(), orig[:active], cursor,
+                                  int(moves_out.sum()) - moves_before)
         if observer is not None:
             movers = np.nonzero(rounds_out == cursor)[0]
             if movers.size:
@@ -732,6 +748,12 @@ def run_native_ensemble(
     max_executed = int(rounds_out.max()) if num_replicas else 0
     if collector is not None and last_recorded != max_executed:
         collector.record(max_executed, final_counts)
+    if trace is not None:
+        trace.run_finished(
+            game, final_counts, None, rounds=max_executed,
+            total_migrations=int(moves_out.sum()),
+            converged=bool((reason_out != _REASON_MAX_ROUNDS).all()),
+        )
 
     return EnsembleResult(
         final_states=BatchGameState(final_counts),

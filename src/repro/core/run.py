@@ -92,12 +92,14 @@ def simulate(
     rng: RngLike = None,
     collector: Optional[MetricsCollector] = None,
     record_states: bool = False,
+    trace=None,
 ) -> TrajectoryResult:
     """Run ``protocol`` on ``game`` for a fixed number of rounds.
 
     The run still ends early if the protocol becomes quiescent (no move has
     positive probability).  ``initial_state`` defaults to the uniform random
-    initialisation used throughout the paper.
+    initialisation used throughout the paper.  ``trace`` is an optional
+    :class:`repro.telemetry.RoundTracer` (see docs/OBSERVABILITY.md).
     """
     dynamics = ConcurrentDynamics(game, protocol, rng=rng)
     if initial_state is None:
@@ -107,6 +109,7 @@ def simulate(
         max_rounds=rounds,
         collector=collector,
         record_states=record_states,
+        trace=trace,
     )
 
 

@@ -70,6 +70,14 @@ class EngineError(ReproError):
     """
 
 
+class TelemetryError(ReproError):
+    """Raised for invalid telemetry usage: registering one metric name under
+    two different kinds (counter vs gauge), merging snapshots whose
+    histograms were built with different bucket boundaries, or observing
+    non-finite values.  Telemetry must never corrupt silently — a merged
+    counter that double-counts is worse than no counter at all."""
+
+
 class NativeBackendError(EngineError):
     """Raised when the native (compiled) backend cannot lower a game or
     protocol to its kernel representation.

@@ -15,6 +15,7 @@ from typing import Iterable, Optional
 
 from ..errors import ExperimentError
 from ..sweeps.scheduler import parallel_map
+from ..telemetry import DEFAULT_DURATION_BUCKETS, MetricsRegistry
 from .registry import ExperimentResult, list_experiments, run_experiment
 
 __all__ = ["run_all", "render_report", "render_markdown_report"]
@@ -38,6 +39,7 @@ def run_all(
     verbose: bool = False,
     engine: str = "batch",
     jobs: int = 1,
+    registry: Optional[MetricsRegistry] = None,
 ) -> dict[str, ExperimentResult]:
     """Run every registered experiment (or the subset in ``only``).
 
@@ -48,6 +50,12 @@ def run_all(
     identifiers in ``only`` raise :class:`~repro.errors.ExperimentError`
     listing the valid ones.  Returns a mapping from experiment identifier to
     its result, in registry order.
+
+    ``registry`` (an optional :class:`~repro.telemetry.MetricsRegistry`)
+    collects ``experiments_run_total`` and a per-experiment
+    ``experiment_seconds{experiment=...}`` duration histogram — the same
+    wall clocks recorded in each result's ``wall_clock_seconds``, exposed
+    as mergeable metrics for embedding callers.
     """
     specs = list_experiments()
     known = {spec.experiment_id for spec in specs}
@@ -67,6 +75,14 @@ def run_all(
     ordered: list[Optional[ExperimentResult]] = [None] * len(payloads)
     for index, result in parallel_map(_run_one, payloads, workers=jobs):
         ordered[index] = result
+        if registry is not None:
+            registry.counter("experiments_run_total",
+                             "Experiments executed by run_all").inc()
+            registry.histogram(
+                "experiment_seconds", "Wall time per experiment",
+                DEFAULT_DURATION_BUCKETS,
+                experiment=result.experiment_id,
+            ).observe(float(result.parameters.get("wall_clock_seconds", 0.0)))
         if verbose and jobs <= 1:
             print(result.render())
             print()

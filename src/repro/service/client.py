@@ -70,6 +70,11 @@ class ServiceClient:
         """``GET /v1/healthz``."""
         return self._json("GET", "/v1/healthz")
 
+    def metrics_text(self) -> str:
+        """``GET /v1/metrics`` — raw Prometheus text exposition."""
+        with self._request("GET", "/v1/metrics") as response:
+            return response.read().decode("utf-8")
+
     def presets(self) -> list[dict[str, Any]]:
         """``GET /v1/presets``."""
         return self._json("GET", "/v1/presets")["presets"]

@@ -36,6 +36,7 @@ from enum import Enum
 from typing import Any, Optional
 
 from ..sweeps import SweepSpec
+from ..telemetry import MetricsRegistry
 from .api import ServiceError
 
 __all__ = ["Job", "JobQueue", "JobState"]
@@ -96,7 +97,7 @@ class JobQueue:
     :meth:`close`.
     """
 
-    def __init__(self):
+    def __init__(self, *, registry: Optional[MetricsRegistry] = None):
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         self._heap: list[tuple[int, int, str]] = []
@@ -106,6 +107,24 @@ class JobQueue:
         self._ids = itertools.count(1)
         self._ticket = itertools.count(1)
         self._closed = False
+        # Lifecycle metrics (a shared registry when embedded in a service;
+        # a private one otherwise, so the call sites stay branch-free).
+        # The registry has its own lock — safe to touch under self._lock.
+        registry = registry or MetricsRegistry()
+        self._submitted = registry.counter(
+            "jobs_submitted_total", "Jobs accepted into the queue")
+        self._dedup_hits = registry.counter(
+            "jobs_dedup_hits_total",
+            "Submits coalesced onto an in-flight job of the same spec hash")
+        self._finished = {
+            state: registry.counter("jobs_finished_total",
+                                    "Jobs leaving the queue, by final state",
+                                    state=state.value)
+            for state in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+        }
+        self._gauge_queued = registry.gauge("jobs_queued", "Queue depth")
+        self._gauge_running = registry.gauge("jobs_running",
+                                             "Jobs currently executing")
 
     # ------------------------------------------------------------- submit
     def submit(self, spec: SweepSpec, *, priority: int = 0
@@ -122,6 +141,7 @@ class JobQueue:
                 raise ServiceError("the job queue is shut down", status=503)
             active_id = self._active_by_hash.get(spec_hash)
             if active_id is not None:
+                self._dedup_hits.inc()
                 return self._jobs[active_id], False
             job = Job(job_id=f"job-{next(self._ids):06d}", spec=spec,
                       spec_hash=spec_hash, priority=priority)
@@ -129,6 +149,8 @@ class JobQueue:
             self._active_by_hash[spec_hash] = job.job_id
             heapq.heappush(self._heap,
                            (-priority, next(self._ticket), job.job_id))
+            self._submitted.inc()
+            self._gauge_queued.inc()
             self._wakeup.notify()
             return job, True
 
@@ -150,6 +172,8 @@ class JobQueue:
                     job.state = JobState.RUNNING
                     job.started_at = time.time()
                     self._busy_directories.add(job.spec.slug())
+                    self._gauge_queued.dec()
+                    self._gauge_running.inc()
                     return job
                 if deadline is None:
                     self._wakeup.wait()
@@ -185,6 +209,8 @@ class JobQueue:
             job.summary = summary
             job.error = error
             job.state = JobState.FAILED if error else JobState.DONE
+            self._finished[job.state].inc()
+            self._gauge_running.dec()
             self._busy_directories.discard(job.spec.slug())
             if self._active_by_hash.get(job.spec_hash) == job.job_id:
                 del self._active_by_hash[job.spec_hash]
@@ -203,6 +229,8 @@ class JobQueue:
                     "cancelled", status=409)
             job.state = JobState.CANCELLED
             job.finished_at = time.time()
+            self._finished[JobState.CANCELLED].inc()
+            self._gauge_queued.dec()
             if self._active_by_hash.get(job.spec_hash) == job.job_id:
                 del self._active_by_hash[job.spec_hash]
             return job

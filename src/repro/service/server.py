@@ -13,7 +13,8 @@ Two layers:
 
 Routes (all JSON unless noted)::
 
-    GET  /v1/healthz                   daemon liveness + runtime info
+    GET  /v1/healthz                   daemon liveness + runtime info + metrics
+    GET  /v1/metrics                   Prometheus text exposition (text/plain)
     GET  /v1/presets                   registered sweep presets
     POST /v1/sweeps                    submit a spec or preset (+overrides)
     GET  /v1/jobs                      every job, submission order
@@ -21,6 +22,12 @@ Routes (all JSON unless noted)::
     POST /v1/jobs/<id>/cancel          cancel a queued job
     GET  /v1/sweeps/<hash>/rows        committed rows, streamed JSONL
     GET  /v1/sweeps/<hash>/aggregate   group-by reduction over the rows
+
+Every request increments ``repro_http_requests_total{method,route,status}``
+and lands in the ``repro_http_request_seconds{route}`` latency histogram
+(routes are normalised to templates — ``/v1/jobs/{id}`` — so job ids never
+explode the label space).  ``--access-log`` additionally emits one
+structured JSON line per request to stderr (docs/OBSERVABILITY.md).
 
 The cache contract: ``POST /v1/sweeps`` whose spec is fully committed in
 the store answers ``{"cached": true, ...}`` *without enqueueing a job* —
@@ -47,6 +54,7 @@ from ..info import runtime_info
 from ..presets import preset_summaries
 from ..sweeps import SweepSpec, SweepStore, aggregate_rows
 from ..sweeps.aggregate import DEFAULT_STATS
+from ..telemetry import MetricsRegistry, NullLogger, StructuredLogger
 from .api import ServiceError, resolve_spec
 from .jobs import JobQueue
 from .workers import WorkerPool
@@ -73,9 +81,14 @@ class SweepService:
                  workers: int = 1, sweep_workers: int = 1,
                  runner: Optional[Callable] = None):
         self.store = store if isinstance(store, SweepStore) else SweepStore(store)
-        self.queue = JobQueue()
+        #: One registry for the whole daemon: the queue's job lifecycle
+        #: counters, the pool's execution timings and the HTTP layer's
+        #: request metrics all land here, so ``/v1/metrics`` is one read.
+        self.registry = MetricsRegistry()
+        self.queue = JobQueue(registry=self.registry)
         self.pool = WorkerPool(self.queue, self.store, workers=workers,
-                               sweep_workers=sweep_workers, runner=runner)
+                               sweep_workers=sweep_workers, runner=runner,
+                               registry=self.registry)
         #: Every spec this process has resolved, by content hash — lets the
         #: rows/aggregate endpoints serve cached submissions that never
         #: created a job.  Store manifests cover everything older.
@@ -183,7 +196,7 @@ class SweepService:
 
     # --------------------------------------------------------------- health
     def healthz(self) -> dict[str, Any]:
-        """Liveness payload: queue tally plus :func:`runtime_info`."""
+        """Liveness payload: queue tally, :func:`runtime_info`, metrics."""
         return {
             "status": "ok",
             "uptime_seconds": round(time.time() - self.started_at, 3),
@@ -191,17 +204,41 @@ class SweepService:
             "service_workers": self.pool.workers,
             "sweep_workers": self.pool.sweep_workers,
             "jobs": self.queue.counts(),
+            "metrics": self.registry.snapshot().flat(),
             **runtime_info(),
         }
 
+    def metrics_text(self) -> str:
+        """The daemon's metrics in Prometheus text exposition format."""
+        return self.registry.render_prometheus()
+
 
 # ----------------------------------------------------------------- HTTP --
+
+#: Known path shapes -> metric route templates.  Everything else maps to
+#: "/other" so arbitrary probe paths cannot explode the label space.
+def _route_template(parts: list[str]) -> str:
+    if parts[:1] == ["v1"]:
+        if len(parts) == 2 and parts[1] in ("healthz", "metrics", "presets",
+                                            "jobs", "sweeps"):
+            return "/v1/" + parts[1]
+        if len(parts) == 3 and parts[1] == "jobs":
+            return "/v1/jobs/{id}"
+        if len(parts) == 4 and parts[1] == "jobs" and parts[3] == "cancel":
+            return "/v1/jobs/{id}/cancel"
+        if len(parts) == 4 and parts[1] == "sweeps" \
+                and parts[3] in ("rows", "aggregate"):
+            return "/v1/sweeps/{hash}/" + parts[3]
+    return "/other"
+
+
 class _Handler(BaseHTTPRequestHandler):
     """Routes the REST surface onto a bound :class:`SweepService`."""
 
     # Set on the subclass built by make_server().
     service: SweepService = None  # type: ignore[assignment]
     quiet: bool = True
+    access_log: Any = NullLogger()
 
     protocol_version = "HTTP/1.1"
     server_version = "repro-sweep-service"
@@ -209,10 +246,45 @@ class _Handler(BaseHTTPRequestHandler):
     MAX_BODY = 8 * 1024 * 1024  # spec payloads are small; reject abuse
 
     # ------------------------------------------------------------ plumbing
+    def log_request(self, code="-", size="-") -> None:
+        # Superseded: the instrumented dispatch emits a richer structured
+        # access event (route template, latency) per request.
+        pass
+
     def log_message(self, format: str, *args) -> None:  # noqa: A002
+        # http.server's own diagnostics (malformed requests, broken pipes)
+        # used to vanish here; route them through the structured logger.
+        self.access_log.log("http_log", client=self.address_string(),
+                            message=format % args)
         if not self.quiet:
             sys.stderr.write("%s - %s\n" % (self.address_string(),
                                             format % args))
+
+    def send_response(self, code: int, message: Optional[str] = None) -> None:
+        self._status = code  # captured for the request metrics
+        super().send_response(code, message)
+
+    def _dispatch(self, method: str, route_handler: Callable[[], None]) -> None:
+        """Time and count one request around the actual route handler."""
+        self._status = 0
+        registry = self.service.registry
+        parts = [part for part in urlparse(self.path).path.split("/") if part]
+        route = _route_template(parts)
+        started = time.perf_counter()
+        try:
+            route_handler()
+        finally:
+            elapsed = time.perf_counter() - started
+            registry.counter(
+                "http_requests_total", "HTTP requests served",
+                method=method, route=route, status=str(self._status)).inc()
+            registry.histogram(
+                "http_request_seconds", "HTTP request latency",
+                route=route).observe(elapsed)
+            self.access_log.log(
+                "http_request", client=self.address_string(), method=method,
+                path=self.path, route=route, status=self._status,
+                duration_ms=round(elapsed * 1000, 3))
 
     def _send_json(self, payload: Any, status: int = 200) -> None:
         body = (json.dumps(payload) + "\n").encode("utf-8")
@@ -288,12 +360,18 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -------------------------------------------------------------- routes
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET", self._do_get)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("POST", self._do_post)
+
+    def _do_get(self) -> None:
         try:
             self._route_get()
         except ReproError as error:
             self._send_error(error)
 
-    def do_POST(self) -> None:  # noqa: N802 - http.server API
+    def _do_post(self) -> None:
         self._body_consumed = False
         try:
             self._route_post()
@@ -307,6 +385,14 @@ class _Handler(BaseHTTPRequestHandler):
         parts = [part for part in url.path.split("/") if part]
         if parts == ["v1", "healthz"]:
             self._send_json(self.service.healthz())
+        elif parts == ["v1", "metrics"]:
+            body = self.service.metrics_text().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type",
+                             "text/plain; version=0.0.4; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
         elif parts == ["v1", "presets"]:
             self._send_json({"presets": preset_summaries()})
         elif parts == ["v1", "jobs"]:
@@ -352,14 +438,20 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 def make_server(service: SweepService, *, host: str = "127.0.0.1",
-                port: int = 0, quiet: bool = True) -> ThreadingHTTPServer:
+                port: int = 0, quiet: bool = True,
+                access_log: bool = False) -> ThreadingHTTPServer:
     """Bind a threaded HTTP server to ``service`` (``port=0`` picks one).
 
+    ``access_log=True`` emits one structured JSON line per request (and per
+    http.server diagnostic) to stderr; off by default so tests stay quiet.
     The caller owns the lifecycle: ``serve_forever()`` it (usually on a
     thread), ``shutdown()`` + ``server_close()`` it when done.
     """
+    logger = (StructuredLogger(sys.stderr, component="http")
+              if access_log else NullLogger())
     handler = type("BoundSweepServiceHandler", (_Handler,),
-                   {"service": service, "quiet": quiet})
+                   {"service": service, "quiet": quiet,
+                    "access_log": logger})
     server = ThreadingHTTPServer((host, port), handler)
     server.daemon_threads = True
     return server
@@ -393,7 +485,7 @@ def _install_shutdown_signals() -> None:
 def run_service(store: SweepStore | str | os.PathLike, *,
                 host: str = "127.0.0.1", port: int = 8080,
                 workers: int = 1, sweep_workers: int = 1,
-                quiet: bool = True,
+                quiet: bool = True, access_log: bool = False,
                 ready: Optional[Callable[[ThreadingHTTPServer], Any]] = None,
                 ) -> int:
     """Run the daemon until interrupted (the ``serve`` CLI verb).
@@ -407,7 +499,8 @@ def run_service(store: SweepStore | str | os.PathLike, *,
     """
     service = SweepService(store, workers=workers,
                            sweep_workers=sweep_workers).start()
-    server = make_server(service, host=host, port=port, quiet=quiet)
+    server = make_server(service, host=host, port=port, quiet=quiet,
+                         access_log=access_log)
     _install_shutdown_signals()
     bound_host, bound_port = server.server_address[:2]
     print(f"sweep service listening on http://{bound_host}:{bound_port} "

@@ -17,10 +17,12 @@ worth persisting, which is what makes daemon restarts trivial.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable, Optional
 
 from ..sweeps import SweepStore
 from ..sweeps.scheduler import SweepRunResult, run_sweep
+from ..telemetry import DEFAULT_DURATION_BUCKETS, MetricsRegistry
 from .jobs import Job, JobQueue
 
 __all__ = ["WorkerPool"]
@@ -31,7 +33,8 @@ class WorkerPool:
 
     def __init__(self, queue: JobQueue, store: SweepStore, *,
                  workers: int = 1, sweep_workers: int = 1,
-                 runner: Optional[Callable[..., SweepRunResult]] = None):
+                 runner: Optional[Callable[..., SweepRunResult]] = None,
+                 registry: Optional[MetricsRegistry] = None):
         if workers < 0:
             raise ValueError("workers must be non-negative")
         if sweep_workers < 1:
@@ -42,6 +45,12 @@ class WorkerPool:
         self.sweep_workers = sweep_workers
         self._runner = runner if runner is not None else run_sweep
         self._threads: list[threading.Thread] = []
+        registry = registry or MetricsRegistry()
+        self._job_seconds = registry.histogram(
+            "job_seconds", "Wall time per executed job",
+            DEFAULT_DURATION_BUCKETS)
+        self._busy = registry.gauge(
+            "workers_busy", "Worker threads currently executing a job")
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -83,6 +92,8 @@ class WorkerPool:
             self._execute(job)
 
     def _execute(self, job: Job) -> None:
+        started = time.perf_counter()
+        self._busy.inc()
         try:
             result = self._runner(job.spec, workers=self.sweep_workers,
                                   store=self.store, resume=True)
@@ -97,3 +108,6 @@ class WorkerPool:
                 "workers": result.workers,
                 "elapsed_seconds": round(result.elapsed_seconds, 6),
             })
+        finally:
+            self._busy.dec()
+            self._job_seconds.observe(time.perf_counter() - started)

@@ -21,6 +21,8 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Optional, Sequence, TypeVar
 
+from ..errors import TelemetryError
+from ..telemetry import DEFAULT_DURATION_BUCKETS, MetricsRegistry, MetricsSnapshot
 from .kernels import run_point
 from .spec import SweepError, SweepSpec
 from .store import SweepStore
@@ -50,6 +52,13 @@ class SweepRunResult:
         Worker processes used (1 means in-process).
     elapsed_seconds:
         Wall-clock duration of the invocation.
+    metrics:
+        :class:`~repro.telemetry.MetricsSnapshot` of the run — per-point and
+        per-shard timing histograms merged back from the worker processes,
+        cache-hit/resume counters and worker-utilization gauges added by the
+        scheduler.  Telemetry is a side channel: it never contributes
+        columns to ``rows`` (which stay byte-identical for any worker
+        count) and is persisted in the store manifest, not the row files.
     """
 
     spec: SweepSpec
@@ -58,6 +67,7 @@ class SweepRunResult:
     cached: int
     workers: int
     elapsed_seconds: float
+    metrics: Optional[MetricsSnapshot] = None
 
     @property
     def cache_hit_rate(self) -> float:
@@ -111,18 +121,40 @@ def parallel_map(
         yield from pool.imap_unordered(_IndexedCall(func), list(enumerate(payloads)))
 
 
-def _run_shard(payload: tuple[dict, list[int]]) -> list[dict]:
+def _run_shard(payload: tuple[dict, list[int]]) -> tuple[list[dict], dict]:
     """Worker entry point: run the shard's points of the reconstructed spec.
 
     The spec crosses the process boundary as a plain dict; points and seed
     sequences are re-derived inside the worker, so a shard's rows depend
     only on the spec and the point indices — never on the pool layout.
+
+    Returns ``(rows, metrics)`` where ``metrics`` is the plain-dict form of
+    the shard's :class:`~repro.telemetry.MetricsSnapshot` (point/shard
+    timings) — picklable, merged by the scheduler.  Timings live only in
+    the snapshot, never in the rows, preserving row byte-identity.
     """
     spec_dict, indices = payload
     spec = SweepSpec.from_dict(spec_dict)
     points = spec.expand()
     sequences = spec.point_seed_sequences()
-    return [run_point(spec, points[index], sequences[index]) for index in indices]
+    registry = MetricsRegistry()
+    point_seconds = registry.histogram(
+        "sweep_point_seconds", "Wall time per computed grid point",
+        DEFAULT_DURATION_BUCKETS)
+    points_total = registry.counter(
+        "sweep_points_computed_total", "Grid points computed (not cached)")
+    shard_started = time.perf_counter()
+    rows = []
+    for index in indices:
+        point_started = time.perf_counter()
+        rows.append(run_point(spec, points[index], sequences[index]))
+        point_seconds.observe(time.perf_counter() - point_started)
+        points_total.inc()
+    registry.histogram(
+        "sweep_shard_seconds", "Wall time per shard",
+        DEFAULT_DURATION_BUCKETS).observe(time.perf_counter() - shard_started)
+    registry.counter("sweep_shards_total", "Shards executed").inc()
+    return rows, registry.snapshot().to_dict()
 
 
 def default_chunk_size(pending: int, workers: int) -> int:
@@ -185,13 +217,45 @@ def run_sweep(
     spec_dict = spec.to_dict()
     payloads = [(spec_dict, shard) for shard in shards]
 
+    registry = MetricsRegistry()
     computed_rows: list[dict] = []
-    for _, shard_rows in parallel_map(_run_shard, payloads, workers=workers):
+    for _, (shard_rows, shard_metrics) in parallel_map(
+            _run_shard, payloads, workers=workers):
         if store is not None:
             store.commit(spec, shard_rows)
+        registry.merge(shard_metrics)
         computed_rows.extend(shard_rows)
         if progress is not None:
             progress(len(computed_rows), len(pending))
+
+    elapsed = time.perf_counter() - started
+    effective_workers = max(1, workers)
+    registry.counter("sweep_points_cached_total",
+                     "Grid points served from the store").inc(len(cached_rows))
+    if resume and store is not None and cached_rows:
+        registry.counter("sweep_resumed_runs_total",
+                         "Invocations that resumed from cached rows").inc()
+    registry.gauge("sweep_workers", "Worker processes of the last run").set(
+        effective_workers)
+    snapshot = registry.snapshot()
+    try:
+        busy = snapshot.value("sweep_shard_seconds")["sum"]
+    except TelemetryError:
+        busy = 0.0  # nothing computed (fully cached run)
+    registry.gauge(
+        "sweep_worker_utilization",
+        "Shard busy-time over elapsed x workers capacity, in [0, 1]",
+    ).set(min(1.0, busy / (elapsed * effective_workers)) if elapsed > 0 else 0.0)
+    snapshot = registry.snapshot()
+
+    if store is not None:
+        store.record_telemetry(spec, {
+            "elapsed_seconds": elapsed,
+            "workers": effective_workers,
+            "computed": len(computed_rows),
+            "cached": len(cached_rows),
+            "metrics": snapshot.to_dict(),
+        })
 
     rows = sorted(cached_rows + computed_rows, key=lambda row: row["point_index"])
     return SweepRunResult(
@@ -199,6 +263,7 @@ def run_sweep(
         rows=rows,
         computed=len(computed_rows),
         cached=len(cached_rows),
-        workers=max(1, workers),
-        elapsed_seconds=time.perf_counter() - started,
+        workers=effective_workers,
+        elapsed_seconds=elapsed,
+        metrics=snapshot,
     )

@@ -281,6 +281,27 @@ class SweepStore:
             handle.write("\n")
         os.replace(tmp, path)
 
+    def record_telemetry(self, spec: SweepSpec, payload: dict[str, Any]) -> None:
+        """Attach the last run's telemetry to the spec's manifest.
+
+        Rewrites ``manifest.json`` atomically under the directory lock with
+        a ``telemetry`` stanza (run timings, worker counts, the metrics
+        snapshot).  Telemetry is advisory metadata: it lives only in the
+        manifest, is overwritten by each run, and never affects the row
+        files or the spec hash.
+        """
+        with self.lock(spec):
+            self._ensure_manifest(spec)
+            path = self.manifest_path(spec)
+            with path.open("r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+            manifest["telemetry"] = dict(payload, recorded_at=time.time())
+            tmp = path.with_suffix(".json.tmp")
+            with tmp.open("w", encoding="utf-8") as handle:
+                json.dump(manifest, handle, indent=2)  # NOT sort_keys, see above
+                handle.write("\n")
+            os.replace(tmp, path)
+
     # ------------------------------------------------------------------
     def commit(self, spec: SweepSpec, rows: Iterable[dict[str, Any]]) -> int:
         """Append one shard's completed rows (an atomic shard commit).

@@ -1,0 +1,52 @@
+"""Observability layer: metrics, round tracing, structured logs.
+
+Stdlib-only (plus numpy, already a core dependency).  Three pieces:
+
+* :mod:`repro.telemetry.registry` — :class:`MetricsRegistry` with
+  counters, gauges and fixed-bucket histograms; thread-safe, mergeable
+  across multiprocessing workers via picklable snapshots, and renderable
+  as JSON or Prometheus text exposition format.
+* :mod:`repro.telemetry.tracing` — :class:`RoundTracer` and JSONL sinks
+  for opt-in per-round engine traces that never perturb the random
+  stream.
+* :mod:`repro.telemetry.logs` — :class:`StructuredLogger` for JSON-lines
+  event/access logging.
+
+See ``docs/OBSERVABILITY.md`` for metric names, the trace schema, and
+measured overhead numbers.
+"""
+
+from .logs import NullLogger, StructuredLogger
+from .registry import (
+    DEFAULT_DURATION_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from .tracing import (
+    JsonlTraceSink,
+    ListTraceSink,
+    NullTraceSink,
+    RoundTracer,
+    make_run_id,
+)
+
+__all__ = [
+    "DEFAULT_DURATION_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NullLogger",
+    "StructuredLogger",
+    "JsonlTraceSink",
+    "ListTraceSink",
+    "NullTraceSink",
+    "RoundTracer",
+    "make_run_id",
+]

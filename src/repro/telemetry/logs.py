@@ -1,0 +1,50 @@
+"""Structured JSON event logging.
+
+One :class:`StructuredLogger` writes one JSON object per line to a stream
+(stderr by default) — the replacement for the service's former
+``log_message`` no-op.  Events carry a wall-clock ``ts`` (Unix seconds),
+an ``event`` name, and arbitrary keyword fields; the format is the same
+line-oriented JSON the trace sinks use, so one ``jq`` invocation reads
+either.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Any, Optional, TextIO
+
+__all__ = ["StructuredLogger", "NullLogger"]
+
+
+class StructuredLogger:
+    """Thread-safe JSON-lines event logger."""
+
+    def __init__(self, stream: Optional[TextIO] = None, *,
+                 component: str = ""):
+        self.stream = stream if stream is not None else sys.stderr
+        self.component = component
+        self._lock = threading.Lock()
+
+    def log(self, event: str, **fields: Any) -> None:
+        record: dict[str, Any] = {"ts": round(time.time(), 6),
+                                  "event": event}
+        if self.component:
+            record["component"] = self.component
+        record.update(fields)
+        line = json.dumps(record, separators=(",", ":"), default=str)
+        with self._lock:
+            self.stream.write(line + "\n")
+            try:
+                self.stream.flush()
+            except (ValueError, OSError):  # stream already closed
+                pass
+
+
+class NullLogger:
+    """Drop-in silent logger (the default when logging is not enabled)."""
+
+    def log(self, event: str, **fields: Any) -> None:
+        pass

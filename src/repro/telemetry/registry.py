@@ -1,0 +1,476 @@
+"""The metrics registry: counters, gauges and fixed-bucket histograms.
+
+One registry instance is a process-local bag of named metrics.  Three
+properties make it the observability backbone of the whole stack rather
+than yet another stats dict:
+
+* **thread-safe** — every mutation and read happens under one registry
+  lock, so the HTTP handler threads of the service, the worker-pool
+  threads and the main thread can hammer the same counters without losing
+  increments (``tests/test_telemetry.py`` asserts this under contention);
+* **mergeable across processes** — :meth:`MetricsRegistry.snapshot`
+  returns a :class:`MetricsSnapshot` built from plain dicts (picklable),
+  and :meth:`MetricsRegistry.merge` folds a snapshot from another process
+  back in.  Sweep shards running in ``multiprocessing`` workers return
+  their snapshots with their rows, and the scheduler merges them — the
+  merged totals equal a serial run's totals exactly;
+* **renderable** — :meth:`MetricsSnapshot.render_prometheus` emits the
+  Prometheus text exposition format (the ``GET /v1/metrics`` surface) and
+  :meth:`MetricsSnapshot.to_dict` the JSON form (healthz, ``--metrics-out``).
+
+Merge semantics: counters and histograms are *additive* (shard A's 3
+points plus shard B's 5 points is 8 points); gauges merge by **maximum**,
+which is the useful reduction for the gauges this package records (queue
+depth, worker utilization, busy workers — peaks survive the merge).
+
+Metric names follow the Prometheus conventions (``snake_case``, counters
+end in ``_total``, durations in ``_seconds``); the registry prefixes every
+name with its ``namespace`` (default ``repro``) at exposition time only,
+so in-process lookups use the short name.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Optional
+
+from ..errors import TelemetryError
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_DURATION_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+]
+
+#: Bucket upper bounds for request-scale latencies (seconds).
+DEFAULT_LATENCY_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                           0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+#: Bucket upper bounds for job/point-scale durations (seconds).
+DEFAULT_DURATION_BUCKETS = (0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+                            5.0, 10.0, 30.0, 60.0, 300.0, 600.0)
+
+_NAME_PATTERN = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _validate_name(name: str) -> str:
+    if not _NAME_PATTERN.match(name):
+        raise TelemetryError(
+            f"invalid metric name {name!r}; use snake_case "
+            "([a-zA-Z_][a-zA-Z0-9_]*)"
+        )
+    return name
+
+
+def _label_key(labels: Mapping[str, Any]) -> str:
+    """Canonical identity of a label set (sorted-key compact JSON)."""
+    if not labels:
+        return "{}"
+    return json.dumps({str(k): str(v) for k, v in labels.items()},
+                      sort_keys=True, separators=(",", ":"))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample value: integers without a trailing ``.0``."""
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_suffix(label_key: str, extra: str = "") -> str:
+    labels = json.loads(label_key)
+    parts = [f'{name}="{_escape_label_value(value)}"'
+             for name, value in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+# ----------------------------------------------------------------------
+# Metric children (one per (name, label-set))
+# ----------------------------------------------------------------------
+
+class Counter:
+    """Monotonically increasing count.  Mutate via :meth:`inc` only."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.Lock):
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative and finite)."""
+        if amount < 0 or not math.isfinite(amount):
+            raise TelemetryError(
+                f"counters only go up; inc({amount!r}) is invalid")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, utilization)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.Lock):
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        if not math.isfinite(value):
+            raise TelemetryError(f"gauge value must be finite, got {value!r}")
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram of observations (cumulative on render).
+
+    ``bucket_counts[i]`` counts observations ``<= buckets[i]``
+    (non-cumulative internally; the exposition renderer accumulates), with
+    one extra overflow slot for observations beyond the last bound.
+    """
+
+    __slots__ = ("_lock", "buckets", "_counts", "_sum", "_count")
+
+    def __init__(self, lock: threading.Lock, buckets: tuple[float, ...]):
+        self._lock = lock
+        self.buckets = buckets
+        self._counts = [0] * (len(buckets) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        if not math.isfinite(value):
+            raise TelemetryError(
+                f"histogram observations must be finite, got {value!r}")
+        slot = len(self.buckets)
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                slot = index
+                break
+        with self._lock:
+            self._counts[slot] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge}
+
+
+class _Family:
+    """All children of one metric name (one per label set)."""
+
+    __slots__ = ("kind", "help", "buckets", "children")
+
+    def __init__(self, kind: str, help_text: str,
+                 buckets: Optional[tuple[float, ...]] = None):
+        self.kind = kind
+        self.help = help_text
+        self.buckets = buckets
+        self.children: dict[str, Any] = {}
+
+
+# ----------------------------------------------------------------------
+# Snapshot
+# ----------------------------------------------------------------------
+
+@dataclass
+class MetricsSnapshot:
+    """A picklable point-in-time copy of a registry's metrics.
+
+    ``metrics`` maps metric name to::
+
+        {"kind": "counter"|"gauge"|"histogram",
+         "help": str,
+         "buckets": [floats]          # histograms only
+         "samples": {label_key: value-or-histogram-dict}}
+
+    where a histogram sample is ``{"counts": [...], "sum": float,
+    "count": int}``.  Everything is plain ``dict``/``list``/``float`` so
+    snapshots cross process boundaries (pickle) and serialise to JSON
+    verbatim.
+    """
+
+    namespace: str = "repro"
+    metrics: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------- queries
+    def value(self, name: str, **labels: Any) -> Any:
+        """One sample's value (test/debug convenience; raises on misses)."""
+        try:
+            family = self.metrics[name]
+            sample = family["samples"][_label_key(labels)]
+        except KeyError:
+            raise TelemetryError(
+                f"snapshot has no sample {name!r} with labels {labels!r}; "
+                f"known metrics: {sorted(self.metrics)}"
+            ) from None
+        return sample
+
+    # --------------------------------------------------------------- merge
+    def merge(self, other: "MetricsSnapshot | dict") -> "MetricsSnapshot":
+        """A new snapshot: counters/histograms added, gauges by maximum."""
+        merged = MetricsSnapshot(namespace=self.namespace,
+                                 metrics=json.loads(json.dumps(self.metrics)))
+        other_metrics = (other.metrics if isinstance(other, MetricsSnapshot)
+                         else dict(other.get("metrics", {})))
+        for name, family in other_metrics.items():
+            mine = merged.metrics.get(name)
+            if mine is None:
+                merged.metrics[name] = json.loads(json.dumps(family))
+                continue
+            if mine["kind"] != family["kind"]:
+                raise TelemetryError(
+                    f"cannot merge metric {name!r}: kind "
+                    f"{mine['kind']!r} vs {family['kind']!r}")
+            if mine["kind"] == "histogram" \
+                    and mine.get("buckets") != family.get("buckets"):
+                raise TelemetryError(
+                    f"cannot merge histogram {name!r}: bucket bounds differ "
+                    f"({mine.get('buckets')} vs {family.get('buckets')})")
+            for label_key, sample in family["samples"].items():
+                current = mine["samples"].get(label_key)
+                if current is None:
+                    mine["samples"][label_key] = json.loads(json.dumps(sample))
+                elif mine["kind"] == "counter":
+                    mine["samples"][label_key] = current + sample
+                elif mine["kind"] == "gauge":
+                    mine["samples"][label_key] = max(current, sample)
+                else:
+                    current["counts"] = [a + b for a, b in
+                                         zip(current["counts"],
+                                             sample["counts"])]
+                    current["sum"] += sample["sum"]
+                    current["count"] += sample["count"]
+        return merged
+
+    # ----------------------------------------------------------- rendering
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able form (used by ``--metrics-out`` and the manifest)."""
+        return {"namespace": self.namespace, "metrics": self.metrics}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "MetricsSnapshot":
+        return cls(namespace=str(payload.get("namespace", "repro")),
+                   metrics=dict(payload.get("metrics", {})))
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def flat(self) -> dict[str, Any]:
+        """Compact ``name{labels} -> value`` view of counters and gauges
+        (histograms are reduced to ``_count``/``_sum``) — what healthz
+        embeds so a human can eyeball the numbers without bucket noise."""
+        out: dict[str, Any] = {}
+        for name in sorted(self.metrics):
+            family = self.metrics[name]
+            for label_key in sorted(family["samples"]):
+                sample = family["samples"][label_key]
+                suffix = _label_suffix(label_key)
+                if family["kind"] == "histogram":
+                    out[f"{name}_count{suffix}"] = sample["count"]
+                    out[f"{name}_sum{suffix}"] = round(sample["sum"], 6)
+                else:
+                    out[f"{name}{suffix}"] = sample
+        return out
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        for name in sorted(self.metrics):
+            family = self.metrics[name]
+            full = f"{self.namespace}_{name}"
+            if family.get("help"):
+                lines.append(f"# HELP {full} {family['help']}")
+            lines.append(f"# TYPE {full} {family['kind']}")
+            for label_key in sorted(family["samples"]):
+                sample = family["samples"][label_key]
+                if family["kind"] != "histogram":
+                    lines.append(f"{full}{_label_suffix(label_key)} "
+                                 f"{_format_value(sample)}")
+                    continue
+                cumulative = 0
+                bounds = list(family["buckets"]) + [math.inf]
+                for bound, bucket_count in zip(bounds, sample["counts"]):
+                    cumulative += bucket_count
+                    le = _format_value(bound) if bound != math.inf else "+Inf"
+                    suffix = _label_suffix(label_key, f'le="{le}"')
+                    lines.append(f"{full}_bucket{suffix} {cumulative}")
+                suffix = _label_suffix(label_key)
+                lines.append(f"{full}_sum{suffix} "
+                             f"{_format_value(sample['sum'])}")
+                lines.append(f"{full}_count{suffix} {sample['count']}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+class MetricsRegistry:
+    """Thread-safe bag of named metrics (see module docstring)."""
+
+    def __init__(self, namespace: str = "repro"):
+        self.namespace = _validate_name(namespace)
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+
+    # --------------------------------------------------------- get/create
+    def _family(self, name: str, kind: str, help_text: str,
+                buckets: Optional[tuple[float, ...]] = None) -> _Family:
+        _validate_name(name)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(kind, help_text, buckets)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise TelemetryError(
+                    f"metric {name!r} is already registered as a "
+                    f"{family.kind}, not a {kind}")
+            elif kind == "histogram" and buckets is not None \
+                    and family.buckets != buckets:
+                raise TelemetryError(
+                    f"histogram {name!r} is already registered with buckets "
+                    f"{family.buckets}; cannot re-register with {buckets}")
+            return family
+
+    def _child(self, name: str, kind: str, help_text: str,
+               labels: Mapping[str, Any],
+               buckets: Optional[tuple[float, ...]] = None):
+        family = self._family(name, kind, help_text, buckets)
+        key = _label_key(labels)
+        with self._lock:
+            child = family.children.get(key)
+            if child is None:
+                if kind == "histogram":
+                    child = Histogram(self._lock, family.buckets)
+                else:
+                    child = _KINDS[kind](self._lock)
+                family.children[key] = child
+            return child
+
+    def counter(self, name: str, help: str = "", **labels: Any) -> Counter:
+        """Get or create the counter ``name`` for this label set."""
+        return self._child(name, "counter", help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels: Any) -> Gauge:
+        """Get or create the gauge ``name`` for this label set."""
+        return self._child(name, "gauge", help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+                  **labels: Any) -> Histogram:
+        """Get or create the histogram ``name`` for this label set.
+
+        ``buckets`` (upper bounds, strictly increasing) is fixed by the
+        first registration of the name; later calls must agree.
+        """
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise TelemetryError(
+                f"histogram buckets must be non-empty and strictly "
+                f"increasing, got {bounds}")
+        return self._child(name, "histogram", help, labels, bounds)
+
+    # ------------------------------------------------------------ snapshot
+    def snapshot(self) -> MetricsSnapshot:
+        """A consistent, picklable copy of every metric."""
+        metrics: dict[str, dict[str, Any]] = {}
+        with self._lock:
+            for name, family in self._families.items():
+                samples: dict[str, Any] = {}
+                for key, child in family.children.items():
+                    if family.kind == "histogram":
+                        samples[key] = {"counts": list(child._counts),
+                                        "sum": child._sum,
+                                        "count": child._count}
+                    else:
+                        samples[key] = child._value
+                entry: dict[str, Any] = {"kind": family.kind,
+                                         "help": family.help,
+                                         "samples": samples}
+                if family.kind == "histogram":
+                    entry["buckets"] = list(family.buckets)
+                metrics[name] = entry
+        return MetricsSnapshot(namespace=self.namespace, metrics=metrics)
+
+    def merge(self, snapshot: MetricsSnapshot | Mapping[str, Any]) -> None:
+        """Fold another process's snapshot into this registry's live
+        metrics (counters/histograms add, gauges take the maximum)."""
+        if not isinstance(snapshot, MetricsSnapshot):
+            snapshot = MetricsSnapshot.from_dict(snapshot)
+        for name, family in snapshot.metrics.items():
+            kind = family["kind"]
+            buckets = tuple(family.get("buckets") or ()) or None
+            for label_key, sample in family["samples"].items():
+                labels = json.loads(label_key)
+                if kind == "counter":
+                    self.counter(name, family.get("help", ""),
+                                 **labels).inc(sample)
+                elif kind == "gauge":
+                    gauge = self.gauge(name, family.get("help", ""), **labels)
+                    gauge.set(max(gauge.value, sample))
+                else:
+                    child = self.histogram(name, family.get("help", ""),
+                                           buckets, **labels)
+                    if list(child.buckets) != list(family["buckets"]):
+                        raise TelemetryError(
+                            f"cannot merge histogram {name!r}: bucket "
+                            "bounds differ")
+                    with child._lock:
+                        child._counts = [a + b for a, b in
+                                         zip(child._counts, sample["counts"])]
+                        child._sum += sample["sum"]
+                        child._count += sample["count"]
+
+    # ----------------------------------------------------------- rendering
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of the live metrics."""
+        return self.snapshot().render_prometheus()
+
+    def to_dict(self) -> dict[str, Any]:
+        return self.snapshot().to_dict()

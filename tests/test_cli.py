@@ -442,3 +442,91 @@ class TestServiceVerbs:
             server.shutdown()
             server.server_close()
             service.stop()
+
+
+class TestTelemetryVerbs:
+    """The observability CLI surface (PR 7): info --json, bench-history,
+    sweep --metrics-out, simulate --trace, serve --access-log."""
+
+    def test_info_json_is_machine_readable(self, capsys):
+        import json
+
+        assert build_parser().parse_args(["info", "--json"]).json
+        assert main(["info", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["code_version"] >= 3
+        assert "engines" in payload and "presets" in payload
+
+    def test_serve_access_log_flag_parses(self):
+        args = build_parser().parse_args(["serve", "--access-log"])
+        assert args.access_log is True
+        assert build_parser().parse_args(["serve"]).access_log is False
+
+    def test_sweep_metrics_out_stdout(self, capsys):
+        import json
+
+        assert main(["sweep", "--preset", "logn", "--quick",
+                     "--metrics-out", "-"]) == 0
+        output = capsys.readouterr().out
+        start = output.index('{\n  "metrics"')
+        payload = json.loads(output[start:])
+        metrics = payload["metrics"]
+        assert metrics["sweep_points_computed_total"]["samples"]["{}"] == 3
+
+    def test_sweep_metrics_out_file(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "metrics.json"
+        assert main(["sweep", "--preset", "logn", "--quick",
+                     "--metrics-out", str(target)]) == 0
+        assert "wrote metrics snapshot to" in capsys.readouterr().out
+        payload = json.loads(target.read_text())
+        assert "sweep_point_seconds" in payload["metrics"]
+
+    def test_simulate_trace_writes_jsonl(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        assert main(["simulate", "--players", "30", "--rounds", "50",
+                     "--trace", str(trace)]) == 0
+        assert "wrote round trace" in capsys.readouterr().err
+        events = [json.loads(line)
+                  for line in trace.read_text().splitlines()]
+        assert events[0]["event"] == "run_started"
+        assert events[0]["engine"] == "loop"
+        assert events[-1]["event"] == "run_finished"
+        # same seed, same run inputs -> same deterministic run id
+        assert len({event["run_id"] for event in events}) == 1
+
+    def test_simulate_trace_batch_engine(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        assert main(["simulate", "--players", "30", "--rounds", "50",
+                     "--replicas", "4", "--engine", "batch",
+                     "--trace", str(trace)]) == 0
+        events = [json.loads(line)
+                  for line in trace.read_text().splitlines()]
+        assert events[0]["engine"] == "batch"
+        assert events[0]["replicas"] == 4
+
+    def test_bench_history_renders_trend_table(self, capsys):
+        assert build_parser().parse_args(
+            ["bench-history", "--markdown"]).markdown
+        assert main(["bench-history"]) == 0
+        output = capsys.readouterr().out
+        assert "BENCH_6.json" in output
+        assert "pr6_ms" in output and "trend" in output
+
+    def test_bench_history_only_filter_and_errors(self, tmp_path, capsys):
+        assert main(["bench-history", "--only",
+                     "test_bench_e2_logn_scaling"]) == 0
+        output = capsys.readouterr().out
+        assert "test_bench_e2_logn_scaling" in output
+        assert "test_bench_e1_imitation_stable" not in output
+
+        assert main(["bench-history", "--dir", str(tmp_path)]) == 1
+        assert "no BENCH_" in capsys.readouterr().err
+
+        assert main(["bench-history", "--only", "nope"]) == 1
+        assert "no benchmark matches" in capsys.readouterr().err
