@@ -1,0 +1,162 @@
+"""Benchmarks and the scaling guard for the distributed sweep fabric.
+
+The acceptance guard for the shard-lease fabric: a remote-mode job on a
+32-point grid driven by **two** worker processes must be at least 1.6x
+faster than the same job driven by **one** — the lease/heartbeat/commit
+protocol must not eat the parallelism it exists to provide.  Workers are
+real ``python -m repro worker`` subprocesses talking HTTP to an in-process
+daemon, i.e. the exact deployment topology of ``docs/SERVICE.md``; the
+guard needs daemon + 2 workers of real hardware, so it skips below 4 CPUs
+(like the sweep scaling guard).  The byte-identity assertion — remote
+tables identical to a serial ``run_sweep`` — runs everywhere in
+``tests/test_fabric.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service import ServiceClient, SweepService, make_server
+from repro.sweeps import SweepSpec
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def thirty_two_point_grid() -> SweepSpec:
+    """The same grid shape as the sweep scaling guard's (~150-300 ms of
+    ensemble work per point), under its own name/store key."""
+    return SweepSpec(
+        name="bench-fabric-32",
+        game="linear-singleton",
+        protocol="imitation",
+        measure="approx_equilibrium_time",
+        axes={
+            "n": [1024, 1448, 2048, 2896],
+            "epsilon": [0.01, 0.009, 0.008, 0.007, 0.006, 0.005, 0.004, 0.003],
+        },
+        base={"links": 24, "delta": 0.001},
+        replicas=128,
+        max_rounds=300,
+        seed=3,
+    )
+
+
+def spawn_worker(url: str, worker_id: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep \
+        + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "--connect", url,
+         "--worker-id", worker_id, "--poll", "0.05"],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+
+def run_remote_job(spec: SweepSpec, store_root: Path,
+                   num_workers: int) -> float:
+    """Submit ``spec`` remote-mode against a fresh daemon and return the
+    submit-to-done wall time with ``num_workers`` worker processes."""
+    service = SweepService(str(store_root), lease_ttl=30.0,
+                           shard_points=4).start()
+    server = make_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    url = f"http://{host}:{port}"
+    client = ServiceClient(url, timeout=30.0)
+    workers = [spawn_worker(url, f"bench-w{i}") for i in range(num_workers)]
+    try:
+        time.sleep(2.0)  # let the interpreters boot so timing is pure work
+        response = client.submit(spec=spec, mode="remote")
+        started = time.perf_counter()
+        job = client.wait(response["job"]["job_id"], timeout=600)
+        elapsed = time.perf_counter() - started
+        assert job["summary"]["computed"] == spec.num_points
+        return elapsed
+    finally:
+        for process in workers:
+            process.kill()
+        for process in workers:
+            process.wait(10.0)
+        server.shutdown()
+        server.server_close()
+        service.stop()
+        thread.join(5.0)
+
+
+def test_bench_fabric_lease_protocol_roundtrip(benchmark, tmp_path):
+    """Protocol-overhead floor: drain a 64-shard board through
+    lease -> heartbeat -> complete (fabricated rows, real store commits) —
+    the per-shard fabric cost a remote worker pays on top of the compute.
+    Runs on any hardware; no subprocesses."""
+    spec = SweepSpec(
+        name="bench-fabric-protocol",
+        game="linear-singleton",
+        protocol="imitation",
+        measure="approx_equilibrium_time",
+        axes={"n": [16, 24, 32, 48, 64, 96, 128, 192],
+              "epsilon": [0.4, 0.35, 0.3, 0.25, 0.2, 0.15, 0.1, 0.05]},
+        base={"coeffs": [1.0, 2.0], "delta": 0.3},
+        replicas=1,
+        max_rounds=10,
+        seed=1,
+    )
+    points = spec.expand()
+
+    def drain() -> int:
+        service = SweepService(str(tmp_path / "proto"), lease_ttl=60.0,
+                               shard_points=1)
+        service.submit({"spec": spec.to_dict(), "mode": "remote"})
+        completed = 0
+        while True:
+            lease = service.board.lease("bench")
+            if lease is None:
+                break
+            service.board.heartbeat(lease["lease_id"])
+            rows = [{"point_index": i, "point_key": points[i].key}
+                    for i in lease["indices"]]
+            service.board.complete(lease["lease_id"], rows)
+            completed += 1
+        return completed
+
+    completed = benchmark.pedantic(drain, rounds=1, iterations=1,
+                                   warmup_rounds=0)
+    assert completed == spec.num_points
+    seconds = benchmark.stats.stats.mean
+    benchmark.extra_info["shards"] = completed
+    benchmark.extra_info["shards_per_second"] = round(completed / seconds, 1)
+
+
+def test_bench_fabric_2_workers_at_least_1_6x(benchmark, tmp_path):
+    """Acceptance guard: 2 remote workers >= 1.6x faster than 1 on a
+    32-point grid, through the full lease protocol."""
+    if (os.cpu_count() or 1) < 4:
+        pytest.skip("needs >= 4 CPUs for daemon + 2 workers")
+    spec = thirty_two_point_grid()
+
+    one_worker_seconds = run_remote_job(spec, tmp_path / "one", 1)
+
+    elapsed = {}
+
+    def two_workers():
+        elapsed["seconds"] = run_remote_job(spec, tmp_path / "two", 2)
+        return elapsed["seconds"]
+
+    benchmark.pedantic(two_workers, rounds=1, iterations=1, warmup_rounds=0)
+    two_worker_seconds = elapsed["seconds"]
+
+    speedup = one_worker_seconds / two_worker_seconds
+    benchmark.extra_info["one_worker_seconds"] = round(one_worker_seconds, 3)
+    benchmark.extra_info["speedup_vs_one_worker"] = round(speedup, 2)
+    benchmark.extra_info["points"] = spec.num_points
+    assert speedup >= 1.6, (
+        f"2 remote workers only {speedup:.2f}x faster than one "
+        f"({two_worker_seconds:.2f}s vs {one_worker_seconds:.2f}s on "
+        f"{spec.num_points} points)"
+    )

@@ -107,9 +107,12 @@ _EPILOG = ("Parameter sweeps (the `sweep` command) are documented in "
            "sequential work), virtual-agents (E13 innovativeness recovery), "
            "error-terms (F1 Lemma 1/2 error-term ratios), network-scaling "
            "(E14 layered-DAG routing with sampled path strategy sets).  "
-           "The sweep service (`serve`/`submit`/`status`/`fetch` — a "
-           "long-running daemon with a job queue and a content-hash result "
-           "cache over the same store) is documented in docs/SERVICE.md.  "
+           "The sweep service (`serve`/`worker`/`submit`/`status`/`fetch` — "
+           "a long-running daemon with a job queue, a content-hash result "
+           "cache and a shard-lease board for remote workers over the same "
+           "store) is documented in docs/SERVICE.md.  Stores are pluggable: "
+           "--store accepts dir:PATH, sqlite:FILE and object:PREFIX URLs as "
+           "well as bare directory paths.  "
            "Telemetry — engine round tracing (`simulate --trace`), sweep "
            "metrics (`sweep --metrics-out`), the service's /v1/metrics "
            "Prometheus endpoint and the `bench-history` trend table — is "
@@ -169,8 +172,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="path to a SweepSpec as JSON")
     sweep_parser.add_argument("--workers", type=int, default=1,
                               help="worker processes (1 = in-process)")
-    sweep_parser.add_argument("--store", default=None, metavar="DIR",
-                              help="result-store root for resume/caching")
+    sweep_parser.add_argument("--store", default=None, metavar="URL",
+                              help="result store for resume/caching: a "
+                                   "directory path, or a backend URL — "
+                                   "dir:PATH, sqlite:FILE, object:PREFIX "
+                                   "(see docs/SWEEPS.md)")
     sweep_parser.add_argument("--resume", dest="resume", action="store_true",
                               default=True,
                               help="skip points already in the store (default)")
@@ -256,14 +262,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--host", default="127.0.0.1")
     serve_parser.add_argument("--port", type=int, default=8080,
                               help="listen port (0 picks a free one)")
-    serve_parser.add_argument("--store", default=".sweep-service", metavar="DIR",
-                              help="result-store root served by the daemon")
+    serve_parser.add_argument("--store", default=".sweep-service", metavar="URL",
+                              help="result store served by the daemon: a "
+                                   "directory path or a backend URL — "
+                                   "dir:PATH, sqlite:FILE, object:PREFIX")
     serve_parser.add_argument("--workers", type=int, default=1,
                               help="concurrent jobs (service-level parallelism)")
     serve_parser.add_argument("--sweep-workers", type=int, default=1,
                               dest="sweep_workers",
                               help="worker processes per job's sweep "
                                    "(same pool as `sweep --workers`)")
+    serve_parser.add_argument("--lease-ttl", type=float, default=30.0,
+                              dest="lease_ttl", metavar="SEC",
+                              help="shard lease lifetime for remote workers; "
+                                   "a worker that stops heartbeating for "
+                                   "this long has its shard requeued")
+    serve_parser.add_argument("--shard-points", type=int, default=None,
+                              dest="shard_points", metavar="N",
+                              help="points per remote shard (default: the "
+                                   "scheduler's own granularity)")
     serve_parser.add_argument("--verbose", action="store_true",
                               help="log every HTTP request to stderr "
                                    "(http.server's plain one-line format)")
@@ -273,6 +290,33 @@ def build_parser() -> argparse.ArgumentParser:
                                    "request to stderr (method, route "
                                    "template, status, latency); off by "
                                    "default")
+
+    worker_parser = subparsers.add_parser(
+        "worker", help="run a remote sweep worker against a daemon "
+                       "(leases shards over HTTP; see docs/SERVICE.md)")
+    worker_parser.add_argument("--connect", required=True, metavar="URL",
+                               help="base URL of the daemon to pull "
+                                    "shards from")
+    worker_parser.add_argument("--worker-id", default=None, dest="worker_id",
+                               help="name reported with each lease "
+                                    "(default: a random worker-<hex>)")
+    worker_parser.add_argument("--poll", type=float, default=0.5,
+                               help="idle sleep between lease attempts "
+                                    "when no shard is pending")
+    worker_parser.add_argument("--lease-ttl", type=float, default=None,
+                               dest="lease_ttl", metavar="SEC",
+                               help="per-lease TTL override (default: the "
+                                    "daemon's --lease-ttl)")
+    worker_parser.add_argument("--max-idle", type=float, default=None,
+                               dest="max_idle", metavar="SEC",
+                               help="exit after this long without work "
+                                    "(default: run until killed)")
+    worker_parser.add_argument("--max-shards", type=int, default=None,
+                               dest="max_shards", metavar="N",
+                               help="exit after completing N shards")
+    worker_parser.add_argument("--verbose", action="store_true",
+                               help="emit one structured JSON line per "
+                                    "worker event to stderr")
 
     submit_parser = subparsers.add_parser(
         "submit", help="submit a sweep to a running service and wait for it",
@@ -292,6 +336,10 @@ def build_parser() -> argparse.ArgumentParser:
                                help="override the spec's master seed")
     submit_parser.add_argument("--priority", type=int, default=0,
                                help="queue priority (higher runs first)")
+    submit_parser.add_argument("--remote", action="store_true",
+                               help="execute on leased `repro worker` "
+                                    "agents instead of the daemon's own "
+                                    "pool (see docs/SERVICE.md)")
     submit_parser.add_argument("--wait", dest="wait", action="store_true",
                                default=True,
                                help="poll the job to completion (default)")
@@ -488,7 +536,29 @@ def _command_serve(args: argparse.Namespace) -> int:
     _require_positive("--port", args.port, minimum=0)
     return run_service(args.store, host=args.host, port=args.port,
                        workers=args.workers, sweep_workers=args.sweep_workers,
+                       lease_ttl=args.lease_ttl,
+                       shard_points=args.shard_points,
                        quiet=not args.verbose, access_log=args.access_log)
+
+
+def _command_worker(args: argparse.Namespace) -> int:
+    from .service import run_worker
+
+    _require_positive("--max-shards", args.max_shards)
+    log = None
+    if args.verbose:
+        from .telemetry import StructuredLogger
+
+        log = StructuredLogger(sys.stderr, component="worker")
+    stats = run_worker(args.connect, worker_id=args.worker_id,
+                       poll=args.poll, lease_ttl=args.lease_ttl,
+                       max_idle=args.max_idle, max_shards=args.max_shards,
+                       log=log)
+    print(f"worker {stats['worker_id']} done: "
+          f"{stats['shards_completed']} shards, "
+          f"{stats['points_computed']} points computed, "
+          f"{stats['stale_results']} stale results discarded")
+    return 0
 
 
 def _submit_summary(response: dict) -> str:
@@ -518,6 +588,8 @@ def _command_submit(args: argparse.Namespace) -> int:
         kwargs = {"preset": args.preset, "quick": args.quick,
                   "seed": args.seed}
     kwargs["priority"] = args.priority
+    if args.remote:
+        kwargs["mode"] = "remote"
     if args.wait:
         response = client.submit_and_wait(timeout=args.timeout, **kwargs)
     else:
@@ -708,6 +780,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_bench_history(args)
         if args.command == "serve":
             return _command_serve(args)
+        if args.command == "worker":
+            return _command_worker(args)
         if args.command == "submit":
             return _command_submit(args)
         if args.command == "status":

@@ -21,11 +21,16 @@ from ..errors import ReproError
 from ..presets import get_sweep_preset
 from ..sweeps import SweepSpec
 
-__all__ = ["ServiceError", "resolve_spec"]
+__all__ = ["ServiceError", "resolve_mode", "resolve_spec"]
 
 #: Fields a submit payload may carry (anything else is rejected by name,
 #: mirroring SweepSpec.from_dict's unknown-field policy).
-_SUBMIT_FIELDS = {"spec", "preset", "quick", "seed", "overrides", "priority"}
+_SUBMIT_FIELDS = {"spec", "preset", "quick", "seed", "overrides", "priority",
+                  "mode"}
+
+#: How a submitted sweep is executed: by the daemon's in-process worker
+#: pool, or sharded out to leased ``repro worker`` agents over HTTP.
+_MODES = ("local", "remote")
 
 
 class ServiceError(ReproError):
@@ -34,11 +39,26 @@ class ServiceError(ReproError):
     ``status`` is the HTTP code the server responds with (the client
     re-raises with the received code); ``None`` means the failure happened
     before any HTTP exchange (e.g. the daemon is unreachable).
+    ``last_error`` carries the final underlying transport exception when
+    the client exhausted its retries (``None`` otherwise).
     """
 
-    def __init__(self, message: str, *, status: Optional[int] = 400):
+    def __init__(self, message: str, *, status: Optional[int] = 400,
+                 last_error: Optional[BaseException] = None):
         super().__init__(message)
         self.status = status
+        self.last_error = last_error
+
+
+def resolve_mode(payload: Any) -> str:
+    """The execution mode of a submit payload (default ``"local"``)."""
+    if not isinstance(payload, Mapping):
+        return "local"  # resolve_spec rejects the payload with the details
+    mode = payload.get("mode", "local")
+    if mode not in _MODES:
+        raise ServiceError(f"'mode' must be one of {list(_MODES)}, "
+                           f"got {mode!r}")
+    return mode
 
 
 def resolve_spec(payload: Any) -> tuple[SweepSpec, int]:

@@ -12,7 +12,9 @@ failures (daemon not running, connection refused) carry ``status=None``.
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -28,16 +30,51 @@ _TERMINAL_STATES = ("done", "failed", "cancelled")
 
 
 class ServiceClient:
-    """Talks to one sweep-service daemon at ``base_url``."""
+    """Talks to one sweep-service daemon at ``base_url``.
+
+    Transient transport failures (connection refused/reset, a daemon
+    mid-restart) on **idempotent GETs** are retried ``retries`` times with
+    exponential backoff plus jitter before surfacing; POSTs are never
+    retried automatically — a submit or shard completion that half-landed
+    must not be silently replayed by the transport layer (the server-side
+    dedup/409 machinery handles *deliberate* replays).  The final
+    :class:`~repro.service.api.ServiceError` carries the last underlying
+    exception as ``last_error``.
+    """
+
+    #: First backoff step; doubles per attempt (then jitter is applied).
+    RETRY_BACKOFF = 0.1
 
     def __init__(self, base_url: str = "http://127.0.0.1:8080", *,
-                 timeout: float = 30.0):
+                 timeout: float = 30.0, retries: int = 2):
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
 
     # ----------------------------------------------------------- transport
     def _request(self, method: str, path: str,
                  payload: Optional[dict] = None) -> urllib.request.addinfourl:
+        attempts_left = self.retries if method == "GET" else 0
+        backoff = self.RETRY_BACKOFF
+        while True:
+            try:
+                return self._request_once(method, path, payload)
+            except ServiceError as error:
+                # status=None + a recorded transport error marks the
+                # transient class; HTTP-level errors (any status) are
+                # definitive answers and are never retried.
+                if attempts_left <= 0 or error.status is not None \
+                        or error.last_error is None:
+                    raise
+                attempts_left -= 1
+            time.sleep(backoff * (0.5 + random.random()))
+            backoff *= 2
+
+    def _request_once(self, method: str, path: str,
+                      payload: Optional[dict] = None
+                      ) -> urllib.request.addinfourl:
         url = f"{self.base_url}{path}"
         body = None if payload is None else json.dumps(payload).encode("utf-8")
         request = urllib.request.Request(
@@ -51,7 +88,14 @@ class ServiceClient:
         except urllib.error.URLError as error:
             raise ServiceError(
                 f"cannot reach sweep service at {self.base_url}: "
-                f"{error.reason}", status=None) from None
+                f"{error.reason}", status=None, last_error=error) from error
+        except (ConnectionResetError, http.client.HTTPException) as error:
+            # urlopen lets a mid-response reset (or a server closing the
+            # socket between keep-alive requests) escape unwrapped.
+            raise ServiceError(
+                f"cannot reach sweep service at {self.base_url}: "
+                f"{type(error).__name__}: {error}",
+                status=None, last_error=error) from error
 
     @staticmethod
     def _error_message(error: urllib.error.HTTPError) -> str:
@@ -83,12 +127,15 @@ class ServiceClient:
                preset: Optional[str] = None, quick: bool = True,
                seed: Optional[int] = None,
                overrides: Optional[dict] = None,
-               priority: int = 0) -> dict[str, Any]:
+               priority: int = 0,
+               mode: Optional[str] = None) -> dict[str, Any]:
         """``POST /v1/sweeps`` with a spec or a preset (+overrides).
 
         Returns the submit response: ``cached`` (served instantly from the
         store, ``job`` is ``None``), ``created`` (a new job was enqueued)
         or neither (an in-flight job for the same spec was joined).
+        ``mode="remote"`` shards the job onto the lease board for
+        ``repro worker`` agents instead of the daemon's own pool.
         """
         if (spec is None) == (preset is None):
             raise ServiceError("submit() needs exactly one of spec= or "
@@ -105,6 +152,8 @@ class ServiceClient:
                 payload["overrides"] = dict(overrides)
         if priority:
             payload["priority"] = priority
+        if mode is not None:
+            payload["mode"] = mode
         return self._json("POST", "/v1/sweeps", payload)
 
     def job(self, job_id: str) -> dict[str, Any]:
@@ -118,6 +167,37 @@ class ServiceClient:
     def cancel(self, job_id: str) -> dict[str, Any]:
         """``POST /v1/jobs/<id>/cancel``."""
         return self._json("POST", f"/v1/jobs/{job_id}/cancel", {})
+
+    # --------------------------------------------------------------- shards
+    def lease_shard(self, worker: Optional[str] = None, *,
+                    ttl: Optional[float] = None) -> Optional[dict[str, Any]]:
+        """``POST /v1/shards/lease`` — a shard lease, or None when idle."""
+        payload: dict[str, Any] = {"worker": worker}
+        if ttl is not None:
+            payload["ttl"] = ttl
+        return self._json("POST", "/v1/shards/lease", payload)["shard"]
+
+    def shard_heartbeat(self, lease_id: str) -> dict[str, Any]:
+        """``POST /v1/shards/<lease>/heartbeat`` — renew a lease.
+
+        Raises :class:`ServiceError` with status 409 when the lease is no
+        longer current (expired and requeued), 404 when unknown.
+        """
+        return self._json("POST", f"/v1/shards/{lease_id}/heartbeat", {})
+
+    def complete_shard(self, lease_id: str, rows: list[dict[str, Any]], *,
+                       metrics: Optional[dict[str, Any]] = None
+                       ) -> dict[str, Any]:
+        """``POST /v1/shards/<lease>/complete`` — commit a shard's rows.
+
+        A 409 means the lease expired (or was already completed) and the
+        rows were discarded — idempotently safe, since the requeued shard
+        recomputes the identical bytes.
+        """
+        payload: dict[str, Any] = {"rows": rows}
+        if metrics is not None:
+            payload["metrics"] = metrics
+        return self._json("POST", f"/v1/shards/{lease_id}/complete", payload)
 
     def wait(self, job_id: str, *, timeout: Optional[float] = None,
              poll: float = 0.1) -> dict[str, Any]:

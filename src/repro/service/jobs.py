@@ -31,15 +31,17 @@ import heapq
 import itertools
 import threading
 import time
+import uuid
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Optional
 
-from ..sweeps import SweepSpec
-from ..telemetry import MetricsRegistry
+from ..sweeps import SweepSpec, SweepStore
+from ..sweeps.scheduler import default_chunk_size, partition
+from ..telemetry import DEFAULT_DURATION_BUCKETS, MetricsRegistry
 from .api import ServiceError
 
-__all__ = ["Job", "JobQueue", "JobState"]
+__all__ = ["Job", "JobQueue", "JobState", "Shard", "ShardBoard", "ShardState"]
 
 
 class JobState(str, Enum):
@@ -64,6 +66,10 @@ class Job:
     spec: SweepSpec
     spec_hash: str
     priority: int = 0
+    #: "local" jobs are claimed by the in-process worker pool; "remote"
+    #: jobs are sharded onto the :class:`ShardBoard` and executed by
+    #: leased ``repro worker`` agents over HTTP.
+    mode: str = "local"
     state: JobState = JobState.QUEUED
     created_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
@@ -79,6 +85,7 @@ class Job:
             "spec_name": self.spec.name,
             "num_points": self.spec.num_points,
             "priority": self.priority,
+            "mode": self.mode,
             "state": self.state.value,
             "created_at": self.created_at,
             "started_at": self.started_at,
@@ -127,13 +134,19 @@ class JobQueue:
                                              "Jobs currently executing")
 
     # ------------------------------------------------------------- submit
-    def submit(self, spec: SweepSpec, *, priority: int = 0
-               ) -> tuple[Job, bool]:
+    def submit(self, spec: SweepSpec, *, priority: int = 0,
+               mode: str = "local") -> tuple[Job, bool]:
         """Enqueue ``spec``; returns ``(job, created)``.
 
         ``created`` is ``False`` when an active (queued/running) job for
         the same content hash already exists — that job is returned
-        instead, so duplicate submits coalesce.
+        instead, so duplicate submits coalesce (regardless of ``mode``:
+        the spec is already being computed, by somebody).
+
+        ``mode="remote"`` registers the job without putting it on the
+        worker-pool heap: remote jobs are executed shard-by-shard by
+        leased workers via the :class:`ShardBoard`, which transitions
+        them to running through :meth:`activate_remote`.
         """
         spec_hash = spec.content_hash()
         with self._wakeup:
@@ -144,15 +157,39 @@ class JobQueue:
                 self._dedup_hits.inc()
                 return self._jobs[active_id], False
             job = Job(job_id=f"job-{next(self._ids):06d}", spec=spec,
-                      spec_hash=spec_hash, priority=priority)
+                      spec_hash=spec_hash, priority=priority, mode=mode)
             self._jobs[job.job_id] = job
             self._active_by_hash[spec_hash] = job.job_id
-            heapq.heappush(self._heap,
-                           (-priority, next(self._ticket), job.job_id))
+            if mode == "local":
+                heapq.heappush(self._heap,
+                               (-priority, next(self._ticket), job.job_id))
             self._submitted.inc()
             self._gauge_queued.inc()
             self._wakeup.notify()
             return job, True
+
+    def activate_remote(self, job: Job) -> None:
+        """Transition a queued remote job to running (board activation).
+
+        The board calls this once, before publishing the job's shards for
+        lease.  The slug joins the busy-directory set so a *local* job for
+        the same store directory cannot start while remote workers are
+        committing into it.
+        """
+        with self._wakeup:
+            if job.mode != "remote":
+                raise ServiceError(
+                    f"job {job.job_id} is a {job.mode} job; only remote "
+                    "jobs are activated by the shard board", status=409)
+            if job.state is not JobState.QUEUED:
+                raise ServiceError(
+                    f"job {job.job_id} is {job.state.value}; it cannot be "
+                    "activated", status=409)
+            job.state = JobState.RUNNING
+            job.started_at = time.time()
+            self._busy_directories.add(job.spec.slug())
+            self._gauge_queued.dec()
+            self._gauge_running.inc()
 
     # -------------------------------------------------------------- claim
     def claim(self, timeout: Optional[float] = None) -> Optional[Job]:
@@ -277,3 +314,383 @@ class JobQueue:
         with self._wakeup:
             self._closed = True
             self._wakeup.notify_all()
+
+
+# ------------------------------------------------------------------------
+# The shard board: leases for remote workers.
+# ------------------------------------------------------------------------
+
+class ShardState(str, Enum):
+    """Lifecycle of one shard: pending → leased → done (or back)."""
+
+    PENDING = "pending"
+    LEASED = "leased"
+    DONE = "done"
+
+
+@dataclass
+class Shard:
+    """One leased unit of a remote job: a contiguous slice of grid points."""
+
+    shard_id: str
+    job_id: str
+    indices: list[int]
+    #: The point keys this shard must produce — completions are validated
+    #: against this set, so a confused worker cannot commit foreign rows.
+    expected_keys: frozenset[str]
+    state: ShardState = ShardState.PENDING
+    attempts: int = 0
+    lease_id: Optional[str] = None
+    worker: Optional[str] = None
+    ttl: float = 0.0
+    leased_at: Optional[float] = None
+    expires_at: Optional[float] = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "shard_id": self.shard_id,
+            "job_id": self.job_id,
+            "indices": list(self.indices),
+            "state": self.state.value,
+            "attempts": self.attempts,
+            "worker": self.worker,
+            "expires_at": self.expires_at,
+        }
+
+
+class ShardBoard:
+    """Shard-level leases turning remote jobs into exactly-once tables.
+
+    A remote job is activated into shards (contiguous point-index slices,
+    exactly the shards :func:`~repro.sweeps.scheduler.run_sweep` would
+    build).  Workers *lease* a shard, *heartbeat* to keep the lease alive
+    while computing, and *complete* it with the computed rows.  The board
+    enforces the coordination invariants the distributed fabric rests on:
+
+    * **requeue on expiry** — a lease whose holder stops heartbeating
+      (killed worker, dead machine, network partition) expires and its
+      shard returns to pending for the next lease request.  Expiry is
+      *lazy*: every board entry point sweeps overdue leases first, so no
+      background timer thread is needed.
+    * **stale completions are rejected, idempotently** — a completion (or
+      heartbeat) quoting a lease that expired, was superseded, or already
+      completed gets HTTP 409 and its rows are discarded.  Rows are safe
+      to discard precisely because shards are deterministic functions of
+      ``(spec, indices)``: whoever holds the current lease produces the
+      identical bytes.  (And the store's first-commit-wins contract makes
+      even a racing duplicate commit harmless — the 409 is the fabric
+      being *tidy*, the store is what makes it *correct*.)
+    * **single transition to done** — a shard is marked done under the
+      board lock *before* its rows are committed, so a concurrent expiry
+      sweep can never requeue a shard whose commit is in flight; a failed
+      commit reverts it to pending.
+
+    All mutation happens under one lock; store commits happen outside it.
+    """
+
+    def __init__(self, queue: JobQueue, store: SweepStore, *,
+                 lease_ttl: float = 30.0,
+                 shard_points: Optional[int] = None,
+                 registry: Optional[MetricsRegistry] = None):
+        if lease_ttl <= 0:
+            raise ValueError("lease_ttl must be positive")
+        if shard_points is not None and shard_points < 1:
+            raise ValueError("shard_points must be positive")
+        self.queue = queue
+        self.store = store
+        self.lease_ttl = float(lease_ttl)
+        self.shard_points = shard_points
+        self._lock = threading.Lock()
+        self._shards: dict[str, Shard] = {}
+        self._lease_order: list[str] = []  # shard ids, FIFO lease order
+        self._leases: dict[str, str] = {}  # active lease id -> shard id
+        #: Terminal leases and why they ended ("expired" / "completed" /
+        #: "commit-failed") — the 409 diagnosis for late completions.
+        self._closed_leases: dict[str, str] = {}
+        self._entries: dict[str, dict[str, Any]] = {}  # per-job accounting
+        self._registry = registry or MetricsRegistry()
+        self._leased_total = self._registry.counter(
+            "shards_leased_total", "Shard leases granted to remote workers")
+        self._completed_total = self._registry.counter(
+            "shards_completed_total", "Shards completed by remote workers")
+        self._requeued_total = self._registry.counter(
+            "shards_requeued_total",
+            "Shards returned to pending after their lease expired")
+        self._heartbeats_total = self._registry.counter(
+            "shard_heartbeats_total", "Lease renewals from remote workers")
+        self._gauge_pending = self._registry.gauge(
+            "shards_pending", "Shards awaiting a worker lease")
+        self._gauge_leased = self._registry.gauge(
+            "shards_leased", "Shards currently leased out")
+        self._lease_seconds = self._registry.histogram(
+            "shard_lease_seconds",
+            "Lease-to-completion wall time per shard",
+            DEFAULT_DURATION_BUCKETS)
+        self._commit_seconds = self._registry.histogram(
+            "store_commit_seconds", "Wall time per shard store commit",
+            DEFAULT_DURATION_BUCKETS, backend=store.scheme)
+
+    def _rejected(self, reason: str) -> None:
+        self._registry.counter(
+            "shard_completions_rejected_total",
+            "Stale shard completions discarded (lease no longer current)",
+            reason=reason).inc()
+
+    # ----------------------------------------------------------- activate
+    def activate(self, job: Job) -> Job:
+        """Shard a freshly submitted remote job and publish its leases.
+
+        Pending points are what the store does not hold yet (resume
+        semantics identical to ``run_sweep``); a job with nothing pending
+        finishes immediately as a pure cache hit.
+        """
+        self.queue.activate_remote(job)
+        spec = job.spec
+        points = spec.expand()
+        committed = self.store.completed_keys(spec)
+        pending = [point for point in points if point.key not in committed]
+        entry = {
+            "job": job,
+            "total": len(points),
+            "cached": len(points) - len(pending),
+            "computed": 0,
+            "committed_shards": 0,
+            "requeued": 0,
+            "workers": set(),
+            "registry": MetricsRegistry(),
+            "started": time.time(),
+            "shard_ids": [],
+        }
+        if not pending:
+            self.queue.finish(job, summary=self._summary(entry))
+            return job
+        chunk = self.shard_points or default_chunk_size(len(pending), 4)
+        key_of = {point.index: point.key for point in points}
+        with self._lock:
+            self._entries[job.job_id] = entry
+            for number, indices in enumerate(
+                    partition([point.index for point in pending], chunk)):
+                shard = Shard(
+                    shard_id=f"{job.job_id}-s{number:03d}",
+                    job_id=job.job_id, indices=indices,
+                    expected_keys=frozenset(key_of[i] for i in indices))
+                self._shards[shard.shard_id] = shard
+                self._lease_order.append(shard.shard_id)
+                entry["shard_ids"].append(shard.shard_id)
+                self._gauge_pending.inc()
+        return job
+
+    # -------------------------------------------------------------- lease
+    def lease(self, worker: Optional[str] = None, *,
+              ttl: Optional[float] = None) -> Optional[dict[str, Any]]:
+        """Grant the oldest pending shard to ``worker`` (None when idle).
+
+        The returned payload is everything a worker needs to compute the
+        shard bit-identically: the full spec dict plus the point indices —
+        the exact payload ``run_sweep`` hands its pool workers.
+        """
+        ttl = self.lease_ttl if ttl is None else float(ttl)
+        if ttl <= 0:
+            raise ServiceError("lease ttl must be positive")
+        with self._lock:
+            self._expire_overdue_locked()
+            shard = next((self._shards[shard_id]
+                          for shard_id in self._lease_order
+                          if self._shards[shard_id].state
+                          is ShardState.PENDING), None)
+            if shard is None:
+                return None
+            lease_id = uuid.uuid4().hex
+            now = time.time()
+            shard.state = ShardState.LEASED
+            shard.lease_id = lease_id
+            shard.worker = worker
+            shard.ttl = ttl
+            shard.leased_at = now
+            shard.expires_at = now + ttl
+            shard.attempts += 1
+            self._leases[lease_id] = shard.shard_id
+            self._leased_total.inc()
+            self._gauge_pending.dec()
+            self._gauge_leased.inc()
+            job = self._entries[shard.job_id]["job"]
+            return {
+                "lease_id": lease_id,
+                "shard_id": shard.shard_id,
+                "job_id": shard.job_id,
+                "spec_hash": job.spec_hash,
+                "spec": job.spec.to_dict(),
+                "indices": list(shard.indices),
+                "lease_ttl": ttl,
+                "attempt": shard.attempts,
+            }
+
+    def _lookup_active(self, lease_id: str) -> Shard:
+        """The shard of a *current* lease (404 unknown, 409 stale)."""
+        shard_id = self._leases.get(lease_id)
+        if shard_id is not None:
+            return self._shards[shard_id]
+        reason = self._closed_leases.get(lease_id)
+        if reason is None:
+            raise ServiceError(f"unknown shard lease {lease_id!r}",
+                               status=404)
+        raise ServiceError(
+            f"shard lease {lease_id} is no longer current ({reason}); "
+            "its shard has been requeued or already committed", status=409)
+
+    # ---------------------------------------------------------- heartbeat
+    def heartbeat(self, lease_id: str) -> dict[str, Any]:
+        """Renew a lease for another TTL window (404/409 when stale)."""
+        with self._lock:
+            self._expire_overdue_locked()
+            shard = self._lookup_active(lease_id)
+            shard.expires_at = time.time() + shard.ttl
+            self._heartbeats_total.inc()
+            return {
+                "lease_id": lease_id,
+                "shard_id": shard.shard_id,
+                "state": shard.state.value,
+                "expires_at": shard.expires_at,
+            }
+
+    # ----------------------------------------------------------- complete
+    def complete(self, lease_id: str, rows: list[dict[str, Any]], *,
+                 metrics: Optional[dict[str, Any]] = None) -> dict[str, Any]:
+        """Commit a leased shard's rows; 409 for stale leases (discarded).
+
+        The rows' point keys must be exactly the leased shard's — a
+        mismatch is a protocol error (400) and leaves the lease running.
+        """
+        with self._lock:
+            self._expire_overdue_locked()
+            try:
+                shard = self._lookup_active(lease_id)
+            except ServiceError as error:
+                if error.status == 409:
+                    self._rejected(self._closed_leases[lease_id])
+                raise
+            got = {row.get("point_key") for row in rows}
+            if got != set(shard.expected_keys):
+                raise ServiceError(
+                    f"completion for shard {shard.shard_id} carries the "
+                    f"wrong rows ({len(got)} keys, expected "
+                    f"{len(shard.expected_keys)}); the lease stays live",
+                    status=400)
+            # Done *before* the commit below: an expiry sweep racing this
+            # completion must not requeue a shard whose rows are landing.
+            shard.state = ShardState.DONE
+            shard.expires_at = None
+            del self._leases[lease_id]
+            self._closed_leases[lease_id] = "completed"
+            self._gauge_leased.dec()
+            self._completed_total.inc()
+            if shard.leased_at is not None:
+                self._lease_seconds.observe(time.time() - shard.leased_at)
+            entry = self._entries[shard.job_id]
+            entry["computed"] += len(rows)
+            entry["workers"].add(shard.worker or "anonymous")
+            if metrics:
+                entry["registry"].merge(metrics)
+            job = entry["job"]
+        try:
+            started = time.perf_counter()
+            self.store.commit(job.spec, rows)
+            self._commit_seconds.observe(time.perf_counter() - started)
+        except Exception:
+            with self._lock:  # give the shard back; another worker retries
+                shard.state = ShardState.PENDING
+                shard.lease_id = None
+                shard.worker = None
+                self._closed_leases[lease_id] = "commit-failed"
+                self._gauge_pending.inc()
+                entry["computed"] -= len(rows)
+            raise
+        # The job finishes only when every shard's rows are *committed*
+        # (not merely approved): whoever increments the count to the total
+        # knows all other commits already landed, so a client that sees
+        # state=done immediately reads the complete table.
+        with self._lock:
+            entry["committed_shards"] += 1
+            remaining = len(entry["shard_ids"]) - entry["committed_shards"]
+        if remaining == 0:
+            self._finish_job(entry)
+        return {
+            "lease_id": lease_id,
+            "shard_id": shard.shard_id,
+            "job_id": job.job_id,
+            "state": shard.state.value,
+            "job_state": job.state.value,
+            "remaining_shards": remaining,
+        }
+
+    def _finish_job(self, entry: dict[str, Any]) -> None:
+        job = entry["job"]
+        snapshot = entry["registry"].snapshot().to_dict()
+        self.store.record_telemetry(job.spec, {
+            "elapsed_seconds": time.time() - entry["started"],
+            "workers": len(entry["workers"]),
+            "computed": entry["computed"],
+            "cached": entry["cached"],
+            "mode": "remote",
+            "metrics": snapshot,
+        })
+        self.queue.finish(job, summary=self._summary(entry))
+
+    @staticmethod
+    def _summary(entry: dict[str, Any]) -> dict[str, Any]:
+        return {
+            "points": entry["total"],
+            "computed": entry["computed"],
+            "cached": entry["cached"],
+            "workers": max(1, len(entry["workers"])),
+            "elapsed_seconds": round(time.time() - entry["started"], 6),
+            "mode": "remote",
+            "requeued_shards": entry["requeued"],
+        }
+
+    # -------------------------------------------------------------- sweep
+    def _expire_overdue_locked(self) -> None:
+        now = time.time()
+        for shard in self._shards.values():
+            if shard.state is not ShardState.LEASED:
+                continue
+            if shard.expires_at is not None and shard.expires_at < now:
+                self._closed_leases[shard.lease_id] = "expired"
+                del self._leases[shard.lease_id]
+                shard.state = ShardState.PENDING
+                shard.lease_id = None
+                shard.worker = None
+                shard.expires_at = None
+                self._requeued_total.inc()
+                self._gauge_leased.dec()
+                self._gauge_pending.inc()
+                self._entries[shard.job_id]["requeued"] += 1
+
+    def expire_overdue(self) -> None:
+        """Requeue every overdue lease now (normally done lazily)."""
+        with self._lock:
+            self._expire_overdue_locked()
+
+    # ------------------------------------------------------------ queries
+    def describe(self) -> dict[str, Any]:
+        """The fabric stanza of ``/v1/healthz``."""
+        with self._lock:
+            self._expire_overdue_locked()
+            tally = {state.value: 0 for state in ShardState}
+            for shard in self._shards.values():
+                tally[shard.state.value] += 1
+            return {
+                "lease_ttl": self.lease_ttl,
+                "shard_points": self.shard_points,
+                "shards": tally,
+                "active_leases": len(self._leases),
+            }
+
+    def shards_for(self, job_id: str) -> list[dict[str, Any]]:
+        """Shard snapshots of one job (diagnostics and tests)."""
+        with self._lock:
+            entry = self._entries.get(job_id)
+            if entry is None:
+                return []
+            return [self._shards[shard_id].to_dict()
+                    for shard_id in entry["shard_ids"]]

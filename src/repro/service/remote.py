@@ -1,0 +1,184 @@
+"""The remote sweep worker: a leased shard-pulling agent over HTTP.
+
+``python -m repro worker --connect http://host:8080`` runs one of these
+against a daemon started with ``repro serve``.  The loop is deliberately
+tiny::
+
+    lease a shard  ->  compute it  ->  complete it  ->  repeat
+
+with a heartbeat thread keeping the lease alive while the shard computes.
+Everything hard lives elsewhere: the shard payload is exactly what
+:func:`~repro.sweeps.scheduler.run_sweep` hands its own pool workers, and
+it is executed by the *same* function
+(:func:`~repro.sweeps.scheduler._run_shard`), so a row computed on a
+remote machine is bit-identical to one computed locally — which is what
+lets the board discard stale duplicates and requeue dead workers' shards
+without ever producing a different table.
+
+Failure behaviour:
+
+* **killed worker** — the lease stops being heartbeaten, expires on the
+  daemon, and the shard is requeued for the next lease request.  Nothing
+  to clean up: the worker holds no durable state.
+* **stale completion** — a worker that comes back from a long GC pause or
+  network partition and completes an expired lease gets HTTP 409; it
+  counts the discard and moves on.
+* **unreachable daemon** — transient transport errors back the worker off
+  and count toward ``--max-idle``; a restarted daemon is picked up
+  transparently (leases are daemon-state, so pre-restart leases 404 and
+  are likewise dropped).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from typing import Any, Optional
+
+from ..sweeps.scheduler import _run_shard
+from ..telemetry import NullLogger, StructuredLogger
+from .api import ServiceError
+from .client import ServiceClient
+
+__all__ = ["RemoteWorker", "run_worker"]
+
+
+class RemoteWorker:
+    """One shard-pulling agent bound to a daemon.
+
+    Parameters
+    ----------
+    connect:
+        Daemon base URL, or a ready :class:`ServiceClient`.
+    worker_id:
+        Name reported with each lease (shows up in shard diagnostics and
+        the daemon's per-job worker count); a random one by default.
+    poll:
+        Idle sleep between lease attempts when the board is empty.
+    lease_ttl:
+        Per-lease TTL override (the daemon's default otherwise); the
+        heartbeat interval is a third of the granted TTL.
+    max_idle:
+        Exit after this many seconds without work (None: run until
+        killed) — what lets tests and CI runs terminate naturally.
+    max_shards:
+        Exit after completing this many shards (None: unlimited).
+    """
+
+    def __init__(self, connect: str | ServiceClient, *,
+                 worker_id: Optional[str] = None, poll: float = 0.5,
+                 lease_ttl: Optional[float] = None,
+                 max_idle: Optional[float] = None,
+                 max_shards: Optional[int] = None,
+                 log: Optional[StructuredLogger] = None):
+        self.client = (connect if isinstance(connect, ServiceClient)
+                       else ServiceClient(connect))
+        self.worker_id = worker_id or f"worker-{uuid.uuid4().hex[:8]}"
+        self.poll = poll
+        self.lease_ttl = lease_ttl
+        self.max_idle = max_idle
+        self.max_shards = max_shards
+        self.log = log or NullLogger()
+        self.stats: dict[str, Any] = {
+            "worker_id": self.worker_id,
+            "shards_completed": 0,
+            "points_computed": 0,
+            "stale_results": 0,
+            "transport_errors": 0,
+        }
+        self._stop = threading.Event()
+
+    def stop(self) -> None:
+        """Ask the run loop to exit after the current shard."""
+        self._stop.set()
+
+    # ------------------------------------------------------------------
+    def run(self) -> dict[str, Any]:
+        """Pull and execute shards until told (or configured) to stop."""
+        self.log.log("worker_started", worker_id=self.worker_id,
+                     daemon=self.client.base_url)
+        last_work = time.monotonic()
+        while not self._stop.is_set():
+            try:
+                shard = self.client.lease_shard(self.worker_id,
+                                                ttl=self.lease_ttl)
+            except ServiceError as error:
+                if error.status is not None:
+                    raise  # a definitive daemon answer: misconfiguration
+                self.stats["transport_errors"] += 1
+                self.log.log("daemon_unreachable", error=str(error))
+                shard = None
+            if shard is None:
+                if self.max_idle is not None \
+                        and time.monotonic() - last_work >= self.max_idle:
+                    self.log.log("worker_idle_exit",
+                                 idle_seconds=self.max_idle)
+                    break
+                self._stop.wait(self.poll)
+                continue
+            self._execute(shard)
+            last_work = time.monotonic()
+            if self.max_shards is not None \
+                    and self.stats["shards_completed"] >= self.max_shards:
+                self.log.log("worker_shard_limit", shards=self.max_shards)
+                break
+        self.log.log("worker_stopped", **self.stats)
+        return dict(self.stats)
+
+    # ------------------------------------------------------------------
+    def _execute(self, shard: dict[str, Any]) -> None:
+        lease_id = shard["lease_id"]
+        self.log.log("shard_leased", shard_id=shard["shard_id"],
+                     lease_id=lease_id, points=len(shard["indices"]),
+                     attempt=shard["attempt"])
+        stop_heartbeat = threading.Event()
+        heartbeat = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(lease_id, float(shard["lease_ttl"]), stop_heartbeat),
+            name=f"{self.worker_id}-heartbeat", daemon=True)
+        heartbeat.start()
+        try:
+            rows, metrics = _run_shard((shard["spec"], shard["indices"]))
+        finally:
+            stop_heartbeat.set()
+            heartbeat.join()
+        try:
+            self.client.complete_shard(lease_id, rows, metrics=metrics)
+        except ServiceError as error:
+            if error.status in (404, 409):
+                # Our lease expired (slow shard, paused process) and the
+                # shard was requeued — the current holder recomputes the
+                # identical rows, so ours are safely discarded.
+                self.stats["stale_results"] += 1
+                self.log.log("shard_result_stale", lease_id=lease_id,
+                             error=str(error))
+                return
+            raise
+        self.stats["shards_completed"] += 1
+        self.stats["points_computed"] += len(rows)
+        self.log.log("shard_completed", shard_id=shard["shard_id"],
+                     points=len(rows))
+
+    def _heartbeat_loop(self, lease_id: str, ttl: float,
+                        stop: threading.Event) -> None:
+        interval = max(0.05, ttl / 3.0)
+        while not stop.wait(interval):
+            try:
+                self.client.shard_heartbeat(lease_id)
+            except ServiceError:
+                # Stale lease or unreachable daemon: the completion call
+                # will find out authoritatively; just stop renewing.
+                return
+
+
+def run_worker(connect: str, *, worker_id: Optional[str] = None,
+               poll: float = 0.5, lease_ttl: Optional[float] = None,
+               max_idle: Optional[float] = None,
+               max_shards: Optional[int] = None,
+               log: Optional[StructuredLogger] = None) -> dict[str, Any]:
+    """Run one :class:`RemoteWorker` to completion (the CLI entry)."""
+    worker = RemoteWorker(connect, worker_id=worker_id, poll=poll,
+                          lease_ttl=lease_ttl, max_idle=max_idle,
+                          max_shards=max_shards, log=log)
+    return worker.run()

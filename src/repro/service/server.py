@@ -22,6 +22,9 @@ Routes (all JSON unless noted)::
     POST /v1/jobs/<id>/cancel          cancel a queued job
     GET  /v1/sweeps/<hash>/rows        committed rows, streamed JSONL
     GET  /v1/sweeps/<hash>/aggregate   group-by reduction over the rows
+    POST /v1/shards/lease              lease a pending shard (remote worker)
+    POST /v1/shards/<lease>/heartbeat  renew a shard lease
+    POST /v1/shards/<lease>/complete   commit a leased shard's rows
 
 Every request increments ``repro_http_requests_total{method,route,status}``
 and lands in the ``repro_http_request_seconds{route}`` latency histogram
@@ -55,8 +58,8 @@ from ..presets import preset_summaries
 from ..sweeps import SweepSpec, SweepStore, aggregate_rows
 from ..sweeps.aggregate import DEFAULT_STATS
 from ..telemetry import MetricsRegistry, NullLogger, StructuredLogger
-from .api import ServiceError, resolve_spec
-from .jobs import JobQueue
+from .api import ServiceError, resolve_mode, resolve_spec
+from .jobs import JobQueue, ShardBoard
 from .workers import WorkerPool
 
 __all__ = ["SweepService", "make_server", "run_service"]
@@ -75,20 +78,32 @@ class SweepService:
         Processes per job's :func:`~repro.sweeps.scheduler.run_sweep`.
     runner:
         Test seam: replaces ``run_sweep`` in the worker pool.
+    lease_ttl:
+        Seconds a remote worker's shard lease lives between heartbeats;
+        an expired lease requeues its shard for the next worker.
+    shard_points:
+        Points per remote shard (defaults to the scheduler's own
+        granularity, ~4 shards per assumed worker).
     """
 
     def __init__(self, store: SweepStore | str | os.PathLike, *,
                  workers: int = 1, sweep_workers: int = 1,
-                 runner: Optional[Callable] = None):
+                 runner: Optional[Callable] = None,
+                 lease_ttl: float = 30.0,
+                 shard_points: Optional[int] = None):
         self.store = store if isinstance(store, SweepStore) else SweepStore(store)
         #: One registry for the whole daemon: the queue's job lifecycle
-        #: counters, the pool's execution timings and the HTTP layer's
-        #: request metrics all land here, so ``/v1/metrics`` is one read.
+        #: counters, the pool's execution timings, the shard board's fabric
+        #: counters and the HTTP layer's request metrics all land here, so
+        #: ``/v1/metrics`` is one read.
         self.registry = MetricsRegistry()
         self.queue = JobQueue(registry=self.registry)
         self.pool = WorkerPool(self.queue, self.store, workers=workers,
                                sweep_workers=sweep_workers, runner=runner,
                                registry=self.registry)
+        self.board = ShardBoard(self.queue, self.store, lease_ttl=lease_ttl,
+                                shard_points=shard_points,
+                                registry=self.registry)
         #: Every spec this process has resolved, by content hash — lets the
         #: rows/aggregate endpoints serve cached submissions that never
         #: created a job.  Store manifests cover everything older.
@@ -111,8 +126,12 @@ class SweepService:
 
         Cached specs (every grid point committed) are answered from the
         store without touching the queue.  Otherwise the job queue dedups
-        by content hash, so duplicate in-flight submits share one job.
+        by content hash, so duplicate in-flight submits share one job —
+        regardless of mode: if the spec is already being computed (either
+        way), the submit joins that job.  New ``mode="remote"`` jobs are
+        sharded onto the lease board instead of the worker-pool heap.
         """
+        mode = resolve_mode(payload)
         spec, priority = resolve_spec(payload)
         spec_hash = spec.content_hash()
         self._specs[spec_hash] = spec
@@ -126,7 +145,13 @@ class SweepService:
                 "points": cached_points,
                 "job": None,
             }
-        job, created = self.queue.submit(spec, priority=priority)
+        job, created = self.queue.submit(spec, priority=priority, mode=mode)
+        if created and mode == "remote":
+            try:
+                self.board.activate(job)
+            except ReproError as error:
+                self.queue.finish(job, error=str(error))
+                raise
         return {
             "spec_hash": spec_hash,
             "spec_name": spec.name,
@@ -203,7 +228,9 @@ class SweepService:
             "store_root": str(self.store.root),
             "service_workers": self.pool.workers,
             "sweep_workers": self.pool.sweep_workers,
+            "store_backend": self.store.scheme,
             "jobs": self.queue.counts(),
+            "fabric": self.board.describe(),
             "metrics": self.registry.snapshot().flat(),
             **runtime_info(),
         }
@@ -222,10 +249,15 @@ def _route_template(parts: list[str]) -> str:
         if len(parts) == 2 and parts[1] in ("healthz", "metrics", "presets",
                                             "jobs", "sweeps"):
             return "/v1/" + parts[1]
+        if len(parts) == 3 and parts[1] == "shards" and parts[2] == "lease":
+            return "/v1/shards/lease"
         if len(parts) == 3 and parts[1] == "jobs":
             return "/v1/jobs/{id}"
         if len(parts) == 4 and parts[1] == "jobs" and parts[3] == "cancel":
             return "/v1/jobs/{id}/cancel"
+        if len(parts) == 4 and parts[1] == "shards" \
+                and parts[3] in ("heartbeat", "complete"):
+            return "/v1/shards/{lease}/" + parts[3]
         if len(parts) == 4 and parts[1] == "sweeps" \
                 and parts[3] in ("rows", "aggregate"):
             return "/v1/sweeps/{hash}/" + parts[3]
@@ -419,6 +451,28 @@ class _Handler(BaseHTTPRequestHandler):
         elif len(parts) == 4 and parts[:2] == ["v1", "jobs"] \
                 and parts[3] == "cancel":
             self._send_json(self.service.queue.cancel(parts[2]).to_dict())
+        elif parts == ["v1", "shards", "lease"]:
+            body = self._read_body()
+            if not isinstance(body, dict):
+                raise ServiceError("the lease body must be a JSON object")
+            ttl = body.get("ttl")
+            lease = self.service.board.lease(
+                body.get("worker"),
+                ttl=float(ttl) if ttl is not None else None)
+            self._send_json({"shard": lease})
+        elif len(parts) == 4 and parts[:2] == ["v1", "shards"] \
+                and parts[3] == "heartbeat":
+            self._drain_body()
+            self._send_json(self.service.board.heartbeat(parts[2]))
+        elif len(parts) == 4 and parts[:2] == ["v1", "shards"] \
+                and parts[3] == "complete":
+            body = self._read_body()
+            if not isinstance(body, dict) \
+                    or not isinstance(body.get("rows"), list):
+                raise ServiceError("the completion body must be a JSON "
+                                   "object with a 'rows' array")
+            self._send_json(self.service.board.complete(
+                parts[2], body["rows"], metrics=body.get("metrics")))
         else:
             raise ServiceError(f"no such resource: POST {url.path}",
                                status=404)
@@ -485,6 +539,7 @@ def _install_shutdown_signals() -> None:
 def run_service(store: SweepStore | str | os.PathLike, *,
                 host: str = "127.0.0.1", port: int = 8080,
                 workers: int = 1, sweep_workers: int = 1,
+                lease_ttl: float = 30.0, shard_points: Optional[int] = None,
                 quiet: bool = True, access_log: bool = False,
                 ready: Optional[Callable[[ThreadingHTTPServer], Any]] = None,
                 ) -> int:
@@ -498,13 +553,15 @@ def run_service(store: SweepStore | str | os.PathLike, *,
     the next submit).
     """
     service = SweepService(store, workers=workers,
-                           sweep_workers=sweep_workers).start()
+                           sweep_workers=sweep_workers,
+                           lease_ttl=lease_ttl,
+                           shard_points=shard_points).start()
     server = make_server(service, host=host, port=port, quiet=quiet,
                          access_log=access_log)
     _install_shutdown_signals()
     bound_host, bound_port = server.server_address[:2]
     print(f"sweep service listening on http://{bound_host}:{bound_port} "
-          f"(store: {service.store.root}, workers: {workers}, "
+          f"(store: {service.store.url}, workers: {workers}, "
           f"sweep workers: {sweep_workers})", flush=True)
     if ready is not None:
         ready(server)

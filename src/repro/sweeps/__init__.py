@@ -11,8 +11,10 @@ ensemble engine:
   (game/protocol builders + batched hitting-time kernels);
 * :mod:`~repro.sweeps.scheduler` — shard scheduling over a multiprocessing
   pool (:func:`run_sweep`, :func:`parallel_map`);
-* :mod:`~repro.sweeps.store` — the JSONL + manifest result store with
-  resume/cache semantics (:class:`SweepStore`);
+* :mod:`~repro.sweeps.store` — the result store facade with resume/cache
+  semantics (:class:`SweepStore`);
+* :mod:`~repro.sweeps.backends` — pluggable persistence backends behind
+  the store (``dir:``, ``sqlite:``, ``object:`` URL schemes);
 * :mod:`~repro.sweeps.aggregate` — group-by summary reducers feeding the
   analysis layer.
 
@@ -21,15 +23,31 @@ guarantees.
 """
 
 from .aggregate import aggregate_rows, explode_column, group_rows, table_rows
+from .backends import (
+    BACKENDS,
+    LocalDirBackend,
+    ObjectStoreBackend,
+    SqliteBackend,
+    StoreBackend,
+    open_backend,
+    parse_store_url,
+)
 from .kernels import GAME_BUILDERS, MEASURES, PROTOCOL_BUILDERS, run_point
 from .scheduler import SweepRunResult, parallel_map, partition, run_sweep
 from .spec import CODE_VERSION, SweepError, SweepPoint, SweepSpec, point_key
 from .store import DirectoryLock, StoreLockTimeout, SweepStore
 
 __all__ = [
+    "BACKENDS",
     "CODE_VERSION",
     "DirectoryLock",
+    "LocalDirBackend",
+    "ObjectStoreBackend",
+    "SqliteBackend",
+    "StoreBackend",
     "StoreLockTimeout",
+    "open_backend",
+    "parse_store_url",
     "GAME_BUILDERS",
     "MEASURES",
     "PROTOCOL_BUILDERS",

@@ -1,0 +1,80 @@
+"""Pluggable persistence backends for the sweep store.
+
+Backend selection is URL-style: ``<scheme>:<path>`` strings accepted
+everywhere a store used to take a directory path (``run_sweep(store=...)``,
+``SweepService``, every CLI ``--store`` flag)::
+
+    dir:.sweeps            # directory-per-spec JSONL + manifest (default)
+    sqlite:results.db      # single-file WAL SQLite, transactional commits
+    object:/mnt/bucket     # S3-style content-addressed objects
+
+A bare path without a scheme keeps meaning the directory backend, so every
+pre-existing invocation and stored root works unchanged.  An optional
+``//`` after the colon is tolerated (``sqlite://results.db``) for people
+with URL muscle memory.
+
+See :mod:`.base` for the backend contract and the per-backend modules for
+their layouts.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..spec import SweepError
+from .base import StoreBackend, manifest_payload
+from .localdir import LocalDirBackend
+from .objectstore import ObjectStoreBackend
+from .sqlite import SqliteBackend
+
+__all__ = [
+    "BACKENDS",
+    "LocalDirBackend",
+    "ObjectStoreBackend",
+    "SqliteBackend",
+    "StoreBackend",
+    "manifest_payload",
+    "open_backend",
+    "parse_store_url",
+]
+
+#: Registered backend classes by URL scheme.
+BACKENDS: dict[str, type[StoreBackend]] = {
+    backend.scheme: backend
+    for backend in (LocalDirBackend, SqliteBackend, ObjectStoreBackend)
+}
+
+#: Scheme prefix shape: a registered word followed by ``:`` — deliberately
+#: matched against the registry (not any ``word:``) so odd-but-legal paths
+#: like ``weird:dirname`` fail loudly below instead of silently meaning
+#: the dir backend.
+_SCHEME = re.compile(r"^([a-z][a-z0-9+.-]*):(.*)$", re.IGNORECASE)
+
+
+def parse_store_url(location: str) -> tuple[str, str]:
+    """Split a store location into ``(scheme, path)``.
+
+    A bare path (no ``<scheme>:`` prefix) maps to the ``dir`` backend.  An
+    unknown scheme raises :class:`~repro.sweeps.spec.SweepError` naming the
+    registered ones — a typo must never silently create a directory called
+    ``sqllite:results.db``.
+    """
+    match = _SCHEME.match(location)
+    if match is None:
+        return "dir", location
+    scheme, path = match.group(1).lower(), match.group(2)
+    if scheme not in BACKENDS:
+        raise SweepError(
+            f"unknown store backend {scheme!r} in {location!r}; "
+            f"known schemes: {sorted(BACKENDS)} (a bare path selects 'dir')")
+    if path.startswith("//"):
+        path = path[2:]
+    if not path:
+        raise SweepError(f"store URL {location!r} has an empty path")
+    return scheme, path
+
+
+def open_backend(location: str) -> StoreBackend:
+    """Open the backend a ``<scheme>:<path>`` (or bare path) points at."""
+    scheme, path = parse_store_url(location)
+    return BACKENDS[scheme](path)

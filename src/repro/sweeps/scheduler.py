@@ -218,11 +218,18 @@ def run_sweep(
     payloads = [(spec_dict, shard) for shard in shards]
 
     registry = MetricsRegistry()
+    commit_seconds = None
+    if store is not None:
+        commit_seconds = registry.histogram(
+            "store_commit_seconds", "Wall time per shard store commit",
+            DEFAULT_DURATION_BUCKETS, backend=store.scheme)
     computed_rows: list[dict] = []
     for _, (shard_rows, shard_metrics) in parallel_map(
             _run_shard, payloads, workers=workers):
         if store is not None:
+            commit_started = time.perf_counter()
             store.commit(spec, shard_rows)
+            commit_seconds.observe(time.perf_counter() - commit_started)
         registry.merge(shard_metrics)
         computed_rows.extend(shard_rows)
         if progress is not None:

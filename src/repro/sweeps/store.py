@@ -1,53 +1,46 @@
-"""On-disk result store for sweeps: JSONL rows plus a JSON manifest.
+"""The sweep-result store: a facade over pluggable persistence backends.
 
-Layout
-------
-Each spec gets its own directory under the store root, keyed by the spec's
-slug — ``<name>-<content_hash>`` where the hash covers the full spec *and*
-:data:`~repro.sweeps.spec.CODE_VERSION`::
+:class:`SweepStore` is what every caller holds — the scheduler, the
+service, the CLI and the tests.  Since the backend refactor it no longer
+implements persistence itself: it parses a URL-style location string and
+delegates to one of the :mod:`~repro.sweeps.backends`::
 
-    <root>/
-      eps-delta-3f2a9c01d4b8e6f7/
-        manifest.json    # the spec, its hash, code version, creation time
-        rows.jsonl       # one completed point per line
+    SweepStore(".sweeps")                 # bare path: the dir backend
+    SweepStore("dir:.sweeps")             # the same, spelled explicitly
+    SweepStore("sqlite:results.db")       # single-file WAL SQLite
+    SweepStore("object:/mnt/bucket")      # content-addressed objects
 
-Any change to the spec (axes, seeds, replicas, ...) or to the kernel code
-version changes the hash and therefore the directory, so stale results are
-never silently reused across incompatible runs.
-
-Crash safety
-------------
-Each completed shard is appended as one buffered write followed by ``fsync``
-(an *atomic shard commit*).  If the process dies mid-write, the interrupted
-final line fails to parse and :meth:`SweepStore.load_rows` simply skips it —
-the affected points are recomputed on resume, everything before them is
-reused.
+The directory backend keeps the historical layout byte-for-byte (JSONL
+rows + JSON manifest per spec directory), so every store written before
+the refactor opens unchanged.  The invariants all backends share — atomic
+shard commits, first-commit-wins per ``point_key``, byte-stable rows,
+lock-free reads — are documented in :mod:`~repro.sweeps.backends.base`.
 
 Concurrency — the relaxed single-writer contract
 ------------------------------------------------
-Historically only one process (the scheduler's parent) was allowed to write
-to a store directory.  That contract is now *relaxed*: any number of writers
-— a sweep-service worker and a concurrent CLI ``sweep`` invocation on the
-same root, say — may commit to the same spec directory, because every
-manifest + rows mutation happens under the directory's advisory
-:class:`DirectoryLock` (``fcntl.flock`` where available, a stale-detecting
-PID lockfile otherwise).  The lock makes shard commits mutually exclusive,
-so two writers can never interleave partial lines; if both compute the same
-point, :meth:`SweepStore.load_rows` keeps the *first committed* row — and
-since rows are deterministic functions of ``(spec, point.index)``, the
-duplicates are identical anyway.  Readers take no lock: they rely on commit
-atomicity plus torn-trailing-line tolerance, exactly as before.
+Any number of writers (a sweep-service worker, a concurrent CLI ``sweep``,
+a remote shard completion) may commit to the same store.  The dir backend
+serialises them on the advisory :class:`DirectoryLock` below
+(``fcntl.flock`` where available, a hostname-qualified PID lockfile
+otherwise); the sqlite backend uses transactions; the object backend needs
+no lock at all (objects are immutable and created atomically).  If two
+writers commit the same point, the *first committed* row wins everywhere —
+and since rows are deterministic functions of ``(spec, point.index)``, the
+duplicates are identical anyway.  Readers never lock.
 """
 
 from __future__ import annotations
 
-import json
 import os
+import socket
+import sys
 import time
 from pathlib import Path
 from typing import Any, Iterable, Optional
 
-from .spec import CODE_VERSION, SweepError, SweepSpec
+from ..telemetry.logs import StructuredLogger
+from .backends import LocalDirBackend, StoreBackend, open_backend
+from .spec import SweepError, SweepSpec
 
 try:  # POSIX; on platforms without fcntl the PID-lockfile fallback is used
     import fcntl
@@ -55,6 +48,16 @@ except ImportError:  # pragma: no cover - exercised via monkeypatch in tests
     fcntl = None  # type: ignore[assignment]
 
 __all__ = ["DirectoryLock", "StoreLockTimeout", "SweepStore"]
+
+#: Structured warnings for advisory-lock anomalies (stale-lock takeovers).
+#: One line of JSON on stderr — quiet in the happy path, greppable when a
+#: crashed writer's lock had to be broken.
+_LOCK_EVENTS = StructuredLogger(sys.stderr, component="sweeps.store.lock")
+
+
+def _hostname() -> str:
+    """This machine's name, whitespace-free (it lands in the lockfile)."""
+    return "-".join(socket.gethostname().split()) or "unknown-host"
 
 
 class StoreLockTimeout(SweepError):
@@ -71,9 +74,18 @@ class DirectoryLock:
       leave the directory locked — no staleness handling needed.
     * without :mod:`fcntl`: ``O_CREAT | O_EXCL`` creation of the same file,
       which persists if the holder crashes.  The file records ``pid
-      timestamp``; a lock whose PID is dead (or unreadable), or whose
-      timestamp is older than ``stale_after`` seconds, is broken and
-      re-acquired.
+      hostname timestamp``; a lock is broken and re-acquired when it is
+      provably stale — its PID is dead *on this host*, or its timestamp is
+      older than ``stale_after`` seconds.  The hostname qualifier matters
+      on shared filesystems (NFS): a PID is only meaningful on the machine
+      that created it, so a lock written by another host is **never**
+      treated as dead by PID probe — a recycled PID number on this machine
+      must not impersonate a live remote holder.  Cross-host staleness
+      falls back to the timestamp alone.
+
+    Every stale-lock takeover emits a structured ``stale_lock_takeover``
+    warning (JSON on stderr, via :mod:`repro.telemetry.logs`) naming the
+    displaced holder, so silent lock-breaking never hides a crash.
 
     The lock is *advisory*: readers never take it, and nothing stops a
     process that bypasses :class:`SweepStore` from writing anyway.
@@ -125,6 +137,9 @@ class DirectoryLock:
         self.release()
 
     # ------------------------------------------------------------------
+    def _stamp_line(self) -> str:
+        return f"{os.getpid()} {_hostname()} {time.time()}\n"
+
     def _try_acquire(self) -> bool:
         if fcntl is not None:
             handle = self.path.open("a+", encoding="utf-8")
@@ -135,7 +150,7 @@ class DirectoryLock:
                 return False
             handle.seek(0)
             handle.truncate()
-            handle.write(f"{os.getpid()} {time.time()}\n")
+            handle.write(self._stamp_line())
             handle.flush()
             self._handle = handle
             return True
@@ -146,7 +161,7 @@ class DirectoryLock:
             self._break_if_stale()
             return False
         with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-            handle.write(f"{os.getpid()} {time.time()}\n")
+            handle.write(self._stamp_line())
         self._owns_file = True
         return True
 
@@ -161,6 +176,21 @@ class DirectoryLock:
     #: breaking it would steal a live holder's lock.
     GARBAGE_GRACE = 5.0
 
+    @staticmethod
+    def _parse_holder(content: str) -> tuple[int, Optional[str], float]:
+        """Parse a lockfile body: ``pid [hostname] timestamp``.
+
+        The middle hostname field was added for NFS-shared stores; the
+        two-field form written by older code still parses (hostname
+        ``None`` — treated as this host, the only possibility back then).
+        """
+        tokens = content.split()
+        if len(tokens) == 2:
+            return int(tokens[0]), None, float(tokens[1])
+        if len(tokens) == 3:
+            return int(tokens[0]), tokens[1], float(tokens[2])
+        raise ValueError(f"unrecognised lockfile contents: {content!r}")
+
     def _break_if_stale(self) -> None:
         """Remove a fallback lockfile whose holder is provably gone."""
         try:
@@ -168,23 +198,33 @@ class DirectoryLock:
             content = self.path.read_text(encoding="utf-8").strip()
         except OSError:
             return  # vanished (or unreadable): just retry the acquire
+        pid: Optional[int] = None
+        host: Optional[str] = None
+        reason = ""
         try:
-            pid_text, _, stamp_text = content.partition(" ")
-            pid, stamp = int(pid_text), float(stamp_text)
+            pid, host, stamp = self._parse_holder(content)
         except ValueError:
             # Torn/empty contents: stale only once old enough that it
             # cannot be a holder mid-creation.
             stale = time.time() - observed.st_mtime \
                 > min(self.stale_after, self.GARBAGE_GRACE)
+            reason = "unparseable-contents"
         else:
             if time.time() - stamp > self.stale_after:
                 stale = True
+                reason = "timestamp-expired"
+            elif host is not None and host != _hostname():
+                # A foreign host's PID namespace is invisible here: a live
+                # PID probe would be meaningless (and a dead one could be a
+                # recycled number).  Within stale_after, believe the holder.
+                stale = False
             else:
                 try:
                     os.kill(pid, 0)
                     stale = False
                 except ProcessLookupError:
                     stale = True
+                    reason = "holder-pid-dead"
                 except OSError:  # pragma: no cover - other user's pid: alive
                     stale = False
         if not stale:
@@ -201,6 +241,10 @@ class DirectoryLock:
         if (current.st_ino, current.st_mtime_ns) \
                 != (observed.st_ino, observed.st_mtime_ns):
             return
+        _LOCK_EVENTS.log(
+            "stale_lock_takeover", level="warning", path=str(self.path),
+            reason=reason, holder_pid=pid, holder_host=host,
+            age_seconds=round(time.time() - observed.st_mtime, 3))
         self._unlink_quietly()
 
     def _unlink_quietly(self) -> None:
@@ -211,168 +255,109 @@ class DirectoryLock:
 
 
 class SweepStore:
-    """Resumable sweep-result store rooted at ``root``.
+    """Resumable sweep-result store — a facade over one pluggable backend.
 
-    Writes (:meth:`commit`, :meth:`reset`) serialize on the spec
-    directory's advisory :class:`DirectoryLock`, so concurrent writers on
-    the same root are safe (see the module docstring for the relaxed
-    single-writer contract).  Reads are lock-free.
+    Parameters
+    ----------
+    location:
+        A backend instance, or a location string/path: bare paths select
+        the ``dir`` backend (the historical layout), ``<scheme>:<path>``
+        selects by scheme (``dir:``, ``sqlite:``, ``object:`` — see
+        :mod:`repro.sweeps.backends`).
+
+    Writes (:meth:`commit`, :meth:`reset`) are safe under concurrent
+    writers on every backend (see the module docstring); reads are
+    lock-free.  The dir-specific helpers (:meth:`directory`,
+    :meth:`manifest_path`, :meth:`rows_path`, :meth:`lock`) raise
+    :class:`~repro.sweeps.spec.SweepError` on other backends — they name
+    files that only the directory layout has.
     """
 
-    MANIFEST = "manifest.json"
-    ROWS = "rows.jsonl"
+    MANIFEST = LocalDirBackend.MANIFEST
+    ROWS = LocalDirBackend.ROWS
 
     #: Seconds a writer waits for a directory's advisory lock before
-    #: giving up with :class:`StoreLockTimeout`.
-    LOCK_TIMEOUT = 30.0
+    #: giving up with :class:`StoreLockTimeout` (dir backend only).
+    LOCK_TIMEOUT = LocalDirBackend.LOCK_TIMEOUT
 
-    def __init__(self, root: str | os.PathLike):
-        self.root = Path(root)
+    def __init__(self, location: StoreBackend | str | os.PathLike):
+        if isinstance(location, StoreBackend):
+            self.backend = location
+        else:
+            self.backend = open_backend(os.fspath(location))
+        self.scheme = self.backend.scheme
+        self.root = self.backend.root
+
+    @property
+    def url(self) -> str:
+        """The ``<scheme>:<path>`` string that reopens this store."""
+        return self.backend.url
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SweepStore {self.url}>"
+
+    # ----------------------------------------------------- dir-only layer
+    def _localdir(self) -> LocalDirBackend:
+        if not isinstance(self.backend, LocalDirBackend):
+            raise SweepError(
+                f"the {self.scheme!r} store backend has no per-spec "
+                "directories; directory/manifest_path/rows_path/lock apply "
+                "to the 'dir' backend only")
+        return self.backend
+
+    def directory(self, spec: SweepSpec) -> Path:
+        """The store directory of ``spec`` (dir backend only)."""
+        return self._localdir().directory(spec)
+
+    def manifest_path(self, spec: SweepSpec) -> Path:
+        """Path of the spec's manifest file (dir backend only)."""
+        return self._localdir().manifest_path(spec)
+
+    def rows_path(self, spec: SweepSpec) -> Path:
+        """Path of the spec's JSONL row file (dir backend only)."""
+        return self._localdir().rows_path(spec)
 
     def lock(self, spec: SweepSpec, *,
              timeout: Optional[float] = None) -> DirectoryLock:
-        """The advisory lock of ``spec``'s directory (a context manager)."""
-        return DirectoryLock(self.directory(spec),
+        """The advisory lock of ``spec``'s directory (dir backend only)."""
+        return DirectoryLock(self._localdir().directory(spec),
                              timeout=self.LOCK_TIMEOUT if timeout is None
                              else timeout)
 
-    # ------------------------------------------------------------------
-    def directory(self, spec: SweepSpec) -> Path:
-        """The store directory of ``spec`` (not necessarily existing yet)."""
-        return self.root / spec.slug()
-
-    def manifest_path(self, spec: SweepSpec) -> Path:
-        """Path of the spec's manifest file."""
-        return self.directory(spec) / self.MANIFEST
-
-    def rows_path(self, spec: SweepSpec) -> Path:
-        """Path of the spec's JSONL row file."""
-        return self.directory(spec) / self.ROWS
-
-    # ------------------------------------------------------------------
+    # ------------------------------------------------------- delegation
     def manifest(self, spec: SweepSpec) -> Optional[dict]:
         """The stored manifest of ``spec``, or ``None`` if never committed."""
-        path = self.manifest_path(spec)
-        if not path.exists():
-            return None
-        with path.open("r", encoding="utf-8") as handle:
-            return json.load(handle)
-
-    def _ensure_manifest(self, spec: SweepSpec) -> None:
-        path = self.manifest_path(spec)
-        if path.exists():
-            return
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {
-            "name": spec.name,
-            "spec": spec.to_dict(),
-            "spec_hash": spec.content_hash(),
-            "code_version": CODE_VERSION,
-            "num_points": spec.num_points,
-            "created_at": time.time(),
-        }
-        tmp = path.with_suffix(".json.tmp")
-        with tmp.open("w", encoding="utf-8") as handle:
-            # NOT sort_keys: the axis declaration order inside the recorded
-            # spec is semantic (point-index -> seed assignment); sorting it
-            # here would make SweepSpec.from_dict(manifest["spec"]) hash to
-            # a different slug than the directory it sits in.
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
-        os.replace(tmp, path)
+        return self.backend.manifest(spec)
 
     def record_telemetry(self, spec: SweepSpec, payload: dict[str, Any]) -> None:
         """Attach the last run's telemetry to the spec's manifest.
 
-        Rewrites ``manifest.json`` atomically under the directory lock with
-        a ``telemetry`` stanza (run timings, worker counts, the metrics
-        snapshot).  Telemetry is advisory metadata: it lives only in the
-        manifest, is overwritten by each run, and never affects the row
-        files or the spec hash.
+        Telemetry is advisory metadata: it is overwritten by each run and
+        never affects the rows or the spec hash.
         """
-        with self.lock(spec):
-            self._ensure_manifest(spec)
-            path = self.manifest_path(spec)
-            with path.open("r", encoding="utf-8") as handle:
-                manifest = json.load(handle)
-            manifest["telemetry"] = dict(payload, recorded_at=time.time())
-            tmp = path.with_suffix(".json.tmp")
-            with tmp.open("w", encoding="utf-8") as handle:
-                json.dump(manifest, handle, indent=2)  # NOT sort_keys, see above
-                handle.write("\n")
-            os.replace(tmp, path)
+        self.backend.record_telemetry(spec, payload)
 
-    # ------------------------------------------------------------------
     def commit(self, spec: SweepSpec, rows: Iterable[dict[str, Any]]) -> int:
         """Append one shard's completed rows (an atomic shard commit).
 
-        Returns the number of rows written.  The whole shard is serialised
-        first and written with a single call + ``fsync``, so a crash leaves
-        at most one torn (and therefore ignorable) trailing line.
+        Returns the number of rows handed in.  First commit wins per
+        ``point_key``; a crash mid-commit never leaves a torn row visible
+        to :meth:`load_rows`.
         """
-        rows = list(rows)
-        if not rows:
-            return 0
-        # Key order is preserved (no sort_keys) so a cache-hit run yields
-        # rows — and therefore rendered tables — identical to a fresh run.
-        blob = "".join(json.dumps(row) + "\n" for row in rows)
-        with self.lock(spec):
-            self._ensure_manifest(spec)
-            with self.rows_path(spec).open("a", encoding="utf-8") as handle:
-                handle.write(blob)
-                handle.flush()
-                os.fsync(handle.fileno())
-        return len(rows)
+        return self.backend.commit(spec, rows)
 
     def load_rows(self, spec: SweepSpec) -> list[dict[str, Any]]:
-        """All committed rows of ``spec``, de-duplicated by ``point_key``.
-
-        Unparseable lines (torn writes from an interrupted commit) are
-        skipped; duplicated points keep their first committed row so a
-        re-commit after a racy resume cannot change already-stored results.
-        """
-        path = self.rows_path(spec)
-        if not path.exists():
-            return []
-        rows: list[dict[str, Any]] = []
-        seen: set[str] = set()
-        with path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    row = json.loads(line)
-                except json.JSONDecodeError:
-                    continue
-                key = row.get("point_key")
-                if key is None or key in seen:
-                    continue
-                seen.add(key)
-                rows.append(row)
-        return rows
+        """All committed rows of ``spec``, de-duplicated by ``point_key``."""
+        return self.backend.load_rows(spec)
 
     def completed_keys(self, spec: SweepSpec) -> set[str]:
         """The ``point_key`` set of all committed points of ``spec``."""
-        return {row["point_key"] for row in self.load_rows(spec)}
+        return self.backend.completed_keys(spec)
 
     def reset(self, spec: SweepSpec) -> None:
         """Drop the committed rows of ``spec`` (the manifest is kept)."""
-        path = self.rows_path(spec)
-        if path.exists():
-            with self.lock(spec):
-                if path.exists():
-                    path.unlink()
+        self.backend.reset(spec)
 
-    # ------------------------------------------------------------------
     def runs(self) -> list[dict]:
-        """Manifests of every sweep ever committed to this store root."""
-        if not self.root.exists():
-            return []
-        manifests = []
-        for directory in sorted(self.root.iterdir()):
-            path = directory / self.MANIFEST
-            if path.is_file():
-                with path.open("r", encoding="utf-8") as handle:
-                    manifests.append(json.load(handle))
-        return manifests
+        """Manifests of every sweep ever committed to this store."""
+        return self.backend.runs()

@@ -1,0 +1,523 @@
+"""Tests for the distributed sweep fabric: shard leases, remote workers,
+requeue-on-expiry and the byte-identity guarantee.
+
+Three layers of coverage:
+
+* **board unit tests** — the :class:`~repro.service.jobs.ShardBoard` lease
+  protocol driven directly (no HTTP): lease/heartbeat/complete lifecycle,
+  lazy expiry, stale-completion 409s, row validation;
+* **HTTP integration** — remote-mode submits executed by real
+  :class:`~repro.service.remote.RemoteWorker` agents against a live
+  daemon, on all three store backends, compared byte-for-byte against a
+  serial :func:`run_sweep`;
+* **fault injection** — a worker *subprocess* SIGKILLed mid-shard; the
+  lease expires, the shard is requeued, and the final table is still
+  byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service import (
+    RemoteWorker,
+    ServiceClient,
+    ServiceError,
+    SweepService,
+    make_server,
+)
+from repro.sweeps import SweepSpec, SweepStore, run_sweep
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+ALL_SCHEMES = ("dir", "sqlite", "object")
+
+
+def store_url(scheme: str, tmp_path) -> str:
+    return {
+        "dir": f"dir:{tmp_path / 'fabric-dir'}",
+        "sqlite": f"sqlite:{tmp_path / 'fabric.db'}",
+        "object": f"object:{tmp_path / 'fabric-objects'}",
+    }[scheme]
+
+
+def tiny_spec(**overrides) -> SweepSpec:
+    """A fast 4-point grid (milliseconds per point)."""
+    config = dict(
+        name="fabric-tiny",
+        game="linear-singleton",
+        protocol="imitation",
+        measure="approx_equilibrium_time",
+        axes={"n": [16, 32], "epsilon": [0.4, 0.3]},
+        base={"coeffs": [1.0, 2.0], "delta": 0.3},
+        replicas=2,
+        max_rounds=100,
+        seed=5,
+    )
+    config.update(overrides)
+    return SweepSpec(**config)
+
+
+def slow_spec(**overrides) -> SweepSpec:
+    """A 4-point grid with ~100ms+ per point — long enough that a worker
+    can reliably be killed *mid-shard*."""
+    config = dict(
+        name="fabric-slow",
+        game="linear-singleton",
+        protocol="imitation",
+        measure="approx_equilibrium_time",
+        axes={"n": [1024, 1448], "epsilon": [0.004, 0.005]},
+        base={"links": 24, "delta": 0.001},
+        replicas=128,
+        max_rounds=300,
+        seed=3,
+    )
+    config.update(overrides)
+    return SweepSpec(**config)
+
+
+def reference_lines(spec: SweepSpec) -> list[str]:
+    """The byte-exact JSONL table of a serial in-process run."""
+    return [json.dumps(row) for row in run_sweep(spec).rows]
+
+
+class FabricHarness:
+    """Daemon + HTTP server + client with fabric knobs exposed."""
+
+    def __init__(self, store_location, *, lease_ttl: float = 30.0,
+                 shard_points: int | None = 1):
+        self.service = SweepService(store_location, lease_ttl=lease_ttl,
+                                    shard_points=shard_points).start()
+        self.board = self.service.board
+        self.server = make_server(self.service)
+        self.thread = threading.Thread(target=self.server.serve_forever,
+                                       daemon=True)
+        self.thread.start()
+        host, port = self.server.server_address[:2]
+        self.url = f"http://{host}:{port}"
+        self.client = ServiceClient(self.url, timeout=10.0)
+
+    def close(self):
+        self.server.shutdown()
+        self.server.server_close()
+        self.service.stop()
+        self.thread.join(5.0)
+
+    def submit_remote(self, spec: SweepSpec) -> dict:
+        return self.client.submit(spec=spec, mode="remote")
+
+
+@pytest.fixture
+def harness(tmp_path):
+    harness = FabricHarness(tmp_path / "store")
+    yield harness
+    harness.close()
+
+
+# ----------------------------------------------------------------------
+# The lease protocol, driven directly
+# ----------------------------------------------------------------------
+
+class TestLeaseLifecycle:
+    def test_remote_submit_shards_the_job(self, harness):
+        spec = tiny_spec()
+        response = harness.submit_remote(spec)
+        assert response["created"] is True
+        job = response["job"]
+        assert job["mode"] == "remote"
+        assert job["state"] == "running"  # activated onto the board
+        shards = harness.board.shards_for(job["job_id"])
+        assert len(shards) == spec.num_points  # shard_points=1
+        assert all(s["state"] == "pending" for s in shards)
+
+    def test_lease_heartbeat_complete_roundtrip(self, harness):
+        spec = tiny_spec()
+        job = harness.submit_remote(spec)["job"]
+        lease = harness.board.lease("w1")
+        assert lease["job_id"] == job["job_id"]
+        assert lease["spec"] == spec.to_dict()
+        renewed = harness.board.heartbeat(lease["lease_id"])
+        assert renewed["state"] == "leased"
+        points = spec.expand()
+        rows = [{"point_index": i, "point_key": points[i].key, "v": 1}
+                for i in lease["indices"]]
+        result = harness.board.complete(lease["lease_id"], rows)
+        assert result["state"] == "done"
+        assert result["remaining_shards"] == spec.num_points - 1
+
+    def test_job_finishes_when_all_shards_complete(self, harness):
+        spec = tiny_spec()
+        job = harness.submit_remote(spec)["job"]
+        points = spec.expand()
+        while True:
+            lease = harness.board.lease("w1")
+            if lease is None:
+                break
+            rows = [{"point_index": i, "point_key": points[i].key, "v": i}
+                    for i in lease["indices"]]
+            harness.board.complete(lease["lease_id"], rows)
+        final = harness.client.job(job["job_id"])
+        assert final["state"] == "done"
+        summary = final["summary"]
+        assert summary["points"] == spec.num_points
+        assert summary["computed"] == spec.num_points
+        assert summary["mode"] == "remote"
+
+    def test_fully_cached_remote_submit_needs_no_workers(self, harness):
+        spec = tiny_spec()
+        run_sweep(spec, store=harness.service.store)
+        response = harness.submit_remote(spec)
+        assert response["cached"] is True
+        assert response["job"] is None
+        assert harness.board.lease("w1") is None
+
+    def test_partially_cached_job_only_shards_the_remainder(self, harness):
+        spec = tiny_spec()
+        full = run_sweep(spec).rows
+        harness.service.store.commit(spec, full[:3])
+        job = harness.submit_remote(spec)["job"]
+        shards = harness.board.shards_for(job["job_id"])
+        assert len(shards) == 1  # 4 points, 3 cached
+        lease = harness.board.lease("w1")
+        harness.board.complete(
+            lease["lease_id"],
+            [row for row in full if row["point_index"] in lease["indices"]])
+        final = harness.client.job(job["job_id"])
+        assert final["summary"]["cached"] == 3
+        assert final["summary"]["computed"] == 1
+
+    def test_lease_with_no_pending_shards_is_none(self, harness):
+        assert harness.board.lease("w1") is None
+
+    def test_unknown_lease_is_404(self, harness):
+        with pytest.raises(ServiceError) as excinfo:
+            harness.board.heartbeat("nope")
+        assert excinfo.value.status == 404
+        with pytest.raises(ServiceError) as excinfo:
+            harness.board.complete("nope", [])
+        assert excinfo.value.status == 404
+
+    def test_wrong_rows_are_rejected_and_lease_survives(self, harness):
+        spec = tiny_spec()
+        harness.submit_remote(spec)
+        lease = harness.board.lease("w1")
+        with pytest.raises(ServiceError) as excinfo:
+            harness.board.complete(lease["lease_id"],
+                                   [{"point_key": "bogus", "point_index": 0}])
+        assert excinfo.value.status == 400
+        # The lease is still current: a correct completion goes through.
+        points = spec.expand()
+        rows = [{"point_index": i, "point_key": points[i].key}
+                for i in lease["indices"]]
+        assert harness.board.complete(lease["lease_id"],
+                                      rows)["state"] == "done"
+
+
+class TestLeaseExpiry:
+    def make_harness(self, tmp_path, **kwargs):
+        harness = FabricHarness(tmp_path / "store", **kwargs)
+        self._harness = harness
+        return harness
+
+    def teardown_method(self):
+        if getattr(self, "_harness", None) is not None:
+            self._harness.close()
+            self._harness = None
+
+    def test_expired_lease_requeues_the_shard(self, tmp_path):
+        harness = self.make_harness(tmp_path, lease_ttl=0.15)
+        spec = tiny_spec(axes={"n": [16]})  # one point, one shard
+        harness.submit_remote(spec)
+        first = harness.board.lease("w1")
+        time.sleep(0.25)
+        second = harness.board.lease("w2")  # lazy expiry runs here
+        assert second is not None
+        assert second["shard_id"] == first["shard_id"]
+        assert second["attempt"] == 2
+        assert second["lease_id"] != first["lease_id"]
+
+    def test_heartbeat_keeps_a_lease_alive(self, tmp_path):
+        harness = self.make_harness(tmp_path, lease_ttl=0.3)
+        harness.submit_remote(tiny_spec(axes={"n": [16]}))
+        lease = harness.board.lease("w1")
+        for _ in range(4):
+            time.sleep(0.15)
+            harness.board.heartbeat(lease["lease_id"])
+        assert harness.board.lease("w2") is None  # never expired
+
+    def test_heartbeat_on_expired_lease_is_409(self, tmp_path):
+        harness = self.make_harness(tmp_path, lease_ttl=0.1)
+        harness.submit_remote(tiny_spec(axes={"n": [16]}))
+        lease = harness.board.lease("w1")
+        time.sleep(0.2)
+        with pytest.raises(ServiceError) as excinfo:
+            harness.board.heartbeat(lease["lease_id"])
+        assert excinfo.value.status == 409
+
+    def test_duplicate_complete_after_expiry_is_409_without_duplicates(
+            self, tmp_path):
+        """The dead worker's ghost completes after its shard was re-leased
+        and committed by another worker: 409, rows discarded, table
+        unchanged."""
+        harness = self.make_harness(tmp_path, lease_ttl=0.15)
+        spec = tiny_spec(axes={"n": [16]})
+        harness.submit_remote(spec)
+        points = spec.expand()
+        rows = [{"point_index": 0, "point_key": points[0].key, "v": 1}]
+
+        stale = harness.board.lease("w1")
+        time.sleep(0.25)
+        current = harness.board.lease("w2")
+        harness.board.complete(current["lease_id"], rows)
+
+        with pytest.raises(ServiceError) as excinfo:
+            harness.board.complete(stale["lease_id"], rows)
+        assert excinfo.value.status == 409
+        assert len(harness.service.store.load_rows(spec)) == 1
+
+    def test_completing_twice_on_the_same_lease_is_409(self, tmp_path):
+        harness = self.make_harness(tmp_path, lease_ttl=5.0)
+        spec = tiny_spec(axes={"n": [16]})
+        harness.submit_remote(spec)
+        points = spec.expand()
+        rows = [{"point_index": 0, "point_key": points[0].key}]
+        lease = harness.board.lease("w1")
+        harness.board.complete(lease["lease_id"], rows)
+        with pytest.raises(ServiceError) as excinfo:
+            harness.board.complete(lease["lease_id"], rows)
+        assert excinfo.value.status == 409
+
+    def test_duplicate_complete_over_http_is_409(self, tmp_path):
+        """The same stale-ghost scenario through the actual HTTP surface."""
+        harness = self.make_harness(tmp_path, lease_ttl=0.15)
+        spec = tiny_spec(axes={"n": [16]})
+        harness.submit_remote(spec)
+        points = spec.expand()
+        rows = [{"point_index": 0, "point_key": points[0].key, "v": 1}]
+
+        stale = harness.client.lease_shard("w1")
+        time.sleep(0.25)
+        current = harness.client.lease_shard("w2")
+        harness.client.complete_shard(current["lease_id"], rows)
+
+        with pytest.raises(ServiceError) as excinfo:
+            harness.client.complete_shard(stale["lease_id"], rows)
+        assert excinfo.value.status == 409
+        assert len(harness.client.rows(spec.content_hash())) == 1
+
+    def test_requeue_is_visible_in_metrics(self, tmp_path):
+        harness = self.make_harness(tmp_path, lease_ttl=0.1)
+        harness.submit_remote(tiny_spec(axes={"n": [16]}))
+        harness.board.lease("w1")
+        time.sleep(0.2)
+        harness.board.expire_overdue()
+        text = harness.client.metrics_text()
+        assert "repro_shards_requeued_total 1" in text
+        assert "repro_shards_leased_total 1" in text
+
+
+# ----------------------------------------------------------------------
+# Remote workers over HTTP: byte-identity on every backend
+# ----------------------------------------------------------------------
+
+class TestRemoteWorkersEndToEnd:
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_two_workers_produce_the_serial_table(self, scheme, tmp_path):
+        spec = tiny_spec()
+        expected = reference_lines(spec)
+        harness = FabricHarness(store_url(scheme, tmp_path), lease_ttl=10.0)
+        try:
+            response = harness.submit_remote(spec)
+            workers = [RemoteWorker(harness.url, worker_id=f"w{i}",
+                                    poll=0.02, max_idle=2.0)
+                       for i in range(2)]
+            threads = [threading.Thread(target=worker.run)
+                       for worker in workers]
+            for thread in threads:
+                thread.start()
+            job = harness.client.wait(response["job"]["job_id"], timeout=30)
+            for thread in threads:
+                thread.join(10.0)
+            assert list(harness.client.iter_row_lines(
+                response["spec_hash"])) == expected
+            assert job["summary"]["computed"] == spec.num_points
+            # Both workers contributed (4 shards, 2 hungry workers).
+            done = sum(w.stats["shards_completed"] for w in workers)
+            assert done == spec.num_points
+        finally:
+            harness.close()
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_abandoned_lease_is_recomputed_bit_identically(
+            self, scheme, tmp_path):
+        """A worker that leases a shard and silently dies (simulated by
+        never completing): the lease expires, another worker recomputes
+        the shard, and the table matches the serial run exactly."""
+        spec = tiny_spec()
+        expected = reference_lines(spec)
+        harness = FabricHarness(store_url(scheme, tmp_path), lease_ttl=0.3)
+        try:
+            response = harness.submit_remote(spec)
+            abandoned = harness.client.lease_shard("ghost")
+            assert abandoned is not None
+            worker = RemoteWorker(harness.url, worker_id="survivor",
+                                  poll=0.02, max_idle=2.0)
+            thread = threading.Thread(target=worker.run)
+            thread.start()
+            job = harness.client.wait(response["job"]["job_id"], timeout=30)
+            worker.stop()
+            thread.join(10.0)
+            assert list(harness.client.iter_row_lines(
+                response["spec_hash"])) == expected
+            assert job["summary"]["requeued_shards"] >= 1
+        finally:
+            harness.close()
+
+    def test_fabric_gauges_in_healthz(self, harness):
+        harness.submit_remote(tiny_spec())
+        health = harness.client.healthz()
+        assert health["fabric"]["shards"]["pending"] == 4
+        assert health["store_backend"] == "dir"
+
+
+# ----------------------------------------------------------------------
+# Fault injection: a SIGKILLed worker subprocess
+# ----------------------------------------------------------------------
+
+def spawn_worker(url: str, worker_id: str, *, max_idle: float = 10.0
+                 ) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep \
+        + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "--connect", url,
+         "--worker-id", worker_id, "--poll", "0.05",
+         "--max-idle", str(max_idle)],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+
+
+class TestKilledWorker:
+    def test_sigkilled_worker_mid_shard_requeues_and_table_matches(
+            self, tmp_path):
+        """The acceptance scenario: two real worker processes, one
+        SIGKILLed while holding a lease; its shard expires, is requeued,
+        and the fetched table is byte-identical to a serial run_sweep."""
+        spec = slow_spec()
+        expected = reference_lines(spec)
+        harness = FabricHarness(tmp_path / "store", lease_ttl=1.0)
+        doomed = survivor = None
+        try:
+            response = harness.submit_remote(spec)
+            job_id = response["job"]["job_id"]
+            doomed = spawn_worker(harness.url, "doomed")
+            deadline = time.monotonic() + 20.0
+            while time.monotonic() < deadline:
+                leased = [s for s in harness.board.shards_for(job_id)
+                          if s["state"] == "leased"
+                          and s["worker"] == "doomed"]
+                if leased:
+                    break
+                time.sleep(0.005)
+            else:
+                pytest.fail("worker never leased a shard")
+            doomed.send_signal(signal.SIGKILL)
+            doomed.wait(10.0)
+
+            survivor = spawn_worker(harness.url, "survivor", max_idle=4.0)
+            job = harness.client.wait(job_id, timeout=60)
+            assert job["summary"]["requeued_shards"] >= 1
+            assert list(harness.client.iter_row_lines(
+                response["spec_hash"])) == expected
+            text = harness.client.metrics_text()
+            assert "repro_shards_requeued_total" in text
+        finally:
+            for process in (doomed, survivor):
+                if process is not None and process.poll() is None:
+                    process.kill()
+                if process is not None:
+                    process.wait(10.0)
+            harness.close()
+
+
+# ----------------------------------------------------------------------
+# Client retry behaviour (the transport satellite)
+# ----------------------------------------------------------------------
+
+class TestClientRetries:
+    def make_counting_client(self, monkeypatch, *, retries: int,
+                             fail_times: int = 10**9):
+        client = ServiceClient("http://127.0.0.1:9", timeout=0.2,
+                               retries=retries)
+        calls = {"n": 0}
+        underlying = ConnectionResetError("peer reset")
+
+        def fake_once(method, path, payload=None):
+            calls["n"] += 1
+            if calls["n"] <= fail_times:
+                raise ServiceError("cannot reach sweep service at x: reset",
+                                   status=None, last_error=underlying)
+            return None
+
+        monkeypatch.setattr(client, "_request_once", fake_once)
+        monkeypatch.setattr(time, "sleep", lambda seconds: None)
+        return client, calls, underlying
+
+    def test_get_is_retried_with_last_error_kept(self, monkeypatch):
+        client, calls, underlying = self.make_counting_client(
+            monkeypatch, retries=2)
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/v1/healthz")
+        assert calls["n"] == 3  # 1 try + 2 retries
+        assert excinfo.value.last_error is underlying
+        assert "cannot reach sweep service" in str(excinfo.value)
+
+    def test_post_is_never_retried(self, monkeypatch):
+        client, calls, _ = self.make_counting_client(monkeypatch, retries=5)
+        with pytest.raises(ServiceError):
+            client._request("POST", "/v1/sweeps", {})
+        assert calls["n"] == 1
+
+    def test_transient_failure_then_success(self, monkeypatch):
+        client, calls, _ = self.make_counting_client(
+            monkeypatch, retries=2, fail_times=2)
+        assert client._request("GET", "/v1/healthz") is None
+        assert calls["n"] == 3
+
+    def test_http_errors_are_not_retried(self, monkeypatch):
+        client = ServiceClient("http://127.0.0.1:9", retries=5)
+        calls = {"n": 0}
+
+        def fake_once(method, path, payload=None):
+            calls["n"] += 1
+            raise ServiceError("no such resource", status=404)
+
+        monkeypatch.setattr(client, "_request_once", fake_once)
+        with pytest.raises(ServiceError):
+            client._request("GET", "/v1/nope")
+        assert calls["n"] == 1
+
+    def test_retries_zero_disables_retrying(self, monkeypatch):
+        client, calls, _ = self.make_counting_client(monkeypatch, retries=0)
+        with pytest.raises(ServiceError):
+            client._request("GET", "/v1/healthz")
+        assert calls["n"] == 1
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceClient("http://127.0.0.1:9", retries=-1)
+
+    def test_unreachable_daemon_message_is_stable(self):
+        # The error message callers and tests grep for is unchanged by
+        # the retry layer.
+        client = ServiceClient("http://127.0.0.1:9", timeout=0.5, retries=0)
+        with pytest.raises(ServiceError, match="cannot reach sweep service"):
+            client.healthz()
