@@ -116,7 +116,9 @@ _EPILOG = ("Parameter sweeps (the `sweep` command) are documented in "
            "Telemetry — engine round tracing (`simulate --trace`), sweep "
            "metrics (`sweep --metrics-out`), the service's /v1/metrics "
            "Prometheus endpoint and the `bench-history` trend table — is "
-           "documented in docs/OBSERVABILITY.md.")
+           "documented in docs/OBSERVABILITY.md.  The `lint` command runs "
+           "the repo's static invariant checks (determinism, lock "
+           "discipline, hash-input stability — docs/LINT.md).")
 
 _DEFAULT_SERVICE_URL = "http://127.0.0.1:8080"
 
@@ -372,6 +374,29 @@ def build_parser() -> argparse.ArgumentParser:
                               help="print raw JSONL rows instead of a table")
     fetch_parser.add_argument("--markdown", action="store_true",
                               help="emit a markdown table")
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run the static invariant checks over the repro package",
+        epilog="Rule catalogue, suppression syntax and the baseline "
+               "workflow are documented in docs/LINT.md.")
+    lint_parser.add_argument("paths", nargs="*", metavar="PATH",
+                             help="files/directories to lint (default: the "
+                                  "installed repro package)")
+    lint_parser.add_argument("--format", choices=("text", "json"),
+                             default="text", dest="output_format",
+                             help="report format (json is what CI archives)")
+    lint_parser.add_argument("--baseline", default=None, metavar="FILE",
+                             help="accepted-findings file; findings in it "
+                                  "are reported but do not fail the run")
+    lint_parser.add_argument("--write-baseline", default=None, metavar="FILE",
+                             help="snapshot the current findings as the new "
+                                  "baseline and exit 0")
+    lint_parser.add_argument("--rules", default=None, metavar="ID[,ID]",
+                             help="run only these rule ids (e.g. "
+                                  "DET003,LOCK001)")
+    lint_parser.add_argument("--list-rules", action="store_true",
+                             help="print the rule catalogue and exit")
     return parser
 
 
@@ -754,6 +779,23 @@ def _simulate_ensemble(args: argparse.Namespace, game, protocol,
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    from .lint import runner as lint_runner
+
+    if args.list_rules:
+        lint_runner.list_rules_text(sys.stdout)
+        return 0
+    rule_ids = ([part.strip() for part in args.rules.split(",") if part.strip()]
+                if args.rules else None)
+    return lint_runner.run(
+        args.paths or None,
+        output_format=args.output_format,
+        baseline_path=args.baseline,
+        write_baseline_path=args.write_baseline,
+        rule_ids=rule_ids,
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point.
 
@@ -788,6 +830,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_status(args)
         if args.command == "fetch":
             return _command_fetch(args)
+        if args.command == "lint":
+            return _command_lint(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -1,0 +1,35 @@
+"""``repro.lint`` — the repo's invariant checker.
+
+A stdlib-``ast`` static-analysis pass over ``src/repro`` guarding the
+invariants the test suite cannot express directly (docs/LINT.md):
+
+* **DET** — RNG/wall-clock discipline on the deterministic path;
+* **LOCK** — ``# guarded-by:`` single-lock field discipline;
+* **HASH** — byte-stable content-hash inputs;
+* **EXC** — exception hygiene (no silent swallows, ReproError raises);
+* **ENG** — engine-name literals validated against ``ENGINES``.
+
+Run it with ``python -m repro lint``; suppress a sanctioned violation
+inline with ``# lint: disable=RULE -- reason``.
+"""
+
+from .baseline import load_baseline, partition, write_baseline
+from .findings import Finding
+from .rules import LintError, ModuleContext, Rule, all_rules, get_rule
+from .runner import LintReport, lint_paths, lint_sources, run
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "LintReport",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "lint_sources",
+    "load_baseline",
+    "partition",
+    "run",
+    "write_baseline",
+]

@@ -1,0 +1,88 @@
+"""Baseline files: accepted findings that do not fail the build.
+
+A baseline is a JSON document listing findings that are *known and
+accepted* — the escape hatch for adopting a new rule on an old codebase
+without fixing every hit in one commit.  ``repro lint --baseline FILE``
+subtracts baselined findings from the exit code (they are still counted
+and reported); ``--write-baseline FILE`` snapshots the current findings.
+
+Matching is by :meth:`Finding.fingerprint` — rule, file, enclosing scope,
+message and occurrence index, but never the line number — so a baseline
+keeps matching while unrelated edits shift code around, yet stops
+matching (and fails the build) when the finding multiplies or moves to a
+different function.
+
+The committed ``lint-baseline.json`` is empty: the repo lints clean, and
+the sanctioned exceptions are inline-suppressed next to the code they
+excuse, where reviewers can see the reason.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .findings import Finding
+from .rules import LintError
+
+__all__ = ["load_baseline", "write_baseline", "partition"]
+
+_VERSION = 1
+
+
+def load_baseline(path: str | Path) -> set[str]:
+    """The set of accepted fingerprints in a baseline file."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise LintError(f"baseline file not found: {path}") from None
+    except json.JSONDecodeError as error:
+        raise LintError(
+            f"baseline file {path} is not valid JSON: {error}") from None
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise LintError(
+            f"baseline file {path} must be an object with a 'findings' "
+            "list (write one with --write-baseline)")
+    fingerprints: set[str] = set()
+    for entry in payload["findings"]:
+        if isinstance(entry, str):
+            fingerprints.add(entry)
+        elif isinstance(entry, dict) and "fingerprint" in entry:
+            fingerprints.add(str(entry["fingerprint"]))
+        else:
+            raise LintError(
+                f"baseline file {path}: each finding must be a fingerprint "
+                "string or an object with a 'fingerprint' key")
+    return fingerprints
+
+
+def write_baseline(path: str | Path,
+                   findings: Sequence[Finding]) -> None:
+    """Snapshot ``findings`` as the new accepted baseline.
+
+    Full finding records are stored (not just fingerprints) so a reviewer
+    can read what is being accepted; only the fingerprint is matched.
+    """
+    payload = {
+        "version": _VERSION,
+        "findings": [finding.to_dict()
+                     for finding in sorted(findings,
+                                           key=Finding.sort_key)],
+    }
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    Path(path).write_text(text + "\n", encoding="utf-8")
+
+
+def partition(findings: Iterable[Finding], accepted: set[str],
+              ) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into (new, baselined) by fingerprint."""
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    for finding in findings:
+        if finding.fingerprint() in accepted:
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    return new, baselined

@@ -1,0 +1,162 @@
+"""ENG — engine-name string literals must be real engines.
+
+``repro.engines.ENGINES`` is the single source of truth for engine names
+(``"loop"``, ``"batch"``, ``"native"``); the spec, CLI, service and store
+all validate against it at runtime.  A typo'd literal (``engine="batch "``,
+``backend="natiev"``) compiles fine and only explodes when that code path
+runs — or worse, a comparison like ``engine == "nativ"`` is just silently
+never true.  This rule checks every *syntactic position where a string is
+being used as an engine name* against the live tuple, so the check can
+never drift from the registry.
+
+``engines.py`` itself, the lint package, and the store/backends modules
+are exempt: the latter reuse the word "backend" for *store* backends
+(``"dir"``, ``"sqlite"``, …), a different namespace.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..engines import ENGINES
+from .findings import Finding
+from .rules import ModuleContext, Rule, register
+
+__all__ = []
+
+#: Modules where the words engine/backend mean something else (or define
+#: the registry itself).
+_EXEMPT = (
+    "engines.py",
+    "lint/",
+    "sweeps/store.py",      # store backends: "dir", "sqlite", ...
+    "sweeps/backends/",
+)
+
+_ENGINE_NAMES = ("engine", "backend")
+
+
+def _engine_like(name: str) -> bool:
+    return name in _ENGINE_NAMES or \
+        name.endswith(("_engine", "_backend"))
+
+
+def _target_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _str_const(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+@register
+class EngineLiteralRule(Rule):
+    """String literals in engine-name positions not in ``ENGINES``."""
+
+    id = "ENG001"
+    name = "engine-literal"
+    protects = ("the engine registry contract: a typo'd engine literal "
+                "either raises at runtime far from the typo, or makes a "
+                "comparison silently always-false")
+    hint = ("use one of repro.engines.ENGINES "
+            f"({', '.join(repr(e) for e in ENGINES)}), or rename the "
+            "variable if the string is not an engine name")
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return ctx.tree is not None and \
+            not any(ctx.rel.startswith(prefix) for prefix in _EXEMPT)
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node, literal in self._engine_literals(ctx.tree):
+            if literal not in ENGINES:
+                yield ctx.finding(
+                    self, node,
+                    f"engine name literal {literal!r} is not in "
+                    f"repro.engines.ENGINES {tuple(ENGINES)}")
+
+    # ------------------------------------------------------------------
+    def _engine_literals(self, tree: ast.AST,
+                         ) -> Iterator[tuple[ast.expr, str]]:
+        """Every (node, string) pair occupying an engine-name position."""
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                yield from self._from_call(node)
+            elif isinstance(node, ast.Compare):
+                yield from self._from_compare(node)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    yield from self._from_binding(target, node.value)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                yield from self._from_binding(node.target, node.value)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._from_defaults(node)
+            elif isinstance(node, ast.Dict):
+                yield from self._from_dict(node)
+
+    def _from_call(self, node: ast.Call) -> Iterator[tuple[ast.expr, str]]:
+        for keyword in node.keywords:
+            if keyword.arg and _engine_like(keyword.arg):
+                literal = _str_const(keyword.value)
+                if literal is not None:
+                    yield keyword.value, literal
+        func = _target_name(node.func)
+        if func == "validate_engine" and node.args:
+            literal = _str_const(node.args[0])
+            if literal is not None:
+                yield node.args[0], literal
+
+    def _from_compare(self, node: ast.Compare,
+                      ) -> Iterator[tuple[ast.expr, str]]:
+        operands = [node.left, *node.comparators]
+        ops_ok = all(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops)
+        if not ops_ok:
+            return
+        names = [_target_name(op) for op in operands]
+        if not any(name and _engine_like(name) for name in names):
+            return
+        for operand in operands:
+            literal = _str_const(operand)
+            if literal is not None:
+                yield operand, literal
+
+    def _from_binding(self, target: ast.expr, value: ast.expr,
+                      ) -> Iterator[tuple[ast.expr, str]]:
+        name = _target_name(target)
+        if name and _engine_like(name):
+            literal = _str_const(value)
+            if literal is not None:
+                yield value, literal
+
+    def _from_defaults(self, node: ast.FunctionDef | ast.AsyncFunctionDef,
+                       ) -> Iterator[tuple[ast.expr, str]]:
+        posargs = node.args.posonlyargs + node.args.args
+        for arg, default in zip(reversed(posargs),
+                                reversed(node.args.defaults)):
+            if _engine_like(arg.arg):
+                literal = _str_const(default)
+                if literal is not None:
+                    yield default, literal
+        for arg, default in zip(node.args.kwonlyargs,
+                                node.args.kw_defaults):
+            if default is not None and _engine_like(arg.arg):
+                literal = _str_const(default)
+                if literal is not None:
+                    yield default, literal
+
+    def _from_dict(self, node: ast.Dict,
+                   ) -> Iterator[tuple[ast.expr, str]]:
+        for key, value in zip(node.keys, node.values):
+            if key is None:
+                continue
+            key_str = _str_const(key)
+            if key_str and _engine_like(key_str):
+                literal = _str_const(value)
+                if literal is not None:
+                    yield value, literal

@@ -1,0 +1,176 @@
+"""EXC — exception hygiene.
+
+The repo's error contract (``repro/errors.py``) is that everything a user
+can trip over raises a :class:`ReproError` subclass, so the CLI and the
+service can catch one type and render a clean message, while genuine bugs
+surface as stdlib exceptions with full tracebacks.  Two anti-patterns
+erode that contract from opposite ends: handlers that swallow errors
+silently (the lease-seconds observation path in ``service/jobs.py`` once
+dropped commit failures on the floor), and raises of bare ``Exception`` /
+ad-hoc classes that the structured handlers upstream cannot classify.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Iterable, Optional
+
+from .findings import Finding
+from .rules import ModuleContext, PackageIndex, Rule, base_name, register
+
+__all__ = []
+
+#: Every exception type the interpreter ships with (computed, not listed,
+#: so new Python versions stay covered).
+_BUILTIN_EXCEPTIONS = frozenset(
+    name for name in dir(builtins)
+    if isinstance(getattr(builtins, name), type)
+    and issubclass(getattr(builtins, name), BaseException))
+
+_TOO_BROAD = frozenset({"Exception", "BaseException"})
+
+
+class _AstRule(Rule):
+    def applies(self, ctx: ModuleContext) -> bool:
+        return ctx.tree is not None
+
+
+@register
+class BareExceptRule(_AstRule):
+    """``except:`` with no exception type."""
+
+    id = "EXC001"
+    name = "bare-except"
+    protects = ("debuggability and clean shutdown: a bare except catches "
+                "SystemExit and KeyboardInterrupt, turning Ctrl-C into a "
+                "swallowed no-op inside worker loops")
+    hint = "catch Exception (or a narrower type) explicitly"
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield ctx.finding(
+                    self, node,
+                    "bare `except:` catches BaseException, including "
+                    "KeyboardInterrupt and SystemExit")
+
+
+def _handler_names(node: ast.ExceptHandler) -> list[str]:
+    """The caught type names (one, or each member of a tuple)."""
+    if node.type is None:
+        return []
+    exprs = node.type.elts if isinstance(node.type, ast.Tuple) \
+        else [node.type]
+    names = []
+    for expr in exprs:
+        name = base_name(expr)
+        if name:
+            names.append(name)
+    return names
+
+
+def _is_silent(body: list[ast.stmt]) -> bool:
+    """True when a handler body does nothing at all (``pass`` / ``...``)."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and \
+                isinstance(stmt.value, ast.Constant) and \
+                stmt.value.value is Ellipsis:
+            continue
+        return False
+    return True
+
+
+@register
+class SilentSwallowRule(_AstRule):
+    """``except Exception: pass`` — errors dropped without a trace."""
+
+    id = "EXC002"
+    name = "silent-swallow"
+    protects = ("observability of the fabric: a swallowed commit/lease "
+                "error looks identical to success until rows go missing "
+                "(the original jobs.py lease-observation bug)")
+    hint = ("log the error via telemetry.logs.StructuredLogger (see "
+            "service/jobs.py `shard_commit_failed`), narrow the type, or "
+            "re-raise")
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            names = _handler_names(node)
+            if not names:
+                continue  # bare except is EXC001's finding
+            broad = _TOO_BROAD.intersection(names)
+            if broad and _is_silent(node.body):
+                yield ctx.finding(
+                    self, node,
+                    f"`except {sorted(broad)[0]}` with a pass-only body "
+                    "silently swallows the error")
+
+
+@register
+class RaiseHygieneRule(_AstRule):
+    """Raised classes must derive from ReproError or a stdlib exception."""
+
+    id = "EXC003"
+    name = "raise-hygiene"
+    protects = ("the one-type error contract of the CLI and service: "
+                "handlers catch ReproError for user errors and let stdlib "
+                "exceptions traceback as bugs; anything else falls through "
+                "both nets")
+    hint = ("derive the class from ReproError (repro/errors.py), or raise "
+            "a specific stdlib exception instead of bare Exception")
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            target = node.exc
+            if isinstance(target, ast.Call):
+                target = target.func
+            name = base_name(target)
+            if name is None:
+                continue  # computed expression — not resolvable statically
+            if name in _TOO_BROAD:
+                yield ctx.finding(
+                    self, node,
+                    f"raise of bare `{name}`: callers cannot distinguish "
+                    "it from an arbitrary bug")
+                continue
+            verdict = _derives_from_known(name, ctx.index)
+            if verdict is False:
+                yield ctx.finding(
+                    self, node,
+                    f"raised class `{name}` derives from neither "
+                    "ReproError nor a stdlib exception")
+
+
+def _derives_from_known(name: str, index: PackageIndex,
+                        _visited: Optional[set[str]] = None,
+                        ) -> Optional[bool]:
+    """True = sanctioned, False = definitely not, None = unresolvable.
+
+    A re-raised local variable or a class imported from a third-party
+    package resolves to None and is given the benefit of the doubt — the
+    rule only flags what it can *prove* is outside the hierarchy.
+    """
+    if name == "ReproError" or name in _BUILTIN_EXCEPTIONS:
+        return True
+    visited = _visited or set()
+    if name in visited:
+        return None
+    visited.add(name)
+    bases = index.class_bases.get(name)
+    if bases is None:
+        return None  # not defined in the scanned package
+    if not bases:
+        return False  # plain `class Foo:` — not an exception at all
+    verdicts = [_derives_from_known(base, index, visited) for base in bases]
+    if any(v is True for v in verdicts):
+        return True
+    if any(v is None for v in verdicts):
+        return None
+    return False

@@ -1,0 +1,84 @@
+"""Finding records: what one rule violation looks like.
+
+A :class:`Finding` is deliberately line-*aware* but line-*independent* in
+identity: its :meth:`fingerprint` hashes the rule id, the file, the
+enclosing scope (function/class qualname), the message and an occurrence
+counter — never the line number — so a committed baseline keeps matching
+after unrelated edits shift the code around.  The line/column are carried
+for display only.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict, dataclass
+from typing import Any, Mapping
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific location.
+
+    Attributes
+    ----------
+    rule:
+        Rule identifier, e.g. ``"DET003"``.
+    severity:
+        ``"error"`` or ``"warning"`` (today every shipped rule is an
+        error; the field keeps the output schema stable if that changes).
+    path:
+        Path of the offending module, relative to the linted package root
+        (posix separators), e.g. ``"service/jobs.py"``.
+    line / col:
+        1-based line and 0-based column of the offending node.
+    message:
+        One-sentence statement of the violation.  Messages never embed
+        line numbers — they enter the baseline fingerprint.
+    hint:
+        How to fix (or legitimately suppress) the finding.
+    scope:
+        Qualname of the innermost enclosing function/class
+        (``"<module>"`` at module level) — part of the fingerprint.
+    index:
+        Disambiguates multiple identical findings in one scope (0, 1, …
+        in line order); assigned by the runner after collection.
+    """
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+    scope: str = "<module>"
+    index: int = 0
+
+    def fingerprint(self) -> str:
+        """Line-independent identity used by the baseline (16 hex chars)."""
+        blob = "\x1f".join((self.rule, self.path, self.scope, self.message,
+                            str(self.index)))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> dict[str, Any]:
+        payload = asdict(self)
+        payload["fingerprint"] = self.fingerprint()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Finding":
+        known = set(cls.__dataclass_fields__)
+        return cls(**{key: payload[key] for key in payload if key in known})
+
+    def render(self) -> str:
+        """The one-line text form: ``path:line:col RULE severity message``."""
+        text = (f"{self.path}:{self.line}:{self.col}  {self.rule}  "
+                f"{self.severity}  {self.message}")
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule, self.message)

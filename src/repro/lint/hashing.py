@@ -1,0 +1,114 @@
+"""HASH — stability of content-hash inputs.
+
+The store, the cache/dedup layer and the job fabric all key on
+``SweepSpec.content_hash()`` / :func:`point_key` digests, and run
+correlation keys on :func:`make_run_id` (PRs 5/7/8).  A digest is only as
+stable as the bytes fed into it: JSON serialised without ``sort_keys``
+moves with dict insertion order, and anything iterated out of a ``set``
+moves with hash randomisation (``PYTHONHASHSEED``) — both turn "same spec,
+same key" into "same spec, key roulette".
+
+The family is scoped to the modules that *produce* hash inputs
+(:data:`HASH_SCOPE`); elsewhere unsorted JSON is a perfectly good wire or
+log format.  The two sanctioned exceptions are inline-suppressed where
+they live: ``SweepSpec.to_json`` (the wire format deliberately preserves
+axis declaration order) and ``JsonlTraceSink.emit`` (an event stream, not
+a hash input).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .findings import Finding
+from .rules import ModuleContext, Rule, dotted_name, import_map, iter_calls, \
+    register
+
+__all__ = ["HASH_SCOPE"]
+
+#: Package-relative paths whose serialisation feeds content hashes.
+HASH_SCOPE = (
+    "sweeps/spec.py",        # canonical_json, point_key, content_hash
+    "telemetry/tracing.py",  # make_run_id
+)
+
+
+class _HashScopeRule(Rule):
+    """Base: applies only in the hash-producing modules."""
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return ctx.tree is not None and ctx.rel in HASH_SCOPE
+
+
+def _keyword(call: ast.Call, name: str) -> ast.expr | None:
+    for keyword in call.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+@register
+class UnsortedJsonRule(_HashScopeRule):
+    """``json.dumps`` without ``sort_keys=True`` in a hash-input module."""
+
+    id = "HASH001"
+    name = "unsorted-json"
+    protects = ("byte-stable content hashes: without sort_keys the dumped "
+                "bytes follow dict insertion order, so equal specs can key "
+                "different store directories")
+    hint = ("pass sort_keys=True (use canonical_json), or suppress with a "
+            "reason when the output is a wire/log format rather than a "
+            "hash input (see SweepSpec.to_json)")
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        imports = import_map(ctx.tree)
+        for call in iter_calls(ctx.tree):
+            dotted = dotted_name(call.func, imports)
+            if dotted not in ("json.dumps", "json.dump"):
+                continue
+            sort_keys = _keyword(call, "sort_keys")
+            if sort_keys is not None and \
+                    isinstance(sort_keys, ast.Constant) and \
+                    sort_keys.value is True:
+                continue
+            yield ctx.finding(
+                self, call,
+                f"`{dotted}` without sort_keys=True in a hash-input module")
+
+
+@register
+class SetIterationRule(_HashScopeRule):
+    """Iterating a bare set expression in a hash-input module."""
+
+    id = "HASH002"
+    name = "set-iteration"
+    protects = ("hash-input determinism: set iteration order follows "
+                "PYTHONHASHSEED, so values drained from a set reach the "
+                "digest in a per-process order")
+    hint = ("wrap the set in sorted(...) before iterating; constructing a "
+            "set for membership/len is fine — only draining one is not")
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        imports = import_map(ctx.tree)
+        iterables: list[ast.expr] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iterables.append(node.iter)
+            elif isinstance(node, ast.comprehension):
+                iterables.append(node.iter)
+        for expr in iterables:
+            if self._is_bare_set(expr, imports):
+                yield ctx.finding(
+                    self, expr,
+                    "iteration over a bare set: element order follows "
+                    "hash randomisation")
+
+    @staticmethod
+    def _is_bare_set(expr: ast.expr, imports: dict[str, str]) -> bool:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.Call):
+            dotted = dotted_name(expr.func, imports)
+            return dotted in ("set", "frozenset")
+        return False

@@ -1,0 +1,169 @@
+"""LOCK — ``# guarded-by:`` field discipline.
+
+The telemetry registry, the job queue and the shard board all follow the
+same single-lock design: every mutable field is touched only under one
+lock, and correctness arguments in their docstrings ("all state
+transitions happen under one lock") assume it.  This rule makes the
+assumption checkable: a field *declared* with a ``# guarded-by: <lock>``
+comment may only be read or written inside a ``with self.<lock>:`` block
+of its class.
+
+Conventions understood by the checker:
+
+* ``self._jobs: dict = {}  # guarded-by: _lock`` — on the declaration
+  (normally in ``__init__``); comma-separated alternatives
+  (``# guarded-by: _lock, _wakeup``) accept any of the named locks, the
+  idiom for a lock plus the :class:`threading.Condition` wrapping it;
+* ``def _pop_runnable(self):  # guarded-by: _lock`` — a helper documented
+  to run with the lock already held: its whole body counts as guarded
+  (the annotation *is* the documentation);
+* ``__init__`` is exempt — fields are created before the object is
+  shared, and the declarations themselves live there;
+* nested functions and lambdas do **not** inherit the enclosing ``with``:
+  a closure can outlive the critical section that created it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from .findings import Finding
+from .rules import ModuleContext, Rule, register
+
+__all__ = ["GuardedByRule"]
+
+
+def _self_attr(node: ast.expr) -> Optional[str]:
+    """``self.<attr>`` -> attr name, else None."""
+    if isinstance(node, ast.Attribute) and \
+            isinstance(node.value, ast.Name) and node.value.id == "self":
+        return node.attr
+    return None
+
+
+def _header_guards(ctx: ModuleContext,
+                   node: ast.FunctionDef | ast.AsyncFunctionDef,
+                   ) -> frozenset[str]:
+    """Locks granted by a ``# guarded-by:`` comment on the def header.
+
+    The header may span several lines (multi-line signatures); any line
+    from ``def`` to the first body statement counts.
+    """
+    first_body = node.body[0].lineno if node.body else node.lineno
+    for line in range(node.lineno, first_body):
+        guards = ctx.guarded_by(line)
+        if guards:
+            return guards
+    return frozenset()
+
+
+@register
+class GuardedByRule(Rule):
+    """Annotated fields accessed outside their declared lock."""
+
+    id = "LOCK001"
+    name = "guarded-by"
+    protects = ("single-lock discipline in MetricsRegistry, JobQueue and "
+                "ShardBoard: a field mutated outside its lock corrupts "
+                "counters, loses wakeups or double-leases shards")
+    hint = ("wrap the access in `with self.<lock>:`, annotate the helper's "
+            "def line with `# guarded-by: <lock>` if callers always hold "
+            "it, or suppress with a reason if the access is provably safe")
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return ctx.tree is not None
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    # ------------------------------------------------------------------
+    def _check_class(self, ctx: ModuleContext,
+                     cls: ast.ClassDef) -> Iterable[Finding]:
+        guarded = self._declared_fields(ctx, cls)
+        if not guarded:
+            return
+        for item in cls.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name == "__init__":
+                continue
+            held = _header_guards(ctx, item)
+            yield from self._check_body(ctx, item.body, guarded, held,
+                                        item.name)
+
+    def _declared_fields(self, ctx: ModuleContext, cls: ast.ClassDef,
+                         ) -> dict[str, frozenset[str]]:
+        """``self.<field>`` assignments annotated ``# guarded-by:``.
+
+        Declarations are searched in every method of the class (idiomatic
+        location: ``__init__``), keyed off the statement's first line.
+        """
+        fields: dict[str, frozenset[str]] = {}
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                continue
+            for stmt in ast.walk(method):
+                if isinstance(stmt, ast.Assign):
+                    targets = stmt.targets
+                elif isinstance(stmt, ast.AnnAssign):
+                    targets = [stmt.target]
+                else:
+                    continue
+                guards = ctx.guarded_by(stmt.lineno)
+                if not guards:
+                    continue
+                for target in targets:
+                    attr = _self_attr(target)
+                    if attr:
+                        fields[attr] = guards
+        return fields
+
+    def _check_body(self, ctx: ModuleContext, body: list[ast.stmt],
+                    guarded: dict[str, frozenset[str]],
+                    held: frozenset[str],
+                    where: str) -> Iterable[Finding]:
+        for stmt in body:
+            yield from self._check_node(ctx, stmt, guarded, held, where)
+
+    def _check_node(self, ctx: ModuleContext, node: ast.AST,
+                    guarded: dict[str, frozenset[str]],
+                    held: frozenset[str],
+                    where: str) -> Iterable[Finding]:
+        if isinstance(node, ast.With):
+            acquired = set()
+            for item in node.items:
+                attr = _self_attr(item.context_expr)
+                if attr:
+                    acquired.add(attr)
+            inner = held | frozenset(acquired)
+            for expr in (item.context_expr for item in node.items):
+                yield from self._check_node(ctx, expr, guarded, held, where)
+            for stmt in node.body:
+                yield from self._check_node(ctx, stmt, guarded, inner, where)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            # A closure may escape the critical section: it gets only the
+            # locks its own header declares, never the lexical ones.
+            grants = (_header_guards(ctx, node)
+                      if not isinstance(node, ast.Lambda) else frozenset())
+            body = node.body if isinstance(node.body, list) else [node.body]
+            for stmt in body:
+                yield from self._check_node(ctx, stmt, guarded, grants,
+                                            where)
+            return
+        attr = _self_attr(node)
+        if attr is not None and attr in guarded:
+            if not (guarded[attr] & held):
+                locks = ", ".join(sorted(guarded[attr]))
+                yield ctx.finding(
+                    self, node,
+                    f"field `self.{attr}` (guarded-by: {locks}) accessed "
+                    f"in `{where}` without holding the lock")
+            return  # the attribute chain below self.<attr> is covered
+        for child in ast.iter_child_nodes(node):
+            yield from self._check_node(ctx, child, guarded, held, where)

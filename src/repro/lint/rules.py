@@ -1,0 +1,309 @@
+"""The rule engine: module contexts, the rule registry, AST helpers.
+
+A :class:`ModuleContext` is one parsed source file plus everything the AST
+throws away that the rules still need — the raw source lines, the comment
+on every line (``# guarded-by:`` declarations live in comments), and the
+inline suppressions (``# lint: disable=RULE -- reason``).  A
+:class:`PackageIndex` carries the little cross-module knowledge some rules
+need (today: the package-wide exception class hierarchy for EXC003).
+
+Rules subclass :class:`Rule` and register themselves with
+:func:`register`; the registry order is the documentation order of
+``docs/LINT.md`` and the iteration order of the runner.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Optional
+
+from ..errors import ReproError
+from .findings import Finding
+
+__all__ = ["LintError", "ModuleContext", "PackageIndex", "Rule",
+           "register", "all_rules", "get_rule", "dotted_name",
+           "import_map", "scope_map"]
+
+
+class LintError(ReproError):
+    """Raised for lint misuse: unreadable targets, unknown rule ids, a
+    baseline file that is not valid JSON.  Syntax errors in *linted* files
+    are findings, not exceptions — a broken file must fail the lint run,
+    not crash it."""
+
+
+_SUPPRESS_PATTERN = re.compile(
+    r"lint:\s*disable=([A-Za-z0-9_*]+(?:\s*,\s*[A-Za-z0-9_*]+)*)")
+_GUARDED_BY_PATTERN = re.compile(
+    r"guarded-by:\s*([A-Za-z0-9_.]+(?:\s*,\s*[A-Za-z0-9_.]+)*)")
+
+
+def _extract_comments(source: str) -> dict[int, str]:
+    """Map line number -> comment text (without the ``#``), via tokenize.
+
+    Tokenize sees comments exactly where the compiler would, so a ``#``
+    inside a string literal is never mistaken for one.
+    """
+    comments: dict[int, str] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string.lstrip("#").strip()
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # The AST parse will report the syntax error as a finding; comments
+        # gathered so far are still useful.
+        pass
+    return comments
+
+
+def _extract_suppressions(comments: dict[int, str]) -> dict[int, set[str]]:
+    """Per-line inline suppressions: ``# lint: disable=DET003 -- why``."""
+    suppressions: dict[int, set[str]] = {}
+    for line, text in comments.items():
+        match = _SUPPRESS_PATTERN.search(text)
+        if match:
+            rules = {part.strip() for part in match.group(1).split(",")}
+            suppressions[line] = rules
+    return suppressions
+
+
+@dataclass
+class ModuleContext:
+    """One parsed module plus its comment/suppression side tables."""
+
+    path: Path
+    rel: str                      # package-relative posix path
+    source: str
+    tree: Optional[ast.AST]       # None when the file does not parse
+    comments: dict[int, str]
+    suppressions: dict[int, set[str]]
+    syntax_error: Optional[SyntaxError] = None
+    index: "PackageIndex" = field(default_factory=lambda: PackageIndex())
+
+    @classmethod
+    def parse(cls, source: str, *, rel: str,
+              path: Optional[Path] = None) -> "ModuleContext":
+        comments = _extract_comments(source)
+        tree: Optional[ast.AST] = None
+        error: Optional[SyntaxError] = None
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            error = exc
+        return cls(path=path or Path(rel), rel=rel, source=source,
+                   tree=tree, comments=comments,
+                   suppressions=_extract_suppressions(comments),
+                   syntax_error=error)
+
+    # ----------------------------------------------------------- helpers
+    def guarded_by(self, lineno: int) -> Optional[frozenset[str]]:
+        """The ``# guarded-by:`` lock names declared on ``lineno``, if any.
+
+        Comma-separated alternatives (``# guarded-by: _lock, _wakeup``)
+        mean "any of these" — the idiom for a lock and the condition
+        variable wrapping the same lock.  A leading ``self.`` is stripped.
+        """
+        text = self.comments.get(lineno)
+        if not text:
+            return None
+        match = _GUARDED_BY_PATTERN.search(text)
+        if not match:
+            return None
+        names = frozenset(
+            part.strip().removeprefix("self.")
+            for part in match.group(1).split(",") if part.strip())
+        return names or None
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        rules = self.suppressions.get(finding.line)
+        if not rules:
+            return False
+        return "*" in rules or finding.rule in rules
+
+    def finding(self, rule: "Rule", node: ast.AST, message: str,
+                *, hint: str = "") -> Finding:
+        return Finding(rule=rule.id, severity=rule.severity, path=self.rel,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0),
+                       message=message, hint=hint or rule.hint)
+
+
+@dataclass
+class PackageIndex:
+    """Cross-module facts shared by every context of one lint run.
+
+    ``class_bases`` maps every class name defined anywhere in the scanned
+    files to the names of its declared bases (attribute bases reduced to
+    their final segment, so ``errors.ReproError`` chases like
+    ``ReproError``).  Name collisions across modules merge their base
+    sets, which errs on the permissive side — acceptable for a linter
+    that must never crash on real code.
+    """
+
+    class_bases: dict[str, set[str]] = field(default_factory=dict)
+
+    def add_tree(self, tree: Optional[ast.AST]) -> None:
+        if tree is None:
+            return
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                bases = self.class_bases.setdefault(node.name, set())
+                for base in node.bases:
+                    name = base_name(base)
+                    if name:
+                        bases.add(name)
+
+
+def base_name(node: ast.expr) -> Optional[str]:
+    """The comparable name of a base-class expression (last segment)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+# ----------------------------------------------------------------------
+
+def import_map(tree: ast.AST) -> dict[str, str]:
+    """Map local names to the dotted module/object they were imported as.
+
+    ``import numpy as np`` -> ``{"np": "numpy"}``;
+    ``from numpy.random import default_rng`` ->
+    ``{"default_rng": "numpy.random.default_rng"}``.  Relative imports
+    keep their leading dots (callers only match absolute stdlib/numpy
+    names, so they never collide).
+    """
+    mapping: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                mapping[alias.asname or alias.name.split(".")[0]] = \
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                if alias.asname:
+                    mapping[alias.asname] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            module = "." * node.level + (node.module or "")
+            for alias in node.names:
+                mapping[alias.asname or alias.name] = \
+                    f"{module}.{alias.name}" if module else alias.name
+    return mapping
+
+
+def dotted_name(node: ast.expr,
+                imports: dict[str, str]) -> Optional[str]:
+    """Resolve an attribute chain to its absolute dotted name, or None.
+
+    ``np.random.binomial`` with ``np -> numpy`` resolves to
+    ``"numpy.random.binomial"``; a chain whose head is not a plain name
+    (e.g. a call result) resolves to None.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    head = imports.get(node.id, node.id)
+    parts.append(head)
+    return ".".join(reversed(parts))
+
+
+def scope_map(tree: ast.AST) -> list[tuple[int, int, str]]:
+    """``(first_line, last_line, qualname)`` for every def/class, innermost
+    usable by picking the *narrowest* interval containing a line."""
+    spans: list[tuple[int, int, str]] = []
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                qualname = f"{prefix}.{child.name}" if prefix else child.name
+                end = getattr(child, "end_lineno", child.lineno)
+                spans.append((child.lineno, end, qualname))
+                visit(child, qualname)
+            else:
+                visit(child, prefix)
+
+    visit(tree, "")
+    return spans
+
+
+def scope_of(spans: list[tuple[int, int, str]], line: int) -> str:
+    """Innermost enclosing qualname of ``line`` (``"<module>"`` if none)."""
+    best = "<module>"
+    best_width = None
+    for first, last, qualname in spans:
+        if first <= line <= last:
+            width = last - first
+            if best_width is None or width < best_width:
+                best, best_width = qualname, width
+    return best
+
+
+# ----------------------------------------------------------------------
+# The registry
+# ----------------------------------------------------------------------
+
+class Rule:
+    """One lint rule: an id, metadata, and a :meth:`check` pass.
+
+    Subclasses set the class attributes and implement :meth:`check`;
+    :meth:`applies` gates the rule per module (path-scoped families
+    override it).  ``protects`` names the repo invariant the rule guards —
+    it is what ``--list-rules`` and docs/LINT.md print.
+    """
+
+    id: str = ""
+    name: str = ""
+    severity: str = "error"
+    protects: str = ""
+    hint: str = ""
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return True
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator adding one instance of ``cls`` to the registry."""
+    rule = cls()
+    if not rule.id:
+        raise LintError(f"rule class {cls.__name__} has no id")
+    if rule.id in _REGISTRY:
+        raise LintError(f"duplicate rule id {rule.id!r}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, in registration (= documentation) order."""
+    return list(_REGISTRY.values())
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise LintError(
+            f"unknown lint rule {rule_id!r}; known rules: "
+            f"{sorted(_REGISTRY)}") from None
+
+
+def iter_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node

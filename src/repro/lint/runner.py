@@ -1,0 +1,268 @@
+"""The lint driver: collect files, run rules, report, gate.
+
+:func:`lint_paths` is the programmatic entry point (the CLI and CI call
+it); :func:`lint_sources` lints in-memory sources and is what
+``tests/test_lint.py`` feeds its fixtures through.  Output formats and the
+baseline gate live here so the CLI verb stays a thin argument parser.
+
+Exit-code contract (what CI keys on):
+
+* ``0`` — no findings outside the baseline;
+* ``1`` — at least one new finding (or a syntax error in a linted file);
+* a :class:`LintError` for lint *misuse* (unknown rule id, unreadable
+  baseline) — the CLI reports it like any other ReproError and exits 1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sys
+from pathlib import Path
+from typing import Mapping, Optional, Sequence, TextIO
+
+from .findings import Finding
+from .rules import LintError, ModuleContext, PackageIndex, Rule, \
+    all_rules, get_rule, scope_map, scope_of
+# Imported for their @register side effects: each module adds its rule
+# family to the registry in documentation order.
+from . import determinism as _determinism        # noqa: F401  (DET)
+from . import locks as _locks                    # noqa: F401  (LOCK)
+from . import hashing as _hashing                # noqa: F401  (HASH)
+from . import exceptions as _exceptions          # noqa: F401  (EXC)
+from . import engine_literals as _engine         # noqa: F401  (ENG)
+from .baseline import load_baseline, partition, write_baseline
+
+__all__ = ["LintReport", "PACKAGE_ROOT", "lint_paths", "lint_sources",
+           "render_text", "render_json", "list_rules_text"]
+
+#: Default lint target: the installed ``repro`` package itself.
+PACKAGE_ROOT = Path(__file__).resolve().parents[1]
+
+#: Pseudo rule id for files that do not parse — a broken file must fail
+#: the run, not crash it.
+SYNTAX_RULE = "SYNTAX"
+
+
+@dataclasses.dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    root: str
+    files: int
+    rules: list[str]
+    findings: list[Finding]        # survived inline suppression
+    new: list[Finding]             # findings minus the baseline
+    baselined: list[Finding]
+    suppressed_inline: int
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.new else 0
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "root": self.root,
+            "files_scanned": self.files,
+            "rules": self.rules,
+            "findings": [f.to_dict() for f in self.findings],
+            "new": [f.fingerprint() for f in self.new],
+            "baselined": [f.fingerprint() for f in self.baselined],
+            "suppressed_inline": self.suppressed_inline,
+            "exit_code": self.exit_code,
+        }
+
+
+# ----------------------------------------------------------------------
+# Collection
+# ----------------------------------------------------------------------
+
+def _collect_files(paths: Sequence[Path], root: Path) -> list[Path]:
+    files: list[Path] = []
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            raise LintError(f"not a python file or directory: {path}")
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if "__pycache__" in resolved.parts or resolved in seen:
+                continue
+            seen.add(resolved)
+            files.append(resolved)
+    if not files:
+        raise LintError(f"no python files found under {[str(p) for p in paths]}")
+    return files
+
+
+def _relative(path: Path, root: Path) -> str:
+    try:
+        return path.relative_to(root).as_posix()
+    except ValueError:
+        return path.name
+
+
+def _select_rules(rule_ids: Optional[Sequence[str]]) -> list[Rule]:
+    if not rule_ids:
+        return all_rules()
+    wanted = {get_rule(rule_id).id for rule_id in rule_ids}
+    return [rule for rule in all_rules() if rule.id in wanted]
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+
+def _lint_contexts(contexts: Sequence[ModuleContext],
+                   rules: Sequence[Rule],
+                   ) -> tuple[list[Finding], int]:
+    """Run ``rules`` over ``contexts``: (kept findings, inline-suppressed
+    count).  Findings come back scoped, indexed and sorted."""
+    index = PackageIndex()
+    for ctx in contexts:
+        index.add_tree(ctx.tree)
+        ctx.index = index
+
+    raw: list[tuple[ModuleContext, Finding]] = []
+    for ctx in contexts:
+        if ctx.syntax_error is not None:
+            raw.append((ctx, Finding(
+                rule=SYNTAX_RULE, severity="error", path=ctx.rel,
+                line=ctx.syntax_error.lineno or 1,
+                col=(ctx.syntax_error.offset or 1) - 1,
+                message=f"file does not parse: {ctx.syntax_error.msg}",
+                hint="fix the syntax error; no rules ran on this file")))
+            continue
+        for rule in rules:
+            if not rule.applies(ctx):
+                continue
+            for finding in rule.check(ctx):
+                raw.append((ctx, finding))
+
+    kept: list[Finding] = []
+    suppressed = 0
+    for ctx, finding in raw:
+        if ctx.is_suppressed(finding):
+            suppressed += 1
+            continue
+        if ctx.tree is not None:
+            spans = _spans_of(ctx)
+            finding = dataclasses.replace(
+                finding, scope=scope_of(spans, finding.line))
+        kept.append(finding)
+
+    kept.sort(key=Finding.sort_key)
+    counters: dict[tuple, int] = {}
+    indexed: list[Finding] = []
+    for finding in kept:
+        key = (finding.rule, finding.path, finding.scope, finding.message)
+        occurrence = counters.get(key, 0)
+        counters[key] = occurrence + 1
+        indexed.append(dataclasses.replace(finding, index=occurrence))
+    return indexed, suppressed
+
+
+def _spans_of(ctx: ModuleContext) -> list[tuple[int, int, str]]:
+    cached = getattr(ctx, "_spans", None)
+    if cached is None:
+        cached = scope_map(ctx.tree)
+        ctx._spans = cached
+    return cached
+
+
+def lint_paths(paths: Optional[Sequence[str | Path]] = None, *,
+               rule_ids: Optional[Sequence[str]] = None,
+               baseline_path: Optional[str | Path] = None) -> LintReport:
+    """Lint files/directories (default: the ``repro`` package)."""
+    root = PACKAGE_ROOT
+    targets = [Path(p).resolve() for p in paths] if paths else [root]
+    files = _collect_files(targets, root)
+    rules = _select_rules(rule_ids)
+    contexts = []
+    for path in files:
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as error:
+            raise LintError(f"cannot read {path}: {error}") from error
+        contexts.append(ModuleContext.parse(
+            source, rel=_relative(path, root), path=path))
+
+    findings, suppressed = _lint_contexts(contexts, rules)
+    accepted = load_baseline(baseline_path) if baseline_path else set()
+    new, baselined = partition(findings, accepted)
+    return LintReport(root=str(root), files=len(files),
+                      rules=[rule.id for rule in rules],
+                      findings=findings, new=new, baselined=baselined,
+                      suppressed_inline=suppressed)
+
+
+def lint_sources(sources: Mapping[str, str], *,
+                 rule_ids: Optional[Sequence[str]] = None) -> list[Finding]:
+    """Lint in-memory sources (``rel path -> source``) — the test hook.
+
+    Returns the kept findings only; inline suppressions apply, baselines
+    do not.
+    """
+    contexts = [ModuleContext.parse(source, rel=rel)
+                for rel, source in sources.items()]
+    findings, _ = _lint_contexts(contexts, _select_rules(rule_ids))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+
+def render_text(report: LintReport,
+                stream: Optional[TextIO] = None) -> None:
+    stream = stream if stream is not None else sys.stdout
+    for finding in report.findings:
+        marker = "  [baselined]" if finding in report.baselined else ""
+        stream.write(finding.render() + marker + "\n")
+    summary = (f"{len(report.new)} new finding(s), "
+               f"{len(report.baselined)} baselined, "
+               f"{report.suppressed_inline} suppressed inline "
+               f"across {report.files} file(s)")
+    stream.write(summary + "\n")
+
+
+def render_json(report: LintReport,
+                stream: Optional[TextIO] = None) -> None:
+    stream = stream if stream is not None else sys.stdout
+    json.dump(report.to_dict(), stream, indent=2, sort_keys=True)
+    stream.write("\n")
+
+
+def list_rules_text(stream: Optional[TextIO] = None) -> None:
+    """``--list-rules``: the rule catalogue, registry order."""
+    stream = stream if stream is not None else sys.stdout
+    for rule in all_rules():
+        stream.write(f"{rule.id}  {rule.name}  [{rule.severity}]\n")
+        stream.write(f"    protects: {rule.protects}\n")
+        stream.write(f"    fix: {rule.hint}\n")
+
+
+def run(paths: Optional[Sequence[str]] = None, *,
+        output_format: str = "text",
+        baseline_path: Optional[str] = None,
+        write_baseline_path: Optional[str] = None,
+        rule_ids: Optional[Sequence[str]] = None,
+        stream: Optional[TextIO] = None) -> int:
+    """The CLI verb's whole behaviour; returns the process exit code."""
+    stream = stream if stream is not None else sys.stdout
+    report = lint_paths(paths, rule_ids=rule_ids,
+                        baseline_path=baseline_path)
+    if write_baseline_path:
+        write_baseline(write_baseline_path, report.findings)
+        stream.write(f"wrote {len(report.findings)} finding(s) to "
+                     f"{write_baseline_path}\n")
+        return 0
+    if output_format == "json":
+        render_json(report, stream)
+    else:
+        render_text(report, stream)
+    return report.exit_code

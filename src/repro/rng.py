@@ -54,7 +54,10 @@ def ensure_rng(rng: RngLike = None) -> np.random.Generator:
     if isinstance(rng, np.random.SeedSequence):
         return np.random.default_rng(rng)
     if rng is None:
-        return np.random.default_rng()
+        # ``rng=None`` *means* fresh entropy: the documented contract is
+        # "no seed, no reproducibility" — callers on the deterministic
+        # path always hand a seed/SeedSequence down instead.
+        return np.random.default_rng()  # lint: disable=DET003 -- rng=None is the documented fresh-entropy contract
     if isinstance(rng, (int, np.integer)):
         return np.random.default_rng(int(rng))
     raise TypeError(f"cannot build a random generator from {type(rng).__name__}")

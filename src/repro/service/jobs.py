@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import sys
 import threading
 import time
 import uuid
@@ -39,9 +40,15 @@ from typing import Any, Optional
 from ..sweeps import SweepSpec, SweepStore
 from ..sweeps.scheduler import default_chunk_size, partition
 from ..telemetry import DEFAULT_DURATION_BUCKETS, MetricsRegistry
+from ..telemetry.logs import StructuredLogger
 from .api import ServiceError
 
 __all__ = ["Job", "JobQueue", "JobState", "Shard", "ShardBoard", "ShardState"]
+
+#: Fabric-level structured events (same JSON-lines stream as the store's
+#: lock events) — a failed shard commit must leave a trace even though the
+#: error also propagates to the completing worker's HTTP response.
+_FABRIC_EVENTS = StructuredLogger(sys.stderr, component="service.fabric")
 
 
 class JobState(str, Enum):
@@ -107,13 +114,15 @@ class JobQueue:
     def __init__(self, *, registry: Optional[MetricsRegistry] = None):
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
-        self._heap: list[tuple[int, int, str]] = []
-        self._jobs: dict[str, Job] = {}
-        self._active_by_hash: dict[str, str] = {}
-        self._busy_directories: set[str] = set()
-        self._ids = itertools.count(1)
-        self._ticket = itertools.count(1)
-        self._closed = False
+        # _wakeup wraps _lock, so holding either guards these fields
+        # (checked statically by lint rule LOCK001, see docs/LINT.md).
+        self._heap: list[tuple[int, int, str]] = []  # guarded-by: _lock, _wakeup
+        self._jobs: dict[str, Job] = {}  # guarded-by: _lock, _wakeup
+        self._active_by_hash: dict[str, str] = {}  # guarded-by: _lock, _wakeup
+        self._busy_directories: set[str] = set()  # guarded-by: _lock, _wakeup
+        self._ids = itertools.count(1)  # atomic; no guard needed
+        self._ticket = itertools.count(1)  # only advanced under _wakeup
+        self._closed = False  # guarded-by: _lock, _wakeup
         # Lifecycle metrics (a shared registry when embedded in a service;
         # a private one otherwise, so the call sites stay branch-free).
         # The registry has its own lock — safe to touch under self._lock.
@@ -219,7 +228,7 @@ class JobQueue:
                     if remaining <= 0 or not self._wakeup.wait(remaining):
                         return None
 
-    def _pop_runnable(self) -> Optional[Job]:
+    def _pop_runnable(self) -> Optional[Job]:  # guarded-by: _lock
         """Highest-priority queued job whose directory is free (or None)."""
         deferred: list[tuple[int, int, str]] = []
         found: Optional[Job] = None
@@ -273,7 +282,7 @@ class JobQueue:
             return job
 
     # ------------------------------------------------------------ queries
-    def _get(self, job_id: str) -> Job:
+    def _get(self, job_id: str) -> Job:  # guarded-by: _lock
         try:
             return self._jobs[job_id]
         except KeyError:
@@ -401,13 +410,13 @@ class ShardBoard:
         self.lease_ttl = float(lease_ttl)
         self.shard_points = shard_points
         self._lock = threading.Lock()
-        self._shards: dict[str, Shard] = {}
-        self._lease_order: list[str] = []  # shard ids, FIFO lease order
-        self._leases: dict[str, str] = {}  # active lease id -> shard id
+        self._shards: dict[str, Shard] = {}  # guarded-by: _lock
+        self._lease_order: list[str] = []  # FIFO shard ids; guarded-by: _lock
+        self._leases: dict[str, str] = {}  # lease id -> shard id; guarded-by: _lock
         #: Terminal leases and why they ended ("expired" / "completed" /
         #: "commit-failed") — the 409 diagnosis for late completions.
-        self._closed_leases: dict[str, str] = {}
-        self._entries: dict[str, dict[str, Any]] = {}  # per-job accounting
+        self._closed_leases: dict[str, str] = {}  # guarded-by: _lock
+        self._entries: dict[str, dict[str, Any]] = {}  # per-job accounting; guarded-by: _lock
         self._registry = registry or MetricsRegistry()
         self._leased_total = self._registry.counter(
             "shards_leased_total", "Shard leases granted to remote workers")
@@ -525,7 +534,7 @@ class ShardBoard:
                 "attempt": shard.attempts,
             }
 
-    def _lookup_active(self, lease_id: str) -> Shard:
+    def _lookup_active(self, lease_id: str) -> Shard:  # guarded-by: _lock
         """The shard of a *current* lease (404 unknown, 409 stale)."""
         shard_id = self._leases.get(lease_id)
         if shard_id is not None:
@@ -596,7 +605,15 @@ class ShardBoard:
             started = time.perf_counter()
             self.store.commit(job.spec, rows)
             self._commit_seconds.observe(time.perf_counter() - started)
-        except Exception:
+        except Exception as error:
+            # The error propagates to the completing worker's HTTP response,
+            # but the *server* must keep its own record: without this event a
+            # failed commit is indistinguishable from a slow worker.
+            _FABRIC_EVENTS.log(
+                "shard_commit_failed",
+                shard_id=shard.shard_id, job_id=job.job_id,
+                lease_id=lease_id, rows=len(rows),
+                error=f"{type(error).__name__}: {error}")
             with self._lock:  # give the shard back; another worker retries
                 shard.state = ShardState.PENDING
                 shard.lease_id = None
@@ -649,7 +666,7 @@ class ShardBoard:
         }
 
     # -------------------------------------------------------------- sweep
-    def _expire_overdue_locked(self) -> None:
+    def _expire_overdue_locked(self) -> None:  # guarded-by: _lock
         now = time.time()
         for shard in self._shards.values():
             if shard.state is not ShardState.LEASED:

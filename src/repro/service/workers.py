@@ -44,7 +44,8 @@ class WorkerPool:
         self.workers = workers
         self.sweep_workers = sweep_workers
         self._runner = runner if runner is not None else run_sweep
-        self._threads: list[threading.Thread] = []
+        self._lock = threading.Lock()
+        self._threads: list[threading.Thread] = []  # guarded-by: _lock
         registry = registry or MetricsRegistry()
         self._job_seconds = registry.histogram(
             "job_seconds", "Wall time per executed job",
@@ -54,14 +55,15 @@ class WorkerPool:
 
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Spawn the worker threads (idempotent)."""
-        if self._threads:
-            return
-        for index in range(self.workers):
-            thread = threading.Thread(target=self._drain, daemon=True,
-                                      name=f"sweep-worker-{index}")
-            thread.start()
-            self._threads.append(thread)
+        """Spawn the worker threads (idempotent, and safe to race)."""
+        with self._lock:
+            if self._threads:
+                return
+            for index in range(self.workers):
+                thread = threading.Thread(target=self._drain, daemon=True,
+                                          name=f"sweep-worker-{index}")
+                thread.start()
+                self._threads.append(thread)
 
     def stop(self, timeout: float = 10.0) -> bool:
         """Close the queue and join the workers; True if fully drained.
@@ -74,13 +76,16 @@ class WorkerPool:
         should say so.
         """
         self.queue.close()
+        with self._lock:  # snapshot, then join without holding the lock
+            threads = list(self._threads)
         drained = True
-        for thread in self._threads:
+        for thread in threads:
             thread.join(timeout)
             if thread.is_alive():
                 drained = False
         if drained:
-            self._threads = []
+            with self._lock:
+                self._threads = []
         return drained
 
     # ------------------------------------------------------------------

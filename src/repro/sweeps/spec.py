@@ -285,7 +285,7 @@ class SweepSpec:
         only in axis order serialize differently, exactly as they hash
         differently.
         """
-        return json.dumps(self.to_dict(), separators=(",", ":"))
+        return json.dumps(self.to_dict(), separators=(",", ":"))  # lint: disable=HASH001 -- wire format preserves axis order; content_hash uses canonical_json
 
     @classmethod
     def from_json(cls, text: str | bytes) -> "SweepSpec":

@@ -356,7 +356,7 @@ class MetricsRegistry:
     def __init__(self, namespace: str = "repro"):
         self.namespace = _validate_name(namespace)
         self._lock = threading.Lock()
-        self._families: dict[str, _Family] = {}
+        self._families: dict[str, _Family] = {}  # guarded-by: _lock
 
     # --------------------------------------------------------- get/create
     def _family(self, name: str, kind: str, help_text: str,

@@ -94,7 +94,7 @@ class JsonlTraceSink:
         self._handle: Optional[TextIO] = None
 
     def emit(self, event: dict[str, Any]) -> None:
-        line = json.dumps(event, separators=(",", ":"), default=float)
+        line = json.dumps(event, separators=(",", ":"), default=float)  # lint: disable=HASH001 -- trace event stream, not a hash input
         with self._lock:
             if self._handle is None:
                 parent = os.path.dirname(os.path.abspath(self.path))

@@ -1,0 +1,562 @@
+"""Tests for ``repro.lint`` — the static invariant checker.
+
+Every rule family gets at least one true-positive fixture and one
+must-not-flag fixture; the suite also covers the suppression syntax, the
+line-independent baseline round-trip, the JSON report schema, the CLI
+exit-code contract, and a self-scan asserting the repo lints clean
+against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import (Finding, LintError, lint_paths, lint_sources,
+                        load_baseline, partition, write_baseline)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def lint_src(source: str, rel: str = "core/sample.py", rules=None):
+    """Lint one dedented in-memory module; returns the findings."""
+    return lint_sources({rel: textwrap.dedent(source)}, rule_ids=rules)
+
+
+def rule_ids(findings):
+    return [finding.rule for finding in findings]
+
+
+# ----------------------------------------------------------------------
+# DET — RNG / wall-clock discipline
+# ----------------------------------------------------------------------
+
+class TestDeterminismRules:
+    def test_stdlib_random_flagged(self):
+        findings = lint_src("""
+            import random
+            x = random.random()
+        """)
+        assert rule_ids(findings) == ["DET001"]
+        assert "random.random" in findings[0].message
+
+    def test_local_function_named_random_not_flagged(self):
+        findings = lint_src("""
+            def random():
+                return 4
+
+            x = random()
+        """)
+        assert findings == []
+
+    def test_numpy_global_draw_flagged(self):
+        findings = lint_src("""
+            import numpy as np
+            k = np.random.binomial(3, 0.5)
+        """)
+        assert rule_ids(findings) == ["DET002"]
+
+    def test_seeded_generator_api_not_flagged(self):
+        findings = lint_src("""
+            import numpy as np
+            rng = np.random.default_rng(7)
+            seq = np.random.SeedSequence(2009)
+        """)
+        assert findings == []
+
+    def test_unseeded_default_rng_flagged(self):
+        findings = lint_src("""
+            import numpy as np
+            rng = np.random.default_rng()
+        """)
+        assert rule_ids(findings) == ["DET003"]
+
+    def test_unseeded_via_from_import_flagged(self):
+        findings = lint_src("""
+            from numpy.random import default_rng
+            rng = default_rng(None)
+        """)
+        assert rule_ids(findings) == ["DET003"]
+
+    def test_wall_clock_flagged_on_deterministic_path(self):
+        findings = lint_src("""
+            import time
+            import uuid
+            stamp = time.time()
+            run = uuid.uuid4()
+        """)
+        assert rule_ids(findings) == ["DET004", "DET004"]
+
+    def test_perf_counter_allowed_everywhere(self):
+        findings = lint_src("""
+            import time
+            started = time.perf_counter()
+            t = time.monotonic()
+        """)
+        assert findings == []
+
+    def test_service_modules_exempt_from_det_family(self):
+        findings = lint_src("""
+            import random
+            import time
+            jitter = random.random() * 0.1
+            stamp = time.time()
+        """, rel="service/client.py")
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# LOCK — guarded-by discipline
+# ----------------------------------------------------------------------
+
+class TestGuardedByRule:
+    def test_unguarded_access_flagged(self):
+        findings = lint_src("""
+            import threading
+
+            class Queue:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._jobs = {}  # guarded-by: _lock
+
+                def size(self):
+                    return len(self._jobs)
+        """)
+        assert rule_ids(findings) == ["LOCK001"]
+        assert "_jobs" in findings[0].message
+        assert "size" in findings[0].message
+
+    def test_access_under_lock_not_flagged(self):
+        findings = lint_src("""
+            import threading
+
+            class Queue:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._jobs = {}  # guarded-by: _lock
+
+                def size(self):
+                    with self._lock:
+                        return len(self._jobs)
+        """)
+        assert findings == []
+
+    def test_condition_alias_accepted_as_alternative(self):
+        findings = lint_src("""
+            import threading
+
+            class Queue:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._wakeup = threading.Condition(self._lock)
+                    self._jobs = {}  # guarded-by: _lock, _wakeup
+
+                def size(self):
+                    with self._wakeup:
+                        return len(self._jobs)
+        """)
+        assert findings == []
+
+    def test_def_line_annotation_grants_the_lock(self):
+        findings = lint_src("""
+            import threading
+
+            class Queue:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._jobs = {}  # guarded-by: _lock
+
+                def _get(self, job_id):  # guarded-by: _lock
+                    return self._jobs[job_id]
+
+                def get(self, job_id):
+                    with self._lock:
+                        return self._get(job_id)
+        """)
+        assert findings == []
+
+    def test_init_is_exempt(self):
+        findings = lint_src("""
+            import threading
+
+            class Queue:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._jobs = {}  # guarded-by: _lock
+                    self._jobs["bootstrap"] = None
+        """)
+        assert findings == []
+
+    def test_nested_function_does_not_inherit_the_lock(self):
+        findings = lint_src("""
+            import threading
+
+            class Queue:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._jobs = {}  # guarded-by: _lock
+
+                def snapshot(self):
+                    with self._lock:
+                        def peek():
+                            return len(self._jobs)
+                        return peek
+        """)
+        assert rule_ids(findings) == ["LOCK001"]
+
+    def test_annotated_repo_files_pass_their_own_rule(self):
+        for rel in ("service/jobs.py", "service/workers.py",
+                    "telemetry/registry.py"):
+            path = REPO_ROOT / "src" / "repro" / rel
+            findings = lint_sources({rel: path.read_text(encoding="utf-8")},
+                                    rule_ids=["LOCK001"])
+            assert findings == [], f"{rel}: {findings}"
+
+
+# ----------------------------------------------------------------------
+# HASH — content-hash input stability
+# ----------------------------------------------------------------------
+
+class TestHashRules:
+    def test_unsorted_dumps_flagged_in_hash_module(self):
+        findings = lint_src("""
+            import json
+            def digest_input(payload):
+                return json.dumps(payload)
+        """, rel="sweeps/spec.py")
+        assert rule_ids(findings) == ["HASH001"]
+
+    def test_sorted_dumps_not_flagged(self):
+        findings = lint_src("""
+            import json
+            def canonical(payload):
+                return json.dumps(payload, sort_keys=True)
+        """, rel="sweeps/spec.py")
+        assert findings == []
+
+    def test_unsorted_dumps_fine_outside_hash_modules(self):
+        findings = lint_src("""
+            import json
+            def wire(payload):
+                return json.dumps(payload)
+        """, rel="core/sample.py")
+        assert findings == []
+
+    def test_set_iteration_flagged_in_hash_module(self):
+        findings = lint_src("""
+            def drain(values):
+                return [v for v in set(values)]
+        """, rel="sweeps/spec.py")
+        assert rule_ids(findings) == ["HASH002"]
+
+    def test_set_for_len_or_membership_not_flagged(self):
+        findings = lint_src("""
+            def unique_count(values):
+                return len({repr(v) for v in values})
+        """, rel="sweeps/spec.py")
+        assert findings == []
+
+    def test_sorted_set_iteration_not_flagged(self):
+        findings = lint_src("""
+            def drain(values):
+                return [v for v in sorted(set(values))]
+        """, rel="sweeps/spec.py")
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# EXC — exception hygiene
+# ----------------------------------------------------------------------
+
+class TestExceptionRules:
+    def test_bare_except_flagged(self):
+        findings = lint_src("""
+            try:
+                work = 1
+            except:
+                work = None
+        """)
+        assert rule_ids(findings) == ["EXC001"]
+
+    def test_narrow_except_not_flagged(self):
+        findings = lint_src("""
+            try:
+                work = 1
+            except ValueError:
+                work = None
+        """)
+        assert findings == []
+
+    def test_silent_swallow_flagged(self):
+        findings = lint_src("""
+            try:
+                work = 1
+            except Exception:
+                pass
+        """)
+        assert rule_ids(findings) == ["EXC002"]
+
+    def test_handled_broad_except_not_flagged(self):
+        findings = lint_src("""
+            def attempt(log):
+                try:
+                    return 1
+                except Exception as error:
+                    log.log("failed", error=str(error))
+                    raise
+        """)
+        assert findings == []
+
+    def test_raise_of_plain_class_flagged(self):
+        findings = lint_src("""
+            class Oops:
+                pass
+
+            def boom():
+                raise Oops()
+        """)
+        assert rule_ids(findings) == ["EXC003"]
+
+    def test_raise_of_bare_exception_flagged(self):
+        findings = lint_src("""
+            def boom():
+                raise Exception("vague")
+        """)
+        assert rule_ids(findings) == ["EXC003"]
+
+    def test_repro_error_subclass_ok_across_modules(self):
+        findings = lint_sources({
+            "errors.py": textwrap.dedent("""
+                class ReproError(Exception):
+                    pass
+
+                class SweepError(ReproError):
+                    pass
+            """),
+            "sweeps/thing.py": textwrap.dedent("""
+                from ..errors import SweepError
+
+                def boom():
+                    raise SweepError("bad spec")
+            """),
+        })
+        assert findings == []
+
+    def test_stdlib_raise_and_reraise_not_flagged(self):
+        findings = lint_src("""
+            def check(value):
+                if value < 0:
+                    raise ValueError("negative")
+                try:
+                    return 1 / value
+                except ZeroDivisionError as error:
+                    raise
+        """)
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# ENG — engine-name literals
+# ----------------------------------------------------------------------
+
+class TestEngineLiteralRule:
+    def test_typoed_engine_kwarg_flagged(self):
+        findings = lint_src("""
+            def run(runner):
+                return runner(engine="nativ")
+        """)
+        assert rule_ids(findings) == ["ENG001"]
+
+    def test_typoed_comparison_and_default_flagged(self):
+        findings = lint_src("""
+            def pick(engine="lop"):
+                if engine == "batsh":
+                    return 1
+        """)
+        assert sorted(rule_ids(findings)) == ["ENG001", "ENG001"]
+
+    def test_typoed_dict_entry_flagged(self):
+        findings = lint_src("""
+            payload = {"engine": "natve"}
+        """)
+        assert rule_ids(findings) == ["ENG001"]
+
+    def test_valid_engine_names_not_flagged(self):
+        findings = lint_src("""
+            def pick(engine="batch"):
+                if engine == "native":
+                    return 1
+                payload = {"engine": "loop"}
+                return payload
+        """)
+        assert findings == []
+
+    def test_store_backend_namespace_exempt(self):
+        findings = lint_src("""
+            def open_store(backend="dir"):
+                return backend
+        """, rel="sweeps/store.py")
+        assert findings == []
+
+    def test_unrelated_kwargs_not_engine_positions(self):
+        findings = lint_src("""
+            def render(style="nativ"):
+                return style
+        """)
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+
+class TestSuppressions:
+    def test_inline_disable_suppresses_named_rule(self):
+        findings = lint_src("""
+            import numpy as np
+            rng = np.random.default_rng()  # lint: disable=DET003 -- fresh entropy is the contract
+        """)
+        assert findings == []
+
+    def test_inline_disable_is_rule_specific(self):
+        findings = lint_src("""
+            import numpy as np
+            rng = np.random.default_rng()  # lint: disable=DET002 -- wrong rule id
+        """)
+        assert rule_ids(findings) == ["DET003"]
+
+    def test_wildcard_disable_suppresses_everything_on_the_line(self):
+        findings = lint_src("""
+            import random
+            x = random.random()  # lint: disable=* -- test fixture
+        """)
+        assert findings == []
+
+    def test_syntax_error_reported_as_finding(self):
+        findings = lint_src("def broken(:\n    pass\n")
+        assert rule_ids(findings) == ["SYNTAX"]
+
+
+# ----------------------------------------------------------------------
+# Baseline round-trip
+# ----------------------------------------------------------------------
+
+FIXTURE_WITH_VIOLATION = """
+import numpy as np
+
+def sample():
+    return np.random.default_rng()
+"""
+
+
+class TestBaseline:
+    def test_round_trip_and_partition(self, tmp_path):
+        findings = lint_src(FIXTURE_WITH_VIOLATION)
+        assert rule_ids(findings) == ["DET003"]
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, findings)
+        accepted = load_baseline(baseline_file)
+        assert accepted == {findings[0].fingerprint()}
+        new, baselined = partition(findings, accepted)
+        assert new == [] and baselined == findings
+
+    def test_fingerprint_survives_line_drift(self):
+        shifted = "# a new leading comment\n\n" + FIXTURE_WITH_VIOLATION
+        original = lint_src(FIXTURE_WITH_VIOLATION)
+        moved = lint_src(shifted)
+        assert original[0].line != moved[0].line
+        assert original[0].fingerprint() == moved[0].fingerprint()
+
+    def test_fingerprint_distinguishes_occurrences(self):
+        doubled = FIXTURE_WITH_VIOLATION + "\n\ndef sample2():\n" \
+            "    return np.random.default_rng()\n"
+        findings = lint_src(doubled)
+        assert len(findings) == 2
+        assert findings[0].fingerprint() != findings[1].fingerprint()
+
+    def test_malformed_baseline_raises_lint_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[]", encoding="utf-8")
+        with pytest.raises(LintError):
+            load_baseline(bad)
+        with pytest.raises(LintError):
+            load_baseline(tmp_path / "missing.json")
+
+
+# ----------------------------------------------------------------------
+# CLI + JSON schema + self-scan
+# ----------------------------------------------------------------------
+
+class TestLintCli:
+    def test_fixture_violation_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(textwrap.dedent(FIXTURE_WITH_VIOLATION),
+                       encoding="utf-8")
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "DET003" in out and "1 new finding(s)" in out
+
+    def test_json_report_schema(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(textwrap.dedent(FIXTURE_WITH_VIOLATION),
+                       encoding="utf-8")
+        assert main(["lint", "--format", "json", str(bad)]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["exit_code"] == 1
+        assert report["files_scanned"] == 1
+        assert report["suppressed_inline"] == 0
+        (finding,) = report["findings"]
+        for key in ("rule", "severity", "path", "line", "col", "message",
+                    "hint", "scope", "index", "fingerprint"):
+            assert key in finding
+        assert finding["rule"] == "DET003"
+        assert finding["scope"] == "sample"
+        assert report["new"] == [finding["fingerprint"]]
+
+    def test_write_then_use_baseline(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(textwrap.dedent(FIXTURE_WITH_VIOLATION),
+                       encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", str(bad),
+                     "--write-baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(bad), "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "1 baselined" in out
+
+    def test_rules_filter_and_unknown_rule(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n",
+                       encoding="utf-8")
+        assert main(["lint", "--rules", "DET004", str(bad)]) == 0
+        assert main(["lint", "--rules", "NOPE", str(bad)]) == 1
+        assert "unknown lint rule" in capsys.readouterr().err
+
+    def test_list_rules_covers_every_family(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for family in ("DET001", "LOCK001", "HASH001", "EXC001", "ENG001"):
+            assert family in out
+
+
+class TestSelfScan:
+    """The tier-1 lint smoke: the shipped package must lint clean."""
+
+    def test_package_is_clean_against_committed_baseline(self):
+        report = lint_paths(
+            baseline_path=REPO_ROOT / "lint-baseline.json")
+        assert report.new == [], [f.render() for f in report.new]
+        # The sanctioned exceptions are inline-suppressed, not baselined.
+        assert report.baselined == []
+        assert report.suppressed_inline >= 5
+        assert report.files > 50
+
+    def test_cli_self_scan_exits_zero(self, capsys):
+        assert main(["lint", "--baseline",
+                     str(REPO_ROOT / "lint-baseline.json")]) == 0
+        capsys.readouterr()
