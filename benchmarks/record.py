@@ -5,7 +5,7 @@ ceilings, million-player wall-clock budgets) assert against thresholds, but
 the *measured* numbers themselves are worth keeping: they are the
 performance record of each PR.  The ``pytest_sessionfinish`` hook in
 ``conftest.py`` calls :func:`write_benchmark_record` after every benchmark
-session, dumping one JSON document per PR — ``BENCH_8.json`` for this one —
+session, dumping one JSON document per PR — ``BENCH_10.json`` for this one —
 at the repository root, which is committed alongside the code.
 
 The document carries, per benchmark: the timing statistics
@@ -22,7 +22,7 @@ from pathlib import Path
 from typing import Any
 
 #: The PR this record belongs to; bump together with the filename below.
-PR_NUMBER = 8
+PR_NUMBER = 10
 
 #: Written at the repository root (the parent of ``benchmarks/``).
 RECORD_PATH = Path(__file__).resolve().parent.parent / f"BENCH_{PR_NUMBER}.json"

@@ -115,7 +115,9 @@ _EPILOG = ("Parameter sweeps (the `sweep` command) are documented in "
            "well as bare directory paths.  "
            "Telemetry — engine round tracing (`simulate --trace`), sweep "
            "metrics (`sweep --metrics-out`), the service's /v1/metrics "
-           "Prometheus endpoint and the `bench-history` trend table — is "
+           "Prometheus endpoint, distributed span tracing (`serve/worker "
+           "--spans-out`, analysed by `repro trace`) and the "
+           "`bench-history` trend table — is "
            "documented in docs/OBSERVABILITY.md.  The `lint` command runs "
            "the repo's static invariant checks (determinism, lock "
            "discipline, hash-input stability — docs/LINT.md).")
@@ -292,6 +294,12 @@ def build_parser() -> argparse.ArgumentParser:
                                    "request to stderr (method, route "
                                    "template, status, latency); off by "
                                    "default")
+    serve_parser.add_argument("--spans-out", default=None, dest="spans_out",
+                              metavar="FILE",
+                              help="record distributed-tracing spans "
+                                   "(requests, jobs, leases, sweeps) to "
+                                   "this JSONL file; analyse with "
+                                   "`repro trace` (docs/OBSERVABILITY.md)")
 
     worker_parser = subparsers.add_parser(
         "worker", help="run a remote sweep worker against a daemon "
@@ -319,6 +327,12 @@ def build_parser() -> argparse.ArgumentParser:
     worker_parser.add_argument("--verbose", action="store_true",
                                help="emit one structured JSON line per "
                                     "worker event to stderr")
+    worker_parser.add_argument("--spans-out", default=None, dest="spans_out",
+                               metavar="FILE",
+                               help="record this worker's spans to a JSONL "
+                                    "file; they join the daemon's trace "
+                                    "via the lease traceparent (merge the "
+                                    "files for `repro trace`)")
 
     submit_parser = subparsers.add_parser(
         "submit", help="submit a sweep to a running service and wait for it",
@@ -374,6 +388,25 @@ def build_parser() -> argparse.ArgumentParser:
                               help="print raw JSONL rows instead of a table")
     fetch_parser.add_argument("--markdown", action="store_true",
                               help="emit a markdown table")
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="analyse recorded span JSONL: critical path, shard timeline, "
+             "lease churn (see docs/OBSERVABILITY.md)",
+        epilog="Span files come from `serve --spans-out`, `worker "
+               "--spans-out` or a traced run; pass every file of one run "
+               "so the tree is connected (exit 1 on orphan spans).")
+    trace_parser.add_argument("spans", nargs="+", metavar="FILE",
+                              help="span JSONL file(s) to merge and analyse")
+    trace_parser.add_argument("--top", type=int, default=5, metavar="N",
+                              help="slowest points / orphans listed per "
+                                   "trace (default 5)")
+    trace_parser.add_argument("--width", type=int, default=48, metavar="COLS",
+                              help="timeline bar width in characters")
+    trace_parser.add_argument("--all", action="store_true", dest="all_traces",
+                              help="expand short traces too (idle lease "
+                                   "polls, health checks); folded by "
+                                   "default")
 
     lint_parser = subparsers.add_parser(
         "lint",
@@ -563,7 +596,8 @@ def _command_serve(args: argparse.Namespace) -> int:
                        workers=args.workers, sweep_workers=args.sweep_workers,
                        lease_ttl=args.lease_ttl,
                        shard_points=args.shard_points,
-                       quiet=not args.verbose, access_log=args.access_log)
+                       quiet=not args.verbose, access_log=args.access_log,
+                       spans_out=args.spans_out)
 
 
 def _command_worker(args: argparse.Namespace) -> int:
@@ -578,7 +612,7 @@ def _command_worker(args: argparse.Namespace) -> int:
     stats = run_worker(args.connect, worker_id=args.worker_id,
                        poll=args.poll, lease_ttl=args.lease_ttl,
                        max_idle=args.max_idle, max_shards=args.max_shards,
-                       log=log)
+                       log=log, spans_out=args.spans_out)
     print(f"worker {stats['worker_id']} done: "
           f"{stats['shards_completed']} shards, "
           f"{stats['points_computed']} points computed, "
@@ -779,6 +813,15 @@ def _simulate_ensemble(args: argparse.Namespace, game, protocol,
     return 0
 
 
+def _command_trace(args: argparse.Namespace) -> int:
+    from .trace_analysis import run_trace_analysis
+
+    _require_positive("--top", args.top)
+    _require_positive("--width", args.width)
+    return run_trace_analysis(args.spans, top=args.top, width=args.width,
+                              all_traces=args.all_traces, out=sys.stdout)
+
+
 def _command_lint(args: argparse.Namespace) -> int:
     from .lint import runner as lint_runner
 
@@ -830,6 +873,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_status(args)
         if args.command == "fetch":
             return _command_fetch(args)
+        if args.command == "trace":
+            return _command_trace(args)
         if args.command == "lint":
             return _command_lint(args)
     except ReproError as error:

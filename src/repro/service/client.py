@@ -21,6 +21,12 @@ import urllib.request
 from typing import Any, Iterator, Optional, Sequence, Union
 
 from ..sweeps import SweepSpec
+from ..telemetry.spans import (
+    NO_SPANS,
+    SpanRecorder,
+    current_span_context,
+    encode_traceparent,
+)
 from .api import ServiceError
 
 __all__ = ["ServiceClient"]
@@ -46,40 +52,59 @@ class ServiceClient:
     RETRY_BACKOFF = 0.1
 
     def __init__(self, base_url: str = "http://127.0.0.1:8080", *,
-                 timeout: float = 30.0, retries: int = 2):
+                 timeout: float = 30.0, retries: int = 2,
+                 spans: SpanRecorder = NO_SPANS):
         if retries < 0:
             raise ValueError("retries must be non-negative")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.retries = retries
+        self.spans = spans
 
     # ----------------------------------------------------------- transport
     def _request(self, method: str, path: str,
                  payload: Optional[dict] = None) -> urllib.request.addinfourl:
-        attempts_left = self.retries if method == "GET" else 0
-        backoff = self.RETRY_BACKOFF
-        while True:
-            try:
-                return self._request_once(method, path, payload)
-            except ServiceError as error:
-                # status=None + a recorded transport error marks the
-                # transient class; HTTP-level errors (any status) are
-                # definitive answers and are never retried.
-                if attempts_left <= 0 or error.status is not None \
-                        or error.last_error is None:
-                    raise
-                attempts_left -= 1
-            time.sleep(backoff * (0.5 + random.random()))
-            backoff *= 2
+        # One span per *logical* request: transport retries stay inside it
+        # (the final `attempts` attr says how many it took), and every
+        # attempt carries the span's context as `traceparent` plus its
+        # ordinal as `x-repro-attempt`, so the daemon can both adopt the
+        # trace and count arriving retries.
+        with self.spans.span("client.request",
+                             attrs={"method": method, "path": path}) as span:
+            attempts_left = self.retries if method == "GET" else 0
+            backoff = self.RETRY_BACKOFF
+            attempt = 0
+            while True:
+                attempt += 1
+                span.set_attr("attempts", attempt)
+                try:
+                    return self._request_once(method, path, payload,
+                                              attempt=attempt)
+                except ServiceError as error:
+                    # status=None + a recorded transport error marks the
+                    # transient class; HTTP-level errors (any status) are
+                    # definitive answers and are never retried.
+                    if attempts_left <= 0 or error.status is not None \
+                            or error.last_error is None:
+                        raise
+                    attempts_left -= 1
+                time.sleep(backoff * (0.5 + random.random()))
+                backoff *= 2
 
     def _request_once(self, method: str, path: str,
-                      payload: Optional[dict] = None
-                      ) -> urllib.request.addinfourl:
+                      payload: Optional[dict] = None, *,
+                      attempt: int = 1) -> urllib.request.addinfourl:
         url = f"{self.base_url}{path}"
         body = None if payload is None else json.dumps(payload).encode("utf-8")
+        headers: dict[str, str] = (
+            {"Content-Type": "application/json"} if body else {})
+        if self.spans.enabled:
+            context = current_span_context()
+            if context is not None:
+                headers["traceparent"] = encode_traceparent(context)
+                headers["x-repro-attempt"] = str(attempt)
         request = urllib.request.Request(
-            url, data=body, method=method,
-            headers={"Content-Type": "application/json"} if body else {})
+            url, data=body, method=method, headers=headers)
         try:
             return urllib.request.urlopen(request, timeout=self.timeout)
         except urllib.error.HTTPError as error:

@@ -41,6 +41,13 @@ from ..sweeps import SweepSpec, SweepStore
 from ..sweeps.scheduler import default_chunk_size, partition
 from ..telemetry import DEFAULT_DURATION_BUCKETS, MetricsRegistry
 from ..telemetry.logs import StructuredLogger
+from ..telemetry.spans import (
+    NO_SPANS,
+    Span,
+    SpanContext,
+    SpanRecorder,
+    encode_traceparent,
+)
 from .api import ServiceError
 
 __all__ = ["Job", "JobQueue", "JobState", "Shard", "ShardBoard", "ShardState"]
@@ -83,6 +90,11 @@ class Job:
     finished_at: Optional[float] = None
     error: Optional[str] = None
     summary: Optional[dict[str, Any]] = None
+    #: Span context of the submit that created this job (``{"trace_id",
+    #: "span_id"}``) — execution spans parent to it, which is how a trace
+    #: crosses the submit-now/execute-later boundary.  Not part of the
+    #: JSON payload: purely a telemetry side channel.
+    trace_context: Optional[dict[str, str]] = field(default=None, repr=False)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON payload of the job (what ``GET /v1/jobs/<id>`` returns)."""
@@ -111,7 +123,9 @@ class JobQueue:
     :meth:`close`.
     """
 
-    def __init__(self, *, registry: Optional[MetricsRegistry] = None):
+    def __init__(self, *, registry: Optional[MetricsRegistry] = None,
+                 spans: SpanRecorder = NO_SPANS):
+        self._spans = spans
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         # _wakeup wraps _lock, so holding either guards these fields
@@ -158,24 +172,35 @@ class JobQueue:
         them to running through :meth:`activate_remote`.
         """
         spec_hash = spec.content_hash()
-        with self._wakeup:
-            if self._closed:
-                raise ServiceError("the job queue is shut down", status=503)
-            active_id = self._active_by_hash.get(spec_hash)
-            if active_id is not None:
-                self._dedup_hits.inc()
-                return self._jobs[active_id], False
-            job = Job(job_id=f"job-{next(self._ids):06d}", spec=spec,
-                      spec_hash=spec_hash, priority=priority, mode=mode)
-            self._jobs[job.job_id] = job
-            self._active_by_hash[spec_hash] = job.job_id
-            if mode == "local":
-                heapq.heappush(self._heap,
-                               (-priority, next(self._ticket), job.job_id))
-            self._submitted.inc()
-            self._gauge_queued.inc()
-            self._wakeup.notify()
-            return job, True
+        with self._spans.span("job.submit",
+                              attrs={"mode": mode,
+                                     "spec_hash": spec_hash}) as span:
+            with self._wakeup:
+                if self._closed:
+                    raise ServiceError("the job queue is shut down",
+                                       status=503)
+                active_id = self._active_by_hash.get(spec_hash)
+                if active_id is not None:
+                    self._dedup_hits.inc()
+                    span.set_attr("job_id", active_id)
+                    span.set_attr("dedup", True)
+                    return self._jobs[active_id], False
+                job = Job(job_id=f"job-{next(self._ids):06d}", spec=spec,
+                          spec_hash=spec_hash, priority=priority, mode=mode)
+                span.set_attr("job_id", job.job_id)
+                if self._spans.enabled:
+                    job.trace_context = {"trace_id": span.trace_id,
+                                         "span_id": span.span_id}
+                self._jobs[job.job_id] = job
+                self._active_by_hash[spec_hash] = job.job_id
+                if mode == "local":
+                    heapq.heappush(
+                        self._heap,
+                        (-priority, next(self._ticket), job.job_id))
+                self._submitted.inc()
+                self._gauge_queued.inc()
+                self._wakeup.notify()
+                return job, True
 
     def activate_remote(self, job: Job) -> None:
         """Transition a queued remote job to running (board activation).
@@ -354,6 +379,13 @@ class Shard:
     ttl: float = 0.0
     leased_at: Optional[float] = None
     expires_at: Optional[float] = None
+    #: Open span of the current lease (telemetry side channel, not part of
+    #: the JSON payload) and the context of the last lease that died
+    #: (expired / commit-failed) — the replacement lease's span links to
+    #: it, which is what attributes a recompute to the kill that caused it.
+    lease_span: Optional[Span] = field(default=None, repr=False, compare=False)
+    prev_lease_context: Optional[SpanContext] = field(
+        default=None, repr=False, compare=False)
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -400,7 +432,8 @@ class ShardBoard:
     def __init__(self, queue: JobQueue, store: SweepStore, *,
                  lease_ttl: float = 30.0,
                  shard_points: Optional[int] = None,
-                 registry: Optional[MetricsRegistry] = None):
+                 registry: Optional[MetricsRegistry] = None,
+                 spans: SpanRecorder = NO_SPANS):
         if lease_ttl <= 0:
             raise ValueError("lease_ttl must be positive")
         if shard_points is not None and shard_points < 1:
@@ -409,6 +442,7 @@ class ShardBoard:
         self.store = store
         self.lease_ttl = float(lease_ttl)
         self.shard_points = shard_points
+        self._spans = spans
         self._lock = threading.Lock()
         self._shards: dict[str, Shard] = {}  # guarded-by: _lock
         self._lease_order: list[str] = []  # FIFO shard ids; guarded-by: _lock
@@ -458,6 +492,17 @@ class ShardBoard:
         points = spec.expand()
         committed = self.store.completed_keys(spec)
         pending = [point for point in points if point.key not in committed]
+        # The job-level span brackets the whole remote execution (activate
+        # through last shard commit); every lease span parents to it, so
+        # the trace stays one connected tree across workers and hosts.
+        parent = (SpanContext(**job.trace_context)
+                  if job.trace_context else None)
+        job_span = self._spans.start_span(
+            "job.execute", parent=parent,
+            attrs={"job_id": job.job_id, "mode": "remote",
+                   "spec_hash": job.spec_hash,
+                   "points_total": len(points),
+                   "points_cached": len(points) - len(pending)})
         entry = {
             "job": job,
             "total": len(points),
@@ -469,8 +514,10 @@ class ShardBoard:
             "registry": MetricsRegistry(),
             "started": time.time(),
             "shard_ids": [],
+            "span": job_span,
         }
         if not pending:
+            self._spans.end_span(job_span, status="cached")
             self.queue.finish(job, summary=self._summary(entry))
             return job
         chunk = self.shard_points or default_chunk_size(len(pending), 4)
@@ -522,7 +569,19 @@ class ShardBoard:
             self._leased_total.inc()
             self._gauge_pending.dec()
             self._gauge_leased.inc()
-            job = self._entries[shard.job_id]["job"]
+            entry = self._entries[shard.job_id]
+            job = entry["job"]
+            job_span: Span = entry["span"]
+            shard.lease_span = self._spans.start_span(
+                "shard.lease", parent=job_span.context,
+                attrs={"shard_id": shard.shard_id, "lease_id": lease_id,
+                       "worker": worker, "attempt": shard.attempts,
+                       "points": len(shard.indices)})
+            if shard.prev_lease_context is not None:
+                # The causal edge the ISSUE's kill scenario needs: this
+                # lease exists *because* the previous one died.
+                shard.lease_span.link(shard.prev_lease_context,
+                                      reason="requeued")
             return {
                 "lease_id": lease_id,
                 "shard_id": shard.shard_id,
@@ -532,6 +591,9 @@ class ShardBoard:
                 "indices": list(shard.indices),
                 "lease_ttl": ttl,
                 "attempt": shard.attempts,
+                "traceparent": (
+                    encode_traceparent(shard.lease_span.context)
+                    if self._spans.enabled else None),
             }
 
     def _lookup_active(self, lease_id: str) -> Shard:  # guarded-by: _lock
@@ -555,6 +617,11 @@ class ShardBoard:
             shard = self._lookup_active(lease_id)
             shard.expires_at = time.time() + shard.ttl
             self._heartbeats_total.inc()
+            if shard.lease_span is not None:
+                with self._spans.span("shard.heartbeat",
+                                      parent=shard.lease_span.context,
+                                      attrs={"shard_id": shard.shard_id}):
+                    pass
             return {
                 "lease_id": lease_id,
                 "shard_id": shard.shard_id,
@@ -601,10 +668,19 @@ class ShardBoard:
             if metrics:
                 entry["registry"].merge(metrics)
             job = entry["job"]
+            lease_span = shard.lease_span
+            shard.lease_span = None
         try:
             started = time.perf_counter()
-            self.store.commit(job.spec, rows)
+            commit_parent = (lease_span.context if lease_span is not None
+                             else None)
+            with self._spans.span("store.commit", parent=commit_parent,
+                                  attrs={"backend": self.store.scheme,
+                                         "rows": len(rows)}):
+                self.store.commit(job.spec, rows)
             self._commit_seconds.observe(time.perf_counter() - started)
+            if lease_span is not None:
+                self._spans.end_span(lease_span, status="completed")
         except Exception as error:
             # The error propagates to the completing worker's HTTP response,
             # but the *server* must keep its own record: without this event a
@@ -621,6 +697,9 @@ class ShardBoard:
                 self._closed_leases[lease_id] = "commit-failed"
                 self._gauge_pending.inc()
                 entry["computed"] -= len(rows)
+                if lease_span is not None:
+                    shard.prev_lease_context = lease_span.context
+                    self._spans.end_span(lease_span, status="commit-failed")
             raise
         # The job finishes only when every shard's rows are *committed*
         # (not merely approved): whoever increments the count to the total
@@ -642,6 +721,10 @@ class ShardBoard:
 
     def _finish_job(self, entry: dict[str, Any]) -> None:
         job = entry["job"]
+        job_span = entry.get("span")
+        if job_span is not None:
+            job_span.set_attr("requeued_shards", entry["requeued"])
+            self._spans.end_span(job_span)
         snapshot = entry["registry"].snapshot().to_dict()
         self.store.record_telemetry(job.spec, {
             "elapsed_seconds": time.time() - entry["started"],
@@ -678,6 +761,12 @@ class ShardBoard:
                 shard.lease_id = None
                 shard.worker = None
                 shard.expires_at = None
+                if shard.lease_span is not None:
+                    # Remember the dead lease's identity: the replacement
+                    # lease's span will link to it (see lease()).
+                    shard.prev_lease_context = shard.lease_span.context
+                    self._spans.end_span(shard.lease_span, status="expired")
+                    shard.lease_span = None
                 self._requeued_total.inc()
                 self._gauge_leased.dec()
                 self._gauge_pending.inc()

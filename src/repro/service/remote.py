@@ -38,6 +38,8 @@ from typing import Any, Optional
 
 from ..sweeps.scheduler import _run_shard
 from ..telemetry import NullLogger, StructuredLogger
+from ..telemetry.spans import NO_SPANS, SpanRecorder, decode_traceparent
+from ..telemetry.tracing import JsonlTraceSink
 from .api import ServiceError
 from .client import ServiceClient
 
@@ -64,6 +66,12 @@ class RemoteWorker:
         killed) — what lets tests and CI runs terminate naturally.
     max_shards:
         Exit after completing this many shards (None: unlimited).
+    spans:
+        A :class:`~repro.telemetry.spans.SpanRecorder` for the worker's
+        own spans (``worker --spans-out`` builds one over JSONL).  Shard
+        payloads carry the daemon's lease-span context as ``traceparent``,
+        so the worker's compute spans join the daemon's trace — merging
+        both JSONL files yields one connected tree.
     """
 
     def __init__(self, connect: str | ServiceClient, *,
@@ -71,9 +79,11 @@ class RemoteWorker:
                  lease_ttl: Optional[float] = None,
                  max_idle: Optional[float] = None,
                  max_shards: Optional[int] = None,
-                 log: Optional[StructuredLogger] = None):
+                 log: Optional[StructuredLogger] = None,
+                 spans: SpanRecorder = NO_SPANS):
         self.client = (connect if isinstance(connect, ServiceClient)
-                       else ServiceClient(connect))
+                       else ServiceClient(connect, spans=spans))
+        self.spans = spans
         self.worker_id = worker_id or f"worker-{uuid.uuid4().hex[:8]}"
         self.poll = poll
         self.lease_ttl = lease_ttl
@@ -138,23 +148,38 @@ class RemoteWorker:
             args=(lease_id, float(shard["lease_ttl"]), stop_heartbeat),
             name=f"{self.worker_id}-heartbeat", daemon=True)
         heartbeat.start()
-        try:
-            rows, metrics = _run_shard((shard["spec"], shard["indices"]))
-        finally:
-            stop_heartbeat.set()
-            heartbeat.join()
-        try:
-            self.client.complete_shard(lease_id, rows, metrics=metrics)
-        except ServiceError as error:
-            if error.status in (404, 409):
-                # Our lease expired (slow shard, paused process) and the
-                # shard was requeued — the current holder recomputes the
-                # identical rows, so ours are safely discarded.
-                self.stats["stale_results"] += 1
-                self.log.log("shard_result_stale", lease_id=lease_id,
-                             error=str(error))
-                return
-            raise
+        # Parent this worker's compute span to the daemon's lease span via
+        # the traceparent the lease payload carries — the cross-host hop
+        # that keeps daemon and worker span files one connected tree.
+        lease_context = decode_traceparent(shard.get("traceparent"))
+        with self.spans.span("worker.shard", parent=lease_context,
+                             attrs={"worker": self.worker_id,
+                                    "shard_id": shard["shard_id"],
+                                    "attempt": shard["attempt"]}) as span:
+            try:
+                rows, metrics, shard_spans = _run_shard(
+                    (shard["spec"], shard["indices"],
+                     ({"trace_id": span.trace_id, "span_id": span.span_id}
+                      if self.spans.enabled else None)))
+                if shard_spans:
+                    self.spans.adopt(shard_spans)
+            finally:
+                stop_heartbeat.set()
+                heartbeat.join()
+            try:
+                self.client.complete_shard(lease_id, rows, metrics=metrics)
+            except ServiceError as error:
+                if error.status in (404, 409):
+                    # Our lease expired (slow shard, paused process) and
+                    # the shard was requeued — the current holder
+                    # recomputes the identical rows, so ours are safely
+                    # discarded.
+                    self.stats["stale_results"] += 1
+                    span.set_status("stale")
+                    self.log.log("shard_result_stale", lease_id=lease_id,
+                                 error=str(error))
+                    return
+                raise
         self.stats["shards_completed"] += 1
         self.stats["points_computed"] += len(rows)
         self.log.log("shard_completed", shard_id=shard["shard_id"],
@@ -176,9 +201,19 @@ def run_worker(connect: str, *, worker_id: Optional[str] = None,
                poll: float = 0.5, lease_ttl: Optional[float] = None,
                max_idle: Optional[float] = None,
                max_shards: Optional[int] = None,
-               log: Optional[StructuredLogger] = None) -> dict[str, Any]:
-    """Run one :class:`RemoteWorker` to completion (the CLI entry)."""
+               log: Optional[StructuredLogger] = None,
+               spans_out: Optional[str] = None) -> dict[str, Any]:
+    """Run one :class:`RemoteWorker` to completion (the CLI entry).
+
+    ``spans_out`` records the worker's side of the distributed trace to a
+    JSONL file; merge it with the daemon's for ``repro trace``.
+    """
+    spans = (SpanRecorder(JsonlTraceSink(spans_out))
+             if spans_out else NO_SPANS)
     worker = RemoteWorker(connect, worker_id=worker_id, poll=poll,
                           lease_ttl=lease_ttl, max_idle=max_idle,
-                          max_shards=max_shards, log=log)
-    return worker.run()
+                          max_shards=max_shards, log=log, spans=spans)
+    try:
+        return worker.run()
+    finally:
+        spans.close()

@@ -58,6 +58,8 @@ from ..presets import preset_summaries
 from ..sweeps import SweepSpec, SweepStore, aggregate_rows
 from ..sweeps.aggregate import DEFAULT_STATS
 from ..telemetry import MetricsRegistry, NullLogger, StructuredLogger
+from ..telemetry.spans import NO_SPANS, SpanRecorder, decode_traceparent
+from ..telemetry.tracing import JsonlTraceSink
 from .api import ServiceError, resolve_mode, resolve_spec
 from .jobs import JobQueue, ShardBoard
 from .workers import WorkerPool
@@ -84,26 +86,33 @@ class SweepService:
     shard_points:
         Points per remote shard (defaults to the scheduler's own
         granularity, ~4 shards per assumed worker).
+    spans:
+        A :class:`~repro.telemetry.spans.SpanRecorder` shared by the HTTP
+        layer, queue, pool and board (the daemon half of distributed
+        tracing; ``serve --spans-out`` builds one over a JSONL sink).
+        Defaults to the disabled recorder — zero overhead.
     """
 
     def __init__(self, store: SweepStore | str | os.PathLike, *,
                  workers: int = 1, sweep_workers: int = 1,
                  runner: Optional[Callable] = None,
                  lease_ttl: float = 30.0,
-                 shard_points: Optional[int] = None):
+                 shard_points: Optional[int] = None,
+                 spans: SpanRecorder = NO_SPANS):
         self.store = store if isinstance(store, SweepStore) else SweepStore(store)
         #: One registry for the whole daemon: the queue's job lifecycle
         #: counters, the pool's execution timings, the shard board's fabric
         #: counters and the HTTP layer's request metrics all land here, so
         #: ``/v1/metrics`` is one read.
         self.registry = MetricsRegistry()
-        self.queue = JobQueue(registry=self.registry)
+        self.spans = spans
+        self.queue = JobQueue(registry=self.registry, spans=spans)
         self.pool = WorkerPool(self.queue, self.store, workers=workers,
                                sweep_workers=sweep_workers, runner=runner,
-                               registry=self.registry)
+                               registry=self.registry, spans=spans)
         self.board = ShardBoard(self.queue, self.store, lease_ttl=lease_ttl,
                                 shard_points=shard_points,
-                                registry=self.registry)
+                                registry=self.registry, spans=spans)
         #: Every spec this process has resolved, by content hash — lets the
         #: rows/aggregate endpoints serve cached submissions that never
         #: created a job.  Store manifests cover everything older.
@@ -302,9 +311,30 @@ class _Handler(BaseHTTPRequestHandler):
         registry = self.service.registry
         parts = [part for part in urlparse(self.path).path.split("/") if part]
         route = _route_template(parts)
+        # Adopt the caller's trace, if it sent one: the server span becomes
+        # a child of the client span, and everything the handler does
+        # (submit, lease, complete) nests under it via the ambient context.
+        parent = decode_traceparent(self.headers.get("traceparent"))
+        attempt = self.headers.get("x-repro-attempt")
+        if attempt is not None:
+            try:
+                if int(attempt) > 1:
+                    # A client resending this request: retry storms become
+                    # visible at /v1/metrics even though the retry loop
+                    # itself runs in the client process.
+                    registry.counter(
+                        "client_retries_total",
+                        "Requests that arrived as a client retry "
+                        "(x-repro-attempt > 1)", route=route).inc()
+            except ValueError:
+                pass
         started = time.perf_counter()
         try:
-            route_handler()
+            with self.service.spans.span(
+                    f"http.{method.lower()}", parent=parent,
+                    attrs={"route": route}) as span:
+                route_handler()
+                span.set_attr("status", self._status)
         finally:
             elapsed = time.perf_counter() - started
             registry.counter(
@@ -541,6 +571,7 @@ def run_service(store: SweepStore | str | os.PathLike, *,
                 workers: int = 1, sweep_workers: int = 1,
                 lease_ttl: float = 30.0, shard_points: Optional[int] = None,
                 quiet: bool = True, access_log: bool = False,
+                spans_out: Optional[str] = None,
                 ready: Optional[Callable[[ThreadingHTTPServer], Any]] = None,
                 ) -> int:
     """Run the daemon until interrupted (the ``serve`` CLI verb).
@@ -551,11 +582,17 @@ def run_service(store: SweepStore | str | os.PathLike, *,
     worker pool drains its running jobs, and the store is left consistent
     (shard commits are atomic, so an interrupted sweep simply resumes on
     the next submit).
+
+    ``spans_out`` enables distributed tracing: every request, job, lease
+    and sweep records spans to that JSONL file (``repro trace`` reads it).
     """
+    spans = (SpanRecorder(JsonlTraceSink(spans_out))
+             if spans_out else NO_SPANS)
     service = SweepService(store, workers=workers,
                            sweep_workers=sweep_workers,
                            lease_ttl=lease_ttl,
-                           shard_points=shard_points).start()
+                           shard_points=shard_points,
+                           spans=spans).start()
     server = make_server(service, host=host, port=port, quiet=quiet,
                          access_log=access_log)
     _install_shutdown_signals()
@@ -577,4 +614,5 @@ def run_service(store: SweepStore | str | os.PathLike, *,
             print("sweep service shut down with jobs still running; "
                   "interrupted sweeps resume from their last shard commit "
                   "on re-submit", flush=True)
+        spans.close()
     return 0

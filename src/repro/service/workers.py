@@ -23,6 +23,7 @@ from typing import Callable, Optional
 from ..sweeps import SweepStore
 from ..sweeps.scheduler import SweepRunResult, run_sweep
 from ..telemetry import DEFAULT_DURATION_BUCKETS, MetricsRegistry
+from ..telemetry.spans import NO_SPANS, SpanContext, SpanRecorder
 from .jobs import Job, JobQueue
 
 __all__ = ["WorkerPool"]
@@ -34,7 +35,8 @@ class WorkerPool:
     def __init__(self, queue: JobQueue, store: SweepStore, *,
                  workers: int = 1, sweep_workers: int = 1,
                  runner: Optional[Callable[..., SweepRunResult]] = None,
-                 registry: Optional[MetricsRegistry] = None):
+                 registry: Optional[MetricsRegistry] = None,
+                 spans: SpanRecorder = NO_SPANS):
         if workers < 0:
             raise ValueError("workers must be non-negative")
         if sweep_workers < 1:
@@ -44,6 +46,7 @@ class WorkerPool:
         self.workers = workers
         self.sweep_workers = sweep_workers
         self._runner = runner if runner is not None else run_sweep
+        self._spans = spans
         self._lock = threading.Lock()
         self._threads: list[threading.Thread] = []  # guarded-by: _lock
         registry = registry or MetricsRegistry()
@@ -99,9 +102,18 @@ class WorkerPool:
     def _execute(self, job: Job) -> None:
         started = time.perf_counter()
         self._busy.inc()
+        # Parent the execution span to the submit that created the job —
+        # run_sweep sees it as the ambient context, so the whole sweep
+        # (shards, points, commits) joins the submitter's trace.
+        parent = (SpanContext(**job.trace_context)
+                  if job.trace_context else None)
         try:
-            result = self._runner(job.spec, workers=self.sweep_workers,
-                                  store=self.store, resume=True)
+            with self._spans.span("job.execute", parent=parent,
+                                  attrs={"job_id": job.job_id,
+                                         "mode": job.mode,
+                                         "spec_hash": job.spec_hash}):
+                result = self._runner(job.spec, workers=self.sweep_workers,
+                                      store=self.store, resume=True)
         except Exception as error:  # noqa: BLE001 - reported on the job
             self.queue.finish(
                 job, error=f"{type(error).__name__}: {error}")

@@ -23,6 +23,7 @@ from typing import Any, Callable, Iterator, Optional, Sequence, TypeVar
 
 from ..errors import TelemetryError
 from ..telemetry import DEFAULT_DURATION_BUCKETS, MetricsRegistry, MetricsSnapshot
+from ..telemetry.spans import NO_SPANS, SpanContext, SpanRecorder, current_recorder
 from .kernels import run_point
 from .spec import SweepError, SweepSpec
 from .store import SweepStore
@@ -121,19 +122,34 @@ def parallel_map(
         yield from pool.imap_unordered(_IndexedCall(func), list(enumerate(payloads)))
 
 
-def _run_shard(payload: tuple[dict, list[int]]) -> tuple[list[dict], dict]:
+def _run_shard(
+    payload: tuple[dict, list[int]] | tuple[dict, list[int], Optional[dict]],
+) -> tuple[list[dict], dict, list[dict]]:
     """Worker entry point: run the shard's points of the reconstructed spec.
 
     The spec crosses the process boundary as a plain dict; points and seed
     sequences are re-derived inside the worker, so a shard's rows depend
     only on the spec and the point indices — never on the pool layout.
+    An optional third payload element carries a span context
+    (``{"trace_id", "span_id"}``): when present the shard opens a
+    ``sweep.shard`` span parented to it and one ``sweep.point`` span per
+    point (status ``computed``, ``point_key`` attr).
 
-    Returns ``(rows, metrics)`` where ``metrics`` is the plain-dict form of
-    the shard's :class:`~repro.telemetry.MetricsSnapshot` (point/shard
-    timings) — picklable, merged by the scheduler.  Timings live only in
-    the snapshot, never in the rows, preserving row byte-identity.
+    Returns ``(rows, metrics, spans)`` where ``metrics`` is the plain-dict
+    form of the shard's :class:`~repro.telemetry.MetricsSnapshot`
+    (point/shard timings) and ``spans`` is a list of finished span dicts
+    (empty when untraced) — both picklable, merged by the scheduler.
+    Telemetry lives only in these side channels, never in the rows,
+    preserving row byte-identity.
     """
-    spec_dict, indices = payload
+    spec_dict, indices = payload[0], payload[1]
+    trace_context = payload[2] if len(payload) > 2 else None
+    recorder: SpanRecorder = NO_SPANS
+    parent = None
+    if trace_context is not None:
+        recorder = SpanRecorder(keep=True)
+        parent = SpanContext(trace_id=str(trace_context["trace_id"]),
+                             span_id=str(trace_context["span_id"]))
     spec = SweepSpec.from_dict(spec_dict)
     points = spec.expand()
     sequences = spec.point_seed_sequences()
@@ -145,16 +161,21 @@ def _run_shard(payload: tuple[dict, list[int]]) -> tuple[list[dict], dict]:
         "sweep_points_computed_total", "Grid points computed (not cached)")
     shard_started = time.perf_counter()
     rows = []
-    for index in indices:
-        point_started = time.perf_counter()
-        rows.append(run_point(spec, points[index], sequences[index]))
-        point_seconds.observe(time.perf_counter() - point_started)
-        points_total.inc()
+    with recorder.span("sweep.shard", parent=parent,
+                       attrs={"points": len(indices)}):
+        for index in indices:
+            with recorder.span("sweep.point") as point_span:
+                point_started = time.perf_counter()
+                rows.append(run_point(spec, points[index], sequences[index]))
+                point_seconds.observe(time.perf_counter() - point_started)
+                points_total.inc()
+                point_span.set_attr("point_key", points[index].key)
+                point_span.set_status("computed")
     registry.histogram(
         "sweep_shard_seconds", "Wall time per shard",
         DEFAULT_DURATION_BUCKETS).observe(time.perf_counter() - shard_started)
     registry.counter("sweep_shards_total", "Shards executed").inc()
-    return rows, registry.snapshot().to_dict()
+    return rows, registry.snapshot().to_dict(), recorder.drain()
 
 
 def default_chunk_size(pending: int, workers: int) -> int:
@@ -200,40 +221,65 @@ def run_sweep(
     if isinstance(store, (str, bytes)) or hasattr(store, "__fspath__"):
         store = SweepStore(store)
 
-    points = spec.expand()
-    cached_rows: list[dict] = []
-    if store is not None:
-        if resume:
-            current_keys = {point.key for point in points}
-            cached_rows = [row for row in store.load_rows(spec)
-                           if row.get("point_key") in current_keys]
-        else:
-            store.reset(spec)
-    done = {row["point_key"] for row in cached_rows}
-    pending = [point for point in points if point.key not in done]
-
-    shards = partition([point.index for point in pending],
-                       chunk_size or default_chunk_size(len(pending), workers))
-    spec_dict = spec.to_dict()
-    payloads = [(spec_dict, shard) for shard in shards]
-
-    registry = MetricsRegistry()
-    commit_seconds = None
-    if store is not None:
-        commit_seconds = registry.histogram(
-            "store_commit_seconds", "Wall time per shard store commit",
-            DEFAULT_DURATION_BUCKETS, backend=store.scheme)
-    computed_rows: list[dict] = []
-    for _, (shard_rows, shard_metrics) in parallel_map(
-            _run_shard, payloads, workers=workers):
+    # Spans are ambient: a traced caller (service job execution, a traced
+    # CLI run) leaves a recorder + context in the contextvars, and the
+    # sweep's spans nest under it.  Untraced callers get NO_SPANS — every
+    # span call below is then a constant no-op.
+    recorder = current_recorder()
+    with recorder.span("sweep.run",
+                       attrs={"spec_hash": spec.content_hash(),
+                              "workers": max(1, workers)}) as sweep_span:
+        points = spec.expand()
+        cached_rows: list[dict] = []
         if store is not None:
-            commit_started = time.perf_counter()
-            store.commit(spec, shard_rows)
-            commit_seconds.observe(time.perf_counter() - commit_started)
-        registry.merge(shard_metrics)
-        computed_rows.extend(shard_rows)
-        if progress is not None:
-            progress(len(computed_rows), len(pending))
+            if resume:
+                current_keys = {point.key for point in points}
+                cached_rows = [row for row in store.load_rows(spec)
+                               if row.get("point_key") in current_keys]
+            else:
+                store.reset(spec)
+        done = {row["point_key"] for row in cached_rows}
+        pending = [point for point in points if point.key not in done]
+        sweep_span.set_attr("points_total", len(points))
+        sweep_span.set_attr("points_cached", len(cached_rows))
+        if recorder.enabled:
+            for row in cached_rows:
+                with recorder.span("sweep.point") as point_span:
+                    point_span.set_attr("point_key", row.get("point_key"))
+                    point_span.set_status("cached")
+
+        shards = partition(
+            [point.index for point in pending],
+            chunk_size or default_chunk_size(len(pending), workers))
+        spec_dict = spec.to_dict()
+        shard_parent = ({"trace_id": sweep_span.trace_id,
+                         "span_id": sweep_span.span_id}
+                        if recorder.enabled else None)
+        payloads = [(spec_dict, shard, shard_parent) for shard in shards]
+
+        registry = MetricsRegistry()
+        commit_seconds = None
+        if store is not None:
+            commit_seconds = registry.histogram(
+                "store_commit_seconds", "Wall time per shard store commit",
+                DEFAULT_DURATION_BUCKETS, backend=store.scheme)
+        computed_rows: list[dict] = []
+        for _, (shard_rows, shard_metrics, shard_spans) in parallel_map(
+                _run_shard, payloads, workers=workers):
+            if store is not None:
+                with recorder.span("store.commit",
+                                   attrs={"backend": store.scheme,
+                                          "rows": len(shard_rows)}):
+                    commit_started = time.perf_counter()
+                    store.commit(spec, shard_rows)
+                    commit_seconds.observe(
+                        time.perf_counter() - commit_started)
+            registry.merge(shard_metrics)
+            if shard_spans:
+                recorder.adopt(shard_spans)
+            computed_rows.extend(shard_rows)
+            if progress is not None:
+                progress(len(computed_rows), len(pending))
 
     elapsed = time.perf_counter() - started
     effective_workers = max(1, workers)

@@ -11,6 +11,9 @@ Stdlib-only (plus numpy, already a core dependency).  Three pieces:
   stream.
 * :mod:`repro.telemetry.logs` — :class:`StructuredLogger` for JSON-lines
   event/access logging.
+* :mod:`repro.telemetry.spans` — :class:`Span`/:class:`SpanRecorder`
+  distributed tracing with ``traceparent`` context propagation across the
+  sweep fabric; analyzed by ``python -m repro trace``.
 
 See ``docs/OBSERVABILITY.md`` for metric names, the trace schema, and
 measured overhead numbers.
@@ -26,12 +29,24 @@ from .registry import (
     MetricsRegistry,
     MetricsSnapshot,
 )
+from .spans import (
+    NO_SPANS,
+    Span,
+    SpanContext,
+    SpanRecorder,
+    current_recorder,
+    current_span_context,
+    decode_traceparent,
+    encode_traceparent,
+)
 from .tracing import (
     JsonlTraceSink,
     ListTraceSink,
     NullTraceSink,
     RoundTracer,
+    default_run_id,
     make_run_id,
+    parse_run_id,
 )
 
 __all__ = [
@@ -44,9 +59,19 @@ __all__ = [
     "MetricsSnapshot",
     "NullLogger",
     "StructuredLogger",
+    "NO_SPANS",
+    "Span",
+    "SpanContext",
+    "SpanRecorder",
+    "current_recorder",
+    "current_span_context",
+    "decode_traceparent",
+    "encode_traceparent",
     "JsonlTraceSink",
     "ListTraceSink",
     "NullTraceSink",
     "RoundTracer",
+    "default_run_id",
     "make_run_id",
+    "parse_run_id",
 ]

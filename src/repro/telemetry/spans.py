@@ -1,0 +1,373 @@
+"""Distributed span tracing: causal attribution across the sweep fabric.
+
+PR 7's metrics answer *aggregate* questions (how many, how long on
+average); spans answer *causal* ones — which submit, which lease, which
+point made this sweep slow.  The model is the Dapper/OpenTelemetry one,
+reduced to what the fabric needs and kept stdlib-only:
+
+* a :class:`Span` is one timed operation — ``trace_id`` groups every span
+  of one logical request, ``span_id`` names this operation, ``parent_id``
+  points at the operation that caused it, ``links`` connect spans that are
+  causally related without nesting (a requeued lease links to the expired
+  lease it replaces);
+* a :class:`SpanRecorder` collects finished spans into sinks (the JSONL
+  and in-memory sinks from :mod:`repro.telemetry.tracing` — one ``jq``
+  reads traces and spans alike);
+* a ``traceparent`` header (W3C style: ``00-<trace>-<span>-01``) carries
+  the context across HTTP hops — :class:`~repro.service.client.ServiceClient`
+  sends it, the daemon's dispatch adopts it, and shard-lease payloads hand
+  it to remote workers, so one trace spans machines.
+
+Two invariants, inherited from the rest of the telemetry package:
+
+* **spans are a pure side channel** — recording never touches a random
+  stream, never contributes a row column, and a traced sweep's
+  ``rows.jsonl`` is byte-identical to an untraced one
+  (``tests/test_spans.py`` asserts this per engine and store backend);
+* **near-zero cost when off** — every instrumented call site holds a
+  :data:`NO_SPANS` recorder by default, whose ``span()`` is a constant
+  no-op context manager: no ids are generated, no clocks are read, no
+  ambient context is touched.
+
+Ambient propagation uses a :mod:`contextvars` variable, so the daemon's
+handler threads and the worker pool each see their own current span, and
+:class:`~repro.telemetry.tracing.RoundTracer` events can join the tree by
+stamping the ambient ``trace_id``/``span_id``.
+
+The span JSONL schema and the ``repro trace`` analyzer built on it are
+documented in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from ..errors import TelemetryError
+
+__all__ = [
+    "NO_SPANS",
+    "Span",
+    "SpanContext",
+    "SpanRecorder",
+    "current_recorder",
+    "current_span_context",
+    "decode_traceparent",
+    "encode_traceparent",
+]
+
+#: Event discriminator on the JSONL stream: a span line is
+#: ``{"kind": "span", ...}``, so span files and round-trace files can be
+#: merged and split again without schema sniffing.
+SPAN_KIND = "span"
+
+_TRACEPARENT_VERSION = "00"
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The propagatable identity of a span: ``(trace_id, span_id)``."""
+
+    trace_id: str
+    span_id: str
+
+
+def _random_hex(nbytes: int) -> str:
+    # os.urandom, not a seeded Generator: span ids must be unique across
+    # unrelated processes and machines, and they never feed a result.
+    return os.urandom(nbytes).hex()
+
+
+def encode_traceparent(context: SpanContext) -> str:
+    """The wire form of a span context: ``00-<trace>-<span>-01``."""
+    return (f"{_TRACEPARENT_VERSION}-{context.trace_id}-"
+            f"{context.span_id}-01")
+
+
+def decode_traceparent(header: Optional[str]) -> Optional[SpanContext]:
+    """Parse a ``traceparent`` header; ``None`` for absent/malformed ones.
+
+    Malformed headers are *dropped*, not raised: a bad header from a
+    foreign client must not fail the request it rode in on — the request
+    simply starts a fresh trace.
+    """
+    if not header:
+        return None
+    parts = header.strip().split("-")
+    if len(parts) < 3:
+        return None
+    _, trace_id, span_id = parts[0], parts[1], parts[2]
+    if len(trace_id) != 32 or len(span_id) != 16:
+        return None
+    try:
+        int(trace_id, 16), int(span_id, 16)
+    except ValueError:
+        return None
+    return SpanContext(trace_id=trace_id, span_id=span_id)
+
+
+@dataclass
+class Span:
+    """One timed operation in a trace (mutable while open).
+
+    ``status`` is ``"ok"`` unless the instrumented block raised (then
+    ``"error"`` with the exception in ``attrs["error"]``) or the owner set
+    something more specific (the board marks expired lease spans
+    ``"expired"``).  ``links`` carries causal edges that are not
+    parent/child — each entry is ``{"trace_id", "span_id", "reason"}``.
+    """
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+    start: float = 0.0
+    end: Optional[float] = None
+    status: str = "ok"
+    attrs: dict[str, Any] = field(default_factory=dict)
+    links: list[dict[str, str]] = field(default_factory=list)
+
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext(trace_id=self.trace_id, span_id=self.span_id)
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to end (0.0 while still open)."""
+        return 0.0 if self.end is None else max(0.0, self.end - self.start)
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def set_status(self, status: str) -> None:
+        self.status = str(status)
+
+    def link(self, context: SpanContext, *, reason: str) -> None:
+        """Add a causal (non-parent) edge to another span."""
+        self.links.append({"trace_id": context.trace_id,
+                           "span_id": context.span_id, "reason": reason})
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "kind": SPAN_KIND,
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "status": self.status,
+        }
+        if self.attrs:
+            payload["attrs"] = dict(self.attrs)
+        if self.links:
+            payload["links"] = [dict(link) for link in self.links]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Span":
+        """Rebuild a span from its JSONL form (the analyzer's loader)."""
+        try:
+            span = cls(
+                name=str(payload["name"]),
+                trace_id=str(payload["trace_id"]),
+                span_id=str(payload["span_id"]),
+                parent_id=(None if payload.get("parent_id") is None
+                           else str(payload["parent_id"])),
+                start=float(payload["start"]),
+                end=(None if payload.get("end") is None
+                     else float(payload["end"])),
+                status=str(payload.get("status", "ok")),
+                attrs=dict(payload.get("attrs") or {}),
+                links=[dict(link) for link in payload.get("links") or []],
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise TelemetryError(
+                f"not a span record: {error} (payload keys: "
+                f"{sorted(payload)})") from None
+        return span
+
+
+#: Ambient propagation: the current span context (for child spans and for
+#: RoundTracer event stamping) and the recorder that created it (so layers
+#: like run_sweep pick up tracing without a threaded-through parameter).
+_CURRENT_CONTEXT: contextvars.ContextVar[Optional[SpanContext]] = \
+    contextvars.ContextVar("repro_span_context", default=None)
+_CURRENT_RECORDER: contextvars.ContextVar[Optional["SpanRecorder"]] = \
+    contextvars.ContextVar("repro_span_recorder", default=None)
+
+
+def current_span_context() -> Optional[SpanContext]:
+    """The ambient span context of this thread/task, if any."""
+    return _CURRENT_CONTEXT.get()
+
+
+def current_recorder() -> "SpanRecorder":
+    """The ambient recorder (the :data:`NO_SPANS` no-op when unset)."""
+    recorder = _CURRENT_RECORDER.get()
+    return recorder if recorder is not None else NO_SPANS
+
+
+class SpanRecorder:
+    """Collects finished spans into sinks; opens spans as context managers.
+
+    ``sink`` is anything with ``emit(dict)`` (and optionally ``close()``)
+    — typically a :class:`~repro.telemetry.tracing.JsonlTraceSink` for
+    files or a :class:`~repro.telemetry.tracing.ListTraceSink` for tests.
+    ``keep=True`` additionally buffers every finished span on the recorder
+    (``.spans``), which is what in-process callers (the shard workers, the
+    tests) drain to ship spans across a process boundary.
+
+    Thread-safe: the daemon's handler threads, the worker pool and the
+    board all share one recorder; emission happens under one lock.
+    """
+
+    enabled = True
+
+    def __init__(self, sink: Any = None, *, keep: bool = False):
+        self.sink = sink
+        self.keep = keep
+        self.spans: list[Span] = []  # guarded-by: _lock
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------- record
+    def record(self, span: Span) -> None:
+        """File one finished span (also used to adopt foreign spans —
+        e.g. shard-worker spans merged back by the scheduler)."""
+        with self._lock:
+            if self.keep:
+                self.spans.append(span)
+            if self.sink is not None:
+                self.sink.emit(span.to_dict())
+
+    def adopt(self, payloads: list[dict[str, Any]]) -> None:
+        """Record spans that finished in another process (plain dicts)."""
+        for payload in payloads:
+            self.record(Span.from_dict(payload))
+
+    def drain(self) -> list[dict[str, Any]]:
+        """Remove and return the kept spans as plain dicts (picklable)."""
+        with self._lock:
+            spans, self.spans = self.spans, []
+        return [span.to_dict() for span in spans]
+
+    # --------------------------------------------------------------- open
+    @contextlib.contextmanager
+    def span(self, name: str, *,
+             parent: Optional[SpanContext] = None,
+             root: bool = False,
+             attrs: Optional[dict[str, Any]] = None) -> Iterator[Span]:
+        """Open a span around a block; record it on exit.
+
+        The parent is resolved in order: an explicit ``parent=``, then the
+        ambient context (unless ``root=True`` forces a fresh trace).
+        While the block runs, the span is the ambient context — child
+        spans and :class:`RoundTracer` events nest under it automatically.
+        An escaping exception marks the span ``status="error"`` (with the
+        exception type and message in ``attrs``) and re-raises.
+        """
+        if parent is None and not root:
+            parent = _CURRENT_CONTEXT.get()
+        trace_id = parent.trace_id if parent is not None else _random_hex(16)
+        span = Span(name=name, trace_id=trace_id, span_id=_random_hex(8),
+                    parent_id=parent.span_id if parent is not None else None,
+                    start=time.time(), attrs=dict(attrs or {}))
+        context_token = _CURRENT_CONTEXT.set(span.context)
+        recorder_token = _CURRENT_RECORDER.set(self)
+        try:
+            yield span
+        except BaseException as error:
+            span.status = "error"
+            span.attrs.setdefault(
+                "error", f"{type(error).__name__}: {error}")
+            raise
+        finally:
+            _CURRENT_RECORDER.reset(recorder_token)
+            _CURRENT_CONTEXT.reset(context_token)
+            span.end = time.time()
+            self.record(span)
+
+    def start_span(self, name: str, *,
+                   parent: Optional[SpanContext] = None,
+                   root: bool = False,
+                   attrs: Optional[dict[str, Any]] = None) -> Span:
+        """Open a span whose lifetime is not a lexical block (a lease, a
+        remote job).  The caller owns it: finish with :meth:`end_span`.
+        Does not touch the ambient context — long-lived spans would leak
+        it across unrelated requests."""
+        if parent is None and not root:
+            parent = _CURRENT_CONTEXT.get()
+        return Span(name=name,
+                    trace_id=(parent.trace_id if parent is not None
+                              else _random_hex(16)),
+                    span_id=_random_hex(8),
+                    parent_id=parent.span_id if parent is not None else None,
+                    start=time.time(), attrs=dict(attrs or {}))
+
+    def end_span(self, span: Span, *, status: Optional[str] = None) -> None:
+        """Close and record a span opened with :meth:`start_span`."""
+        if status is not None:
+            span.status = status
+        span.end = time.time()
+        self.record(span)
+
+    def close(self) -> None:
+        if self.sink is not None and hasattr(self.sink, "close"):
+            self.sink.close()
+
+    def __enter__(self) -> "SpanRecorder":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class _NullSpan(Span):
+    """The shared do-nothing span the null recorder yields."""
+
+    def set_attr(self, key: str, value: Any) -> None:  # noqa: ARG002
+        pass
+
+    def set_status(self, status: str) -> None:  # noqa: ARG002
+        pass
+
+    def link(self, context: SpanContext, *, reason: str) -> None:  # noqa: ARG002
+        pass
+
+
+class _NullRecorder(SpanRecorder):
+    """Recording disabled: constant no-ops, no clocks, no ids, no ambient
+    context writes.  Every instrumented call site defaults to this, which
+    is what keeps span support at zero measurable overhead when off."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(None, keep=False)
+        self._span = _NullSpan(name="noop", trace_id="0" * 32,
+                               span_id="0" * 16)
+
+    def record(self, span: Span) -> None:  # noqa: ARG002
+        pass
+
+    def drain(self) -> list[dict[str, Any]]:
+        return []
+
+    @contextlib.contextmanager
+    def span(self, name: str, **kwargs: Any) -> Iterator[Span]:  # noqa: ARG002
+        yield self._span
+
+    def start_span(self, name: str, **kwargs: Any) -> Span:  # noqa: ARG002
+        return self._span
+
+    def end_span(self, span: Span, *, status: Optional[str] = None) -> None:  # noqa: ARG002
+        pass
+
+
+#: The process-wide disabled recorder (a singleton; ``enabled`` is False).
+NO_SPANS: SpanRecorder = _NullRecorder()

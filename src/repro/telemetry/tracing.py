@@ -28,6 +28,7 @@ import hashlib
 import itertools
 import json
 import os
+import socket
 import threading
 import time
 from typing import Any, Optional, TextIO
@@ -35,13 +36,16 @@ from typing import Any, Optional, TextIO
 import numpy as np
 
 from ..errors import TelemetryError
+from .spans import current_span_context
 
 __all__ = [
     "JsonlTraceSink",
     "ListTraceSink",
     "NullTraceSink",
     "RoundTracer",
+    "default_run_id",
     "make_run_id",
+    "parse_run_id",
 ]
 
 
@@ -119,6 +123,46 @@ class JsonlTraceSink:
 _RUN_COUNTER = itertools.count(1)
 
 
+def _hostname() -> str:
+    """Hostname with whitespace collapsed (same shape DirectoryLock uses)."""
+    return "-".join(socket.gethostname().split()) or "unknown-host"
+
+
+def default_run_id() -> str:
+    """Process-local default run id, qualified by hostname.
+
+    Pids collide across fabric hosts, so JSONL merged from two workers
+    could interleave two runs under one ``run-{pid}-{n}`` id.  The current
+    form is ``run-{host}-{pid}-{n}``; since hostnames may themselves
+    contain dashes, parse these from the *right* (``rsplit("-", 2)``) —
+    which also still accepts the pre-PR-10 ``run-{pid}-{n}`` form (the
+    host field is then empty).
+    """
+    return f"run-{_hostname()}-{os.getpid()}-{next(_RUN_COUNTER)}"
+
+
+def parse_run_id(run_id: str) -> Optional[dict[str, Any]]:
+    """Split a default-form run id into host/pid/counter, if it is one.
+
+    Handles both ``run-{host}-{pid}-{n}`` (hostnames may contain dashes)
+    and the legacy ``run-{pid}-{n}``.  Returns ``None`` for custom ids
+    (e.g. the 12-hex :func:`make_run_id` form).
+    """
+    if not run_id.startswith("run-"):
+        return None
+    parts = run_id[len("run-"):].rsplit("-", 2)
+    if len(parts) == 3 and parts[0]:
+        host, pid, counter = parts
+    elif len(parts) >= 2:
+        host, pid, counter = None, parts[-2], parts[-1]
+    else:
+        return None
+    try:
+        return {"host": host, "pid": int(pid), "counter": int(counter)}
+    except ValueError:
+        return None
+
+
 class RoundTracer:
     """Emits per-round trace events for one or more runs.
 
@@ -142,7 +186,7 @@ class RoundTracer:
         if every < 1:
             raise TelemetryError(f"trace every= must be >= 1, got {every}")
         self.sink = sink
-        self.run_id = run_id or f"run-{os.getpid()}-{next(_RUN_COUNTER)}"
+        self.run_id = run_id or default_run_id()
         self.every = int(every)
         self._started_at: Optional[float] = None
         self._last_potential: Optional[float] = None
@@ -172,6 +216,12 @@ class RoundTracer:
     def _emit(self, event: dict[str, Any]) -> None:
         event["run_id"] = self.run_id
         event["wall_seconds"] = round(self._wall(), 9)
+        # Join the ambient distributed trace, if one is open: round events
+        # then appear under the per-point span in `repro trace` output.
+        context = current_span_context()
+        if context is not None:
+            event["trace_id"] = context.trace_id
+            event["span_id"] = context.span_id
         self.sink.emit(event)
 
     # -------------------------------------------------------------- events

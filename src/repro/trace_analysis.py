@@ -1,0 +1,358 @@
+"""``repro trace``: critical-path analysis over recorded span trees.
+
+The span layer (:mod:`repro.telemetry.spans`) records *what happened*;
+this module answers *why it took that long*.  Input is one or more span
+JSONL files — the daemon's ``serve --spans-out``, the workers'
+``worker --spans-out``, or a traced CLI run — merged into one set (span
+ids are globally unique, so merging is concatenation).  Lines that are
+not span records (e.g. interleaved :class:`~repro.telemetry.tracing.
+RoundTracer` events sharing a file) are skipped, not errors.
+
+The report, per trace (one trace = one root span = one logical request):
+
+* **tree summary** — span count, depth, orphan count (an orphan is a span
+  whose parent id is not in the merged set: a missing file, or a worker
+  killed before its spans flushed).  CI greps this line to assert the
+  fabric smoke run produced one *connected* tree.
+* **critical path** — the chain root → (child with the latest end time)
+  → … → leaf.  Its span names how the wall-clock was actually spent;
+  parallel work off this path did not determine the finish time.
+* **per-shard timeline** — an ASCII Gantt chart of lease/compute spans,
+  which makes a requeued shard (expired lease, then a second attempt)
+  visible as two bars on one row.
+* **lease churn** — attempts per shard, expired leases, and the
+  requeue links tying a replacement lease to the lease it replaced.
+* **time split** — queueing vs compute vs commit totals, the
+  queue-depth-or-store question answered in one stanza.
+* **slowest points** — the top-N ``sweep.point`` spans by duration.
+
+Everything here is read-only analysis of already-recorded floats — no
+clocks, no RNG — so this module stays on the deterministic-lint path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Iterable, TextIO
+
+from .errors import TelemetryError
+from .telemetry.spans import SPAN_KIND, Span
+
+__all__ = ["TraceForest", "load_spans", "render_report"]
+
+
+def load_spans(paths: Iterable[str | os.PathLike[str]]) -> list[Span]:
+    """Read and merge span records from JSONL files.
+
+    Non-span lines (round-trace events, blank lines) are skipped; a file
+    that yields *no* spans at all is reported, since silently analysing
+    the wrong file is worse than an error.
+    """
+    spans: list[Span] = []
+    for path in paths:
+        path = os.fspath(path)
+        found = 0
+        with open(path, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError as error:
+                    raise TelemetryError(
+                        f"{path}:{lineno}: not JSON: {error}") from None
+                if not isinstance(payload, dict) \
+                        or payload.get("kind") != SPAN_KIND:
+                    continue
+                spans.append(Span.from_dict(payload))
+                found += 1
+        if found == 0:
+            raise TelemetryError(
+                f"{path} holds no span records (is it a --spans-out "
+                "file? round-trace files alone have nothing to analyse)")
+    return spans
+
+
+@dataclass
+class TraceForest:
+    """The reconstructed span trees of a merged span set."""
+
+    spans: list[Span]
+    by_id: dict[str, Span] = field(default_factory=dict)
+    children: dict[str, list[Span]] = field(default_factory=dict)
+    #: Root spans (no parent id), oldest first.
+    roots: list[Span] = field(default_factory=list)
+    #: Spans whose parent id is missing from the set — a disconnected
+    #: tree, usually a span file that was not merged in.
+    orphans: list[Span] = field(default_factory=list)
+
+    @classmethod
+    def build(cls, spans: list[Span]) -> "TraceForest":
+        forest = cls(spans=sorted(spans, key=lambda span: span.start))
+        for span in forest.spans:
+            forest.by_id[span.span_id] = span
+        for span in forest.spans:
+            if span.parent_id is None:
+                forest.roots.append(span)
+            elif span.parent_id in forest.by_id:
+                forest.children.setdefault(span.parent_id, []).append(span)
+            else:
+                forest.orphans.append(span)
+        return forest
+
+    # ------------------------------------------------------------ queries
+    def named(self, name: str) -> list[Span]:
+        return [span for span in self.spans if span.name == name]
+
+    def depth(self, span: Span) -> int:
+        deepest = 0
+        for child in self.children.get(span.span_id, ()):
+            deepest = max(deepest, self.depth(child))
+        return deepest + 1
+
+    def subtree_size(self, span: Span) -> int:
+        return 1 + sum(self.subtree_size(child)
+                       for child in self.children.get(span.span_id, ()))
+
+    def subtree_end(self, span: Span) -> float:
+        """Latest end time anywhere under ``span`` (itself included).
+
+        Children may outlive their parents here — a submit span ends when
+        the HTTP response goes out, but the job it created keeps running —
+        so a trace's true makespan is the subtree maximum, not the root's
+        own end.
+        """
+        latest = span.end if span.end is not None else span.start
+        for child in self.children.get(span.span_id, ()):
+            latest = max(latest, self.subtree_end(child))
+        return latest
+
+    def makespan(self, root: Span) -> float:
+        """Wall-clock seconds from the root's start to the last span end
+        anywhere in its tree — what the critical path must account for."""
+        return max(0.0, self.subtree_end(root) - root.start)
+
+    def critical_path(self, root: Span) -> list[Span]:
+        """Root → … chain through the latest-*finishing* subtrees.
+
+        At each node, descend into the child whose subtree holds the
+        latest end time: that chain is what gated the trace's finish —
+        work that ended earlier overlapped it and could not have delayed
+        it.  The chain's last span ends at :meth:`subtree_end` of the
+        root, so the path accounts for the full makespan.
+        """
+        path = [root]
+        node = root
+        while True:
+            candidates = self.children.get(node.span_id, ())
+            if not candidates:
+                return path
+            node = max(candidates, key=self.subtree_end)
+            path.append(node)
+
+    def time_split(self, root: Span) -> dict[str, float]:
+        """Queue / compute / commit second totals under one root.
+
+        * ``queue`` — gaps between a job's submission and its execution
+          start (local pool wait) plus, for remote jobs, each lease
+          span's start minus the job span's start for *first* attempts —
+          the time a shard sat pending on the board.
+        * ``compute`` — summed ``sweep.point`` durations (the actual
+          dynamics; cached points contribute their lookup time).
+        * ``commit`` — summed ``store.commit`` durations.
+
+        Totals are summed across parallel workers, so they can exceed the
+        root's wall clock — they answer "where did the *work* go", while
+        the critical path answers "where did the *wall clock* go".
+        """
+        split = {"queue": 0.0, "compute": 0.0, "commit": 0.0}
+
+        def walk(span: Span) -> None:
+            if span.name == "sweep.point":
+                split["compute"] += span.duration
+            elif span.name == "store.commit":
+                split["commit"] += span.duration
+            elif span.name == "job.execute":
+                submit = (self.by_id.get(span.parent_id)
+                          if span.parent_id else None)
+                if submit is not None and submit.name == "job.submit":
+                    split["queue"] += max(0.0, span.start - submit.start)
+            elif span.name == "shard.lease":
+                parent = (self.by_id.get(span.parent_id)
+                          if span.parent_id else None)
+                if parent is not None and span.attrs.get("attempt") == 1:
+                    split["queue"] += max(0.0, span.start - parent.start)
+            for child in self.children.get(span.span_id, ()):
+                walk(child)
+
+        walk(root)
+        return split
+
+    def lease_churn(self) -> dict[str, Any]:
+        """Lease accounting: attempts per shard, expiries, requeue links."""
+        leases = self.named("shard.lease")
+        by_shard: dict[str, list[Span]] = {}
+        for lease in leases:
+            by_shard.setdefault(
+                str(lease.attrs.get("shard_id")), []).append(lease)
+        expired = [lease for lease in leases if lease.status == "expired"]
+        linked = [lease for lease in leases
+                  if any(link.get("reason") == "requeued"
+                         for link in lease.links)]
+        # A requeue link is *resolved* when the lease it points to is in
+        # the merged set — the replacement is attributable to its kill.
+        resolved = [lease for lease in linked
+                    if any(link.get("span_id") in self.by_id
+                           for link in lease.links
+                           if link.get("reason") == "requeued")]
+        return {
+            "shards": len(by_shard),
+            "leases": len(leases),
+            "expired": len(expired),
+            "requeued_linked": len(linked),
+            "requeued_resolved": len(resolved),
+            "retried_shards": {shard_id: len(attempts)
+                               for shard_id, attempts in by_shard.items()
+                               if len(attempts) > 1},
+        }
+
+
+# ---------------------------------------------------------------- report
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f}s"
+    return f"{seconds * 1000.0:7.2f}ms"
+
+
+def _span_label(span: Span) -> str:
+    extra = ""
+    for key in ("route", "job_id", "shard_id", "point_key", "worker"):
+        value = span.attrs.get(key)
+        if value is not None:
+            extra = f" {key}={value}"
+            break
+    status = "" if span.status == "ok" else f" [{span.status}]"
+    return f"{span.name}{extra}{status}"
+
+
+def _shard_label(forest: TraceForest, span: Span) -> str:
+    """The ``shard_id`` of a span, inherited from ancestors if needed
+    (a worker-side ``sweep.shard`` carries no shard attr of its own)."""
+    node: Span | None = span
+    while node is not None:
+        value = node.attrs.get("shard_id")
+        if value is not None:
+            return str(value)
+        node = (forest.by_id.get(node.parent_id)
+                if node.parent_id else None)
+    return span.name
+
+
+def _timeline(forest: TraceForest, root: Span, *, width: int,
+              out: TextIO) -> None:
+    """ASCII Gantt of the lease/compute bars under one root."""
+    bars = [span for span in forest.spans
+            if span.trace_id == root.trace_id and span.end is not None
+            and span.name in ("shard.lease", "worker.shard", "sweep.shard")]
+    if not bars:
+        return
+    t0 = min(span.start for span in bars)
+    t1 = max(span.end for span in bars)
+    scale = (t1 - t0) or 1e-9
+    out.write("  per-shard timeline "
+              f"(span {_fmt_seconds(scale).strip()} wall):\n")
+    for span in sorted(bars, key=lambda span: (
+            _shard_label(forest, span), span.start)):
+        left = int((span.start - t0) / scale * width)
+        length = max(1, int(span.duration / scale * width))
+        bar = " " * min(left, width - 1) + "#" * min(length, width - left)
+        out.write(f"    {_shard_label(forest, span):<16s} "
+                  f"|{bar:<{width}s}| {_fmt_seconds(span.duration)} "
+                  f"{_span_label(span)}\n")
+
+
+def render_report(forest: TraceForest, *, top: int = 5, width: int = 48,
+                  all_traces: bool = False, out: TextIO) -> None:
+    """Write the full ``repro trace`` text report to ``out``.
+
+    Traces of one or two spans (idle lease polls, health checks) are
+    tallied but not expanded unless ``all_traces`` — the report is about
+    the sweeps, not the chatter around them.
+    """
+    out.write(f"spans: {len(forest.spans)}  traces: {len(forest.roots)}  "
+              f"orphans: {len(forest.orphans)}\n")
+    if forest.orphans:
+        out.write("  disconnected parents (merge the missing span file?):\n")
+        for span in forest.orphans[:top]:
+            out.write(f"    {span.span_id} {_span_label(span)} "
+                      f"-> missing parent {span.parent_id}\n")
+    connected = "yes" if not forest.orphans and forest.roots else "no"
+    out.write(f"connected tree: {connected}\n")
+
+    roots = sorted(forest.roots, key=forest.subtree_size, reverse=True)
+    if not all_traces:
+        trivial = [root for root in roots if forest.subtree_size(root) <= 2]
+        roots = [root for root in roots if forest.subtree_size(root) > 2]
+        if trivial:
+            out.write(f"({len(trivial)} short traces of <=2 spans folded "
+                      "away; --all expands them)\n")
+
+    for root in roots:
+        wall = forest.makespan(root)
+        out.write(f"\ntrace {root.trace_id} — {_span_label(root)}\n")
+        out.write(f"  spans: {forest.subtree_size(root)}  "
+                  f"depth: {forest.depth(root)}  "
+                  f"wall: {_fmt_seconds(wall).strip()}\n")
+
+        path = forest.critical_path(root)
+        out.write(f"  critical path ({len(path)} spans, "
+                  f"{_fmt_seconds(wall).strip()} total):\n")
+        for step, span in enumerate(path):
+            out.write(f"    {'  ' * step}{_fmt_seconds(span.duration)} "
+                      f"{_span_label(span)}\n")
+
+        split = forest.time_split(root)
+        busy = sum(split.values()) or 1e-9
+        out.write("  time split (summed across workers):\n")
+        for bucket in ("queue", "compute", "commit"):
+            share = split[bucket] / busy * 100.0
+            out.write(f"    {bucket:<8s} {_fmt_seconds(split[bucket])} "
+                      f"({share:5.1f}%)\n")
+
+        _timeline(forest, root, width=width, out=out)
+
+        points = sorted(
+            (span for span in forest.spans
+             if span.trace_id == root.trace_id
+             and span.name == "sweep.point" and span.end is not None),
+            key=lambda span: span.duration, reverse=True)
+        if points:
+            out.write(f"  slowest points (top {min(top, len(points))} "
+                      f"of {len(points)}):\n")
+            for span in points[:top]:
+                out.write(f"    {_fmt_seconds(span.duration)} "
+                          f"{span.attrs.get('point_key', '?')} "
+                          f"[{span.status}]\n")
+
+    churn = forest.lease_churn()
+    if churn["leases"]:
+        out.write(f"\nlease churn: {churn['leases']} leases over "
+                  f"{churn['shards']} shards  expired: {churn['expired']}  "
+                  f"requeued leases linked: {churn['requeued_linked']} "
+                  f"(resolved: {churn['requeued_resolved']})\n")
+        for shard_id, attempts in sorted(churn["retried_shards"].items()):
+            out.write(f"  {shard_id}: {attempts} attempts\n")
+
+
+def run_trace_analysis(paths: list[str], *, top: int = 5, width: int = 48,
+                       all_traces: bool = False, out: TextIO) -> int:
+    """CLI entry: load, reconstruct, report.  Returns the exit code."""
+    forest = TraceForest.build(load_spans(paths))
+    render_report(forest, top=top, width=width, all_traces=all_traces,
+                  out=out)
+    return 0 if not forest.orphans else 1

@@ -460,7 +460,7 @@ class TestClientRetries:
         calls = {"n": 0}
         underlying = ConnectionResetError("peer reset")
 
-        def fake_once(method, path, payload=None):
+        def fake_once(method, path, payload=None, **kwargs):
             calls["n"] += 1
             if calls["n"] <= fail_times:
                 raise ServiceError("cannot reach sweep service at x: reset",
@@ -496,7 +496,7 @@ class TestClientRetries:
         client = ServiceClient("http://127.0.0.1:9", retries=5)
         calls = {"n": 0}
 
-        def fake_once(method, path, payload=None):
+        def fake_once(method, path, payload=None, **kwargs):
             calls["n"] += 1
             raise ServiceError("no such resource", status=404)
 

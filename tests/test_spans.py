@@ -1,0 +1,656 @@
+"""Tests for distributed span tracing (:mod:`repro.telemetry.spans`) and
+the ``repro trace`` analyzer (:mod:`repro.trace_analysis`).
+
+The acceptance properties of PR 10 live here:
+
+* the span layer's mechanics — traceparent round-trips, ambient
+  parent/child nesting, error capture, the zero-overhead null recorder;
+* **byte identity** — a traced ``run_sweep`` produces the same rows as an
+  untraced one, on every engine (spans are a pure side channel);
+* the fabric emits **one connected tree** across client, daemon and
+  worker recorders, with a requeued lease *linked* to the expired lease
+  it replaced;
+* client retries are visible: the `attempts` span attr on the client
+  side, the ``client_retries_total`` counter at ``/v1/metrics``;
+* the live exposition endpoint conforms to Prometheus text format 0.0.4
+  (Content-Type, label escaping, route-template label cardinality);
+* the analyzer's critical path / time split / lease churn arithmetic on
+  hand-built forests, where the right answer is known exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import io
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.core.dynamics import ConcurrentDynamics
+from repro.core.imitation import ImitationProtocol
+from repro.errors import TelemetryError
+from repro.games.singleton import make_linear_singleton
+from repro.service import (
+    RemoteWorker,
+    ServiceClient,
+    ServiceError,
+    SweepService,
+    make_server,
+)
+from repro.sweeps import SweepSpec, run_sweep
+from repro.telemetry import (
+    ListTraceSink,
+    RoundTracer,
+    default_run_id,
+    parse_run_id,
+)
+from repro.telemetry.spans import (
+    NO_SPANS,
+    Span,
+    SpanContext,
+    SpanRecorder,
+    current_recorder,
+    current_span_context,
+    decode_traceparent,
+    encode_traceparent,
+)
+from repro.trace_analysis import (
+    TraceForest,
+    load_spans,
+    render_report,
+    run_trace_analysis,
+)
+
+#: Sweep-capable engines (the loop engine's traced-vs-untraced parity is
+#: covered at the dynamics layer in TestRoundTracerJoinsTheTrace — grid
+#: measures run on the ensemble engines only).
+ENGINES = ("batch", "native")
+
+
+def tiny_spec(**overrides) -> SweepSpec:
+    config = dict(
+        name="span-tiny",
+        game="linear-singleton",
+        protocol="imitation",
+        measure="approx_equilibrium_time",
+        axes={"n": [16, 32]},
+        base={"coeffs": [1.0, 2.0], "delta": 0.3, "epsilon": 0.4},
+        replicas=2,
+        max_rounds=100,
+        seed=5,
+    )
+    config.update(overrides)
+    return SweepSpec(**config)
+
+
+# ----------------------------------------------------------------------
+# The span layer itself
+# ----------------------------------------------------------------------
+
+class TestTraceparent:
+    def test_roundtrip(self):
+        context = SpanContext(trace_id="ab" * 16, span_id="cd" * 8)
+        header = encode_traceparent(context)
+        assert header == f"00-{'ab' * 16}-{'cd' * 8}-01"
+        assert decode_traceparent(header) == context
+
+    @pytest.mark.parametrize("header", [
+        None,
+        "",
+        "garbage",
+        "00-short-short-01",
+        "00-" + "g" * 32 + "-" + "1" * 16 + "-01",   # non-hex trace id
+        "00-" + "a" * 31 + "-" + "1" * 16 + "-01",   # wrong length
+        "00-" + "a" * 32 + "-" + "1" * 15 + "-01",
+    ])
+    def test_malformed_headers_are_dropped_not_raised(self, header):
+        assert decode_traceparent(header) is None
+
+
+class TestSpanRecorder:
+    def test_nesting_follows_the_ambient_context(self):
+        recorder = SpanRecorder(keep=True)
+        with recorder.span("outer") as outer:
+            assert current_span_context() == outer.context
+            assert current_recorder() is recorder
+            with recorder.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+        # context restored after the block
+        assert current_span_context() is None
+        assert current_recorder() is NO_SPANS
+        done = recorder.drain()
+        assert [span["name"] for span in done] == ["inner", "outer"]
+        assert all(span["kind"] == "span" for span in done)
+
+    def test_root_forces_a_fresh_trace(self):
+        recorder = SpanRecorder(keep=True)
+        with recorder.span("outer") as outer:
+            with recorder.span("detached", root=True) as detached:
+                assert detached.trace_id != outer.trace_id
+                assert detached.parent_id is None
+
+    def test_explicit_parent_wins_over_ambient(self):
+        recorder = SpanRecorder(keep=True)
+        parent = SpanContext(trace_id="1" * 32, span_id="2" * 16)
+        with recorder.span("outer"):
+            with recorder.span("child", parent=parent) as child:
+                assert child.trace_id == parent.trace_id
+                assert child.parent_id == parent.span_id
+
+    def test_escaping_exception_marks_error_and_reraises(self):
+        recorder = SpanRecorder(keep=True)
+        with pytest.raises(ValueError, match="boom"):
+            with recorder.span("work"):
+                raise ValueError("boom")
+        (span,) = recorder.drain()
+        assert span["status"] == "error"
+        assert "ValueError: boom" in span["attrs"]["error"]
+
+    def test_adopt_rerecords_foreign_spans(self):
+        source = SpanRecorder(keep=True)
+        with source.span("remote", attrs={"worker": "w1"}):
+            pass
+        shipped = source.drain()
+        target = SpanRecorder(keep=True)
+        target.adopt(shipped)
+        assert target.drain() == shipped
+
+    def test_start_and_end_span_do_not_touch_ambient_context(self):
+        recorder = SpanRecorder(keep=True)
+        span = recorder.start_span("lease")
+        assert current_span_context() is None  # no leak
+        recorder.end_span(span, status="expired")
+        (done,) = recorder.drain()
+        assert done["status"] == "expired"
+        assert done["end"] >= done["start"]
+
+    def test_links_survive_the_dict_roundtrip(self):
+        recorder = SpanRecorder(keep=True)
+        prev = SpanContext(trace_id="a" * 32, span_id="b" * 16)
+        with recorder.span("lease") as span:
+            span.link(prev, reason="requeued")
+        (payload,) = recorder.drain()
+        rebuilt = Span.from_dict(payload)
+        assert rebuilt.links == [{"trace_id": "a" * 32, "span_id": "b" * 16,
+                                  "reason": "requeued"}]
+
+    def test_from_dict_rejects_non_span_payloads(self):
+        with pytest.raises(TelemetryError, match="not a span record"):
+            Span.from_dict({"event": "round", "run_id": "run-1-1"})
+
+    def test_sink_receives_span_dicts(self):
+        sink = ListTraceSink()
+        recorder = SpanRecorder(sink)
+        with recorder.span("work"):
+            pass
+        (event,) = sink.events
+        assert event["kind"] == "span"
+        assert event["name"] == "work"
+
+    def test_null_recorder_is_inert(self):
+        assert NO_SPANS.enabled is False
+        with NO_SPANS.span("anything", attrs={"k": 1}) as span:
+            span.set_attr("ignored", True)
+            span.set_status("ignored")
+            span.link(SpanContext("0" * 32, "0" * 16), reason="ignored")
+            assert current_span_context() is None  # never set
+        assert NO_SPANS.drain() == []
+        lease = NO_SPANS.start_span("lease")
+        NO_SPANS.end_span(lease, status="expired")
+        assert NO_SPANS.drain() == []
+
+
+# ----------------------------------------------------------------------
+# Satellite: hostname-qualified run ids
+# ----------------------------------------------------------------------
+
+class TestRunIds:
+    def test_default_run_id_carries_the_hostname(self):
+        parsed = parse_run_id(default_run_id())
+        assert parsed is not None
+        assert parsed["host"]  # non-empty even on odd hostnames
+        import os
+        assert parsed["pid"] == os.getpid()
+
+    def test_run_ids_are_distinct_within_a_process(self):
+        assert default_run_id() != default_run_id()
+
+    def test_legacy_pid_only_form_still_parses(self):
+        assert parse_run_id("run-1234-7") == {"host": None, "pid": 1234,
+                                              "counter": 7}
+
+    def test_dashed_hostnames_parse_from_the_right(self):
+        parsed = parse_run_id("run-ci-box-02-1234-7")
+        assert parsed == {"host": "ci-box-02", "pid": 1234, "counter": 7}
+
+    @pytest.mark.parametrize("bogus", ["deadbeef", "run-", "run-x-y",
+                                       "trace-1-2"])
+    def test_custom_ids_return_none(self, bogus):
+        assert parse_run_id(bogus) is None
+
+
+class TestRoundTracerJoinsTheTrace:
+    def test_events_carry_ambient_trace_and_span_ids(self):
+        sink = ListTraceSink()
+        tracer = RoundTracer(sink)
+        recorder = SpanRecorder(keep=True)
+        game = make_linear_singleton(30, [1.0, 2.0, 4.0])
+        protocol = ImitationProtocol(lambda_=1.0, use_nu_threshold=False)
+        with recorder.span("test.root") as root:
+            ConcurrentDynamics(game, protocol, rng=7).run(
+                [10, 10, 10], max_rounds=50, trace=tracer)
+        assert sink.events
+        assert all(event["trace_id"] == root.trace_id
+                   and event["span_id"] == root.span_id
+                   for event in sink.events)
+
+    def test_untraced_events_carry_no_span_ids(self):
+        sink = ListTraceSink()
+        tracer = RoundTracer(sink)
+        game = make_linear_singleton(30, [1.0, 2.0, 4.0])
+        protocol = ImitationProtocol(lambda_=1.0, use_nu_threshold=False)
+        ConcurrentDynamics(game, protocol, rng=7).run(
+            [10, 10, 10], max_rounds=50, trace=tracer)
+        assert sink.events
+        assert all("trace_id" not in event for event in sink.events)
+
+
+# ----------------------------------------------------------------------
+# Byte identity: spans are a pure side channel
+# ----------------------------------------------------------------------
+
+class TestTracedSweepsAreByteIdentical:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_rows_match_per_engine(self, engine, tmp_path):
+        from repro.sweeps import SweepStore
+        spec = tiny_spec(engine=engine, replicas=3, max_rounds=60)
+        untraced = run_sweep(
+            spec, store=SweepStore(f"dir:{tmp_path / 'plain'}")).rows
+        recorder = SpanRecorder(keep=True)
+        with recorder.span("test.root"):
+            traced = run_sweep(
+                spec, store=SweepStore(f"dir:{tmp_path / 'traced'}")).rows
+        assert [json.dumps(row) for row in traced] \
+            == [json.dumps(row) for row in untraced]
+        # ... and the trace actually recorded the sweep
+        names = {span["name"] for span in recorder.drain()}
+        assert {"sweep.run", "sweep.shard", "sweep.point",
+                "store.commit"} <= names
+
+    def test_untraced_run_records_nothing(self):
+        spec = tiny_spec()
+        run_sweep(spec)  # ambient recorder is NO_SPANS
+        assert NO_SPANS.drain() == []
+
+    def test_point_spans_carry_keys_and_cache_status(self, tmp_path):
+        from repro.sweeps import SweepStore
+        spec = tiny_spec()
+        store = SweepStore(f"dir:{tmp_path / 'store'}")
+        run_sweep(spec, store=store)  # warm 2 of 2 points
+        recorder = SpanRecorder(keep=True)
+        with recorder.span("test.root"):
+            run_sweep(spec, store=store)
+        points = [span for span in recorder.drain()
+                  if span["name"] == "sweep.point"]
+        assert len(points) == spec.num_points
+        assert all(span["status"] == "cached" for span in points)
+        assert all(span["attrs"]["point_key"] for span in points)
+
+
+# ----------------------------------------------------------------------
+# The fabric emits one connected tree
+# ----------------------------------------------------------------------
+
+class SpannedHarness:
+    """Daemon + server + client, every layer recording spans."""
+
+    def __init__(self, store_root, **service_kwargs):
+        self.daemon_spans = SpanRecorder(keep=True)
+        self.client_spans = SpanRecorder(keep=True)
+        self.service = SweepService(store_root, spans=self.daemon_spans,
+                                    **service_kwargs).start()
+        self.board = self.service.board
+        self.server = make_server(self.service)
+        self.thread = threading.Thread(target=self.server.serve_forever,
+                                       daemon=True)
+        self.thread.start()
+        host, port = self.server.server_address[:2]
+        self.url = f"http://{host}:{port}"
+        self.client = ServiceClient(self.url, timeout=10.0,
+                                    spans=self.client_spans)
+
+    def close(self):
+        self.server.shutdown()
+        self.server.server_close()
+        self.service.stop()
+        self.thread.join(5.0)
+
+
+@pytest.fixture
+def spanned(tmp_path):
+    harness = SpannedHarness(tmp_path / "store", lease_ttl=0.15,
+                             shard_points=1)
+    yield harness
+    harness.close()
+
+
+class TestFabricSpanTree:
+    def test_remote_worker_run_yields_one_connected_tree(self, tmp_path):
+        harness = SpannedHarness(tmp_path / "store", shard_points=2)
+        worker_spans = SpanRecorder(keep=True)
+        try:
+            spec = tiny_spec()
+            reference = [json.dumps(row) for row in run_sweep(spec).rows]
+            response = harness.client.submit(spec=spec, mode="remote")
+            worker = RemoteWorker(
+                ServiceClient(harness.url, spans=worker_spans),
+                worker_id="w-spans", poll=0.05, max_idle=5.0,
+                max_shards=1, spans=worker_spans)  # 2 points, 1 shard
+            worker.run()
+            final = harness.client.wait(response["job"]["job_id"],
+                                        timeout=10.0)
+            assert final["state"] == "done"
+            served = [json.dumps(row)
+                      for row in harness.client.rows(spec.content_hash())]
+            assert served == reference  # traced remote run, same bytes
+        finally:
+            harness.close()
+        merged = (harness.daemon_spans.drain() + harness.client_spans.drain()
+                  + worker_spans.drain())
+        forest = TraceForest.build([Span.from_dict(p) for p in merged])
+        assert not forest.orphans  # every parent id resolves across files
+        # the submit trace threads client -> daemon -> board -> worker
+        submit_root = next(
+            span for span in forest.roots
+            if span.name == "client.request"
+            and span.attrs.get("path") == "/v1/sweeps")
+        names_in_tree = set()
+
+        def collect(span):
+            names_in_tree.add(span.name)
+            for child in forest.children.get(span.span_id, ()):
+                collect(child)
+
+        collect(submit_root)
+        assert {"client.request", "http.post", "job.submit", "job.execute",
+                "shard.lease", "worker.shard", "sweep.shard", "sweep.point",
+                "store.commit"} <= names_in_tree
+        leases = forest.named("shard.lease")
+        assert all(lease.status == "completed" for lease in leases)
+
+    def test_expired_lease_links_its_requeued_replacement(self, spanned):
+        spec = tiny_spec(axes={"n": [16]})  # one point, one shard
+        spanned.client.submit(spec=spec, mode="remote")
+        first = spanned.board.lease("w1")
+        time.sleep(0.25)
+        second = spanned.board.lease("w2")  # lazy expiry requeues here
+        assert second["attempt"] == 2
+        points = spec.expand()
+        rows = [{"point_index": i, "point_key": points[i].key, "v": 1}
+                for i in second["indices"]]
+        spanned.board.complete(second["lease_id"], rows)
+
+        merged = spanned.daemon_spans.drain() + spanned.client_spans.drain()
+        forest = TraceForest.build([Span.from_dict(p) for p in merged])
+        assert not forest.orphans
+        expired, replacement = sorted(forest.named("shard.lease"),
+                                      key=lambda span: span.start)
+        assert expired.status == "expired"
+        assert replacement.status == "completed"
+        assert replacement.links == [{
+            "trace_id": expired.trace_id, "span_id": expired.span_id,
+            "reason": "requeued"}]
+        churn = forest.lease_churn()
+        assert churn["expired"] == 1
+        assert churn["requeued_linked"] == 1
+        assert churn["requeued_resolved"] == 1
+
+    def test_lease_payload_carries_the_traceparent(self, spanned):
+        spanned.client.submit(spec=tiny_spec(axes={"n": [16]}),
+                              mode="remote")
+        lease = spanned.board.lease("w1")
+        context = decode_traceparent(lease["traceparent"])
+        assert context is not None
+        # the header names the *live* lease span: same trace, same span id
+        live = next(shard.lease_span
+                    for shard in spanned.board._shards.values()
+                    if shard.lease_span is not None)
+        assert context == live.context
+
+    def test_client_span_counts_attempts(self, spanned):
+        spanned.client.healthz()
+        (request_span,) = [span for span
+                           in spanned.client_spans.drain()
+                           if span["name"] == "client.request"]
+        assert request_span["attrs"]["attempts"] == 1
+        assert request_span["attrs"]["path"] == "/v1/healthz"
+
+
+# ----------------------------------------------------------------------
+# Satellite: client retry visibility + Prometheus conformance
+# ----------------------------------------------------------------------
+
+class TestRetryVisibility:
+    def test_daemon_counts_arriving_retries(self, spanned):
+        request = urllib.request.Request(
+            f"{spanned.url}/v1/healthz",
+            headers={"x-repro-attempt": "2",
+                     "traceparent": f"00-{'a' * 32}-{'b' * 16}-01"})
+        with urllib.request.urlopen(request, timeout=10.0):
+            pass
+        text = spanned.client.metrics_text()
+        assert ('repro_client_retries_total{route="/v1/healthz"} 1'
+                in text.splitlines())
+
+    def test_first_attempts_do_not_count(self, spanned):
+        spanned.client.healthz()  # sends x-repro-attempt: 1
+        assert "client_retries_total" not in spanned.client.metrics_text()
+
+    def test_malformed_attempt_header_is_ignored(self, spanned):
+        request = urllib.request.Request(
+            f"{spanned.url}/v1/healthz",
+            headers={"x-repro-attempt": "banana"})
+        with urllib.request.urlopen(request, timeout=10.0) as response:
+            assert response.status == 200
+        assert "client_retries_total" not in spanned.client.metrics_text()
+
+
+class TestPrometheusConformanceOverHTTP:
+    def test_content_type_declares_version_0_0_4(self, spanned):
+        with urllib.request.urlopen(f"{spanned.url}/v1/metrics",
+                                    timeout=10.0) as response:
+            content_type = response.headers["Content-Type"]
+        assert content_type == "text/plain; version=0.0.4; charset=utf-8"
+
+    def test_label_values_reach_the_wire_escaped(self, spanned):
+        spanned.service.registry.counter(
+            "escape_probe_total", "Escaping probe.",
+            path='a"b\\c\nnewline').inc()
+        text = spanned.client.metrics_text()
+        assert (r'repro_escape_probe_total{path="a\"b\\c\nnewline"} 1'
+                in text.splitlines())
+
+    def test_request_metrics_label_route_templates_not_raw_paths(
+            self, spanned):
+        with pytest.raises(ServiceError):
+            spanned.client.job("job-cardinality-probe")
+        text = spanned.client.metrics_text()
+        assert 'route="/v1/jobs/{id}"' in text
+        assert "job-cardinality-probe" not in text
+        # arbitrary probe paths collapse into one bucket
+        probe = urllib.request.Request(
+            f"{spanned.url}/v1/not/a/route/{'x' * 32}")
+        with pytest.raises(urllib.error.HTTPError):
+            urllib.request.urlopen(probe, timeout=10.0)
+        text = spanned.client.metrics_text()
+        assert 'route="/other"' in text
+        assert "x" * 32 not in text
+
+
+# ----------------------------------------------------------------------
+# The analyzer, on forests where the right answer is known exactly
+# ----------------------------------------------------------------------
+
+def make_span(name, *, trace="t" * 32, span_id, parent=None, start, end,
+              status="ok", attrs=None, links=None):
+    return Span(name=name, trace_id=trace, span_id=span_id,
+                parent_id=parent, start=start, end=end, status=status,
+                attrs=dict(attrs or {}), links=list(links or []))
+
+
+class TestTraceForest:
+    def test_critical_path_follows_the_latest_finishing_subtree(self):
+        # B ends before A, but B's child G ends last: the critical path
+        # must descend through B (children outlive parents in async
+        # traces), and the makespan must cover G's end.
+        spans = [
+            make_span("root", span_id="r" * 16, start=0.0, end=1.0),
+            make_span("a", span_id="a" * 16, parent="r" * 16,
+                      start=0.1, end=0.9),
+            make_span("b", span_id="b" * 16, parent="r" * 16,
+                      start=0.2, end=0.3),
+            make_span("g", span_id="g" * 16, parent="b" * 16,
+                      start=0.25, end=2.0),
+        ]
+        forest = TraceForest.build(spans)
+        (root,) = forest.roots
+        assert [span.name for span in forest.critical_path(root)] \
+            == ["root", "b", "g"]
+        assert forest.makespan(root) == pytest.approx(2.0)
+        assert forest.subtree_size(root) == 4
+        assert forest.depth(root) == 3
+
+    def test_orphans_are_detected_and_fail_the_exit_code(self, tmp_path):
+        spans = [
+            make_span("root", span_id="r" * 16, start=0.0, end=1.0),
+            make_span("lost", span_id="l" * 16, parent="m" * 16,
+                      start=0.5, end=0.6),
+        ]
+        forest = TraceForest.build(spans)
+        assert [span.name for span in forest.orphans] == ["lost"]
+        path = tmp_path / "spans.jsonl"
+        path.write_text("".join(json.dumps(span.to_dict()) + "\n"
+                                for span in spans))
+        out = io.StringIO()
+        assert run_trace_analysis([str(path)], out=out) == 1
+        report = out.getvalue()
+        assert "connected tree: no" in report
+        assert "missing parent" in report
+
+    def test_time_split_accounts_queue_compute_commit(self):
+        spans = [
+            make_span("job.submit", span_id="s" * 16, start=0.0, end=0.1),
+            make_span("job.execute", span_id="e" * 16, parent="s" * 16,
+                      start=0.5, end=2.0),
+            make_span("sweep.point", span_id="p" * 16, parent="e" * 16,
+                      start=0.5, end=1.4),
+            make_span("store.commit", span_id="c" * 16, parent="e" * 16,
+                      start=1.5, end=1.7),
+        ]
+        forest = TraceForest.build(spans)
+        split = forest.time_split(forest.roots[0])
+        assert split["queue"] == pytest.approx(0.5)   # execute - submit
+        assert split["compute"] == pytest.approx(0.9)
+        assert split["commit"] == pytest.approx(0.2)
+
+    def test_lease_churn_counts_links_and_retries(self):
+        first = make_span("shard.lease", span_id="1" * 16, start=0.0,
+                          end=0.2, status="expired",
+                          attrs={"shard_id": "shard-0", "attempt": 1})
+        second = make_span(
+            "shard.lease", span_id="2" * 16, start=0.3, end=0.5,
+            status="completed",
+            attrs={"shard_id": "shard-0", "attempt": 2},
+            links=[{"trace_id": "t" * 32, "span_id": "1" * 16,
+                    "reason": "requeued"}])
+        churn = TraceForest.build([first, second]).lease_churn()
+        assert churn == {"shards": 1, "leases": 2, "expired": 1,
+                         "requeued_linked": 1, "requeued_resolved": 1,
+                         "retried_shards": {"shard-0": 2}}
+
+    def test_unresolved_requeue_link_is_counted_but_not_resolved(self):
+        # The expired lease's span file was not merged in.
+        second = make_span(
+            "shard.lease", span_id="2" * 16, start=0.3, end=0.5,
+            attrs={"shard_id": "shard-0", "attempt": 2},
+            links=[{"trace_id": "t" * 32, "span_id": "9" * 16,
+                    "reason": "requeued"}])
+        churn = TraceForest.build([second]).lease_churn()
+        assert churn["requeued_linked"] == 1
+        assert churn["requeued_resolved"] == 0
+
+
+class TestLoadSpans:
+    def test_non_span_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        span = make_span("root", span_id="r" * 16, start=0.0, end=1.0)
+        path.write_text(
+            json.dumps({"event": "round", "run_id": "run-1-1"}) + "\n"
+            + "\n"
+            + json.dumps(span.to_dict()) + "\n")
+        (loaded,) = load_spans([path])
+        assert loaded.name == "root"
+
+    def test_spanless_file_is_an_error(self, tmp_path):
+        path = tmp_path / "trace-only.jsonl"
+        path.write_text(json.dumps({"event": "round"}) + "\n")
+        with pytest.raises(TelemetryError, match="no span records"):
+            load_spans([path])
+
+    def test_invalid_json_names_the_line(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text('{"kind": "span"\n')
+        with pytest.raises(TelemetryError, match="broken.jsonl:1"):
+            load_spans([path])
+
+
+class TestReportRendering:
+    def build_forest(self):
+        spans = [
+            make_span("client.request", span_id="r" * 16, start=0.0,
+                      end=1.0, attrs={"path": "/v1/sweeps"}),
+            make_span("sweep.point", span_id="p" * 16, parent="r" * 16,
+                      start=0.1, end=0.9, attrs={"point_key": "k=1"}),
+            make_span("sweep.point", span_id="q" * 16, parent="r" * 16,
+                      start=0.1, end=0.4, attrs={"point_key": "k=2"}),
+            # an idle poll: a 1-span trace that should fold away
+            make_span("client.request", trace="u" * 32, span_id="i" * 16,
+                      start=0.0, end=0.01, attrs={"path": "/v1/healthz"}),
+        ]
+        return TraceForest.build(spans)
+
+    def test_short_traces_fold_unless_all(self):
+        out = io.StringIO()
+        render_report(self.build_forest(), out=out)
+        report = out.getvalue()
+        assert "connected tree: yes" in report
+        assert "1 short traces of <=2 spans folded away" in report
+        assert report.count("trace ") == 1
+
+        out = io.StringIO()
+        render_report(self.build_forest(), all_traces=True, out=out)
+        assert out.getvalue().count("trace ") == 2
+
+    def test_slowest_points_are_listed_by_key(self):
+        out = io.StringIO()
+        render_report(self.build_forest(), top=1, out=out)
+        report = out.getvalue()
+        assert "slowest points (top 1 of 2)" in report
+        assert "k=1" in report and "k=2" not in report
+
+    def test_cli_trace_verb_end_to_end(self, tmp_path, capsys):
+        from repro.cli import main
+        spec = tiny_spec()
+        recorder = SpanRecorder(keep=True)
+        with recorder.span("test.root"):
+            run_sweep(spec)
+        path = tmp_path / "spans.jsonl"
+        path.write_text("".join(json.dumps(span) + "\n"
+                                for span in recorder.drain()))
+        assert main(["trace", str(path)]) == 0
+        report = capsys.readouterr().out
+        assert "connected tree: yes" in report
+        assert "critical path" in report
